@@ -1,0 +1,88 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace cloudrtt::bench {
+
+core::StudyConfig bench_config() {
+  double scale = 1.0;
+  if (const char* env = std::getenv("CLOUDRTT_SCALE")) {
+    scale = std::max(0.1, std::atof(env));
+  }
+  core::StudyConfig config;
+  if (const char* env = std::getenv("CLOUDRTT_SEED")) {
+    config.seed = static_cast<std::uint64_t>(std::atoll(env));
+  }
+  config.sc_probes = static_cast<std::size_t>(6000 * scale);
+  config.atlas_probes = static_cast<std::size_t>(1500 * scale);
+  config.sc_campaign.daily_budget = static_cast<std::size_t>(12000 * scale);
+  config.atlas_campaign.daily_budget = static_cast<std::size_t>(3500 * scale);
+  return config;
+}
+
+const core::Study& shared_study() {
+  static core::Study study = [] {
+    core::Study s{bench_config()};
+    s.run();
+    return s;
+  }();
+  return study;
+}
+
+void print_header(const std::string& exhibit, const std::string& claim) {
+  std::cout << "==============================================================\n";
+  std::cout << exhibit << "\n";
+  std::cout << "paper: " << claim << "\n";
+  const core::StudyConfig config = bench_config();
+  std::cout << "scale: " << config.sc_probes << " SC probes / "
+            << config.atlas_probes << " Atlas probes, seed " << config.seed
+            << " (set CLOUDRTT_SCALE / CLOUDRTT_SEED to change)\n";
+  std::cout << "==============================================================\n";
+}
+
+std::string pct(double value) { return util::format_double(value, 1) + "%"; }
+std::string ms(double value) { return util::format_double(value, 1); }
+
+void print_peering_case_study(const analysis::PeeringCaseStudy& study) {
+  std::cout << "\n-- interconnection matrix (" << study.src_country << " ISPs x "
+            << "providers, DCs in " << study.dst_country << ") --\n";
+  util::TextTable matrix;
+  std::vector<std::string> header{"ISP"};
+  for (const cloud::ProviderId id : cloud::kPeeringFigureProviders) {
+    header.emplace_back(cloud::provider_info(id).ticker);
+  }
+  matrix.set_header(std::move(header));
+  for (const analysis::PeeringMatrixRow& row : study.matrix) {
+    std::vector<std::string> cells{row.isp_label};
+    for (const analysis::PeeringMatrixCell& cell : row.cells) {
+      if (!cell.has_data) {
+        cells.emplace_back("-");
+      } else {
+        cells.push_back(std::string{topology::to_string(cell.majority)} + " " +
+                        util::format_double(cell.majority_pct, 0) + "%");
+      }
+    }
+    matrix.add_row(std::move(cells));
+  }
+  std::cout << matrix.render();
+
+  std::cout << "\n-- latency by interconnection type (completed ICMP e2e) --\n";
+  util::TextTable latency;
+  latency.set_header({"provider", "direct n", "direct p25/med/p75",
+                      "interm. n", "interm. p25/med/p75"});
+  for (const analysis::PeeringLatencyRow& row : study.latency) {
+    if (row.direct.count == 0 && row.intermediate.count == 0) continue;
+    const auto fmt = [](const util::Summary& s) {
+      return util::format_double(s.p25, 0) + "/" + util::format_double(s.median, 0) +
+             "/" + util::format_double(s.p75, 0);
+    };
+    latency.add_row({std::string{row.ticker} + (row.valid ? "" : " (thin)"),
+                     std::to_string(row.direct.count), fmt(row.direct),
+                     std::to_string(row.intermediate.count),
+                     fmt(row.intermediate)});
+  }
+  std::cout << latency.render();
+}
+
+}  // namespace cloudrtt::bench

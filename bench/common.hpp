@@ -1,0 +1,36 @@
+#pragma once
+// Shared plumbing for the per-figure bench harnesses: a lazily-run study at
+// "bench" scale (larger than the test quick scale, smaller than the paper's
+// six months) and small printing helpers.
+//
+// Environment knobs:
+//   CLOUDRTT_SCALE  — float multiplier on probe counts and daily budget
+//                     (default 1.0; e.g. 4 approaches paper-like densities)
+//   CLOUDRTT_SEED   — study seed (default 42)
+
+#include <string>
+
+#include "analysis/experiments.hpp"
+#include "core/study.hpp"
+#include "util/text.hpp"
+
+namespace cloudrtt::bench {
+
+/// Study configuration for benches, after applying the environment knobs.
+[[nodiscard]] core::StudyConfig bench_config();
+
+/// Build + run a study once per process.
+[[nodiscard]] const core::Study& shared_study();
+
+/// Print the standard harness header: exhibit id, what the paper showed,
+/// and the scale this run used.
+void print_header(const std::string& exhibit, const std::string& claim);
+
+[[nodiscard]] std::string pct(double value);
+[[nodiscard]] std::string ms(double value);
+
+/// Print a peering case study (matrix + latency-by-interconnection), the
+/// shared body of the Fig. 12/13/17/18 harnesses.
+void print_peering_case_study(const analysis::PeeringCaseStudy& study);
+
+}  // namespace cloudrtt::bench

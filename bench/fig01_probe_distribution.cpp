@@ -1,0 +1,126 @@
+// Figs. 1b / 2 / 14 — vantage-point distributions of the two platforms.
+// Prints per-continent probe counts and the densest countries, plus the
+// APNIC-style coverage contrast the paper leans on (§3.2).
+
+#include <algorithm>
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace cloudrtt;
+  bench::print_header(
+      "Fig. 1b / Fig. 2 — probe distributions (Speedchecker vs RIPE Atlas)",
+      "SC: EU 72K, AS 31K, NA 5.4K, AF 4K, SA 2.8K, OC 351; Atlas: EU 5574, "
+      "AS 1083, NA 866, AF 261, SA 216, OC 289; DE/GB/IR/JP densest on SC");
+
+  const core::Study& study = bench::shared_study();
+
+  for (const probes::ProbeFleet* fleet :
+       {&study.sc_fleet(), &study.atlas_fleet()}) {
+    std::cout << "\n-- " << to_string(fleet->platform()) << " ("
+              << fleet->size() << " probes) --\n";
+    std::array<std::size_t, geo::kContinentCount> by_continent{};
+    std::array<std::size_t, geo::kContinentCount> cellular{};
+    for (const probes::Probe& probe : fleet->probes()) {
+      const std::size_t idx = geo::index_of(probe.country->continent);
+      ++by_continent[idx];
+      if (probe.access == lastmile::AccessTech::Cellular) ++cellular[idx];
+    }
+    util::TextTable table;
+    table.set_header({"continent", "probes", "share", "cellular"});
+    for (const geo::Continent c : geo::kAllContinents) {
+      const std::size_t idx = geo::index_of(c);
+      table.add_row({std::string{geo::to_code(c)},
+                     std::to_string(by_continent[idx]),
+                     bench::pct(100.0 * static_cast<double>(by_continent[idx]) /
+                                static_cast<double>(fleet->size())),
+                     bench::pct(by_continent[idx] == 0
+                                    ? 0.0
+                                    : 100.0 * static_cast<double>(cellular[idx]) /
+                                          static_cast<double>(by_continent[idx]))});
+    }
+    std::cout << table.render();
+
+    std::vector<std::pair<std::size_t, std::string_view>> dense;
+    for (const geo::CountryInfo& country : study.world().countries().all()) {
+      const std::size_t n = fleet->count_in_country(country.code);
+      if (n > 0) dense.emplace_back(n, country.name);
+    }
+    std::sort(dense.rbegin(), dense.rend());
+    std::cout << "densest countries:";
+    for (std::size_t i = 0; i < std::min<std::size_t>(6, dense.size()); ++i) {
+      std::cout << " " << dense[i].second << "(" << dense[i].first << ")";
+    }
+    std::cout << "\n";
+  }
+
+  // Appendix A.1 (Fig. 14): geographic "closeness" — how tightly clustered
+  // each platform's probes are, as the median distance to the nearest other
+  // probe of the same platform.
+  std::cout << "\n-- probe closeness (median nearest-neighbour distance, km) --\n";
+  util::TextTable closeness;
+  closeness.set_header({"continent", "Speedchecker", "RIPE Atlas"});
+  for (const geo::Continent c : geo::kAllContinents) {
+    std::vector<std::string> row{std::string{geo::to_code(c)}};
+    for (const probes::ProbeFleet* fleet :
+         {&study.sc_fleet(), &study.atlas_fleet()}) {
+      std::vector<const probes::Probe*> members;
+      for (const probes::Probe& probe : fleet->probes()) {
+        if (probe.country->continent == c) members.push_back(&probe);
+      }
+      if (members.size() < 10) {
+        row.emplace_back("-");
+        continue;
+      }
+      std::vector<double> nearest;
+      nearest.reserve(members.size());
+      for (const probes::Probe* a : members) {
+        double best = 1e18;
+        for (const probes::Probe* b : members) {
+          if (a == b) continue;
+          best = std::min(best, geo::haversine_km(a->location, b->location));
+        }
+        nearest.push_back(best);
+      }
+      row.push_back(util::format_double(util::median(nearest), 1));
+    }
+    closeness.add_row(std::move(row));
+  }
+  std::cout << closeness.render();
+  std::cout << "(smaller = denser deployment; the SC fleet is close-packed "
+               "wherever the Atlas fleet is sparse — Fig. 14's point)\n";
+
+  // §3.2's geoDensity claim: probes per geographic area, SC relative to
+  // Atlas — ~12x in EU, ~6x in NA, far higher in developing regions.
+  std::cout << "\n-- geoDensity ratio (Speedchecker / Atlas probes per area) --\n";
+  util::TextTable density;
+  density.set_header({"continent", "SC probes", "Atlas probes", "ratio"});
+  for (const geo::Continent c : geo::kAllContinents) {
+    std::size_t sc_count = 0;
+    std::size_t atlas_count = 0;
+    for (const probes::Probe& probe : study.sc_fleet().probes()) {
+      if (probe.country->continent == c) ++sc_count;
+    }
+    for (const probes::Probe& probe : study.atlas_fleet().probes()) {
+      if (probe.country->continent == c) ++atlas_count;
+    }
+    density.add_row({std::string{geo::to_code(c)}, std::to_string(sc_count),
+                     std::to_string(atlas_count),
+                     atlas_count == 0
+                         ? "-"
+                         : util::format_double(static_cast<double>(sc_count) /
+                                                   static_cast<double>(atlas_count),
+                                               1) + "x"});
+  }
+  std::cout << density.render();
+  std::cout << "(paper: ~12x in EU, ~6x in NA, 30-40x in developing regions; "
+               "both fleets are scaled by the same factor here, so the ratio "
+               "is scale-invariant)\n";
+
+  std::cout << "\nnote: the paper's platform contrast — Atlas concentrated in "
+               "southern Africa and spread across South America, Speedchecker "
+               "cellular-heavy in north Africa and >80% Brazilian in SA — is "
+               "encoded in the country table and verified by tests/geo_test.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 3 — median RTT from each country's Speedchecker probes to the closest
+// in-continent datacenter, bucketed into the paper's latency classes, plus
+// the §4.1 takeaway (countries meeting MTP/HPL/HRT).
+
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+
+int main() {
+  using namespace cloudrtt;
+  bench::print_header(
+      "Fig. 3 — median latency to the closest in-continent datacenter",
+      "in-land DCs => lowest medians; ~96/120 countries < HPL (100 ms); all "
+      "but two (African) countries < HRT (250 ms); Africa most uneven");
+
+  const auto rows =
+      analysis::fig3_country_latency(bench::shared_study().view());
+
+  std::map<std::string_view, std::vector<const analysis::CountryLatencyRow*>>
+      by_bucket;
+  std::size_t below_mtp = 0;
+  std::size_t below_hpl = 0;
+  std::size_t below_hrt = 0;
+  for (const auto& row : rows) {
+    by_bucket[row.bucket].push_back(&row);
+    if (row.median_ms < analysis::kMtpMs) ++below_mtp;
+    if (row.median_ms < analysis::kHplMs) ++below_hpl;
+    if (row.median_ms < analysis::kHrtMs) ++below_hrt;
+  }
+
+  for (const std::string_view bucket :
+       {"<30", "30-60", "60-100", "100-250", ">250"}) {
+    const auto it = by_bucket.find(bucket);
+    std::cout << "\n[" << bucket << " ms] "
+              << (it == by_bucket.end() ? 0 : it->second.size())
+              << " countries\n  ";
+    if (it == by_bucket.end()) continue;
+    for (const auto* row : it->second) {
+      std::cout << row->country << "(" << bench::ms(row->median_ms) << ") ";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\ncountries measured: " << rows.size() << "\n";
+  std::cout << "  median < MTP (20 ms):  " << below_mtp << "\n";
+  std::cout << "  median < HPL (100 ms): " << below_hpl << " ("
+            << bench::pct(100.0 * static_cast<double>(below_hpl) /
+                          static_cast<double>(rows.size()))
+            << ")\n";
+  std::cout << "  median < HRT (250 ms): " << below_hrt << " (failing: "
+            << rows.size() - below_hrt << ")\n";
+  std::cout << "paper: 96/120 < HPL; all but 2 African countries < HRT\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fig. 4 — distribution of all RTT samples to the nearest in-continent
+// datacenter, grouped by continent, against the MTP/HPL/HRT thresholds.
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace cloudrtt;
+  bench::print_header(
+      "Fig. 4 — RTT distribution to nearest DC per continent",
+      "EU/NA/OC ~90% under HPL; AS/SA ~80% under HPL with long tails; AF <10% "
+      "under HPL and ~65% under HRT; MTP out of reach everywhere");
+
+  const auto series = analysis::fig4_continent_rtt(bench::shared_study().view());
+
+  std::cout << "\n-- CDF (quantiles per continent) --\n";
+  std::cout << util::render_cdf_table(
+      series, {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99});
+
+  std::cout << "\n-- fraction under the application thresholds (§2.1) --\n";
+  std::cout << util::render_threshold_table(
+      series, {analysis::kMtpMs, analysis::kHplMs, analysis::kHrtMs});
+  std::cout << "(MTP 20 ms | HPL 100 ms | HRT 250 ms)\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 5 — quantile-matched latency differences between Speedchecker and
+// RIPE Atlas measurements towards the nearest DC (negative = SC faster).
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace cloudrtt;
+  bench::print_header(
+      "Fig. 5 — Speedchecker vs RIPE Atlas latency differences",
+      "Atlas faster in all continents (wired last-mile), gap largest in "
+      "Africa; South America inverted (~70% of SC samples faster, Brazilian "
+      "probe skew)");
+
+  const auto series = analysis::fig5_platform_diff(bench::shared_study().view());
+
+  util::TextTable table;
+  table.set_header({"continent", "SC faster", "median diff [ms]",
+                    "p25 diff", "p75 diff", "points"});
+  for (const auto& s : series) {
+    std::size_t negative = 0;
+    for (const double d : s.values) {
+      if (d < 0.0) ++negative;
+    }
+    const util::Summary summary = util::summarize(s.values);
+    table.add_row(
+        {s.label,
+         s.values.empty() ? "-"
+                          : bench::pct(100.0 * static_cast<double>(negative) /
+                                       static_cast<double>(s.values.size())),
+         bench::ms(summary.median), bench::ms(summary.p25),
+         bench::ms(summary.p75), std::to_string(s.values.size())});
+  }
+  std::cout << "\n" << table.render();
+  std::cout << "\n(negative differences = Speedchecker faster at that "
+               "quantile; positive = Atlas faster)\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 6 — intercontinental cloud access from Africa (to AF/EU/NA DCs) and
+// South America (to SA/NA DCs): can good cables beat sparse in-continent
+// deployments?
+
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+void print_block(const std::vector<cloudrtt::analysis::InterContinentalCell>& cells,
+                 std::string_view title) {
+  using namespace cloudrtt;
+  std::cout << "\n-- " << title << " --\n";
+  util::TextTable table;
+  table.set_header({"src", "dst", "n", "p25", "median", "p75", "p90"});
+  for (const auto& cell : cells) {
+    if (cell.summary.count == 0) continue;
+    table.add_row({std::string{cell.src_country},
+                   std::string{geo::to_code(cell.dst_continent)},
+                   std::to_string(cell.summary.count),
+                   bench::ms(cell.summary.p25), bench::ms(cell.summary.median),
+                   bench::ms(cell.summary.p75), bench::ms(cell.summary.p90)});
+  }
+  std::cout << table.render();
+}
+
+}  // namespace
+
+int main() {
+  using namespace cloudrtt;
+  bench::print_header(
+      "Fig. 6 — intra- vs inter-continental cloud access (AF and SA probes)",
+      "north Africa reaches EU (and even NA) faster than in-continent ZA DCs; "
+      "KE gets its lowest median in-continent but more stably to EU; BO/PE "
+      "roughly tie SA vs NA thanks to Pacific cables; CO/EC/VE reach NA "
+      "faster than BR");
+
+  const analysis::StudyView view = bench::shared_study().view();
+  print_block(analysis::fig6_intercontinental(view, geo::Continent::Africa),
+              "Fig. 6a: African probes");
+  print_block(analysis::fig6_intercontinental(view, geo::Continent::SouthAmerica),
+              "Fig. 6b: South American probes");
+  return 0;
+}

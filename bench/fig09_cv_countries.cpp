@@ -1,0 +1,32 @@
+// Fig. 9 — last-mile Cv for two representative countries per continent
+// (ZA MA | JP IR | GB UA | US MX | BR AR), home boxes dropped where the
+// platform hosts too few home probes (the paper's ZA/MA note).
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace cloudrtt;
+  bench::print_header(
+      "Fig. 9 — last-mile Cv for representative countries",
+      "stability is comparable (and significant) across the globe; home "
+      "boxes for ZA and MA excluded for insufficient home-probe samples");
+
+  const auto groups = analysis::fig9_cv_by_country(bench::shared_study().view());
+
+  util::TextTable table;
+  table.set_header({"country", "home n", "home med Cv", "cell n", "cell med Cv",
+                    "note"});
+  for (const auto& group : groups) {
+    const util::Summary home = util::summarize(group.home);
+    const util::Summary cell = util::summarize(group.cell);
+    table.add_row({group.label, std::to_string(home.count),
+                   home.count ? util::format_double(home.median, 2) : "-",
+                   std::to_string(cell.count),
+                   cell.count ? util::format_double(cell.median, 2) : "-",
+                   group.home_sufficient ? "" : "home excluded (insufficient)"});
+  }
+  std::cout << "\n" << table.render();
+  return 0;
+}

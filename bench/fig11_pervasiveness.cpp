@@ -1,0 +1,34 @@
+// Fig. 11 — pervasiveness: the share of routers on the user->DC path owned
+// by the target cloud provider, per provider and probe continent.
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace cloudrtt;
+  bench::print_header(
+      "Fig. 11 — provider pervasiveness (cloud-owned share of the path)",
+      "Google/Microsoft/Amazon own >60% of the routers on most paths; "
+      "providers reached over 2+ ASes own only ~20%");
+
+  const auto rows = analysis::fig11_pervasiveness(bench::shared_study().view());
+
+  util::TextTable table;
+  std::vector<std::string> header{"provider"};
+  for (const geo::Continent c : geo::kAllContinents) {
+    header.emplace_back(geo::to_code(c));
+  }
+  table.set_header(std::move(header));
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{std::string{row.ticker}};
+    for (const auto& median : row.median_by_continent) {
+      cells.push_back(median ? util::format_double(*median, 2) : "-");
+    }
+    table.add_row(std::move(cells));
+  }
+  std::cout << "\n" << table.render();
+  std::cout << "\n(median over traceroutes; '-' where fewer than 5 usable "
+               "traces)\n";
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fig. 12 — ISP-cloud peering case study in Europe (DE ISPs -> UK DCs).
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace cloudrtt;
+  bench::print_header(
+      "Fig. 12 — ISP-cloud peering case study in Europe (DE ISPs -> UK DCs)",
+      "big-3 peer directly with all German ISPs; Telefonica->BABA and Vodafone->DO ride the public Internet; IBM crosses IXPs most; direct vs transit latency nearly identical (well-provisioned EU)");
+
+  const auto study = analysis::peering_case_study(
+      bench::shared_study().view(), "DE", "GB");
+  bench::print_peering_case_study(study);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fig. 13 — ISP-cloud peering case study in Asia (JP ISPs -> IN DCs).
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace cloudrtt;
+  bench::print_header(
+      "Fig. 13 — ISP-cloud peering case study in Asia (JP ISPs -> IN DCs)",
+      "big-3 direct except NTT->Amazon; DigitalOcean strictly public in Asia; medians comparable but direct peering cuts the latency variation sharply");
+
+  const auto study = analysis::peering_case_study(
+      bench::shared_study().view(), "JP", "IN");
+  bench::print_peering_case_study(study);
+  return 0;
+}

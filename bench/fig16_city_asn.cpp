@@ -1,0 +1,40 @@
+// Fig. 16 (A.3) — apples-to-apples platform comparison: latency differences
+// restricted to probes matched by <city, first-hop ASN> on both platforms;
+// reported for AS/EU/NA only (insufficient intersections elsewhere).
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace cloudrtt;
+  bench::print_header(
+      "Fig. 16 — SC vs Atlas within the same <city, ASN>",
+      "controlling for location and serving ISP, Atlas remains significantly "
+      "faster for the large majority of samples; in Asia, always — the "
+      "residual gap is the wireless last-mile itself");
+
+  const auto series = analysis::fig16_city_asn_diff(bench::shared_study().view());
+
+  util::TextTable table;
+  table.set_header({"continent", "SC faster", "median diff [ms]", "p25", "p75",
+                    "points"});
+  for (const auto& s : series) {
+    std::size_t negative = 0;
+    for (const double d : s.values) {
+      if (d < 0.0) ++negative;
+    }
+    const util::Summary summary = util::summarize(s.values);
+    table.add_row(
+        {s.label,
+         s.values.empty() ? "-"
+                          : bench::pct(100.0 * static_cast<double>(negative) /
+                                       static_cast<double>(s.values.size())),
+         bench::ms(summary.median), bench::ms(summary.p25),
+         bench::ms(summary.p75), std::to_string(s.values.size())});
+  }
+  std::cout << "\n" << table.render();
+  std::cout << "\n(differences at matched quantiles within each matched "
+               "<city, ASN> pair; negative = Speedchecker faster)\n";
+  return 0;
+}

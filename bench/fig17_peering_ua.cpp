@@ -1,0 +1,17 @@
+// Fig. 17 (A.4) — peering case study.
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace cloudrtt;
+  bench::print_header(
+      "Fig. 17 (A.4) — peering case study",
+      " Ukrainian ISPs -> UK DCs:hypergiants peer directly with most Ukrainian ISPs; direct and transit paths achieve comparable medians (strong EU backhaul)");
+
+  const auto study = analysis::peering_case_study(
+      bench::shared_study().view(), "UA", "GB");
+  bench::print_peering_case_study(study);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fig. 18 (A.4) — peering case study.
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace cloudrtt;
+  bench::print_header(
+      "Fig. 18 (A.4) — peering case study",
+      " Bahraini ISPs -> IN DCs:direct interconnections rare (only MSFT/GCP with a few ISPs); where direct peering exists it is consistently and substantially faster");
+
+  const auto study = analysis::peering_case_study(
+      bench::shared_study().view(), "BH", "IN");
+  bench::print_peering_case_study(study);
+  return 0;
+}

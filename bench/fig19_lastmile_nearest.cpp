@@ -1,0 +1,39 @@
+// Fig. 19 (A.5) — share of the wireless last-mile in end-to-end latency,
+// restricted to traceroutes towards each probe's *nearest* datacenter.
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace cloudrtt;
+  bench::print_header(
+      "Fig. 19 — last-mile share towards the nearest cloud DC",
+      "against the nearest DC the last-mile dominates: ~50% of the total "
+      "latency globally, WiFi and cellular alike");
+
+  const auto stats =
+      analysis::lastmile_stats(bench::shared_study().view(), /*nearest_only=*/true);
+
+  util::TextTable table;
+  std::vector<std::string> header{"category"};
+  for (const geo::Continent c : geo::kAllContinents) {
+    header.emplace_back(geo::to_code(c));
+  }
+  header.emplace_back("Global");
+  table.set_header(std::move(header));
+  for (const analysis::LastMileCategory category :
+       {analysis::LastMileCategory::HomeUsrIsp, analysis::LastMileCategory::Cell}) {
+    std::vector<std::string> row{std::string{to_string(category)}};
+    for (std::size_t idx = 0; idx <= geo::kContinentCount; ++idx) {
+      const auto& values = stats.share(category, idx);
+      row.push_back(values.size() < 5 ? "-"
+                                      : bench::ms(util::median(values)) + "%");
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "\n" << table.render();
+  std::cout << "\n(median share of USR->ISP latency in the end-to-end RTT, "
+               "nearest-DC traces only)\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// perf_core — google-benchmark microbenchmarks for the hot kernels of the
+// simulator and the analysis pipeline: longest-prefix match, backbone
+// routing, forwarding-path construction, full traceroute execution, and the
+// statistics kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/resolve.hpp"
+#include "analysis/trace_analysis.hpp"
+#include "measure/engine.hpp"
+#include "probes/fleet.hpp"
+#include "routing/path_builder.hpp"
+#include "topology/world.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cloudrtt;
+
+/// One shared world + tiny fleet for all fixtures (built once).
+struct Fixture {
+  topology::World world{topology::WorldConfig{7}};
+  probes::ProbeFleet fleet{world,
+                           probes::FleetConfig{probes::Platform::Speedchecker, 600}};
+  analysis::IpToAsn resolver = analysis::IpToAsn::from_world(world);
+  measure::Engine engine{world};
+
+  static Fixture& instance() {
+    static Fixture fixture;
+    return fixture;
+  }
+};
+
+void BM_TrieLookup(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  util::Rng rng{1};
+  std::vector<net::Ipv4Address> addresses;
+  for (const probes::Probe& probe : f.fleet.probes()) {
+    addresses.push_back(probe.address);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.resolver.resolve(addresses[i++ % addresses.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrieLookup);
+
+void BM_BackboneRoute(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  const auto countries = f.world.countries().all();
+  util::Rng rng{2};
+  for (auto _ : state) {
+    const auto& a = countries[rng.below(countries.size())];
+    const auto& b = countries[rng.below(countries.size())];
+    benchmark::DoNotOptimize(f.world.backbone().route(a.code, b.code));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BackboneRoute);
+
+void BM_PathBuild(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  const routing::PathBuilder builder{f.world};
+  util::Rng rng{3};
+  const auto& probes = f.fleet.probes();
+  const auto& endpoints = f.world.endpoints();
+  for (auto _ : state) {
+    const probes::Probe& probe = probes[rng.below(probes.size())];
+    const topology::CloudEndpoint& endpoint = endpoints[rng.below(endpoints.size())];
+    benchmark::DoNotOptimize(
+        builder.build(probe, endpoint, topology::InterconnectMode::Public));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PathBuild);
+
+void BM_Traceroute(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  util::Rng rng{4};
+  const auto& probes = f.fleet.probes();
+  const auto& endpoints = f.world.endpoints();
+  for (auto _ : state) {
+    const probes::Probe& probe = probes[rng.below(probes.size())];
+    const topology::CloudEndpoint& endpoint = endpoints[rng.below(endpoints.size())];
+    benchmark::DoNotOptimize(f.engine.traceroute(probe, endpoint, 0, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Traceroute);
+
+void BM_ClassifyInterconnect(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  util::Rng rng{5};
+  std::vector<measure::TraceRecord> traces;
+  const auto& probes = f.fleet.probes();
+  const auto& endpoints = f.world.endpoints();
+  for (int i = 0; i < 256; ++i) {
+    traces.push_back(f.engine.traceroute(probes[rng.below(probes.size())],
+                                         endpoints[rng.below(endpoints.size())], 0,
+                                         rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::classify_interconnect(traces[i++ % traces.size()], f.resolver));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClassifyInterconnect);
+
+void BM_QuantileSweep(benchmark::State& state) {
+  util::Rng rng{6};
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(state.range(0)));
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    samples.push_back(rng.lognormal_median(50.0, 0.5));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::summarize(samples));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantileSweep)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_WorldConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    topology::World world{topology::WorldConfig{42}};
+    benchmark::DoNotOptimize(world.endpoints().size());
+  }
+}
+BENCHMARK(BM_WorldConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// country_report — per-country cloud connectivity report.
+//
+// Usage: country_report [ISO-code] (default DE)
+//
+// Builds the world, spawns a focused probe panel in the chosen country, and
+// measures every provider's nearest region from there — the kind of analysis
+// a network operator would run with this library: which provider is closest,
+// over which interconnection, and how stable the path is.
+
+#include <iostream>
+#include <map>
+
+#include "analysis/resolve.hpp"
+#include "analysis/trace_analysis.hpp"
+#include "measure/engine.hpp"
+#include "probes/fleet.hpp"
+#include "topology/world.hpp"
+#include "util/stats.hpp"
+#include "util/text.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudrtt;
+  const std::string country = argc > 1 ? argv[1] : "DE";
+
+  topology::World world{topology::WorldConfig{2024}};
+  if (world.countries().find(country) == nullptr) {
+    std::cerr << "unknown country code: " << country << "\n";
+    return 1;
+  }
+  const geo::CountryInfo& info = world.countries().at(country);
+  std::cout << "Cloud connectivity report for " << info.name << " (" << country
+            << "), continent " << geo::to_code(info.continent) << "\n";
+
+  // A panel of probes in this country only (fleet generation is global, so
+  // filter a mid-size fleet).
+  probes::ProbeFleet fleet{world,
+                           probes::FleetConfig{probes::Platform::Speedchecker, 20000}};
+  const auto panel = fleet.in_country(country);
+  if (panel.empty()) {
+    std::cerr << "no probes in " << country << " at this scale\n";
+    return 1;
+  }
+  std::cout << "probe panel: " << panel.size() << " wireless probes, "
+            << world.isps_in(country).size() << " serving ISPs\n\n";
+
+  measure::Engine engine{world};
+  const analysis::IpToAsn resolver = analysis::IpToAsn::from_world(world);
+  util::Rng rng = world.fork_rng("country-report");
+
+  util::TextTable table;
+  table.set_header({"provider", "nearest region", "median RTT", "p90 RTT",
+                    "interconnection", "last-mile share"});
+
+  for (const cloud::ProviderId provider : cloud::kAllProviders) {
+    // Nearest region of this provider by measured mean latency.
+    const topology::CloudEndpoint* best = nullptr;
+    double best_mean = 1e18;
+    for (const topology::CloudEndpoint& endpoint : world.endpoints()) {
+      if (endpoint.region->provider != provider) continue;
+      double sum = 0.0;
+      int n = 0;
+      for (int i = 0; i < 4; ++i) {
+        const probes::Probe& probe = *panel[rng.below(panel.size())];
+        sum += engine.ping(probe, endpoint, measure::Protocol::Tcp, 0, rng).rtt_ms;
+        ++n;
+      }
+      if (sum / n < best_mean) {
+        best_mean = sum / n;
+        best = &endpoint;
+      }
+    }
+    if (best == nullptr) continue;
+
+    // Measure the winner properly.
+    std::vector<double> rtts;
+    std::map<std::string_view, int> modes;
+    std::vector<double> shares;
+    for (int i = 0; i < 60; ++i) {
+      const probes::Probe& probe = *panel[rng.below(panel.size())];
+      rtts.push_back(
+          engine.ping(probe, *best, measure::Protocol::Tcp, 0, rng).rtt_ms);
+      const measure::TraceRecord trace = engine.traceroute(probe, *best, 0, rng);
+      const auto obs = analysis::classify_interconnect(trace, resolver);
+      if (obs.valid) ++modes[topology::to_string(obs.mode)];
+      const auto lm = analysis::infer_last_mile(trace, resolver);
+      if (lm.valid && trace.completed && trace.end_to_end_ms > 0.0) {
+        shares.push_back(lm.usr_isp_ms / trace.end_to_end_ms * 100.0);
+      }
+    }
+    std::string_view majority = "?";
+    int majority_count = -1;
+    for (const auto& [mode, count] : modes) {
+      if (count > majority_count) {
+        majority = mode;
+        majority_count = count;
+      }
+    }
+    const util::Summary summary = util::summarize(std::move(rtts));
+    table.add_row({std::string{cloud::provider_info(provider).ticker},
+                   std::string{best->region->region_name} + " (" +
+                       std::string{best->region->city} + ")",
+                   util::format_double(summary.median, 1) + " ms",
+                   util::format_double(summary.p90, 1) + " ms",
+                   std::string{majority},
+                   shares.empty()
+                       ? std::string{"-"}
+                       : util::format_double(util::median(shares), 0) + "%"});
+  }
+  std::cout << table.render();
+  std::cout << "\n(interconnection = majority classification over 60 "
+               "traceroutes; last-mile share = wireless segment / end-to-end)\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// edge_feasibility — the §7 discussion, quantified: which regions (and which
+// application classes) actually need edge computing, given measured cloud
+// latencies and the wireless last-mile floor?
+//
+// For each continent the example reports (a) the measured end-to-end
+// latency distribution to the nearest cloud DC, (b) the wireless last-mile
+// floor alone — i.e. the latency a user would see even if compute sat at the
+// first ISP hop — and (c) verdicts for MTP / HPL / HRT application classes.
+
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "core/study.hpp"
+#include "util/text.hpp"
+
+int main() {
+  using namespace cloudrtt;
+  std::cout << "edge_feasibility: running a scaled study...\n\n";
+  core::StudyConfig config = core::StudyConfig::quick();
+  config.sc_probes = 3000;
+  config.sc_campaign.days = 5;
+  config.sc_campaign.daily_budget = 6000;
+  core::Study study{config};
+  study.run();
+  const analysis::StudyView view = study.view();
+
+  const auto cloud_series = analysis::fig4_continent_rtt(view);
+  const auto lastmile = analysis::lastmile_stats(view, /*nearest_only=*/false);
+
+  util::TextTable table;
+  table.set_header({"continent", "cloud p50", "cloud p90", "edge floor p50",
+                    "MTP verdict", "HPL verdict", "HRT verdict"});
+  for (const geo::Continent c : geo::kAllContinents) {
+    const util::Series* series = nullptr;
+    for (const auto& s : cloud_series) {
+      if (s.label == geo::to_code(c)) series = &s;
+    }
+    if (series == nullptr || series->values.size() < 30) continue;
+    const util::Summary cloud = util::summarize(series->values);
+
+    // The edge floor: wireless last-mile alone (home + cell pooled).
+    std::vector<double> floor = lastmile.absolute(
+        analysis::LastMileCategory::HomeUsrIsp, geo::index_of(c));
+    const auto& cell =
+        lastmile.absolute(analysis::LastMileCategory::Cell, geo::index_of(c));
+    floor.insert(floor.end(), cell.begin(), cell.end());
+    const double floor_p50 = floor.empty() ? 0.0 : util::median(floor);
+
+    const util::EmpiricalCdf cdf{series->values};
+    const auto verdict = [&](double threshold) -> std::string {
+      const double cloud_ok = cdf.evaluate(threshold);
+      if (cloud_ok > 0.85) return "cloud suffices";
+      if (floor_p50 > threshold * 0.9) return "infeasible (last-mile)";
+      return "edge could help";
+    };
+    table.add_row({std::string{geo::to_code(c)},
+                   util::format_double(cloud.median, 0) + " ms",
+                   util::format_double(cloud.p90, 0) + " ms",
+                   util::format_double(floor_p50, 0) + " ms",
+                   verdict(analysis::kMtpMs), verdict(analysis::kHplMs),
+                   verdict(analysis::kHrtMs)});
+  }
+  std::cout << table.render();
+
+  std::cout <<
+      "\nReading (mirrors §7 of the paper):\n"
+      "  * MTP (20 ms): the wireless last-mile alone is ~20+ ms, so "
+      "MTP-class apps are infeasible everywhere — edge or not.\n"
+      "  * HPL (100 ms): already satisfied by the cloud in well-provisioned "
+      "continents; edge only helps the under-provisioned ones.\n"
+      "  * HRT (250 ms): cloud suffices nearly everywhere.\n";
+  return 0;
+}

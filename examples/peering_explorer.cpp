@@ -1,0 +1,151 @@
+// peering_explorer — walk one traceroute through the full analysis pipeline.
+//
+// Usage: peering_explorer [ISP-ASN] [provider-ticker] (default: 3209 MSFT —
+// Vodafone Germany to the nearest Microsoft region)
+//
+// Shows what the paper's §3.3/§6.1 pipeline actually sees: the raw hop list,
+// each hop's resolution (RIB / whois / IXP / private), the collapsed AS-level
+// path, and the resulting interconnection classification — next to the
+// simulator's ground truth for comparison.
+
+#include <charconv>
+#include <iostream>
+
+#include "analysis/resolve.hpp"
+#include "analysis/trace_analysis.hpp"
+#include "measure/engine.hpp"
+#include "probes/fleet.hpp"
+#include "topology/world.hpp"
+#include "util/text.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cloudrtt;
+  topology::Asn isp_asn = 3209;
+  std::string ticker = "MSFT";
+  if (argc > 1) {
+    const std::string_view arg = argv[1];
+    std::from_chars(arg.data(), arg.data() + arg.size(), isp_asn);
+  }
+  if (argc > 2) ticker = argv[2];
+
+  const auto provider = cloud::provider_from_ticker(ticker);
+  if (!provider) {
+    std::cerr << "unknown provider ticker: " << ticker << "\n";
+    return 1;
+  }
+
+  topology::World world{topology::WorldConfig{99}};
+  const topology::IspNetwork* isp = nullptr;
+  try {
+    isp = &world.isp(isp_asn);
+  } catch (const std::out_of_range&) {
+    std::cerr << "unknown ISP ASN " << isp_asn
+              << " (try one of the case-study ASNs: 3209 3320 2516 4713 5416)\n";
+    return 1;
+  }
+
+  std::cout << "Exploring: " << isp->name << " (AS " << isp->asn << ", "
+            << isp->country << ") -> " << cloud::provider_info(*provider).name
+            << "\n\n";
+
+  // One probe in this ISP.
+  probes::ProbeFleet fleet{world,
+                           probes::FleetConfig{probes::Platform::Speedchecker, 12000}};
+  const probes::Probe* probe = nullptr;
+  for (const probes::Probe& candidate : fleet.probes()) {
+    if (candidate.isp == isp &&
+        candidate.access == lastmile::AccessTech::HomeWifi) {
+      probe = &candidate;
+      break;
+    }
+  }
+  if (probe == nullptr) {
+    std::cerr << "no probe landed in this ISP at this scale\n";
+    return 1;
+  }
+
+  // Nearest region of the provider (geographically, for the demo).
+  const topology::CloudEndpoint* endpoint = nullptr;
+  double best_km = 1e18;
+  for (const topology::CloudEndpoint& candidate : world.endpoints()) {
+    if (candidate.region->provider != *provider) continue;
+    const double km =
+        geo::haversine_km(probe->location, candidate.region->location);
+    if (km < best_km) {
+      best_km = km;
+      endpoint = &candidate;
+    }
+  }
+
+  std::cout << "probe: id " << probe->id << ", " << probe->city->name << ", "
+            << to_string(probe->access) << ", addr " << probe->address.to_string()
+            << (probe->behind_cgn ? " (CGN)" : "") << "\n";
+  std::cout << "target: " << endpoint->region->region_name << " ("
+            << endpoint->region->city << ") VM " << endpoint->vm_ip.to_string()
+            << "\n\n";
+
+  measure::Engine engine{world};
+  const analysis::IpToAsn resolver = analysis::IpToAsn::from_world(world);
+  util::Rng rng = world.fork_rng("explorer");
+  const measure::TraceRecord trace = engine.traceroute(*probe, *endpoint, 0, rng);
+
+  util::TextTable table;
+  table.set_header({"ttl", "hop", "rtt", "resolution"});
+  for (const measure::HopRecord& hop : trace.hops) {
+    std::string resolution;
+    std::string address = "*";
+    std::string rtt = "*";
+    if (hop.responded) {
+      address = hop.ip.to_string();
+      rtt = util::format_double(hop.rtt_ms, 1) + " ms";
+      if (net::is_private(hop.ip)) {
+        resolution = net::is_cgn(hop.ip) ? "private (CGN 100.64/10)"
+                                         : "private (RFC1918)";
+      } else if (const auto res = resolver.resolve(hop.ip)) {
+        const topology::AsInfo& as_info = world.registry().at(res->asn);
+        resolution = "AS" + std::to_string(res->asn) + " " + as_info.name;
+        if (res->is_ixp) resolution += " [IXP]";
+        if (res->source == analysis::ResolutionSource::Whois) {
+          resolution += " [via whois]";
+        }
+      } else {
+        resolution = "unresolved";
+      }
+    } else {
+      resolution = "(no reply)";
+    }
+    table.add_row({std::to_string(hop.ttl), address, rtt, resolution});
+  }
+  std::cout << table.render();
+
+  const analysis::AsPath as_path = analysis::as_level_path(trace, resolver);
+  std::cout << "\nAS-level path:";
+  for (const topology::Asn asn : as_path.asns) std::cout << " AS" << asn;
+  if (as_path.crossed_ixp) std::cout << " (crossed an IXP)";
+  std::cout << "\n";
+
+  const analysis::InterconnectObservation obs =
+      analysis::classify_interconnect(trace, resolver);
+  std::cout << "classified interconnection: "
+            << (obs.valid ? topology::to_string(obs.mode) : "unclassifiable")
+            << " (" << obs.intermediate_as_count << " intermediate ASes)\n";
+  std::cout << "ground truth:               " << topology::to_string(trace.true_mode)
+            << "\n";
+
+  const analysis::LastMileObservation lm =
+      analysis::infer_last_mile(trace, resolver);
+  if (lm.valid) {
+    std::cout << "last-mile: classified "
+              << (lm.access == analysis::AccessClass::Home ? "home" : "cell")
+              << ", USR->ISP " << util::format_double(lm.usr_isp_ms, 1) << " ms";
+    if (lm.rtr_isp_ms) {
+      std::cout << ", RTR->ISP " << util::format_double(*lm.rtr_isp_ms, 1) << " ms";
+    }
+    std::cout << "\n";
+  }
+  if (trace.completed) {
+    std::cout << "end-to-end (ICMP): " << util::format_double(trace.end_to_end_ms, 1)
+              << " ms\n";
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Quickstart: build a small synthetic Internet, run a scaled-down version of
+// the paper's six-month measurement campaign, and print headline results —
+// median latency to the nearest datacenter per continent, plus how many
+// countries meet the MTP/HPL/HRT application thresholds of §2.1.
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "core/study.hpp"
+#include "util/text.hpp"
+
+int main() {
+  using namespace cloudrtt;
+
+  std::cout << "cloudrtt quickstart: running a scaled measurement study...\n";
+  core::Study study{core::StudyConfig::quick()};
+  study.run();
+  const analysis::StudyView view = study.view();
+
+  std::cout << "  Speedchecker probes: " << study.sc_fleet().size() << "\n";
+  std::cout << "  RIPE Atlas probes:   " << study.atlas_fleet().size() << "\n";
+  std::cout << "  pings collected:     " << study.sc_dataset().pings.size() << "\n";
+  std::cout << "  traceroutes:         " << study.sc_dataset().traces.size()
+            << "\n\n";
+
+  // Per-continent RTT distribution to the nearest in-continent DC (Fig. 4).
+  const auto series = analysis::fig4_continent_rtt(view);
+  std::cout << "RTT to nearest in-continent datacenter (Speedchecker):\n";
+  std::cout << util::render_cdf_table(series, {0.25, 0.5, 0.75, 0.9});
+
+  // Application-threshold compliance per country (the §4.1 takeaway).
+  const auto rows = analysis::fig3_country_latency(view);
+  std::size_t below_hpl = 0;
+  std::size_t below_hrt = 0;
+  for (const auto& row : rows) {
+    if (row.median_ms < analysis::kHplMs) ++below_hpl;
+    if (row.median_ms < analysis::kHrtMs) ++below_hrt;
+  }
+  std::cout << "\nCountries measured: " << rows.size() << "\n";
+  std::cout << "  median < HPL (100 ms): " << below_hpl << "\n";
+  std::cout << "  median < HRT (250 ms): " << below_hrt << "\n";
+  std::cout << "\nDone. See bench/ for the per-figure reproduction harnesses.\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, regenerate every
+# table/figure harness, and leave the transcripts next to the sources.
+#
+# Usage: scripts/reproduce.sh [scale]   (scale multiplies probe counts and
+# budgets; 1.0 by default, ~4 approaches paper-like densities)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1.0}"
+export CLOUDRTT_SCALE="$SCALE"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "done: test_output.txt + bench_output.txt (scale $SCALE)"

@@ -1,0 +1,166 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/experiments.hpp"
+#include "analysis/nearest.hpp"
+
+namespace cloudrtt::analysis {
+
+std::string_view to_string(LastMileCategory category) {
+  switch (category) {
+    case LastMileCategory::HomeUsrIsp: return "SC home (USR-ISP)";
+    case LastMileCategory::Cell: return "SC cell";
+    case LastMileCategory::HomeRtrIsp: return "SC home (RTR-ISP)";
+    case LastMileCategory::Atlas: return "Atlas";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Push a value into a per-continent bucket set plus the Global bucket.
+template <typename Buckets>
+void push_bucketed(Buckets& buckets, LastMileCategory category,
+                   geo::Continent continent, double value) {
+  auto& per_continent = buckets[static_cast<std::size_t>(category)];
+  per_continent[geo::index_of(continent)].push_back(value);
+  per_continent[kGlobalIndex].push_back(value);
+}
+
+void accumulate_lastmile(const StudyView& view, const measure::Dataset& data,
+                         bool is_atlas, bool nearest_only, LastMileStats& stats) {
+  // For Fig. 19 we need each probe's nearest DC (within its continent).
+  std::unordered_map<const probes::Probe*, const cloud::RegionInfo*> nearest_of;
+  if (nearest_only) {
+    const NearestIndex index{data};
+    for (const probes::Probe* probe : index.probes()) {
+      nearest_of.emplace(probe, index.nearest(probe, probe->country->continent));
+    }
+  }
+
+  for (const measure::TraceRecord& trace : data.traces) {
+    if (!trace.completed || trace.end_to_end_ms <= 0.0) continue;
+    if (nearest_only) {
+      const auto it = nearest_of.find(trace.probe);
+      if (it == nearest_of.end() || it->second != trace.region) continue;
+    }
+    const LastMileObservation obs = infer_last_mile(trace, *view.resolver);
+    if (!obs.valid) continue;
+    const geo::Continent continent = trace.probe->country->continent;
+    const double share =
+        std::clamp(obs.usr_isp_ms / trace.end_to_end_ms * 100.0, 0.0, 100.0);
+
+    if (is_atlas) {
+      push_bucketed(stats.share_pct, LastMileCategory::Atlas, continent, share);
+      push_bucketed(stats.absolute_ms, LastMileCategory::Atlas, continent,
+                    obs.usr_isp_ms);
+      continue;
+    }
+    if (obs.access == AccessClass::Home) {
+      push_bucketed(stats.share_pct, LastMileCategory::HomeUsrIsp, continent, share);
+      push_bucketed(stats.absolute_ms, LastMileCategory::HomeUsrIsp, continent,
+                    obs.usr_isp_ms);
+      if (obs.rtr_isp_ms) {
+        const double rtr_share = std::clamp(
+            *obs.rtr_isp_ms / trace.end_to_end_ms * 100.0, 0.0, 100.0);
+        push_bucketed(stats.share_pct, LastMileCategory::HomeRtrIsp, continent,
+                      rtr_share);
+        push_bucketed(stats.absolute_ms, LastMileCategory::HomeRtrIsp, continent,
+                      *obs.rtr_isp_ms);
+      }
+    } else if (obs.access == AccessClass::Cell) {
+      push_bucketed(stats.share_pct, LastMileCategory::Cell, continent, share);
+      push_bucketed(stats.absolute_ms, LastMileCategory::Cell, continent,
+                    obs.usr_isp_ms);
+    }
+  }
+}
+
+/// Per-probe last-mile sample streams for the Cv analyses. The probe's
+/// home/cell class is the majority of its per-trace inferences (the paper
+/// cannot see the real access type either).
+struct ProbeLastMile {
+  std::vector<double> samples;
+  std::size_t home_votes = 0;
+  std::size_t cell_votes = 0;
+  [[nodiscard]] bool is_home() const { return home_votes >= cell_votes; }
+};
+
+std::unordered_map<const probes::Probe*, ProbeLastMile> collect_per_probe(
+    const StudyView& view) {
+  std::unordered_map<const probes::Probe*, ProbeLastMile> out;
+  for (const measure::TraceRecord& trace : view.sc_data->traces) {
+    const LastMileObservation obs = infer_last_mile(trace, *view.resolver);
+    if (!obs.valid) continue;
+    ProbeLastMile& entry = out[trace.probe];
+    entry.samples.push_back(obs.usr_isp_ms);
+    if (obs.access == AccessClass::Home) {
+      ++entry.home_votes;
+    } else {
+      ++entry.cell_votes;
+    }
+  }
+  return out;
+}
+
+constexpr std::size_t kMinCvSamples = 10;  ///< the paper's >=10-sample rule
+
+}  // namespace
+
+LastMileStats lastmile_stats(const StudyView& view, bool nearest_only) {
+  LastMileStats stats;
+  accumulate_lastmile(view, *view.sc_data, /*is_atlas=*/false, nearest_only, stats);
+  if (view.has_atlas()) {
+    accumulate_lastmile(view, *view.atlas_data, /*is_atlas=*/true, nearest_only,
+                        stats);
+  }
+  return stats;
+}
+
+std::vector<CvGroup> fig8_cv_by_continent(const StudyView& view) {
+  const auto per_probe = collect_per_probe(view);
+  std::vector<CvGroup> groups;
+  for (const geo::Continent c : geo::kAllContinents) {
+    groups.push_back(CvGroup{std::string{geo::to_code(c)}, {}, {}, true});
+  }
+  for (const auto& [probe, entry] : per_probe) {
+    if (entry.samples.size() < kMinCvSamples) continue;
+    const auto cv = util::coefficient_of_variation(entry.samples);
+    if (!cv) continue;
+    CvGroup& group = groups[geo::index_of(probe->country->continent)];
+    (entry.is_home() ? group.home : group.cell).push_back(*cv);
+  }
+  return groups;
+}
+
+std::vector<CvGroup> fig9_cv_by_country(const StudyView& view) {
+  static constexpr std::array<std::string_view, 10> kCountries{
+      "ZA", "MA", "JP", "IR", "GB", "UA", "US", "MX", "BR", "AR"};
+  constexpr std::size_t kMinProbesPerBox = 8;
+
+  const auto per_probe = collect_per_probe(view);
+  std::vector<CvGroup> groups;
+  for (const std::string_view code : kCountries) {
+    groups.push_back(CvGroup{std::string{code}, {}, {}, true});
+  }
+  for (const auto& [probe, entry] : per_probe) {
+    if (entry.samples.size() < kMinCvSamples) continue;
+    const auto it = std::find(kCountries.begin(), kCountries.end(),
+                              std::string_view{probe->country->code});
+    if (it == kCountries.end()) continue;
+    const auto cv = util::coefficient_of_variation(entry.samples);
+    if (!cv) continue;
+    CvGroup& group = groups[static_cast<std::size_t>(it - kCountries.begin())];
+    (entry.is_home() ? group.home : group.cell).push_back(*cv);
+  }
+  // The paper excludes home boxes with insufficient samples (ZA & MA there).
+  for (CvGroup& group : groups) {
+    if (group.home.size() < kMinProbesPerBox) {
+      group.home_sufficient = false;
+      group.home.clear();
+    }
+  }
+  return groups;
+}
+
+}  // namespace cloudrtt::analysis

@@ -1,0 +1,145 @@
+#include "analysis/geolocate.hpp"
+
+#include <string_view>
+
+namespace cloudrtt::analysis {
+
+namespace {
+
+struct Headquarters {
+  cloud::ProviderId provider;
+  std::string_view country;
+  geo::GeoPoint location;
+};
+
+// Where the providers' corporate allocations geolocate when a database only
+// has the registration record.
+constexpr Headquarters kHeadquarters[] = {
+    {cloud::ProviderId::Amazon, "US", {47.61, -122.33}},       // Seattle
+    {cloud::ProviderId::Google, "US", {37.42, -122.08}},       // Mountain View
+    {cloud::ProviderId::Microsoft, "US", {47.67, -122.12}},    // Redmond
+    {cloud::ProviderId::DigitalOcean, "US", {40.71, -74.01}},  // New York
+    {cloud::ProviderId::Alibaba, "CN", {30.27, 120.15}},       // Hangzhou
+    {cloud::ProviderId::Vultr, "US", {28.54, -81.38}},         // Orlando-ish
+    {cloud::ProviderId::Linode, "US", {39.95, -75.17}},        // Philadelphia
+    {cloud::ProviderId::Lightsail, "US", {47.61, -122.33}},
+    {cloud::ProviderId::Oracle, "US", {30.27, -97.74}},        // Austin
+    {cloud::ProviderId::Ibm, "US", {41.11, -73.72}},           // Armonk
+};
+
+const Headquarters& headquarters_of(cloud::ProviderId provider) {
+  for (const Headquarters& hq : kHeadquarters) {
+    if (hq.provider == provider) return hq;
+  }
+  return kHeadquarters[0];
+}
+
+}  // namespace
+
+void GeoDatabase::add(const net::Ipv4Prefix& prefix, GeoEntry entry) {
+  trie_.insert(prefix, std::move(entry));
+}
+
+std::optional<GeoEntry> GeoDatabase::lookup(net::Ipv4Address addr) const {
+  if (net::is_private(addr)) return std::nullopt;
+  return trie_.lookup(addr);
+}
+
+GeoDatabase GeoDatabase::from_world(const topology::World& world,
+                                    double error_rate) {
+  GeoDatabase db;
+  util::Rng rng = world.fork_rng("geoip");
+  const auto& countries = world.countries();
+  const auto all_countries = countries.all();
+
+  const auto stale_country = [&]() -> const geo::CountryInfo& {
+    return all_countries[rng.below(all_countries.size())];
+  };
+
+  // Eyeball networks: customer + infra prefixes at the country centroid,
+  // stale entries somewhere else entirely.
+  for (const topology::IspNetwork& isp : world.isps()) {
+    const geo::CountryInfo& home = countries.at(isp.country);
+    for (const net::Ipv4Prefix& prefix : {isp.customer_prefix, isp.infra_prefix}) {
+      if (rng.chance(error_rate)) {
+        const geo::CountryInfo& wrong = stale_country();
+        db.add(prefix, GeoEntry{wrong.centroid, std::string{wrong.code}, true});
+      } else {
+        db.add(prefix, GeoEntry{home.centroid, std::string{home.code}, false});
+      }
+    }
+  }
+
+  // Cloud WAN + regional-transit infrastructure from the RIB: always at the
+  // registration location — a backbone spanning the planet geolocated to one
+  // campus. (Region /24s are refined afterwards, below.)
+  for (const topology::RibEntry& entry : world.rib_dump()) {
+    const topology::AsInfo* info = world.registry().find(entry.asn);
+    if (info == nullptr) continue;
+    if (info->type == topology::AsType::CloudWan) {
+      const Headquarters& hq = headquarters_of(info->provider);
+      db.add(entry.prefix, GeoEntry{hq.location, std::string{hq.country}, true});
+    }
+    if (info->type == topology::AsType::RegionalTransit) {
+      // Continental carriers register at their continent's biggest market.
+      const geo::CountryInfo* biggest = nullptr;
+      for (const geo::CountryInfo& country : all_countries) {
+        if (country.continent != info->continent) continue;
+        if (biggest == nullptr || country.sc_weight > biggest->sc_weight) {
+          biggest = &country;
+        }
+      }
+      if (biggest != nullptr) {
+        db.add(entry.prefix,
+               GeoEntry{biggest->centroid, std::string{biggest->code}, true});
+      }
+    }
+  }
+
+  // Global carriers: whole backbone at the registration hub (first hub).
+  const auto locate_carrier = [&](topology::Asn asn,
+                                  const std::vector<topology::RibEntry>& entries) {
+    for (const topology::TransitCarrier& carrier : topology::tier1_carriers()) {
+      if (carrier.asn != asn || carrier.hubs.empty()) continue;
+      const topology::TransitHub& registration = carrier.hubs.front();
+      for (const topology::RibEntry& entry : entries) {
+        if (entry.asn == asn) {
+          db.add(entry.prefix,
+                 GeoEntry{registration.location, std::string{registration.country},
+                          true});
+        }
+      }
+    }
+  };
+  for (const topology::TransitCarrier& carrier : topology::tier1_carriers()) {
+    locate_carrier(carrier.asn, world.rib_dump());
+    locate_carrier(carrier.asn, world.whois_entries());
+  }
+
+  // Cloud region /24s: mostly at the DC metro, sometimes stale at HQ. Added
+  // after the WAN pass so the specific entries win over the blanket ones.
+  for (const topology::CloudEndpoint& endpoint : world.endpoints()) {
+    const cloud::RegionInfo& region = *endpoint.region;
+    if (rng.chance(error_rate * 0.8)) {
+      const Headquarters& hq = headquarters_of(region.provider);
+      db.add(endpoint.prefix,
+             GeoEntry{hq.location, std::string{hq.country}, true});
+    } else {
+      db.add(endpoint.prefix,
+             GeoEntry{region.location, std::string{region.country}, false});
+    }
+  }
+
+  // IXP peering LANs: the exchange metro (these the databases do get right).
+  for (const topology::RibEntry& entry : world.ixp_prefixes()) {
+    for (const topology::IxpInfo& ixp : topology::known_ixps()) {
+      if (ixp.asn == entry.asn) {
+        db.add(entry.prefix,
+               GeoEntry{ixp.location, std::string{ixp.country}, false});
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace cloudrtt::analysis

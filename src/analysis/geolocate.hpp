@@ -1,0 +1,54 @@
+#pragma once
+// IP geolocation: the GeoIPLookup stand-in of §3.3.
+//
+// The paper geolocates on-path router hops but then *refrains* from any
+// geographic routing analysis because "such geolocation databases are known
+// to be quite inaccurate" [50, 73]. This module reproduces a commercial
+// GeoIP database with exactly those failure modes so the refusal can be
+// quantified (bench/ext_geolocation):
+//
+//  * eyeball prefixes: usually right (country centroid), occasionally stale
+//    (a random other country);
+//  * cloud region prefixes: usually the DC metro, but sometimes the whole
+//    allocation geolocates to the provider's headquarters;
+//  * global carrier backbones: the entire infrastructure prefix carries the
+//    carrier's registration location — systematically wrong for a network
+//    that spans the planet (the classic MaxMind-style artefact);
+//  * IXP peering LANs: the exchange's metro (usually right).
+
+#include <optional>
+#include <string>
+
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+#include "topology/world.hpp"
+
+namespace cloudrtt::analysis {
+
+struct GeoEntry {
+  geo::GeoPoint location;
+  std::string country;  ///< ISO code the database believes
+  bool registration_only = false;  ///< location is a registered HQ, not a site
+};
+
+class GeoDatabase {
+ public:
+  GeoDatabase() = default;
+
+  /// Build the database from the world's address plan. `error_rate` is the
+  /// fraction of eyeball/cloud prefixes that carry stale or HQ locations;
+  /// carrier backbones are *always* registration-located (that is the
+  /// database's systematic failure, not a sampling artefact).
+  [[nodiscard]] static GeoDatabase from_world(const topology::World& world,
+                                              double error_rate = 0.15);
+
+  void add(const net::Ipv4Prefix& prefix, GeoEntry entry);
+
+  [[nodiscard]] std::optional<GeoEntry> lookup(net::Ipv4Address addr) const;
+  [[nodiscard]] std::size_t size() const { return trie_.entry_count(); }
+
+ private:
+  net::PrefixTrie<GeoEntry> trie_;
+};
+
+}  // namespace cloudrtt::analysis

@@ -1,0 +1,52 @@
+#include "analysis/nearest.hpp"
+
+#include <limits>
+
+namespace cloudrtt::analysis {
+
+NearestIndex::NearestIndex(const measure::Dataset& data) {
+  for (const measure::PingRecord& ping : data.pings) {
+    if (ping.protocol != measure::Protocol::Tcp) continue;
+    auto [it, inserted] = table_.try_emplace(ping.probe);
+    if (inserted) probe_order_.push_back(ping.probe);
+    PerRegion& cell = it->second[ping.region];
+    cell.rtts.push_back(ping.rtt_ms);
+    cell.sum += ping.rtt_ms;
+  }
+}
+
+const cloud::RegionInfo* NearestIndex::nearest(
+    const probes::Probe* probe, std::optional<geo::Continent> within) const {
+  const auto it = table_.find(probe);
+  if (it == table_.end()) return nullptr;
+  const cloud::RegionInfo* best = nullptr;
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (const auto& [region, cell] : it->second) {
+    if (within && region->continent != *within) continue;
+    const double mean = cell.mean();
+    if (mean < best_mean) {
+      best_mean = mean;
+      best = region;
+    }
+  }
+  return best;
+}
+
+const std::vector<double>* NearestIndex::samples(
+    const probes::Probe* probe, const cloud::RegionInfo* region) const {
+  const auto it = table_.find(probe);
+  if (it == table_.end()) return nullptr;
+  const auto region_it = it->second.find(region);
+  if (region_it == it->second.end()) return nullptr;
+  return &region_it->second.rtts;
+}
+
+std::vector<double> NearestIndex::samples_to_nearest(
+    const probes::Probe* probe, std::optional<geo::Continent> within) const {
+  const cloud::RegionInfo* region = nearest(probe, within);
+  if (region == nullptr) return {};
+  const std::vector<double>* rtts = samples(probe, region);
+  return rtts == nullptr ? std::vector<double>{} : *rtts;
+}
+
+}  // namespace cloudrtt::analysis

@@ -1,0 +1,48 @@
+#include "analysis/resolve.hpp"
+
+namespace cloudrtt::analysis {
+
+IpToAsn IpToAsn::from_world(const topology::World& world) {
+  IpToAsn resolver;
+  for (const topology::RibEntry& entry : world.rib_dump()) {
+    resolver.add_rib(entry.prefix, entry.asn);
+  }
+  for (const topology::RibEntry& entry : world.whois_entries()) {
+    resolver.add_whois(entry.prefix, entry.asn);
+  }
+  for (const topology::RibEntry& entry : world.ixp_prefixes()) {
+    resolver.add_ixp(entry.prefix, entry.asn);
+  }
+  return resolver;
+}
+
+void IpToAsn::add_rib(const net::Ipv4Prefix& prefix, topology::Asn asn) {
+  rib_.insert(prefix, asn);
+}
+
+void IpToAsn::add_whois(const net::Ipv4Prefix& prefix, topology::Asn asn) {
+  whois_.insert(prefix, asn);
+}
+
+void IpToAsn::add_ixp(const net::Ipv4Prefix& prefix, topology::Asn asn) {
+  ixp_.insert(prefix, asn);
+  ixp_asns_.insert(asn);
+}
+
+std::optional<Resolution> IpToAsn::resolve(net::Ipv4Address addr) const {
+  if (net::is_private(addr)) return std::nullopt;
+  // IXP peering LANs are checked first: they are deliberately absent from
+  // the RIB (CAIDA-style tagging).
+  if (const auto ixp = ixp_.lookup(addr)) {
+    return Resolution{*ixp, ResolutionSource::Rib, true};
+  }
+  if (const auto asn = rib_.lookup(addr)) {
+    return Resolution{*asn, ResolutionSource::Rib, false};
+  }
+  if (const auto asn = whois_.lookup(addr)) {
+    return Resolution{*asn, ResolutionSource::Whois, false};
+  }
+  return std::nullopt;
+}
+
+}  // namespace cloudrtt::analysis

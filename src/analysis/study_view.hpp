@@ -1,0 +1,27 @@
+#pragma once
+// StudyView: the bundle every experiment function consumes — the world's
+// public data products, both probe fleets, both datasets and the shared
+// IP->ASN resolver. core::Study produces one of these after running the
+// campaigns.
+
+#include "analysis/resolve.hpp"
+#include "measure/records.hpp"
+#include "probes/fleet.hpp"
+#include "topology/world.hpp"
+
+namespace cloudrtt::analysis {
+
+struct StudyView {
+  const topology::World* world = nullptr;
+  const probes::ProbeFleet* sc_fleet = nullptr;
+  const measure::Dataset* sc_data = nullptr;
+  const probes::ProbeFleet* atlas_fleet = nullptr;  ///< may be null
+  const measure::Dataset* atlas_data = nullptr;     ///< may be null
+  const IpToAsn* resolver = nullptr;
+
+  [[nodiscard]] bool has_atlas() const {
+    return atlas_fleet != nullptr && atlas_data != nullptr;
+  }
+};
+
+}  // namespace cloudrtt::analysis

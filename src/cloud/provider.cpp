@@ -1,0 +1,42 @@
+#include "cloud/provider.hpp"
+
+#include <stdexcept>
+
+namespace cloudrtt::cloud {
+
+namespace {
+
+// WAN ASNs follow the real operators where well-known (AS16509 Amazon,
+// AS15169 Google, AS8075 Microsoft, AS14061 DigitalOcean, AS45102 Alibaba,
+// AS20473 Vultr/Choopa, AS63949 Linode, AS14618 Amazon-AES for Lightsail,
+// AS31898 Oracle, AS36351 IBM/SoftLayer).
+constexpr ProviderInfo kProviders[] = {
+    {ProviderId::Amazon, "AMZN", "Amazon EC2", BackboneClass::Private, 16509, true},
+    {ProviderId::Google, "GCP", "Google Cloud", BackboneClass::Private, 15169, true},
+    {ProviderId::Microsoft, "MSFT", "Microsoft Azure", BackboneClass::Private, 8075, true},
+    {ProviderId::DigitalOcean, "DO", "DigitalOcean", BackboneClass::Semi, 14061, false},
+    {ProviderId::Alibaba, "BABA", "Alibaba Cloud", BackboneClass::Semi, 45102, false},
+    {ProviderId::Vultr, "VLTR", "Vultr", BackboneClass::Public, 20473, false},
+    {ProviderId::Linode, "LIN", "Linode", BackboneClass::Public, 63949, false},
+    {ProviderId::Lightsail, "LTSL", "Amazon Lightsail", BackboneClass::Private, 14618, true},
+    {ProviderId::Oracle, "ORCL", "Oracle Cloud", BackboneClass::Private, 31898, false},
+    {ProviderId::Ibm, "IBM", "IBM Cloud", BackboneClass::Semi, 36351, false},
+};
+
+}  // namespace
+
+const ProviderInfo& provider_info(ProviderId id) {
+  for (const ProviderInfo& p : kProviders) {
+    if (p.id == id) return p;
+  }
+  throw std::logic_error{"provider_info: unknown provider"};
+}
+
+std::optional<ProviderId> provider_from_ticker(std::string_view ticker) {
+  for (const ProviderInfo& p : kProviders) {
+    if (p.ticker == ticker) return p.id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cloudrtt::cloud

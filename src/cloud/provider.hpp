@@ -1,0 +1,61 @@
+#pragma once
+// Cloud provider catalogue (Table 1 of the paper): the nine providers (plus
+// Amazon Lightsail, listed separately in the table), their backbone class,
+// and the AS number their WAN announces in the simulator.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace cloudrtt::cloud {
+
+enum class ProviderId : unsigned char {
+  Amazon,         // AMZN (EC2)
+  Google,         // GCP
+  Microsoft,      // MSFT
+  DigitalOcean,   // DO
+  Alibaba,        // BABA
+  Vultr,          // VLTR
+  Linode,         // LIN
+  Lightsail,      // LTSL (Amazon Lightsail)
+  Oracle,         // ORCL
+  Ibm,            // IBM
+};
+
+inline constexpr std::array<ProviderId, 10> kAllProviders{
+    ProviderId::Amazon,   ProviderId::Google,       ProviderId::Microsoft,
+    ProviderId::DigitalOcean, ProviderId::Alibaba,  ProviderId::Vultr,
+    ProviderId::Linode,   ProviderId::Lightsail,    ProviderId::Oracle,
+    ProviderId::Ibm,
+};
+
+/// The nine providers of Fig. 10/11/12/13 (Lightsail folded into Amazon
+/// in the peering figures, as in the paper).
+inline constexpr std::array<ProviderId, 9> kPeeringFigureProviders{
+    ProviderId::Alibaba, ProviderId::Amazon,  ProviderId::DigitalOcean,
+    ProviderId::Google,  ProviderId::Ibm,     ProviderId::Linode,
+    ProviderId::Microsoft, ProviderId::Oracle, ProviderId::Vultr,
+};
+
+/// Backbone network class from Table 1: fully private WAN, private within a
+/// continent (semi), or public-Internet transport.
+enum class BackboneClass : unsigned char { Private, Semi, Public };
+
+struct ProviderInfo {
+  ProviderId id;
+  std::string_view ticker;   ///< the paper's short label, e.g. "AMZN"
+  std::string_view name;
+  BackboneClass backbone;
+  std::uint32_t asn;         ///< WAN ASN in the simulated topology
+  bool hypergiant;           ///< the "big-3" of the paper
+};
+
+[[nodiscard]] const ProviderInfo& provider_info(ProviderId id);
+[[nodiscard]] std::optional<ProviderId> provider_from_ticker(std::string_view ticker);
+[[nodiscard]] constexpr std::size_t provider_index(ProviderId id) {
+  return static_cast<std::size_t>(id);
+}
+inline constexpr std::size_t kProviderCount = kAllProviders.size();
+
+}  // namespace cloudrtt::cloud

@@ -1,0 +1,261 @@
+#include "cloud/region.hpp"
+
+namespace cloudrtt::cloud {
+
+namespace {
+
+using C = geo::Continent;
+using P = ProviderId;
+
+constexpr RegionInfo kRegions[] = {
+    // ---- Amazon EC2: EU 6, NA 6, SA 1, AS 6, AF 1, OC 1 -------------------
+    {P::Amazon, "eu-central-1", "Frankfurt", "DE", C::Europe, {50.11, 8.68}},
+    {P::Amazon, "eu-west-1", "Dublin", "IE", C::Europe, {53.35, -6.26}},
+    {P::Amazon, "eu-west-2", "London", "GB", C::Europe, {51.51, -0.13}},
+    {P::Amazon, "eu-west-3", "Paris", "FR", C::Europe, {48.86, 2.35}},
+    {P::Amazon, "eu-north-1", "Stockholm", "SE", C::Europe, {59.33, 18.07}},
+    {P::Amazon, "eu-south-1", "Milan", "IT", C::Europe, {45.46, 9.19}},
+    {P::Amazon, "us-east-1", "Ashburn", "US", C::NorthAmerica, {39.04, -77.49}},
+    {P::Amazon, "us-east-2", "Columbus", "US", C::NorthAmerica, {39.96, -83.00}},
+    {P::Amazon, "us-west-1", "San Francisco", "US", C::NorthAmerica, {37.77, -122.42}},
+    {P::Amazon, "us-west-2", "Portland", "US", C::NorthAmerica, {45.52, -122.68}},
+    {P::Amazon, "us-gov-east-1", "Richmond", "US", C::NorthAmerica, {37.54, -77.44}},
+    {P::Amazon, "ca-central-1", "Montreal", "CA", C::NorthAmerica, {45.50, -73.57}},
+    {P::Amazon, "sa-east-1", "Sao Paulo", "BR", C::SouthAmerica, {-23.55, -46.63}},
+    {P::Amazon, "ap-northeast-1", "Tokyo", "JP", C::Asia, {35.68, 139.69}},
+    {P::Amazon, "ap-northeast-2", "Seoul", "KR", C::Asia, {37.57, 126.98}},
+    {P::Amazon, "ap-southeast-1", "Singapore", "SG", C::Asia, {1.35, 103.82}},
+    {P::Amazon, "ap-south-1", "Mumbai", "IN", C::Asia, {19.08, 72.88}},
+    {P::Amazon, "ap-east-1", "Hong Kong", "HK", C::Asia, {22.32, 114.17}},
+    {P::Amazon, "me-south-1", "Manama", "BH", C::Asia, {26.23, 50.59}},
+    {P::Amazon, "af-south-1", "Cape Town", "ZA", C::Africa, {-33.92, 18.42}},
+    {P::Amazon, "ap-southeast-2", "Sydney", "AU", C::Oceania, {-33.87, 151.21}},
+    // ---- Google Cloud: EU 6, NA 10, SA 1, AS 8, OC 1 -----------------------
+    {P::Google, "europe-west3", "Frankfurt", "DE", C::Europe, {50.11, 8.68}},
+    {P::Google, "europe-west1", "St. Ghislain", "BE", C::Europe, {50.45, 3.82}},
+    {P::Google, "europe-west2", "London", "GB", C::Europe, {51.51, -0.13}},
+    {P::Google, "europe-west4", "Eemshaven", "NL", C::Europe, {53.44, 6.83}},
+    {P::Google, "europe-west6", "Zurich", "CH", C::Europe, {47.38, 8.54}},
+    {P::Google, "europe-north1", "Hamina", "FI", C::Europe, {60.57, 27.20}},
+    {P::Google, "us-central1", "Council Bluffs", "US", C::NorthAmerica, {41.26, -95.86}},
+    {P::Google, "us-east1", "Moncks Corner", "US", C::NorthAmerica, {33.20, -80.01}},
+    {P::Google, "us-east4", "Ashburn", "US", C::NorthAmerica, {39.04, -77.49}},
+    {P::Google, "us-west1", "The Dalles", "US", C::NorthAmerica, {45.59, -121.18}},
+    {P::Google, "us-west2", "Los Angeles", "US", C::NorthAmerica, {34.05, -118.24}},
+    {P::Google, "us-west3", "Salt Lake City", "US", C::NorthAmerica, {40.76, -111.89}},
+    {P::Google, "us-west4", "Las Vegas", "US", C::NorthAmerica, {36.17, -115.14}},
+    {P::Google, "us-south1", "Dallas", "US", C::NorthAmerica, {32.78, -96.80}},
+    {P::Google, "na-northeast1", "Montreal", "CA", C::NorthAmerica, {45.50, -73.57}},
+    {P::Google, "na-northeast2", "Toronto", "CA", C::NorthAmerica, {43.65, -79.38}},
+    {P::Google, "southamerica-east1", "Sao Paulo", "BR", C::SouthAmerica, {-23.55, -46.63}},
+    {P::Google, "asia-northeast1", "Tokyo", "JP", C::Asia, {35.68, 139.69}},
+    {P::Google, "asia-northeast2", "Osaka", "JP", C::Asia, {34.69, 135.50}},
+    {P::Google, "asia-northeast3", "Seoul", "KR", C::Asia, {37.57, 126.98}},
+    {P::Google, "asia-east1", "Changhua", "TW", C::Asia, {24.07, 120.54}},
+    {P::Google, "asia-east2", "Hong Kong", "HK", C::Asia, {22.32, 114.17}},
+    {P::Google, "asia-southeast1", "Singapore", "SG", C::Asia, {1.35, 103.82}},
+    {P::Google, "asia-southeast2", "Jakarta", "ID", C::Asia, {-6.21, 106.85}},
+    {P::Google, "asia-south1", "Mumbai", "IN", C::Asia, {19.08, 72.88}},
+    {P::Google, "australia-southeast1", "Sydney", "AU", C::Oceania, {-33.87, 151.21}},
+    // ---- Microsoft Azure: EU 14, NA 10, SA 1, AS 15, AF 2, OC 4 ------------
+    {P::Microsoft, "westeurope", "Amsterdam", "NL", C::Europe, {52.37, 4.90}},
+    {P::Microsoft, "northeurope", "Dublin", "IE", C::Europe, {53.35, -6.26}},
+    {P::Microsoft, "uksouth", "London", "GB", C::Europe, {51.51, -0.13}},
+    {P::Microsoft, "ukwest", "Cardiff", "GB", C::Europe, {51.48, -3.18}},
+    {P::Microsoft, "germanywestcentral", "Frankfurt", "DE", C::Europe, {50.11, 8.68}},
+    {P::Microsoft, "germanynorth", "Berlin", "DE", C::Europe, {52.52, 13.40}},
+    {P::Microsoft, "francecentral", "Paris", "FR", C::Europe, {48.86, 2.35}},
+    {P::Microsoft, "francesouth", "Marseille", "FR", C::Europe, {43.30, 5.37}},
+    {P::Microsoft, "switzerlandnorth", "Zurich", "CH", C::Europe, {47.38, 8.54}},
+    {P::Microsoft, "switzerlandwest", "Geneva", "CH", C::Europe, {46.20, 6.14}},
+    {P::Microsoft, "norwayeast", "Oslo", "NO", C::Europe, {59.91, 10.75}},
+    {P::Microsoft, "norwaywest", "Stavanger", "NO", C::Europe, {58.97, 5.73}},
+    {P::Microsoft, "swedencentral", "Gavle", "SE", C::Europe, {60.67, 17.14}},
+    {P::Microsoft, "italynorth", "Milan", "IT", C::Europe, {45.46, 9.19}},
+    {P::Microsoft, "eastus", "Ashburn", "US", C::NorthAmerica, {39.04, -77.49}},
+    {P::Microsoft, "eastus2", "Richmond", "US", C::NorthAmerica, {37.54, -77.44}},
+    {P::Microsoft, "centralus", "Des Moines", "US", C::NorthAmerica, {41.59, -93.62}},
+    {P::Microsoft, "northcentralus", "Chicago", "US", C::NorthAmerica, {41.88, -87.63}},
+    {P::Microsoft, "southcentralus", "San Antonio", "US", C::NorthAmerica, {29.42, -98.49}},
+    {P::Microsoft, "westcentralus", "Cheyenne", "US", C::NorthAmerica, {41.14, -104.82}},
+    {P::Microsoft, "westus", "Los Angeles", "US", C::NorthAmerica, {34.05, -118.24}},
+    {P::Microsoft, "westus2", "Seattle", "US", C::NorthAmerica, {47.61, -122.33}},
+    {P::Microsoft, "canadacentral", "Toronto", "CA", C::NorthAmerica, {43.65, -79.38}},
+    {P::Microsoft, "canadaeast", "Quebec City", "CA", C::NorthAmerica, {46.81, -71.21}},
+    {P::Microsoft, "brazilsouth", "Sao Paulo", "BR", C::SouthAmerica, {-23.55, -46.63}},
+    {P::Microsoft, "eastasia", "Hong Kong", "HK", C::Asia, {22.32, 114.17}},
+    {P::Microsoft, "southeastasia", "Singapore", "SG", C::Asia, {1.35, 103.82}},
+    {P::Microsoft, "japaneast", "Tokyo", "JP", C::Asia, {35.68, 139.69}},
+    {P::Microsoft, "japanwest", "Osaka", "JP", C::Asia, {34.69, 135.50}},
+    {P::Microsoft, "koreacentral", "Seoul", "KR", C::Asia, {37.57, 126.98}},
+    {P::Microsoft, "koreasouth", "Busan", "KR", C::Asia, {35.18, 129.08}},
+    {P::Microsoft, "centralindia", "Pune", "IN", C::Asia, {18.52, 73.86}},
+    {P::Microsoft, "southindia", "Chennai", "IN", C::Asia, {13.08, 80.27}},
+    {P::Microsoft, "westindia", "Mumbai", "IN", C::Asia, {19.08, 72.88}},
+    {P::Microsoft, "uaenorth", "Dubai", "AE", C::Asia, {25.20, 55.27}},
+    {P::Microsoft, "uaecentral", "Abu Dhabi", "AE", C::Asia, {24.45, 54.38}},
+    {P::Microsoft, "chinanorth", "Beijing", "CN", C::Asia, {39.90, 116.41}},
+    {P::Microsoft, "chinanorth2", "Beijing", "CN", C::Asia, {39.92, 116.38}},
+    {P::Microsoft, "chinaeast", "Shanghai", "CN", C::Asia, {31.23, 121.47}},
+    {P::Microsoft, "chinaeast2", "Shanghai", "CN", C::Asia, {31.25, 121.50}},
+    {P::Microsoft, "southafricanorth", "Johannesburg", "ZA", C::Africa, {-26.20, 28.05}},
+    {P::Microsoft, "southafricawest", "Cape Town", "ZA", C::Africa, {-33.92, 18.42}},
+    {P::Microsoft, "australiaeast", "Sydney", "AU", C::Oceania, {-33.87, 151.21}},
+    {P::Microsoft, "australiasoutheast", "Melbourne", "AU", C::Oceania, {-37.81, 144.96}},
+    {P::Microsoft, "australiacentral", "Canberra", "AU", C::Oceania, {-35.28, 149.13}},
+    {P::Microsoft, "australiacentral2", "Canberra", "AU", C::Oceania, {-35.31, 149.15}},
+    // ---- DigitalOcean: EU 4, NA 6, AS 1 ------------------------------------
+    {P::DigitalOcean, "ams2", "Amsterdam", "NL", C::Europe, {52.37, 4.90}},
+    {P::DigitalOcean, "ams3", "Amsterdam", "NL", C::Europe, {52.35, 4.92}},
+    {P::DigitalOcean, "lon1", "London", "GB", C::Europe, {51.51, -0.13}},
+    {P::DigitalOcean, "fra1", "Frankfurt", "DE", C::Europe, {50.11, 8.68}},
+    {P::DigitalOcean, "nyc1", "New York", "US", C::NorthAmerica, {40.71, -74.01}},
+    {P::DigitalOcean, "nyc2", "New York", "US", C::NorthAmerica, {40.73, -74.00}},
+    {P::DigitalOcean, "nyc3", "New York", "US", C::NorthAmerica, {40.75, -73.99}},
+    {P::DigitalOcean, "sfo2", "San Francisco", "US", C::NorthAmerica, {37.77, -122.42}},
+    {P::DigitalOcean, "sfo3", "San Francisco", "US", C::NorthAmerica, {37.79, -122.40}},
+    {P::DigitalOcean, "tor1", "Toronto", "CA", C::NorthAmerica, {43.65, -79.38}},
+    {P::DigitalOcean, "blr1", "Bangalore", "IN", C::Asia, {12.97, 77.59}},
+    // ---- Alibaba Cloud: EU 2, NA 2, AS 16, OC 1 -----------------------------
+    {P::Alibaba, "eu-central-1", "Frankfurt", "DE", C::Europe, {50.11, 8.68}},
+    {P::Alibaba, "eu-west-1", "London", "GB", C::Europe, {51.51, -0.13}},
+    {P::Alibaba, "us-west-1", "Silicon Valley", "US", C::NorthAmerica, {37.34, -121.89}},
+    {P::Alibaba, "us-east-1", "Ashburn", "US", C::NorthAmerica, {39.04, -77.49}},
+    {P::Alibaba, "cn-hangzhou", "Hangzhou", "CN", C::Asia, {30.27, 120.15}},
+    {P::Alibaba, "cn-shanghai", "Shanghai", "CN", C::Asia, {31.23, 121.47}},
+    {P::Alibaba, "cn-qingdao", "Qingdao", "CN", C::Asia, {36.07, 120.38}},
+    {P::Alibaba, "cn-beijing", "Beijing", "CN", C::Asia, {39.90, 116.41}},
+    {P::Alibaba, "cn-zhangjiakou", "Zhangjiakou", "CN", C::Asia, {40.77, 114.88}},
+    {P::Alibaba, "cn-huhehaote", "Hohhot", "CN", C::Asia, {40.84, 111.75}},
+    {P::Alibaba, "cn-chengdu", "Chengdu", "CN", C::Asia, {30.57, 104.07}},
+    {P::Alibaba, "cn-shenzhen", "Shenzhen", "CN", C::Asia, {22.54, 114.06}},
+    {P::Alibaba, "cn-heyuan", "Heyuan", "CN", C::Asia, {23.73, 114.70}},
+    {P::Alibaba, "cn-wulanchabu", "Ulanqab", "CN", C::Asia, {41.02, 113.13}},
+    {P::Alibaba, "cn-hongkong", "Hong Kong", "HK", C::Asia, {22.32, 114.17}},
+    {P::Alibaba, "ap-southeast-1", "Singapore", "SG", C::Asia, {1.35, 103.82}},
+    {P::Alibaba, "ap-southeast-3", "Kuala Lumpur", "MY", C::Asia, {3.14, 101.69}},
+    {P::Alibaba, "ap-southeast-5", "Jakarta", "ID", C::Asia, {-6.21, 106.85}},
+    {P::Alibaba, "ap-south-1", "Mumbai", "IN", C::Asia, {19.08, 72.88}},
+    {P::Alibaba, "ap-northeast-1", "Tokyo", "JP", C::Asia, {35.68, 139.69}},
+    {P::Alibaba, "ap-southeast-2", "Sydney", "AU", C::Oceania, {-33.87, 151.21}},
+    // ---- Vultr: EU 4, NA 9, AS 1, OC 1 --------------------------------------
+    {P::Vultr, "ams", "Amsterdam", "NL", C::Europe, {52.37, 4.90}},
+    {P::Vultr, "lhr", "London", "GB", C::Europe, {51.51, -0.13}},
+    {P::Vultr, "fra", "Frankfurt", "DE", C::Europe, {50.11, 8.68}},
+    {P::Vultr, "cdg", "Paris", "FR", C::Europe, {48.86, 2.35}},
+    {P::Vultr, "ewr", "Piscataway", "US", C::NorthAmerica, {40.55, -74.46}},
+    {P::Vultr, "ord", "Chicago", "US", C::NorthAmerica, {41.88, -87.63}},
+    {P::Vultr, "dfw", "Dallas", "US", C::NorthAmerica, {32.78, -96.80}},
+    {P::Vultr, "sea", "Seattle", "US", C::NorthAmerica, {47.61, -122.33}},
+    {P::Vultr, "lax", "Los Angeles", "US", C::NorthAmerica, {34.05, -118.24}},
+    {P::Vultr, "atl", "Atlanta", "US", C::NorthAmerica, {33.75, -84.39}},
+    {P::Vultr, "sjc", "Silicon Valley", "US", C::NorthAmerica, {37.34, -121.89}},
+    {P::Vultr, "mia", "Miami", "US", C::NorthAmerica, {25.76, -80.19}},
+    {P::Vultr, "yto", "Toronto", "CA", C::NorthAmerica, {43.65, -79.38}},
+    {P::Vultr, "nrt", "Tokyo", "JP", C::Asia, {35.68, 139.69}},
+    {P::Vultr, "syd", "Sydney", "AU", C::Oceania, {-33.87, 151.21}},
+    // ---- Linode: EU 2, NA 5, AS 3, OC 1 -------------------------------------
+    {P::Linode, "eu-west", "London", "GB", C::Europe, {51.51, -0.13}},
+    {P::Linode, "eu-central", "Frankfurt", "DE", C::Europe, {50.11, 8.68}},
+    {P::Linode, "us-east", "Newark", "US", C::NorthAmerica, {40.74, -74.17}},
+    {P::Linode, "us-southeast", "Atlanta", "US", C::NorthAmerica, {33.75, -84.39}},
+    {P::Linode, "us-central", "Dallas", "US", C::NorthAmerica, {32.78, -96.80}},
+    {P::Linode, "us-west", "Fremont", "US", C::NorthAmerica, {37.55, -121.99}},
+    {P::Linode, "ca-central", "Toronto", "CA", C::NorthAmerica, {43.65, -79.38}},
+    {P::Linode, "ap-northeast", "Tokyo", "JP", C::Asia, {35.68, 139.69}},
+    {P::Linode, "ap-south", "Singapore", "SG", C::Asia, {1.35, 103.82}},
+    {P::Linode, "ap-west", "Mumbai", "IN", C::Asia, {19.08, 72.88}},
+    {P::Linode, "ap-southeast", "Sydney", "AU", C::Oceania, {-33.87, 151.21}},
+    // ---- Amazon Lightsail: EU 4, NA 4, AS 4, OC 1 ---------------------------
+    {P::Lightsail, "ltsl-eu-west-2", "London", "GB", C::Europe, {51.51, -0.13}},
+    {P::Lightsail, "ltsl-eu-central-1", "Frankfurt", "DE", C::Europe, {50.11, 8.68}},
+    {P::Lightsail, "ltsl-eu-west-3", "Paris", "FR", C::Europe, {48.86, 2.35}},
+    {P::Lightsail, "ltsl-eu-west-1", "Dublin", "IE", C::Europe, {53.35, -6.26}},
+    {P::Lightsail, "ltsl-us-east-1", "Ashburn", "US", C::NorthAmerica, {39.04, -77.49}},
+    {P::Lightsail, "ltsl-us-east-2", "Columbus", "US", C::NorthAmerica, {39.96, -83.00}},
+    {P::Lightsail, "ltsl-us-west-2", "Portland", "US", C::NorthAmerica, {45.52, -122.68}},
+    {P::Lightsail, "ltsl-ca-central-1", "Montreal", "CA", C::NorthAmerica, {45.50, -73.57}},
+    {P::Lightsail, "ltsl-ap-northeast-1", "Tokyo", "JP", C::Asia, {35.68, 139.69}},
+    {P::Lightsail, "ltsl-ap-northeast-2", "Seoul", "KR", C::Asia, {37.57, 126.98}},
+    {P::Lightsail, "ltsl-ap-southeast-1", "Singapore", "SG", C::Asia, {1.35, 103.82}},
+    {P::Lightsail, "ltsl-ap-south-1", "Mumbai", "IN", C::Asia, {19.08, 72.88}},
+    {P::Lightsail, "ltsl-ap-southeast-2", "Sydney", "AU", C::Oceania, {-33.87, 151.21}},
+    // ---- Oracle Cloud: EU 4, NA 4, SA 1, AS 7, OC 2 -------------------------
+    {P::Oracle, "eu-frankfurt-1", "Frankfurt", "DE", C::Europe, {50.11, 8.68}},
+    {P::Oracle, "uk-london-1", "London", "GB", C::Europe, {51.51, -0.13}},
+    {P::Oracle, "eu-amsterdam-1", "Amsterdam", "NL", C::Europe, {52.37, 4.90}},
+    {P::Oracle, "eu-zurich-1", "Zurich", "CH", C::Europe, {47.38, 8.54}},
+    {P::Oracle, "us-ashburn-1", "Ashburn", "US", C::NorthAmerica, {39.04, -77.49}},
+    {P::Oracle, "us-phoenix-1", "Phoenix", "US", C::NorthAmerica, {33.45, -112.07}},
+    {P::Oracle, "us-sanjose-1", "San Jose", "US", C::NorthAmerica, {37.34, -121.89}},
+    {P::Oracle, "ca-toronto-1", "Toronto", "CA", C::NorthAmerica, {43.65, -79.38}},
+    {P::Oracle, "sa-saopaulo-1", "Sao Paulo", "BR", C::SouthAmerica, {-23.55, -46.63}},
+    {P::Oracle, "ap-tokyo-1", "Tokyo", "JP", C::Asia, {35.68, 139.69}},
+    {P::Oracle, "ap-osaka-1", "Osaka", "JP", C::Asia, {34.69, 135.50}},
+    {P::Oracle, "ap-seoul-1", "Seoul", "KR", C::Asia, {37.57, 126.98}},
+    {P::Oracle, "ap-chuncheon-1", "Chuncheon", "KR", C::Asia, {37.88, 127.73}},
+    {P::Oracle, "ap-mumbai-1", "Mumbai", "IN", C::Asia, {19.08, 72.88}},
+    {P::Oracle, "ap-hyderabad-1", "Hyderabad", "IN", C::Asia, {17.39, 78.49}},
+    {P::Oracle, "me-jeddah-1", "Jeddah", "SA", C::Asia, {21.49, 39.19}},
+    {P::Oracle, "ap-sydney-1", "Sydney", "AU", C::Oceania, {-33.87, 151.21}},
+    {P::Oracle, "ap-melbourne-1", "Melbourne", "AU", C::Oceania, {-37.81, 144.96}},
+    // ---- IBM Cloud: EU 6, NA 6, AS 1 ----------------------------------------
+    {P::Ibm, "eu-de", "Frankfurt", "DE", C::Europe, {50.11, 8.68}},
+    {P::Ibm, "eu-gb", "London", "GB", C::Europe, {51.51, -0.13}},
+    {P::Ibm, "eu-nl", "Amsterdam", "NL", C::Europe, {52.37, 4.90}},
+    {P::Ibm, "eu-fr", "Paris", "FR", C::Europe, {48.86, 2.35}},
+    {P::Ibm, "eu-it", "Milan", "IT", C::Europe, {45.46, 9.19}},
+    {P::Ibm, "eu-no", "Oslo", "NO", C::Europe, {59.91, 10.75}},
+    {P::Ibm, "us-south", "Dallas", "US", C::NorthAmerica, {32.78, -96.80}},
+    {P::Ibm, "us-east", "Washington DC", "US", C::NorthAmerica, {38.91, -77.04}},
+    {P::Ibm, "us-west", "San Jose", "US", C::NorthAmerica, {37.34, -121.89}},
+    {P::Ibm, "us-central", "Chicago", "US", C::NorthAmerica, {41.88, -87.63}},
+    {P::Ibm, "ca-tor", "Toronto", "CA", C::NorthAmerica, {43.65, -79.38}},
+    {P::Ibm, "ca-mon", "Montreal", "CA", C::NorthAmerica, {45.50, -73.57}},
+    {P::Ibm, "jp-tok", "Tokyo", "JP", C::Asia, {35.68, 139.69}},
+};
+
+}  // namespace
+
+RegionCatalog::RegionCatalog() {
+  regions_.assign(std::begin(kRegions), std::end(kRegions));
+}
+
+const RegionCatalog& RegionCatalog::instance() {
+  static const RegionCatalog catalog;
+  return catalog;
+}
+
+std::vector<const RegionInfo*> RegionCatalog::of_provider(ProviderId id) const {
+  std::vector<const RegionInfo*> out;
+  for (const RegionInfo& r : regions_) {
+    if (r.provider == id) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const RegionInfo*> RegionCatalog::in_continent(geo::Continent c) const {
+  std::vector<const RegionInfo*> out;
+  for (const RegionInfo& r : regions_) {
+    if (r.continent == c) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const RegionInfo*> RegionCatalog::in_country(std::string_view code) const {
+  std::vector<const RegionInfo*> out;
+  for (const RegionInfo& r : regions_) {
+    if (r.country == code) out.push_back(&r);
+  }
+  return out;
+}
+
+std::size_t RegionCatalog::count(ProviderId id, geo::Continent c) const {
+  std::size_t n = 0;
+  for (const RegionInfo& r : regions_) {
+    if (r.provider == id && r.continent == c) ++n;
+  }
+  return n;
+}
+
+}  // namespace cloudrtt::cloud

@@ -1,0 +1,53 @@
+#include "core/export.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "util/text.hpp"
+
+namespace cloudrtt::core {
+
+void export_pings_csv(std::ostream& out, const measure::Dataset& data) {
+  util::write_csv_row(out, {"probe_id", "platform", "country", "continent",
+                            "isp_asn", "provider", "region", "protocol",
+                            "rtt_ms", "day", "slot"});
+  for (const measure::PingRecord& ping : data.pings) {
+    const probes::Probe& probe = *ping.probe;
+    util::write_csv_row(
+        out, {std::to_string(probe.id), std::string{to_string(probe.platform)},
+              std::string{probe.country->code},
+              std::string{geo::to_code(probe.country->continent)},
+              std::to_string(probe.isp->asn),
+              std::string{cloud::provider_info(ping.region->provider).ticker},
+              std::string{ping.region->region_name},
+              std::string{to_string(ping.protocol)},
+              util::format_double(ping.rtt_ms, 3), std::to_string(ping.day),
+              std::to_string(ping.slot)});
+  }
+}
+
+void export_traces_csv(std::ostream& out, const measure::Dataset& data) {
+  util::write_csv_row(out, {"trace_id", "probe_id", "provider", "region",
+                            "target_ip", "day", "slot", "completed",
+                            "end_to_end_ms", "ttl", "responded", "hop_ip",
+                            "hop_rtt_ms"});
+  std::size_t trace_id = 0;
+  for (const measure::TraceRecord& trace : data.traces) {
+    for (const measure::HopRecord& hop : trace.hops) {
+      util::write_csv_row(
+          out,
+          {std::to_string(trace_id), std::to_string(trace.probe->id),
+           std::string{cloud::provider_info(trace.region->provider).ticker},
+           std::string{trace.region->region_name},
+           trace.target_ip.to_string(), std::to_string(trace.day),
+           std::to_string(trace.slot), trace.completed ? "1" : "0",
+           util::format_double(trace.end_to_end_ms, 3), std::to_string(hop.ttl),
+           hop.responded ? "1" : "0",
+           hop.responded ? hop.ip.to_string() : std::string{},
+           hop.responded ? util::format_double(hop.rtt_ms, 3) : std::string{}});
+    }
+    ++trace_id;
+  }
+}
+
+}  // namespace cloudrtt::core

@@ -1,0 +1,19 @@
+#pragma once
+// Dataset export: tidy CSVs of the collected pings and traceroutes, in the
+// spirit of the paper's published dataset.
+
+#include <iosfwd>
+
+#include "measure/records.hpp"
+
+namespace cloudrtt::core {
+
+/// One row per ping: probe id, platform, country, continent, ISP ASN,
+/// provider, region, protocol, rtt_ms, day.
+void export_pings_csv(std::ostream& out, const measure::Dataset& data);
+
+/// One row per traceroute hop: trace id, probe id, provider, region, target
+/// ip, day, completed flag, end-to-end RTT, ttl, responded, hop ip, hop rtt.
+void export_traces_csv(std::ostream& out, const measure::Dataset& data);
+
+}  // namespace cloudrtt::core

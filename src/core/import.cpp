@@ -1,0 +1,206 @@
+#include "core/import.hpp"
+
+#include <charconv>
+#include <istream>
+#include <string>
+#include <unordered_map>
+
+#include "cloud/region.hpp"
+#include "util/text.hpp"
+
+namespace cloudrtt::core {
+
+namespace {
+
+using ProbeIndex = std::unordered_map<std::uint32_t, const probes::Probe*>;
+using RegionIndex = std::unordered_map<std::string, const cloud::RegionInfo*>;
+
+ProbeIndex build_probe_index(const probes::ProbeFleet* sc,
+                             const probes::ProbeFleet* atlas) {
+  ProbeIndex index;
+  for (const probes::ProbeFleet* fleet : {sc, atlas}) {
+    if (fleet == nullptr) continue;
+    for (const probes::Probe& probe : fleet->probes()) {
+      index.emplace(probe.id, &probe);
+    }
+  }
+  return index;
+}
+
+RegionIndex build_region_index() {
+  RegionIndex index;
+  for (const cloud::RegionInfo& region : cloud::RegionCatalog::instance().all()) {
+    std::string key{cloud::provider_info(region.provider).ticker};
+    key += '/';
+    key += region.region_name;
+    index.emplace(std::move(key), &region);
+  }
+  return index;
+}
+
+template <typename T>
+[[nodiscard]] bool parse_number(const std::string& text, T& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+[[nodiscard]] bool parse_double(const std::string& text, double& out) {
+  try {
+    std::size_t consumed = 0;
+    out = std::stod(text, &consumed);
+    return consumed == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+ImportStats import_pings_csv(std::istream& in, const probes::ProbeFleet* sc_fleet,
+                             const probes::ProbeFleet* atlas_fleet,
+                             measure::Dataset& out) {
+  ImportStats stats;
+  const ProbeIndex probes = build_probe_index(sc_fleet, atlas_fleet);
+  const RegionIndex regions = build_region_index();
+
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    ++stats.rows;
+    const auto cells = util::parse_csv_row(line);
+    // probe_id, platform, country, continent, isp_asn, provider, region,
+    // protocol, rtt_ms, day, slot
+    if (cells.size() != 11) {
+      ++stats.skipped;
+      continue;
+    }
+    std::uint32_t probe_id = 0;
+    std::uint32_t day = 0;
+    unsigned slot = 0;
+    double rtt = 0.0;
+    if (!parse_number(cells[0], probe_id) || !parse_double(cells[8], rtt) ||
+        !parse_number(cells[9], day) || !parse_number(cells[10], slot) ||
+        slot > 5) {
+      ++stats.skipped;
+      continue;
+    }
+    const auto probe_it = probes.find(probe_id);
+    const auto region_it = regions.find(cells[5] + "/" + cells[6]);
+    if (probe_it == probes.end() || region_it == regions.end()) {
+      ++stats.skipped;
+      continue;
+    }
+    measure::PingRecord record;
+    record.probe = probe_it->second;
+    record.region = region_it->second;
+    record.protocol =
+        cells[7] == "ICMP" ? measure::Protocol::Icmp : measure::Protocol::Tcp;
+    record.rtt_ms = rtt;
+    record.day = day;
+    record.slot = static_cast<std::uint8_t>(slot);
+    out.pings.push_back(record);
+    ++stats.imported;
+  }
+  return stats;
+}
+
+ImportStats import_traces_csv(std::istream& in, const probes::ProbeFleet* sc_fleet,
+                              const probes::ProbeFleet* atlas_fleet,
+                              measure::Dataset& out) {
+  ImportStats stats;
+  const ProbeIndex probes = build_probe_index(sc_fleet, atlas_fleet);
+  const RegionIndex regions = build_region_index();
+
+  std::string line;
+  bool header = true;
+  std::string current_trace_id;
+  bool current_valid = false;
+  measure::TraceRecord current;
+
+  const auto flush = [&] {
+    if (current_valid && !current.hops.empty()) {
+      out.traces.push_back(std::move(current));
+      ++stats.imported;
+    }
+    current = measure::TraceRecord{};
+    current_valid = false;
+  };
+
+  while (std::getline(in, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    ++stats.rows;
+    const auto cells = util::parse_csv_row(line);
+    // trace_id, probe_id, provider, region, target_ip, day, slot, completed,
+    // end_to_end_ms, ttl, responded, hop_ip, hop_rtt_ms
+    if (cells.size() != 13) {
+      ++stats.skipped;
+      continue;
+    }
+    if (cells[0] != current_trace_id) {
+      flush();
+      current_trace_id = cells[0];
+      std::uint32_t probe_id = 0;
+      std::uint32_t day = 0;
+      unsigned slot = 0;
+      double e2e = 0.0;
+      const auto target = net::Ipv4Address::parse(cells[4]);
+      if (!parse_number(cells[1], probe_id) || !parse_number(cells[5], day) ||
+          !parse_number(cells[6], slot) || slot > 5 ||
+          !parse_double(cells[8], e2e) || !target) {
+        ++stats.skipped;
+        continue;
+      }
+      const auto probe_it = probes.find(probe_id);
+      const auto region_it = regions.find(cells[2] + "/" + cells[3]);
+      if (probe_it == probes.end() || region_it == regions.end()) {
+        ++stats.skipped;
+        continue;
+      }
+      current.probe = probe_it->second;
+      current.region = region_it->second;
+      current.target_ip = *target;
+      current.day = day;
+      current.slot = static_cast<std::uint8_t>(slot);
+      current.completed = cells[7] == "1";
+      current.end_to_end_ms = e2e;
+      current_valid = true;
+    }
+    if (!current_valid) {
+      ++stats.skipped;
+      continue;
+    }
+    measure::HopRecord hop;
+    unsigned ttl = 0;
+    if (!parse_number(cells[9], ttl) || ttl == 0 || ttl > 255) {
+      ++stats.skipped;
+      continue;
+    }
+    hop.ttl = static_cast<std::uint8_t>(ttl);
+    hop.responded = cells[10] == "1";
+    if (hop.responded) {
+      const auto ip = net::Ipv4Address::parse(cells[11]);
+      double rtt = 0.0;
+      if (!ip || !parse_double(cells[12], rtt)) {
+        ++stats.skipped;
+        continue;
+      }
+      hop.ip = *ip;
+      hop.rtt_ms = rtt;
+    }
+    current.hops.push_back(hop);
+  }
+  flush();
+  return stats;
+}
+
+}  // namespace cloudrtt::core

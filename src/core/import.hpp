@@ -1,0 +1,37 @@
+#pragma once
+// Dataset import: parse the CSVs written by core/export back into in-memory
+// records, re-binding probe and region references. Together with the export
+// side this gives the repository the paper's "published dataset + analysis
+// scripts" workflow: measure once, re-analyze many times.
+
+#include <iosfwd>
+
+#include "measure/records.hpp"
+#include "probes/fleet.hpp"
+
+namespace cloudrtt::core {
+
+struct ImportStats {
+  std::size_t rows = 0;      ///< data rows seen (excluding the header)
+  std::size_t imported = 0;  ///< records produced (pings, or whole traces)
+  std::size_t skipped = 0;   ///< malformed rows or unresolvable references
+
+  [[nodiscard]] bool clean() const { return skipped == 0; }
+};
+
+/// Parse a pings CSV (as written by export_pings_csv). Probe ids are
+/// resolved against the given fleets (either may be null), regions against
+/// the static catalogue. Unresolvable rows are counted in `skipped`.
+ImportStats import_pings_csv(std::istream& in, const probes::ProbeFleet* sc_fleet,
+                             const probes::ProbeFleet* atlas_fleet,
+                             measure::Dataset& out);
+
+/// Parse a traces CSV (as written by export_traces_csv), reassembling hop
+/// rows into TraceRecords. Ground-truth-only fields (true_mode) are not part
+/// of the CSV and default; target_ip is recovered from the region catalogue
+/// when the final hop responded, else left unset.
+ImportStats import_traces_csv(std::istream& in, const probes::ProbeFleet* sc_fleet,
+                              const probes::ProbeFleet* atlas_fleet,
+                              measure::Dataset& out);
+
+}  // namespace cloudrtt::core

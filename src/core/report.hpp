@@ -1,0 +1,16 @@
+#pragma once
+// Full study report: serialize every reproduced exhibit to JSON so the
+// results can be re-plotted outside C++ — the repository's analogue of the
+// paper's published dataset + scripts.
+
+#include <iosfwd>
+
+#include "analysis/study_view.hpp"
+
+namespace cloudrtt::core {
+
+/// Write a single JSON document containing every table/figure result
+/// (Table 1, Figs. 3-19, §3.3 stats) computed from the given study view.
+void write_full_report(std::ostream& out, const analysis::StudyView& view);
+
+}  // namespace cloudrtt::core

@@ -1,0 +1,55 @@
+#include "core/study.hpp"
+
+#include <stdexcept>
+
+namespace cloudrtt::core {
+
+Study::Study(StudyConfig config) : config_(config) {
+  topology::WorldConfig world_config;
+  world_config.seed = config_.seed;
+  world_config.enable_uplink_gateways = config_.enable_uplink_gateways;
+  world_config.enable_edge_pops = config_.enable_edge_pops;
+  world_ = std::make_unique<topology::World>(world_config);
+
+  probes::FleetConfig sc_config;
+  sc_config.platform = probes::Platform::Speedchecker;
+  sc_config.target_count = config_.sc_probes;
+  sc_config.access_override = config_.sc_access_override;
+  sc_config.air_scale = config_.sc_air_scale;
+  sc_fleet_ = std::make_unique<probes::ProbeFleet>(*world_, sc_config);
+  if (config_.include_atlas) {
+    atlas_fleet_ = std::make_unique<probes::ProbeFleet>(
+        *world_,
+        probes::FleetConfig{probes::Platform::RipeAtlas, config_.atlas_probes});
+  }
+}
+
+void Study::run() {
+  const measure::Campaign sc_campaign{*world_, *sc_fleet_, config_.sc_campaign};
+  sc_data_ = sc_campaign.run(world_->fork_rng("campaign/speedchecker"));
+  if (atlas_fleet_) {
+    const measure::Campaign atlas_campaign{*world_, *atlas_fleet_,
+                                           config_.atlas_campaign};
+    atlas_data_ = atlas_campaign.run(world_->fork_rng("campaign/atlas"));
+  }
+  resolver_ = analysis::IpToAsn::from_world(*world_);
+  ran_ = true;
+}
+
+analysis::StudyView Study::view() const {
+  if (!ran_) {
+    throw std::logic_error{"Study::view: call run() first"};
+  }
+  analysis::StudyView view;
+  view.world = world_.get();
+  view.sc_fleet = sc_fleet_.get();
+  view.sc_data = &sc_data_;
+  if (atlas_fleet_) {
+    view.atlas_fleet = atlas_fleet_.get();
+    view.atlas_data = &atlas_data_;
+  }
+  view.resolver = &resolver_;
+  return view;
+}
+
+}  // namespace cloudrtt::core

@@ -1,0 +1,40 @@
+#include "geo/coords.hpp"
+
+#include <numbers>
+
+namespace cloudrtt::geo {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h =
+      sin_dlat * sin_dlat + std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+GeoPoint offset(const GeoPoint& origin, double bearing_deg, double distance_km) {
+  const double angular = distance_km / kEarthRadiusKm;
+  const double bearing = bearing_deg * kDegToRad;
+  const double lat1 = origin.lat_deg * kDegToRad;
+  const double lon1 = origin.lon_deg * kDegToRad;
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(angular) +
+                                std::cos(lat1) * std::sin(angular) * std::cos(bearing));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(bearing) * std::sin(angular) * std::cos(lat1),
+                        std::cos(angular) - std::sin(lat1) * std::sin(lat2));
+  GeoPoint out{lat2 * kRadToDeg, lon2 * kRadToDeg};
+  while (out.lon_deg > 180.0) out.lon_deg -= 360.0;
+  while (out.lon_deg <= -180.0) out.lon_deg += 360.0;
+  return out;
+}
+
+}  // namespace cloudrtt::geo

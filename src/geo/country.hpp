@@ -1,0 +1,62 @@
+#pragma once
+// ISO-3166 country catalogue with the per-country properties that drive the
+// synthetic study:
+//
+//  * centroid + spread: where probes and ISP PoPs are scattered,
+//  * sc_weight / atlas_weight: relative probe densities of the two platforms
+//    (calibrated to Fig. 1b and Fig. 2 of the paper; absolute values are in
+//    "approximate real probes" so that continent sums match the figures),
+//  * cell_fraction: share of Speedchecker probes on cellular vs home WiFi
+//    (the paper's Africa analysis hinges on north-AF being cellular-heavy),
+//  * backhaul_quality in [0,1]: how well-provisioned the public backbone is
+//    (drives transit detour and jitter; EU/NA high, developing regions low).
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "geo/continent.hpp"
+#include "geo/coords.hpp"
+
+namespace cloudrtt::geo {
+
+struct CountryInfo {
+  std::string_view code;  ///< ISO 3166-1 alpha-2
+  std::string_view name;
+  Continent continent;
+  GeoPoint centroid;
+  double spread_km;       ///< rough radius for scattering probes/PoPs
+  double sc_weight;       ///< ~count of Speedchecker probes (Fig. 1b scale)
+  double atlas_weight;    ///< ~count of RIPE Atlas probes (Fig. 2 scale)
+  double cell_fraction;   ///< P[Speedchecker probe uses cellular]
+  double backhaul_quality;
+};
+
+/// Immutable catalogue; a process-wide singleton built from static data.
+class CountryTable {
+ public:
+  [[nodiscard]] static const CountryTable& instance();
+
+  [[nodiscard]] std::span<const CountryInfo> all() const { return countries_; }
+  [[nodiscard]] const CountryInfo* find(std::string_view code) const;
+  /// Throwing lookup for code paths where a miss is a programming error.
+  [[nodiscard]] const CountryInfo& at(std::string_view code) const;
+  [[nodiscard]] std::vector<const CountryInfo*> in_continent(Continent c) const;
+
+  [[nodiscard]] double total_sc_weight() const { return total_sc_weight_; }
+  [[nodiscard]] double total_atlas_weight() const { return total_atlas_weight_; }
+  [[nodiscard]] double continent_sc_weight(Continent c) const;
+  [[nodiscard]] double continent_atlas_weight(Continent c) const;
+
+ private:
+  CountryTable();
+
+  std::vector<CountryInfo> countries_;
+  double total_sc_weight_ = 0.0;
+  double total_atlas_weight_ = 0.0;
+  std::array<double, kContinentCount> sc_by_continent_{};
+  std::array<double, kContinentCount> atlas_by_continent_{};
+};
+
+}  // namespace cloudrtt::geo

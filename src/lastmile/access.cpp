@@ -1,0 +1,53 @@
+#include "lastmile/access.hpp"
+
+#include <algorithm>
+
+namespace cloudrtt::lastmile {
+
+Profile make_profile(AccessTech tech, double backhaul_quality, util::Rng& rng) {
+  Profile profile;
+  profile.tech = tech;
+  // Poor backhaul correlates with slightly slower, noisier access links.
+  const double degrade = 1.0 + 0.30 * (1.0 - std::clamp(backhaul_quality, 0.0, 1.0));
+  switch (tech) {
+    case AccessTech::HomeWifi:
+      // Air leg: WiFi contention/retransmissions, heavy-ish tail.
+      profile.air_median_ms = rng.lognormal_median(11.0 * degrade, 0.35);
+      profile.air_sigma = rng.uniform(0.38, 0.52);
+      // Wired tail to the ISP: DSL/cable/fibre mix.
+      profile.wired_median_ms = rng.lognormal_median(9.0 * degrade, 0.30);
+      profile.wired_sigma = rng.uniform(0.22, 0.34);
+      break;
+    case AccessTech::Cellular:
+      // One radio leg covering device -> base station (+ small backhaul).
+      profile.air_median_ms = rng.lognormal_median(21.0 * degrade, 0.30);
+      profile.air_sigma = rng.uniform(0.40, 0.55);
+      profile.wired_median_ms = 0.0;
+      profile.wired_sigma = 0.0;
+      break;
+    case AccessTech::Wired:
+      profile.air_median_ms = 0.0;
+      profile.air_sigma = 0.0;
+      profile.wired_median_ms = rng.lognormal_median(9.0 * degrade, 0.28);
+      profile.wired_sigma = rng.uniform(0.16, 0.28);
+      break;
+  }
+  return profile;
+}
+
+Sample draw(const Profile& profile, util::Rng& rng) {
+  Sample sample;
+  if (profile.air_median_ms > 0.0) {
+    sample.air_ms = rng.lognormal_median(profile.air_median_ms, profile.air_sigma);
+    // Occasional contention spike (buffer bloat, rate adaptation).
+    if (rng.chance(0.04)) sample.air_ms += rng.exponential(25.0);
+  }
+  if (profile.wired_median_ms > 0.0) {
+    sample.wired_ms =
+        rng.lognormal_median(profile.wired_median_ms, profile.wired_sigma);
+    if (rng.chance(0.015)) sample.wired_ms += rng.exponential(12.0);
+  }
+  return sample;
+}
+
+}  // namespace cloudrtt::lastmile

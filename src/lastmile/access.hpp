@@ -1,0 +1,57 @@
+#pragma once
+// Last-mile access models (§5 of the paper).
+//
+// Three technologies:
+//  * HomeWifi — user device -> home router over the air, then router -> ISP
+//    over the managed wired tail. The paper splits these as USR-ISP vs
+//    RTR-ISP; we model the two sub-segments separately so the split is
+//    measurable.
+//  * Cellular — user device -> base station; the paper's SC cell category.
+//  * Wired    — RIPE Atlas style managed/wired access.
+//
+// Calibration targets from the paper: wireless last-mile median ~20-25 ms
+// with coefficient of variation ~0.5 across a probe's measurements; the
+// wired part (router->ISP, and Atlas probes) ~10 ms with low variation.
+
+#include "util/rng.hpp"
+
+namespace cloudrtt::lastmile {
+
+enum class AccessTech : unsigned char { HomeWifi, Cellular, Wired };
+
+[[nodiscard]] constexpr std::string_view to_string(AccessTech tech) {
+  switch (tech) {
+    case AccessTech::HomeWifi: return "home-wifi";
+    case AccessTech::Cellular: return "cellular";
+    case AccessTech::Wired: return "wired";
+  }
+  return "?";
+}
+
+/// Per-probe last-mile parameters: each probe draws its own medians once
+/// (location, RF environment, plan quality), then per-measurement samples
+/// vary around them.
+struct Profile {
+  AccessTech tech = AccessTech::HomeWifi;
+  double air_median_ms = 0.0;    ///< wireless segment median (0 for wired)
+  double air_sigma = 0.0;        ///< per-sample lognormal sigma of the air leg
+  double wired_median_ms = 0.0;  ///< router->ISP (home) or whole leg (wired)
+  double wired_sigma = 0.0;
+};
+
+/// One measurement's last-mile contribution.
+struct Sample {
+  double air_ms = 0.0;
+  double wired_ms = 0.0;
+  [[nodiscard]] double total_ms() const { return air_ms + wired_ms; }
+};
+
+/// Draw the per-probe profile. `backhaul_quality` in [0,1] worsens both the
+/// medians and the variability slightly in poorly-provisioned regions.
+[[nodiscard]] Profile make_profile(AccessTech tech, double backhaul_quality,
+                                   util::Rng& rng);
+
+/// Draw one measurement's last-mile latencies from a probe profile.
+[[nodiscard]] Sample draw(const Profile& profile, util::Rng& rng);
+
+}  // namespace cloudrtt::lastmile

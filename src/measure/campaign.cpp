@@ -1,0 +1,220 @@
+#include "measure/campaign.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cloudrtt::measure {
+
+namespace {
+
+/// Nearest region of `provider` to `from` within `continent`; nullptr when
+/// the provider has no region there (e.g. most providers in Africa).
+[[nodiscard]] const topology::CloudEndpoint* nearest_endpoint(
+    const topology::World& world, cloud::ProviderId provider,
+    geo::Continent continent, const geo::GeoPoint& from) {
+  const topology::CloudEndpoint* best = nullptr;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const topology::CloudEndpoint& endpoint : world.endpoints()) {
+    if (endpoint.region->provider != provider) continue;
+    if (endpoint.region->continent != continent) continue;
+    const double km = geo::haversine_km(from, endpoint.region->location);
+    if (km < best_km) {
+      best_km = km;
+      best = &endpoint;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Campaign::Campaign(const topology::World& world, const probes::ProbeFleet& fleet,
+                   CampaignConfig config)
+    : world_(world), fleet_(fleet), engine_(world), config_(config) {
+  // Bucket probes by country once.
+  std::unordered_map<std::string_view, std::vector<const probes::Probe*>> buckets;
+  for (const probes::Probe& probe : fleet.probes()) {
+    buckets[probe.country->code].push_back(&probe);
+  }
+  // The >=100-probes-per-country rule (§3.3) is about the real platform
+  // fleet, so it is evaluated against the paper-scale deployment weight, not
+  // against this run's (possibly scaled-down) realized probe count.
+  for (const geo::CountryInfo& country : world.countries().all()) {
+    auto it = buckets.find(country.code);
+    if (it == buckets.end()) continue;
+    const double paper_scale_weight =
+        fleet.platform() == probes::Platform::Speedchecker ? country.sc_weight
+                                                           : country.atlas_weight;
+    if (paper_scale_weight < config_.paper_country_threshold) continue;
+    plan_country(country, std::move(it->second));
+  }
+  // Interleave continents in the cycle so that even a tight daily budget
+  // touches every region each day (the paper cycled per continent, §3.3).
+  {
+    std::array<std::vector<CountryPlan>, geo::kContinentCount> grouped;
+    for (CountryPlan& plan : plans_) {
+      const geo::Continent c =
+          geo::CountryTable::instance().at(plan.code).continent;
+      grouped[geo::index_of(c)].push_back(std::move(plan));
+    }
+    plans_.clear();
+    countries_.clear();
+    bool any = true;
+    for (std::size_t round = 0; any; ++round) {
+      any = false;
+      for (auto& group : grouped) {
+        if (round < group.size()) {
+          countries_.push_back(group[round].code);
+          plans_.push_back(std::move(group[round]));
+          any = true;
+        }
+      }
+    }
+  }
+  if (config_.run_case_studies) {
+    plan_case_study("DE", "GB");
+    plan_case_study("UA", "GB");
+    plan_case_study("JP", "IN");
+    plan_case_study("BH", "IN");
+  }
+}
+
+void Campaign::plan_country(const geo::CountryInfo& country,
+                            std::vector<const probes::Probe*> country_probes) {
+  CountryPlan plan;
+  plan.code = country.code;
+  plan.probes = std::move(country_probes);
+
+  std::unordered_set<const topology::CloudEndpoint*> fixed;
+  const auto add_nearest_per_provider = [&](geo::Continent continent) {
+    for (const cloud::ProviderId provider : cloud::kAllProviders) {
+      if (const topology::CloudEndpoint* e =
+              nearest_endpoint(world_, provider, continent, country.centroid)) {
+        if (fixed.insert(e).second) plan.fixed_targets.push_back(e);
+      }
+    }
+  };
+  add_nearest_per_provider(country.continent);
+  // §4.3: probes in under-provisioned continents also target DCs in the
+  // neighbouring, better-provisioned continents.
+  if (country.continent == geo::Continent::Africa) {
+    add_nearest_per_provider(geo::Continent::Europe);
+    add_nearest_per_provider(geo::Continent::NorthAmerica);
+  } else if (country.continent == geo::Continent::SouthAmerica) {
+    add_nearest_per_provider(geo::Continent::NorthAmerica);
+  }
+
+  for (const topology::CloudEndpoint& endpoint : world_.endpoints()) {
+    if (endpoint.region->continent == country.continent &&
+        !fixed.contains(&endpoint)) {
+      plan.extra_pool.push_back(&endpoint);
+    }
+  }
+  countries_.push_back(plan.code);
+  plans_.push_back(std::move(plan));
+}
+
+void Campaign::plan_case_study(std::string_view src, std::string_view dst) {
+  CaseStudy study;
+  study.src_country = src;
+  for (const probes::Probe& probe : fleet_.probes()) {
+    if (probe.country->code == src) study.probes.push_back(&probe);
+  }
+  for (const topology::CloudEndpoint& endpoint : world_.endpoints()) {
+    if (endpoint.region->country == dst) study.targets.push_back(&endpoint);
+  }
+  if (!study.probes.empty() && !study.targets.empty()) {
+    case_studies_.push_back(std::move(study));
+  }
+}
+
+Dataset Campaign::run(util::Rng rng) const {
+  Dataset dataset;
+  dataset.reserve(config_.days * config_.daily_budget,
+                  config_.days * config_.daily_budget);
+
+  std::size_t cursor = 0;  // persists across days: a full cycle may take
+                           // several days when the budget is tight (§3.3)
+  for (std::uint32_t day = 0; day < config_.days; ++day) {
+    std::size_t budget = config_.daily_budget;
+    util::Rng day_rng = rng.fork(day);
+
+    const auto run_task = [&](const probes::Probe& probe,
+                              const topology::CloudEndpoint& endpoint) {
+      util::Rng task_rng = day_rng.fork(probe.id * 1315423911ULL +
+                                        endpoint.vm_ip.value());
+      // The daily budget drains across the six 4-hour scheduling slots of
+      // §3.3; the slot index doubles as the measurement's time of day.
+      const std::size_t spent = config_.daily_budget - budget;
+      const auto slot = static_cast<std::uint8_t>(
+          std::min<std::size_t>(5, spent * 6 / std::max<std::size_t>(
+                                                  1, config_.daily_budget)));
+      dataset.pings.push_back(
+          engine_.ping(probe, endpoint, Protocol::Tcp, day, task_rng, slot));
+      dataset.traces.push_back(engine_.traceroute(
+          probe, endpoint, day, task_rng, Engine::TraceMethod::Classic, slot));
+    };
+
+    // Focused case-study measurements first (they are small and §6.2's
+    // statistics need them every day).
+    for (const CaseStudy& study : case_studies_) {
+      std::vector<const probes::Probe*> connected;
+      for (const probes::Probe* probe : study.probes) {
+        if (day_rng.chance(probe->availability)) connected.push_back(probe);
+      }
+      std::shuffle(connected.begin(), connected.end(), day_rng);
+      const std::size_t take =
+          std::min(config_.case_study_probes, connected.size());
+      for (std::size_t i = 0; i < take && budget > 0; ++i) {
+        for (const topology::CloudEndpoint* endpoint : study.targets) {
+          if (budget == 0) break;
+          run_task(*connected[i], *endpoint);
+          --budget;
+        }
+      }
+    }
+
+    // Country cycle.
+    for (std::size_t visited = 0; visited < plans_.size() && budget > 0;
+         ++visited) {
+      const CountryPlan& plan = plans_[(cursor + visited) % plans_.size()];
+      std::vector<const probes::Probe*> connected;
+      for (const probes::Probe* probe : plan.probes) {
+        if (day_rng.chance(probe->availability)) connected.push_back(probe);
+      }
+      if (connected.empty()) continue;
+      std::shuffle(connected.begin(), connected.end(), day_rng);
+      const geo::Continent continent =
+          connected.front()->country->continent;
+      const std::size_t want =
+          config_.visit_probes_by_continent[geo::index_of(continent)] +
+          connected.size() / 2;
+      const std::size_t take =
+          std::min({want, config_.visit_probes_cap, connected.size()});
+      for (std::size_t i = 0; i < take && budget > 0; ++i) {
+        const probes::Probe& probe = *connected[i];
+        for (const topology::CloudEndpoint* endpoint : plan.fixed_targets) {
+          if (budget == 0) break;
+          run_task(probe, *endpoint);
+          --budget;
+        }
+        for (std::size_t extra = 0;
+             extra < config_.extra_targets && !plan.extra_pool.empty() &&
+             budget > 0;
+             ++extra) {
+          run_task(probe, *day_rng.pick(plan.extra_pool));
+          --budget;
+        }
+      }
+      if (budget == 0) {
+        cursor = (cursor + visited + 1) % plans_.size();
+        break;
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace cloudrtt::measure

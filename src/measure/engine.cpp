@@ -1,0 +1,191 @@
+#include "measure/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudrtt::measure {
+
+namespace {
+
+/// Probability that a router answers TTL-expired probes, by role.
+[[nodiscard]] double respond_probability(const routing::RouterHop& hop,
+                                         bool is_final) {
+  if (is_final) return 1.0;  // final-echo handling is separate
+  if (hop.is_private) return 0.95;
+  if (hop.cloud_owned) return 0.88;  // clouds filter some WAN internals
+  return 0.90;
+}
+
+}  // namespace
+
+topology::InterconnectMode Engine::roll_mode(const probes::Probe& probe,
+                                             const cloud::RegionInfo& region,
+                                             util::Rng& rng) const {
+  const topology::PairPolicy& policy =
+      world_.interconnect(probe.isp->asn, region.provider, region.continent);
+  return rng.chance(policy.adherence) ? policy.base : policy.fallback;
+}
+
+double Engine::diurnal_factor(const probes::Probe& probe, std::uint8_t slot) {
+  // Slot s covers local hours [4s, 4s+4) at UTC; shift by the probe's
+  // longitude to get local time, and peak around 20:00 local (evening
+  // residential load). Weak backhauls congest the hardest.
+  const double utc_hour = 4.0 * static_cast<double>(slot % 6) + 2.0;
+  double local_hour = utc_hour + probe.location.lon_deg / 15.0;
+  while (local_hour < 0.0) local_hour += 24.0;
+  while (local_hour >= 24.0) local_hour -= 24.0;
+  double distance = std::abs(local_hour - 20.0);
+  distance = std::min(distance, 24.0 - distance);  // circular
+  const double peak = std::exp(-(distance * distance) / (2.0 * 2.5 * 2.5));
+  const double amplitude =
+      0.04 + 0.18 * (1.0 - probe.country->backhaul_quality);
+  return 1.0 + amplitude * peak;
+}
+
+Engine::PathDraw Engine::draw_path(const probes::Probe& probe,
+                                   const topology::CloudEndpoint& endpoint,
+                                   util::Rng& rng, std::uint8_t slot) const {
+  PathDraw draw;
+  const topology::InterconnectMode mode =
+      roll_mode(probe, *endpoint.region, rng);
+  draw.path = builder_.build(probe, endpoint, mode);
+  draw.last_mile = lastmile::draw(probe.lastmile, rng);
+
+  const double base = draw.path.base_rtt_ms();
+  const double sigma_rel =
+      base > 0.5 ? std::min(0.6, draw.path.noise_abs_ms() / base) : 0.05;
+  draw.congestion = std::exp(rng.normal(0.0, sigma_rel)) * diurnal_factor(probe, slot);
+  // Transient congestion events hit noisier paths more often and harder.
+  const double spike_prob = 0.02 + 0.10 * sigma_rel;
+  if (rng.chance(spike_prob)) {
+    draw.spike_ms = rng.exponential(5.0 + 3.0 * draw.path.noise_abs_ms());
+  }
+  return draw;
+}
+
+double Engine::icmp_penalty_ms(const probes::Probe& probe, util::Rng& rng) const {
+  // Middleboxes/load balancers deprioritise or reroute ICMP (§A.2); the
+  // effect is strongest where the backhaul is poor, which is what makes the
+  // Fig. 15 TCP/ICMP gap largest in Africa.
+  const double quality = probe.country->backhaul_quality;
+  const double prob = 0.08 + 0.30 * (1.0 - quality);
+  if (!rng.chance(prob)) return 0.0;
+  return rng.exponential(3.0 + 16.0 * (1.0 - quality));
+}
+
+PingRecord Engine::ping(const probes::Probe& probe,
+                        const topology::CloudEndpoint& endpoint,
+                        Protocol protocol, std::uint32_t day,
+                        util::Rng& rng, std::uint8_t slot) const {
+  const PathDraw draw = draw_path(probe, endpoint, rng, slot);
+  PingRecord record;
+  record.probe = &probe;
+  record.region = endpoint.region;
+  record.protocol = protocol;
+  record.day = day;
+  record.slot = slot;
+  record.rtt_ms = draw.last_mile.total_ms() +
+                  draw.path.base_rtt_ms() * draw.congestion + draw.spike_ms + 0.3;
+  if (protocol == Protocol::Icmp) {
+    record.rtt_ms += icmp_penalty_ms(probe, rng);
+  }
+  return record;
+}
+
+Engine::HttpRecord Engine::http_get(const probes::Probe& probe,
+                                    const topology::CloudEndpoint& endpoint,
+                                    util::Rng& rng) const {
+  const PathDraw draw = draw_path(probe, endpoint, rng, 0);
+  // Each round trip of the exchange rides the same congestion state with
+  // independent per-packet noise.
+  const auto round_trip = [&] {
+    return draw.last_mile.total_ms() +
+           draw.path.base_rtt_ms() * draw.congestion *
+               std::exp(rng.normal(0.0, 0.03)) +
+           0.3;
+  };
+  HttpRecord record;
+  record.connect_ms = round_trip() + draw.spike_ms;  // SYN / SYN-ACK
+  const double server_processing = rng.exponential(12.0);
+  record.ttfb_ms = record.connect_ms + round_trip() + server_processing;
+  const double transfer = rng.exponential(20.0);  // payload + slow-start tail
+  record.total_ms = record.ttfb_ms + transfer;
+  return record;
+}
+
+double Engine::interdc_rtt(const topology::CloudEndpoint& src,
+                           const topology::CloudEndpoint& dst,
+                           util::Rng& rng) const {
+  const routing::ForwardingPath path = builder_.build_interdc(src, dst);
+  const double base = path.base_rtt_ms();
+  const double sigma_rel =
+      base > 0.5 ? std::min(0.6, path.noise_abs_ms() / base) : 0.05;
+  double rtt = base * std::exp(rng.normal(0.0, sigma_rel)) + 0.2;
+  if (rng.chance(0.02 + 0.10 * sigma_rel)) {
+    rtt += rng.exponential(5.0 + 3.0 * path.noise_abs_ms());
+  }
+  return rtt;
+}
+
+TraceRecord Engine::traceroute(const probes::Probe& probe,
+                               const topology::CloudEndpoint& endpoint,
+                               std::uint32_t day, util::Rng& rng,
+                               TraceMethod method, std::uint8_t slot) const {
+  const PathDraw draw = draw_path(probe, endpoint, rng, slot);
+  TraceRecord record;
+  record.probe = &probe;
+  record.region = endpoint.region;
+  record.target_ip = endpoint.vm_ip;
+  record.day = day;
+  record.slot = slot;
+  record.true_mode = draw.path.mode;
+  record.hops.reserve(draw.path.hops.size());
+
+  const bool home = probe.access == lastmile::AccessTech::HomeWifi;
+  const std::size_t hop_count = draw.path.hops.size();
+  for (std::size_t i = 0; i < hop_count; ++i) {
+    const routing::RouterHop& hop = draw.path.hops[i];
+    const bool is_final = i + 1 == hop_count;
+    HopRecord out;
+    out.ttl = static_cast<std::uint8_t>(i + 1);
+    out.responded = rng.chance(respond_probability(hop, is_final));
+    if (is_final) {
+      // Cloud perimeter firewalls occasionally drop the final ICMP echo.
+      out.responded = !rng.chance(0.07);
+    }
+    if (out.responded) {
+      // The first hop of a home path sits before the wired tail: only the
+      // WiFi air segment applies. Every later hop carries the full
+      // last-mile.
+      const double lm =
+          (home && i == 0) ? draw.last_mile.air_ms : draw.last_mile.total_ms();
+      double rtt = lm + hop.base_rtt_ms * draw.congestion + draw.spike_ms;
+      // Per-TTL probes see independent small noise plus reply-path
+      // processing on the router's slow path.
+      rtt *= std::exp(rng.normal(0.0, 0.03));
+      rtt += rng.exponential(0.4);
+      if (!is_final && rng.chance(0.05)) {
+        rtt += rng.exponential(14.0);  // control-plane rate limiting (§3.3)
+      }
+      out.ip = hop.ip;
+      // Classic traceroute varies the flow identifier per TTL, so ECMP
+      // segments answer from either sibling interface — and the sibling's
+      // path detours slightly (the latency-inflation artefact Paris
+      // traceroute eliminates).
+      if (method == TraceMethod::Classic && hop.has_alt() && rng.chance(0.35)) {
+        out.ip = hop.alt_ip;
+        rtt += rng.exponential(2.5);
+        if (rng.chance(0.08)) rtt += rng.exponential(9.0);
+      }
+      out.rtt_ms = std::max(0.1, rtt);
+    }
+    record.hops.push_back(out);
+    if (is_final && out.responded) {
+      record.completed = true;
+      record.end_to_end_ms = out.rtt_ms + icmp_penalty_ms(probe, rng);
+    }
+  }
+  return record;
+}
+
+}  // namespace cloudrtt::measure

@@ -1,0 +1,86 @@
+#pragma once
+// Measurement engine: executes TCP/ICMP pings and ICMP traceroutes over the
+// simulated forwarding fabric, layering on everything the paper's §3.3/§7
+// warn about — last-mile samples, path-wide congestion noise, occasional
+// spikes, ICMP deprioritisation by middleboxes, unresponsive routers,
+// control-plane rate limiting, and cloud firewalls eating the final echo.
+
+#include "measure/records.hpp"
+#include "routing/path_builder.hpp"
+#include "topology/world.hpp"
+#include "util/rng.hpp"
+
+namespace cloudrtt::measure {
+
+class Engine {
+ public:
+  explicit Engine(const topology::World& world)
+      : world_(world), builder_(world) {}
+
+  [[nodiscard]] PingRecord ping(const probes::Probe& probe,
+                                const topology::CloudEndpoint& endpoint,
+                                Protocol protocol, std::uint32_t day,
+                                util::Rng& rng, std::uint8_t slot = 0) const;
+
+  /// Traceroute flavour: Classic sends per-TTL probes whose flow identifiers
+  /// vary, so ECMP segments answer from either sibling interface and inflate
+  /// hop RTTs (the anomaly Paris traceroute fixes — §2.1 [10], §3.3 caveats).
+  /// Paris keeps the flow pinned.
+  enum class TraceMethod : unsigned char { Classic, Paris };
+
+  [[nodiscard]] TraceRecord traceroute(const probes::Probe& probe,
+                                       const topology::CloudEndpoint& endpoint,
+                                       std::uint32_t day, util::Rng& rng,
+                                       TraceMethod method = TraceMethod::Classic,
+                                       std::uint8_t slot = 0) const;
+
+  /// Inter-datacenter ("horizontal") RTT between two regions — private WAN
+  /// when the provider serves both, public carriers otherwise.
+  [[nodiscard]] double interdc_rtt(const topology::CloudEndpoint& src,
+                                   const topology::CloudEndpoint& dst,
+                                   util::Rng& rng) const;
+
+  /// Evening-peak congestion multiplier for a probe at a 4-hour slot; ~1.0
+  /// off-peak, strongest where the backhaul is weakest. Public so models and
+  /// analyses can reason about the time axis explicitly.
+  [[nodiscard]] static double diurnal_factor(const probes::Probe& probe,
+                                             std::uint8_t slot);
+
+  /// HTTP GET against a VM (Speedchecker's third measurement type, §3.2):
+  /// TCP handshake, request/response, payload transfer. Application-level
+  /// latency sits above the network RTT, which is why the paper calls its
+  /// ping numbers a lower bound (§7).
+  struct HttpRecord {
+    double connect_ms = 0.0;  ///< TCP handshake completion
+    double ttfb_ms = 0.0;     ///< first response byte
+    double total_ms = 0.0;    ///< payload fully received
+  };
+  [[nodiscard]] HttpRecord http_get(const probes::Probe& probe,
+                                    const topology::CloudEndpoint& endpoint,
+                                    util::Rng& rng) const;
+
+  [[nodiscard]] const routing::PathBuilder& path_builder() const { return builder_; }
+
+  /// Per-measurement interconnect-mode roll (pair policy + adherence).
+  [[nodiscard]] topology::InterconnectMode roll_mode(
+      const probes::Probe& probe, const cloud::RegionInfo& region,
+      util::Rng& rng) const;
+
+ private:
+  struct PathDraw {
+    routing::ForwardingPath path;
+    lastmile::Sample last_mile;
+    double congestion = 1.0;  ///< shared multiplicative factor this measurement
+    double spike_ms = 0.0;    ///< transient congestion event
+  };
+  [[nodiscard]] PathDraw draw_path(const probes::Probe& probe,
+                                   const topology::CloudEndpoint& endpoint,
+                                   util::Rng& rng, std::uint8_t slot) const;
+  [[nodiscard]] double icmp_penalty_ms(const probes::Probe& probe,
+                                       util::Rng& rng) const;
+
+  const topology::World& world_;
+  routing::PathBuilder builder_;
+};
+
+}  // namespace cloudrtt::measure

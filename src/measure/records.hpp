@@ -1,0 +1,63 @@
+#pragma once
+// Raw measurement records — the simulator's equivalent of the published
+// 3.8M-ping / 7M-traceroute dataset. Analysis code treats these as data:
+// hop ASNs, interconnect modes and access technologies are re-derived from
+// addresses, never read from ground truth (ground-truth fields are kept
+// only so tests can validate the inference pipeline).
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/region.hpp"
+#include "net/ipv4.hpp"
+#include "probes/fleet.hpp"
+#include "topology/interconnect.hpp"
+
+namespace cloudrtt::measure {
+
+enum class Protocol : unsigned char { Tcp, Icmp };
+
+[[nodiscard]] constexpr std::string_view to_string(Protocol p) {
+  return p == Protocol::Tcp ? "TCP" : "ICMP";
+}
+
+struct PingRecord {
+  const probes::Probe* probe = nullptr;
+  const cloud::RegionInfo* region = nullptr;
+  Protocol protocol = Protocol::Tcp;
+  double rtt_ms = 0.0;
+  std::uint32_t day = 0;
+  std::uint8_t slot = 0;  ///< 4-hour scheduling slot within the day (0..5)
+};
+
+struct HopRecord {
+  std::uint8_t ttl = 0;
+  bool responded = false;
+  net::Ipv4Address ip;   ///< valid only when responded
+  double rtt_ms = 0.0;   ///< valid only when responded
+};
+
+struct TraceRecord {
+  const probes::Probe* probe = nullptr;
+  const cloud::RegionInfo* region = nullptr;
+  net::Ipv4Address target_ip;  ///< the VM the trace was aimed at (known a priori)
+  std::vector<HopRecord> hops;
+  bool completed = false;        ///< final echo from the VM arrived
+  double end_to_end_ms = 0.0;    ///< ICMP end-to-end RTT (valid if completed)
+  std::uint32_t day = 0;
+  std::uint8_t slot = 0;  ///< 4-hour scheduling slot within the day (0..5)
+  /// Ground truth for pipeline validation only — not used by analysis.
+  topology::InterconnectMode true_mode = topology::InterconnectMode::Public;
+};
+
+struct Dataset {
+  std::vector<PingRecord> pings;
+  std::vector<TraceRecord> traces;
+
+  void reserve(std::size_t ping_count, std::size_t trace_count) {
+    pings.reserve(ping_count);
+    traces.reserve(trace_count);
+  }
+};
+
+}  // namespace cloudrtt::measure

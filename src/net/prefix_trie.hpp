@@ -1,0 +1,87 @@
+#pragma once
+// Binary radix trie for longest-prefix match: the data structure behind the
+// analysis pipeline's IP->ASN resolution (the PyASN substitute from §3.3).
+// Values are arbitrary; the analysis stores AS numbers.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace cloudrtt::net {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  /// Insert (or overwrite) the value mapped at `prefix`.
+  void insert(const Ipv4Prefix& prefix, Value value) {
+    std::size_t node = ensure_root();
+    const std::uint32_t bits = prefix.base().value();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const bool bit = (bits >> (31 - depth)) & 1u;
+      std::size_t child = bit ? nodes_[node].one : nodes_[node].zero;
+      if (child == kNone) {
+        child = nodes_.size();
+        nodes_.emplace_back();  // may reallocate: re-index nodes_[node] below
+        (bit ? nodes_[node].one : nodes_[node].zero) = child;
+      }
+      node = child;
+    }
+    nodes_[node].value = std::move(value);
+    ++entry_count_;
+  }
+
+  /// Longest-prefix match; nullopt when no covering prefix exists.
+  [[nodiscard]] std::optional<Value> lookup(Ipv4Address addr) const {
+    if (nodes_.empty()) return std::nullopt;
+    std::optional<Value> best;
+    std::size_t node = 0;
+    const std::uint32_t bits = addr.value();
+    if (nodes_[node].value) best = nodes_[node].value;
+    for (std::uint8_t depth = 0; depth < 32; ++depth) {
+      const bool bit = (bits >> (31 - depth)) & 1u;
+      const std::size_t child = bit ? nodes_[node].one : nodes_[node].zero;
+      if (child == kNone) break;
+      node = child;
+      if (nodes_[node].value) best = nodes_[node].value;
+    }
+    return best;
+  }
+
+  /// Exact-prefix lookup (no covering fallback).
+  [[nodiscard]] std::optional<Value> lookup_exact(const Ipv4Prefix& prefix) const {
+    if (nodes_.empty()) return std::nullopt;
+    std::size_t node = 0;
+    const std::uint32_t bits = prefix.base().value();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const bool bit = (bits >> (31 - depth)) & 1u;
+      const std::size_t child = bit ? nodes_[node].one : nodes_[node].zero;
+      if (child == kNone) return std::nullopt;
+      node = child;
+    }
+    return nodes_[node].value;
+  }
+
+  [[nodiscard]] std::size_t entry_count() const { return entry_count_; }
+  [[nodiscard]] bool empty() const { return entry_count_ == 0; }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Node {
+    std::size_t zero = kNone;
+    std::size_t one = kNone;
+    std::optional<Value> value;
+  };
+
+  std::size_t ensure_root() {
+    if (nodes_.empty()) nodes_.emplace_back();
+    return 0;
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t entry_count_ = 0;
+};
+
+}  // namespace cloudrtt::net

@@ -1,0 +1,38 @@
+#pragma once
+// Synthetic city directory.
+//
+// Probes geolocate to cities (Speedchecker reports city-level geolocation,
+// §3.3), and the Fig. 16 apples-to-apples comparison matches probes of both
+// platforms by <city, first-hop ASN> — so both platforms must draw from the
+// same per-country city set. Cities are deterministic functions of the
+// country (independent of the study seed) with Zipf population weights.
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/country.hpp"
+#include "geo/coords.hpp"
+
+namespace cloudrtt::probes {
+
+struct City {
+  std::string name;
+  geo::GeoPoint location;
+  double weight;  ///< probe-placement weight (Zipf by rank)
+};
+
+class CityDirectory {
+ public:
+  [[nodiscard]] static const CityDirectory& instance();
+
+  [[nodiscard]] std::span<const City> cities(std::string_view country) const;
+
+ private:
+  CityDirectory();
+  std::vector<std::string> codes_;
+  std::vector<std::vector<City>> per_country_;
+};
+
+}  // namespace cloudrtt::probes

@@ -1,0 +1,104 @@
+#include "probes/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudrtt::probes {
+
+namespace {
+
+[[nodiscard]] double platform_weight(Platform platform, const geo::CountryInfo& c) {
+  return platform == Platform::Speedchecker ? c.sc_weight : c.atlas_weight;
+}
+
+}  // namespace
+
+ProbeFleet::ProbeFleet(topology::World& world, const FleetConfig& config)
+    : config_(config) {
+  util::Rng rng = world.fork_rng(config.platform == Platform::Speedchecker
+                                     ? "fleet/speedchecker"
+                                     : "fleet/atlas");
+  const auto& countries = world.countries();
+  const double total_weight = config.platform == Platform::Speedchecker
+                                  ? countries.total_sc_weight()
+                                  : countries.total_atlas_weight();
+  std::uint32_t next_id = config.platform == Platform::Speedchecker ? 1 : 1'000'000;
+
+  for (const geo::CountryInfo& country : countries.all()) {
+    const double weight = platform_weight(config.platform, country);
+    if (weight <= 0.0) continue;
+    const double exact =
+        weight / total_weight * static_cast<double>(config.target_count);
+    // Stochastic rounding keeps small countries represented proportionally.
+    auto count = static_cast<std::size_t>(exact);
+    if (rng.chance(exact - static_cast<double>(count))) ++count;
+    if (count == 0) continue;
+
+    const auto cities = CityDirectory::instance().cities(country.code);
+    const auto isps = world.isps_in(country.code);
+    std::vector<double> city_weights;
+    city_weights.reserve(cities.size());
+    for (const City& city : cities) city_weights.push_back(city.weight);
+    std::vector<double> isp_weights;
+    isp_weights.reserve(isps.size());
+    for (const topology::IspNetwork* isp : isps) isp_weights.push_back(isp->share);
+
+    for (std::size_t i = 0; i < count; ++i) {
+      Probe probe;
+      probe.id = next_id++;
+      probe.platform = config.platform;
+      probe.country = &country;
+      probe.city = &cities[rng.weighted_index(city_weights)];
+      probe.isp = isps[rng.weighted_index(isp_weights)];
+      // Jitter within the metro area.
+      probe.location =
+          geo::offset(probe.city->location, rng.uniform(0.0, 360.0),
+                      rng.uniform(0.0, 15.0));
+
+      if (config.platform == Platform::Speedchecker) {
+        probe.access = rng.chance(country.cell_fraction)
+                           ? lastmile::AccessTech::Cellular
+                           : lastmile::AccessTech::HomeWifi;
+        if (config.access_override) probe.access = *config.access_override;
+        // Android probes churn heavily (§3.3): only a fraction is connected
+        // at any instant.
+        probe.availability = rng.uniform(0.10, 0.60);
+      } else {
+        probe.access = lastmile::AccessTech::Wired;
+        probe.availability = rng.uniform(0.85, 0.99);
+      }
+      probe.lastmile =
+          lastmile::make_profile(probe.access, country.backhaul_quality, rng);
+      probe.lastmile.air_median_ms *= config.air_scale;
+
+      double cgn_prob = probe.isp->cgn_fraction;
+      if (probe.access == lastmile::AccessTech::Cellular) {
+        cgn_prob = std::min(0.9, cgn_prob * 2.2);  // mobile carriers love CGN
+      } else if (probe.access == lastmile::AccessTech::Wired) {
+        cgn_prob *= 0.2;  // managed deployments usually have public addresses
+      }
+      probe.behind_cgn = rng.chance(cgn_prob);
+      probe.address = probe.behind_cgn ? world.allocate_cgn_ip(probe.isp->asn)
+                                       : world.allocate_customer_ip(probe.isp->asn);
+      probes_.push_back(std::move(probe));
+    }
+  }
+}
+
+std::vector<const Probe*> ProbeFleet::in_country(std::string_view code) const {
+  std::vector<const Probe*> out;
+  for (const Probe& probe : probes_) {
+    if (probe.country->code == code) out.push_back(&probe);
+  }
+  return out;
+}
+
+std::size_t ProbeFleet::count_in_country(std::string_view code) const {
+  std::size_t n = 0;
+  for (const Probe& probe : probes_) {
+    if (probe.country->code == code) ++n;
+  }
+  return n;
+}
+
+}  // namespace cloudrtt::probes

@@ -1,0 +1,81 @@
+#pragma once
+// Probe fleets for the two measurement platforms.
+//
+// Speedchecker (§3.2): software probes on end-user Android devices —
+// wireless last-mile (WiFi or cellular per the country's mix), resident in
+// access ISPs proportional to market share, transient availability.
+// RIPE Atlas: hardware probes in managed environments — wired last-mile,
+// high availability, deployment densities per Fig. 2.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "geo/country.hpp"
+#include "lastmile/access.hpp"
+#include "net/ipv4.hpp"
+#include "probes/cities.hpp"
+#include "topology/isp.hpp"
+#include "topology/world.hpp"
+
+namespace cloudrtt::probes {
+
+enum class Platform : unsigned char { Speedchecker, RipeAtlas };
+
+[[nodiscard]] constexpr std::string_view to_string(Platform p) {
+  return p == Platform::Speedchecker ? "Speedchecker" : "RIPE Atlas";
+}
+
+struct Probe {
+  std::uint32_t id = 0;
+  Platform platform = Platform::Speedchecker;
+  const geo::CountryInfo* country = nullptr;
+  const topology::IspNetwork* isp = nullptr;
+  const City* city = nullptr;
+  geo::GeoPoint location;
+  lastmile::AccessTech access = lastmile::AccessTech::HomeWifi;
+  lastmile::Profile lastmile;
+  net::Ipv4Address address;   ///< public customer or CGN address
+  bool behind_cgn = false;
+  double availability = 1.0;  ///< P[connected] at a scheduling instant
+};
+
+struct FleetConfig {
+  FleetConfig() = default;
+  FleetConfig(Platform p, std::size_t count) : platform(p), target_count(count) {}
+
+  Platform platform = Platform::Speedchecker;
+  std::size_t target_count = 8000;  ///< scaled-down stand-in for 115k / 8.5k
+  /// Ablation: force every probe onto one access technology (e.g. wire the
+  /// Speedchecker fleet to isolate the wireless contribution of Fig. 5/7).
+  std::optional<lastmile::AccessTech> access_override;
+  /// What-if: scale the wireless air-segment medians (e.g. 0.15 ~ a 5G world
+  /// with ~3 ms radio legs — the §7 discussion).
+  double air_scale = 1.0;
+};
+
+class ProbeFleet {
+ public:
+  /// Generates the fleet; allocates subscriber addresses from the world.
+  ProbeFleet(topology::World& world, const FleetConfig& config);
+
+  [[nodiscard]] Platform platform() const { return config_.platform; }
+  [[nodiscard]] const std::vector<Probe>& probes() const { return probes_; }
+  [[nodiscard]] std::vector<const Probe*> in_country(std::string_view code) const;
+  [[nodiscard]] std::size_t count_in_country(std::string_view code) const;
+  [[nodiscard]] std::size_t size() const { return probes_.size(); }
+
+  /// The per-country probe threshold of the paper (>=100 of 115k probes),
+  /// scaled to this fleet's size.
+  [[nodiscard]] double scaled_country_threshold(double paper_threshold = 100.0,
+                                                double paper_total = 115000.0) const {
+    return paper_threshold * static_cast<double>(probes_.size()) / paper_total;
+  }
+
+ private:
+  FleetConfig config_;
+  std::vector<Probe> probes_;
+};
+
+}  // namespace cloudrtt::probes

@@ -1,0 +1,415 @@
+#include "routing/path_builder.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace cloudrtt::routing {
+
+namespace {
+
+using topology::InterconnectMode;
+
+constexpr double kWanDetour = 1.05;       // private WAN over the cable systems
+constexpr double kCarrierDetour = 1.10;   // tier-1 inter-hub backbone
+constexpr double kWanMidHopKm = 3000.0;   // long WAN runs expose a mid router
+
+const net::Ipv4Address kHomeRouterIp{192, 168, 1, 1};
+
+struct HubRef {
+  const topology::TransitCarrier* carrier = nullptr;
+  const topology::TransitHub* hub = nullptr;
+};
+
+/// Nearest hub of any carrier (optionally excluding one) to a location.
+[[nodiscard]] HubRef nearest_hub(const geo::GeoPoint& from,
+                                 const topology::TransitCarrier* exclude = nullptr) {
+  HubRef best;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const topology::TransitCarrier& carrier : topology::tier1_carriers()) {
+    if (&carrier == exclude) continue;
+    for (const topology::TransitHub& hub : carrier.hubs) {
+      const double km = geo::haversine_km(from, hub.location);
+      if (km < best_km) {
+        best_km = km;
+        best = HubRef{&carrier, &hub};
+      }
+    }
+  }
+  return best;
+}
+
+/// Nearest hub of one specific carrier to a location.
+[[nodiscard]] const topology::TransitHub* nearest_hub_of(
+    const topology::TransitCarrier& carrier, const geo::GeoPoint& from) {
+  const topology::TransitHub* best = nullptr;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const topology::TransitHub& hub : carrier.hubs) {
+    const double km = geo::haversine_km(from, hub.location);
+    if (km < best_km) {
+      best_km = km;
+      best = &hub;
+    }
+  }
+  return best;
+}
+
+/// Best <carrier, entry hub, exit hub> for a single-carrier (PNI) haul.
+struct CarrierPlan {
+  const topology::TransitCarrier* carrier = nullptr;
+  const topology::TransitHub* entry = nullptr;
+  const topology::TransitHub* exit = nullptr;
+};
+
+[[nodiscard]] CarrierPlan best_single_carrier(const geo::GeoPoint& from,
+                                              const geo::GeoPoint& to) {
+  CarrierPlan best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const topology::TransitCarrier& carrier : topology::tier1_carriers()) {
+    for (const topology::TransitHub& entry : carrier.hubs) {
+      for (const topology::TransitHub& exit : carrier.hubs) {
+        const double cost = geo::haversine_km(from, entry.location) +
+                            geo::haversine_km(entry.location, exit.location) +
+                            geo::haversine_km(exit.location, to);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = CarrierPlan{&carrier, &entry, &exit};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+[[nodiscard]] const topology::IxpInfo* choose_ixp(std::string_view country,
+                                                  const geo::GeoPoint& near) {
+  const topology::IxpInfo* best = nullptr;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const topology::IxpInfo& ixp : topology::known_ixps()) {
+    if (ixp.country == country) return &ixp;
+    const double km = geo::haversine_km(near, ixp.location);
+    if (km < best_km) {
+      best_km = km;
+      best = &ixp;
+    }
+  }
+  return best;
+}
+
+/// Mutable builder state threading location, RTT and jitter budget.
+class Builder {
+ public:
+  Builder(const topology::World& world, ForwardingPath& path)
+      : world_(world), path_(path) {}
+
+  void push(net::Ipv4Address ip, topology::Asn asn, const geo::GeoPoint& loc,
+            bool is_private, bool cloud_owned, double processing_ms = 0.2,
+            net::Ipv4Address alt_ip = net::Ipv4Address{}) {
+    rtt_ += processing_ms;
+    path_.hops.push_back(RouterHop{ip, asn, loc, is_private, cloud_owned, rtt_,
+                                   std::sqrt(var_), alt_ip});
+  }
+
+  /// `load_balanced` segments expose an ECMP sibling interface that classic
+  /// per-TTL traceroute may hit instead (transit cores are ECMP-heavy;
+  /// access and cloud segments are pinned).
+  void push_router(topology::Asn asn, std::string site, const geo::GeoPoint& loc,
+                   bool cloud_owned, double processing_ms = 0.2,
+                   bool load_balanced = false) {
+    net::Ipv4Address alt;
+    if (load_balanced) alt = world_.router_ip(asn, site + "/ecmp-b");
+    push(world_.router_ip(asn, site), asn, loc, false, cloud_owned, processing_ms,
+         alt);
+  }
+
+  /// Move over the public backbone between two concrete points.
+  void advance_public(const geo::GeoPoint& to, std::string_view to_cc,
+                      double sigma_base, double jitter_mult) {
+    const auto cost = world_.backbone().segment_cost(loc_, cc_, to, to_cc);
+    const double seg_rtt = geo::fibre_rtt_ms(cost.effective_km) + cost.penalty_ms;
+    rtt_ += seg_rtt;
+    const double sigma_abs =
+        (sigma_base + jitter_mult * cost.jitter_scale) * seg_rtt;
+    var_ += sigma_abs * sigma_abs;
+    loc_ = to;
+    cc_ = to_cc;
+  }
+
+  /// Move along a pre-priced leg of `km` cable to a new location (used to
+  /// split one physical run across several visible routers).
+  void advance_fixed(double km, const geo::GeoPoint& to, std::string_view to_cc,
+                     double sigma) {
+    const double seg_rtt = geo::fibre_rtt_ms(km);
+    rtt_ += seg_rtt;
+    const double sigma_abs = sigma * seg_rtt;
+    var_ += sigma_abs * sigma_abs;
+    loc_ = to;
+    cc_ = to_cc;
+  }
+
+  /// Move over a private/managed backbone (cloud WAN or carrier core):
+  /// low jitter, no transit-border penalties, but the glass still follows
+  /// the physical cable systems, not the great circle.
+  void advance_managed(const geo::GeoPoint& to, std::string_view to_cc,
+                       double detour, double sigma) {
+    const double km = world_.backbone().physical_km(loc_, cc_, to, to_cc);
+    const double seg_rtt = geo::fibre_rtt_ms(km * detour);
+    rtt_ += seg_rtt;
+    const double sigma_abs = sigma * seg_rtt;
+    var_ += sigma_abs * sigma_abs;
+    loc_ = to;
+    cc_ = to_cc;
+  }
+
+  void set_origin(const geo::GeoPoint& loc, std::string_view cc) {
+    loc_ = loc;
+    cc_ = cc;
+    var_ = 0.35 * 0.35;  // floor: NIC/serialisation noise
+  }
+
+  [[nodiscard]] const geo::GeoPoint& location() const { return loc_; }
+  [[nodiscard]] std::string_view country() const { return cc_; }
+
+ private:
+  const topology::World& world_;
+  ForwardingPath& path_;
+  geo::GeoPoint loc_{};
+  std::string_view cc_;
+  double rtt_ = 0.0;
+  double var_ = 0.0;
+};
+
+}  // namespace
+
+bool PathBuilder::wan_serves(cloud::ProviderId provider,
+                             const cloud::RegionInfo& region) {
+  switch (cloud::provider_info(provider).backbone) {
+    case cloud::BackboneClass::Private:
+      return true;
+    case cloud::BackboneClass::Semi:
+      if (provider == cloud::ProviderId::Alibaba) {
+        return region.country == std::string_view{"CN"} ||
+               region.country == std::string_view{"HK"};
+      }
+      return region.continent == geo::Continent::Europe ||
+             region.continent == geo::Continent::NorthAmerica;
+    case cloud::BackboneClass::Public:
+      return false;
+  }
+  return false;
+}
+
+ForwardingPath PathBuilder::build(const probes::Probe& probe,
+                                  const topology::CloudEndpoint& endpoint,
+                                  topology::InterconnectMode mode) const {
+  ForwardingPath path;
+  path.mode = mode;
+  Builder b{world_, path};
+
+  const topology::IspNetwork& isp = *probe.isp;
+  const cloud::RegionInfo& region = *endpoint.region;
+  const cloud::ProviderInfo& provider = cloud::provider_info(region.provider);
+  const topology::Asn cloud_asn = provider.asn;
+  const bool wan = wan_serves(region.provider, region);
+
+  b.set_origin(probe.location, isp.country);
+
+  // Gateway hairpins only exist when the world models them (ablation knob).
+  const std::vector<std::string_view> gateways =
+      world_.config().enable_uplink_gateways
+          ? topology::uplink_gateways(isp.country)
+          : std::vector<std::string_view>{};
+
+  // --- last-mile hops (latency added by the engine, not here) --------------
+  if (probe.access == lastmile::AccessTech::HomeWifi) {
+    b.push(kHomeRouterIp, isp.asn, probe.location, /*is_private=*/true,
+           /*cloud_owned=*/false, 0.0);
+  }
+  if (probe.behind_cgn) {
+    b.push(isp.cgn_prefix.address_at(1), isp.asn, probe.location,
+           /*is_private=*/true, /*cloud_owned=*/false, 0.1);
+  }
+
+  // --- inside the serving ISP ------------------------------------------------
+  b.push_router(isp.asn, "edge/" + probe.city->name, probe.city->location, false,
+                0.7);
+  const geo::CountryInfo& home = world_.countries().at(isp.country);
+  b.advance_public(home.centroid, isp.country, 0.05, 0.10);
+  b.push_router(isp.asn, "core/" + isp.country, home.centroid, false, 0.3);
+
+  // --- interconnection-specific middle ---------------------------------------
+  const auto wan_run = [&](std::string_view from_label) {
+    // Inside the provider's WAN towards the DC. The leg is priced once over
+    // the physical cable systems; long hauls expose a mid backbone router
+    // (the paper's pervasiveness counts these).
+    const double km = world_.backbone().physical_km(
+        b.location(), b.country(), region.location, region.country);
+    const bool long_haul = km > kWanMidHopKm;
+    if (long_haul) {
+      const geo::GeoPoint mid{(b.location().lat_deg + region.location.lat_deg) / 2.0,
+                              (b.location().lon_deg + region.location.lon_deg) / 2.0};
+      b.advance_fixed(km * kWanDetour / 2.0, mid, region.country, 0.02);
+      b.push_router(cloud_asn, std::string{"wan/"} + std::string{from_label} + "-" +
+                                   std::string{region.region_name},
+                    mid, true, 0.25);
+      b.advance_fixed(km * kWanDetour / 2.0, region.location, region.country, 0.02);
+    } else {
+      b.advance_fixed(km * kWanDetour, region.location, region.country, 0.02);
+    }
+  };
+
+  switch (mode) {
+    case InterconnectMode::DirectIxp: {
+      if (const topology::IxpInfo* ixp = choose_ixp(isp.country, b.location())) {
+        b.advance_public(ixp->location, ixp->country, 0.04, 0.08);
+        b.push_router(ixp->asn, "lan/" + std::string{ixp->country}, ixp->location,
+                      false, 0.25);
+      }
+      [[fallthrough]];
+    }
+    case InterconnectMode::Direct: {
+      const bool pop = world_.has_pop(region.provider, isp.country);
+      const std::string_view ingress_cc = pop ? std::string_view{isp.country}
+                                              : std::string_view{region.country};
+      const geo::CountryInfo& ingress = world_.countries().at(ingress_cc);
+      b.advance_public(ingress.centroid, ingress_cc, 0.03, 0.06);
+      b.push_router(cloud_asn, "pop/" + std::string{ingress_cc}, ingress.centroid,
+                    true, 0.35);
+      wan_run(ingress_cc);
+      break;
+    }
+    case InterconnectMode::OneAs: {
+      // The ISP hauls to its (possibly remote) uplink gateway itself.
+      for (const std::string_view gw : gateways) {
+        const geo::CountryInfo& info = world_.countries().at(gw);
+        b.advance_public(info.centroid, gw, 0.06, 0.18);
+        b.push_router(isp.asn, "gw/" + std::string{gw}, info.centroid, false, 0.3);
+      }
+      const geo::GeoPoint target_ref =
+          wan ? region.location : region.location;  // PNI lands near the DC side
+      const CarrierPlan plan = best_single_carrier(b.location(), target_ref);
+      b.advance_public(plan.entry->location, plan.entry->country, 0.06, 0.16);
+      b.push_router(plan.carrier->asn, "hub/" + std::string{plan.entry->city},
+                    plan.entry->location, false, 0.3, /*load_balanced=*/true);
+      if (plan.exit != plan.entry) {
+        b.advance_managed(plan.exit->location, plan.exit->country, kCarrierDetour,
+                          0.085);
+        b.push_router(plan.carrier->asn, "hub/" + std::string{plan.exit->city},
+                      plan.exit->location, false, 0.3, /*load_balanced=*/true);
+      }
+      if (wan) {
+        // Cloud edge PoP hosted at the carrier facility (PNI).
+        b.push_router(cloud_asn, "pop@" + std::string{plan.exit->city},
+                      plan.exit->location, true, 0.35);
+        wan_run(plan.exit->country);
+      } else {
+        b.advance_public(region.location, region.country, 0.06, 0.18);
+      }
+      break;
+    }
+    case InterconnectMode::Public: {
+      // Continental upstream first (the extra AS of "2+").
+      const topology::Asn upstream = world_.continental_transit(home.continent);
+      b.push_router(upstream, "up/" + std::string{isp.country}, b.location(), false,
+                    0.3, /*load_balanced=*/true);
+      for (const std::string_view gw : gateways) {
+        const geo::CountryInfo& info = world_.countries().at(gw);
+        b.advance_public(info.centroid, gw, 0.07, 0.22);
+        b.push_router(upstream, "gw/" + std::string{gw}, info.centroid, false, 0.3);
+      }
+      const HubRef first = nearest_hub(b.location());
+      b.advance_public(first.hub->location, first.hub->country, 0.07, 0.20);
+      b.push_router(first.carrier->asn, "hub/" + std::string{first.hub->city},
+                    first.hub->location, false, 0.3, /*load_balanced=*/true);
+      // Carrier hubs expose separate ingress/egress interfaces in
+      // traceroutes — public paths look longer at router level.
+      b.push_router(first.carrier->asn, "hub-out/" + std::string{first.hub->city},
+                    first.hub->location, false, 0.15);
+      const topology::TransitHub* own_exit =
+          nearest_hub_of(*first.carrier, region.location);
+      if (geo::haversine_km(own_exit->location, region.location) > 2500.0) {
+        // Hand off to a second carrier closer to the destination.
+        const HubRef second = nearest_hub(region.location, first.carrier);
+        b.advance_managed(second.hub->location, second.hub->country, kCarrierDetour,
+                          0.09);
+        b.push_router(second.carrier->asn, "hub/" + std::string{second.hub->city},
+                      second.hub->location, false, 0.3, /*load_balanced=*/true);
+      } else if (own_exit != first.hub) {
+        b.advance_managed(own_exit->location, own_exit->country, kCarrierDetour,
+                          0.085);
+        b.push_router(first.carrier->asn, "hub/" + std::string{own_exit->city},
+                      own_exit->location, false, 0.3, /*load_balanced=*/true);
+      }
+      b.advance_public(region.location, region.country, 0.06, 0.18);
+      break;
+    }
+  }
+
+  // --- datacenter -------------------------------------------------------------
+  b.push(endpoint.dc_router, cloud_asn, region.location, false, true, 0.35);
+  b.push(endpoint.vm_ip, cloud_asn, region.location, false, true, 0.25);
+  return path;
+}
+
+ForwardingPath PathBuilder::build_interdc(const topology::CloudEndpoint& src,
+                                          const topology::CloudEndpoint& dst) const {
+  ForwardingPath path;
+  const cloud::RegionInfo& from = *src.region;
+  const cloud::RegionInfo& to = *dst.region;
+  const topology::Asn src_asn = cloud::provider_info(from.provider).asn;
+  const topology::Asn dst_asn = cloud::provider_info(to.provider).asn;
+
+  Builder b{world_, path};
+  b.set_origin(from.location, from.country);
+  b.push(src.vm_ip, src_asn, from.location, false, true, 0.1);
+  b.push(src.dc_router, src_asn, from.location, false, true, 0.25);
+
+  const bool same_provider = from.provider == to.provider;
+  const bool private_haul = same_provider && wan_serves(from.provider, from) &&
+                            wan_serves(to.provider, to);
+  if (private_haul) {
+    path.mode = InterconnectMode::Direct;
+    const double km = world_.backbone().physical_km(from.location, from.country,
+                                                    to.location, to.country);
+    if (km > kWanMidHopKm) {
+      const geo::GeoPoint mid{(from.location.lat_deg + to.location.lat_deg) / 2.0,
+                              (from.location.lon_deg + to.location.lon_deg) / 2.0};
+      b.advance_fixed(km * kWanDetour / 2.0, mid, to.country, 0.02);
+      b.push_router(src_asn,
+                    "wan/" + std::string{from.region_name} + "-" +
+                        std::string{to.region_name},
+                    mid, true, 0.25);
+      b.advance_fixed(km * kWanDetour / 2.0, to.location, to.country, 0.02);
+    } else {
+      b.advance_fixed(km * kWanDetour, to.location, to.country, 0.02);
+    }
+  } else {
+    // Public haul between the DC metros, via the nearest carrier hubs --
+    // small providers' "horizontal" traffic (§3.1) and all multi-cloud
+    // traffic look like this.
+    path.mode = InterconnectMode::Public;
+    const HubRef first = nearest_hub(b.location());
+    b.advance_public(first.hub->location, first.hub->country, 0.06, 0.16);
+    b.push_router(first.carrier->asn, "hub/" + std::string{first.hub->city},
+                  first.hub->location, false, 0.3);
+    const topology::TransitHub* exit = nearest_hub_of(*first.carrier, to.location);
+    if (geo::haversine_km(exit->location, to.location) > 2500.0) {
+      const HubRef second = nearest_hub(to.location, first.carrier);
+      b.advance_managed(second.hub->location, second.hub->country, kCarrierDetour,
+                        0.08);
+      b.push_router(second.carrier->asn, "hub/" + std::string{second.hub->city},
+                    second.hub->location, false, 0.3);
+    } else if (exit != first.hub) {
+      b.advance_managed(exit->location, exit->country, kCarrierDetour, 0.08);
+      b.push_router(first.carrier->asn, "hub/" + std::string{exit->city},
+                    exit->location, false, 0.3);
+    }
+    b.advance_public(to.location, to.country, 0.06, 0.16);
+  }
+
+  b.push(dst.dc_router, dst_asn, to.location, false, true, 0.35);
+  b.push(dst.vm_ip, dst_asn, to.location, false, true, 0.25);
+  return path;
+}
+
+}  // namespace cloudrtt::routing

@@ -1,0 +1,109 @@
+#pragma once
+// Country-level physical backbone graph.
+//
+// Nodes are countries; edges are terrestrial fibre corridors and submarine
+// cables with approximate route lengths and a quality factor in [0,1].
+// Public-Internet segments between two places are priced by routing over
+// this graph: effective distance picks up per-edge detour factors (worse
+// quality => more circuitous routing) and each border/IP-transit crossing
+// adds a congestion penalty. This is what makes the paper's geography
+// findings emerge: north Africa reaching Europe quickly but South Africa
+// slowly (Fig. 6a), Bolivia/Peru riding Pacific cables to North America as
+// fast as their terrestrial path to Brazil (Fig. 6b), Gulf traffic detouring
+// through Egypt/Marseille (Fig. 18).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/country.hpp"
+#include "geo/coords.hpp"
+
+namespace cloudrtt::topology {
+
+enum class LinkKind : unsigned char { Terrestrial, Submarine };
+
+struct BackboneLink {
+  std::string_view a;
+  std::string_view b;
+  double length_km;  ///< 0 = derive from centroid distance * 1.2
+  LinkKind kind;
+  double quality;    ///< 0 = derive from endpoint countries
+};
+
+/// Result of routing between two countries over the backbone.
+struct BackboneRoute {
+  std::vector<std::string_view> countries;  ///< node sequence incl. endpoints
+  double km = 0.0;              ///< raw cable length along the route
+  double effective_km = 0.0;    ///< with per-edge detour factors applied
+  double penalty_ms = 0.0;      ///< border/IP-transit crossing overhead (RTT)
+  double jitter_scale = 0.0;    ///< mean (1 - quality) along the route
+  bool reachable = false;
+};
+
+class Backbone {
+ public:
+  explicit Backbone(const geo::CountryTable& countries);
+
+  /// Cheapest route between two countries (cached). Same-country routes are
+  /// zero-length and always reachable.
+  [[nodiscard]] const BackboneRoute& route(std::string_view from,
+                                           std::string_view to) const;
+
+  /// Effective RTT-relevant distance between two concrete points including
+  /// local spurs from each point to its country's backbone node.
+  struct SegmentCost {
+    double effective_km = 0.0;
+    double penalty_ms = 0.0;
+    double jitter_scale = 0.0;
+  };
+  [[nodiscard]] SegmentCost segment_cost(const geo::GeoPoint& a, std::string_view ca,
+                                         const geo::GeoPoint& b,
+                                         std::string_view cb) const;
+
+  /// Physical cable length between two concrete points (route km + raw
+  /// local spurs, no quality detours). Private WANs and carrier backbones
+  /// ride the same glass as everyone else, so their latency is priced off
+  /// this rather than the great circle.
+  [[nodiscard]] double physical_km(const geo::GeoPoint& a, std::string_view ca,
+                                   const geo::GeoPoint& b, std::string_view cb) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_ / 2; }
+
+  /// Detour multiplier applied to an edge of the given quality.
+  [[nodiscard]] static double detour_factor(double quality) {
+    return 1.10 + 0.55 * (1.0 - quality);
+  }
+  /// Per-crossing congestion penalty (RTT ms) for an edge of given quality.
+  [[nodiscard]] static double crossing_penalty_ms(double quality) {
+    return 18.0 * (1.0 - quality);
+  }
+
+ private:
+  struct Edge {
+    std::size_t to;
+    double km;
+    double quality;
+  };
+
+  [[nodiscard]] std::optional<std::size_t> node_index(std::string_view code) const;
+  void add_edge(std::string_view a, std::string_view b, double km, double quality);
+  [[nodiscard]] BackboneRoute compute_route(std::size_t from, std::size_t to) const;
+
+  const geo::CountryTable& countries_;
+  std::vector<const geo::CountryInfo*> nodes_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edges_ = 0;
+  mutable std::unordered_map<std::uint64_t, BackboneRoute> route_cache_;
+};
+
+/// Forced egress waypoints for public-transit paths leaving `country`:
+/// countries whose international connectivity funnels through a gateway
+/// (e.g. the Gulf states via Egypt) list it here; empty for most.
+[[nodiscard]] std::vector<std::string_view> uplink_gateways(std::string_view country);
+
+}  // namespace cloudrtt::topology

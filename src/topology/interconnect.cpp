@@ -1,0 +1,152 @@
+#include "topology/interconnect.hpp"
+
+namespace cloudrtt::topology {
+
+namespace {
+
+using M = InterconnectMode;
+using P = cloud::ProviderId;
+
+// Overrides encode the exact matrices of the paper's case-study figures.
+// Germany (Fig. 12a): big-3 direct everywhere; Telefonica->Alibaba and
+// Vodafone->DigitalOcean ride the public Internet; IBM mixes direct peering
+// with IXP fabrics more than anyone else; the small providers are reached
+// via a single private carrier (well-provisioned EU).
+constexpr PolicyOverride kOverrides[] = {
+    // --- Germany: Vodafone AS3209 -----------------------------------------
+    {3209, P::Amazon, M::Direct},      {3209, P::Google, M::Direct},
+    {3209, P::Microsoft, M::Direct},   {3209, P::Alibaba, M::OneAs},
+    {3209, P::DigitalOcean, M::Public},{3209, P::Ibm, M::DirectIxp},
+    {3209, P::Linode, M::OneAs},       {3209, P::Oracle, M::OneAs},
+    {3209, P::Vultr, M::OneAs},
+    // --- Germany: Deutsche Telekom AS3320 ----------------------------------
+    {3320, P::Amazon, M::Direct},      {3320, P::Google, M::Direct},
+    {3320, P::Microsoft, M::Direct},   {3320, P::Alibaba, M::OneAs},
+    {3320, P::DigitalOcean, M::OneAs}, {3320, P::Ibm, M::Direct},
+    {3320, P::Linode, M::OneAs},       {3320, P::Oracle, M::OneAs},
+    {3320, P::Vultr, M::OneAs},
+    // --- Germany: Telefonica AS6805 ----------------------------------------
+    {6805, P::Amazon, M::Direct},      {6805, P::Google, M::Direct},
+    {6805, P::Microsoft, M::Direct},   {6805, P::Alibaba, M::Public},
+    {6805, P::DigitalOcean, M::OneAs}, {6805, P::Ibm, M::DirectIxp},
+    {6805, P::Linode, M::OneAs},       {6805, P::Oracle, M::OneAs},
+    {6805, P::Vultr, M::OneAs},
+    // --- Germany: Liberty Global AS6830 -------------------------------------
+    {6830, P::Amazon, M::Direct},      {6830, P::Google, M::Direct},
+    {6830, P::Microsoft, M::Direct},   {6830, P::Alibaba, M::OneAs},
+    {6830, P::DigitalOcean, M::OneAs}, {6830, P::Ibm, M::Direct},
+    {6830, P::Linode, M::OneAs},       {6830, P::Oracle, M::OneAs},
+    {6830, P::Vultr, M::OneAs},
+    // --- Germany: 1&1 AS8881 -------------------------------------------------
+    {8881, P::Amazon, M::Direct},      {8881, P::Google, M::Direct},
+    {8881, P::Microsoft, M::Direct},   {8881, P::Alibaba, M::OneAs},
+    {8881, P::DigitalOcean, M::OneAs}, {8881, P::Ibm, M::DirectIxp},
+    {8881, P::Linode, M::OneAs},       {8881, P::Oracle, M::OneAs},
+    {8881, P::Vultr, M::OneAs},
+    // --- Japan (Fig. 13a): big-3 direct except NTT->Amazon; DigitalOcean
+    // strictly public in Asia (no PoP deployment); Oracle public.
+    // KDDI AS2516
+    {2516, P::Amazon, M::Direct},      {2516, P::Google, M::Direct},
+    {2516, P::Microsoft, M::Direct},   {2516, P::Alibaba, M::OneAs},
+    {2516, P::DigitalOcean, M::Public},{2516, P::Ibm, M::OneAs},
+    {2516, P::Linode, M::OneAs},       {2516, P::Oracle, M::Public},
+    {2516, P::Vultr, M::OneAs},
+    // BIGLOBE AS2518
+    {2518, P::Amazon, M::Direct},      {2518, P::Google, M::Direct},
+    {2518, P::Microsoft, M::Direct},   {2518, P::Alibaba, M::OneAs},
+    {2518, P::DigitalOcean, M::Public},{2518, P::Ibm, M::OneAs},
+    {2518, P::Linode, M::Public},      {2518, P::Oracle, M::Public},
+    {2518, P::Vultr, M::OneAs},
+    // NTT OCN AS4713 (the Fig. 13a Amazon exception)
+    {4713, P::Amazon, M::OneAs},       {4713, P::Google, M::Direct},
+    {4713, P::Microsoft, M::Direct},   {4713, P::Alibaba, M::OneAs},
+    {4713, P::DigitalOcean, M::Public},{4713, P::Ibm, M::OneAs},
+    {4713, P::Linode, M::OneAs},       {4713, P::Oracle, M::Public},
+    {4713, P::Vultr, M::OneAs},
+    // OPTAGE AS17511
+    {17511, P::Amazon, M::Direct},     {17511, P::Google, M::Direct},
+    {17511, P::Microsoft, M::Direct},  {17511, P::Alibaba, M::OneAs},
+    {17511, P::DigitalOcean, M::Public},{17511, P::Ibm, M::DirectIxp},
+    {17511, P::Linode, M::OneAs},      {17511, P::Oracle, M::Public},
+    {17511, P::Vultr, M::Public},
+    // SoftBank AS17676
+    {17676, P::Amazon, M::Direct},     {17676, P::Google, M::Direct},
+    {17676, P::Microsoft, M::Direct},  {17676, P::Alibaba, M::OneAs},
+    {17676, P::DigitalOcean, M::Public},{17676, P::Ibm, M::OneAs},
+    {17676, P::Linode, M::OneAs},      {17676, P::Oracle, M::Public},
+    {17676, P::Vultr, M::OneAs},
+    // --- Ukraine (Fig. 17a): big-3 direct for most serving ISPs; others a
+    // mix of single-carrier private peering and public transit.
+    // UARnet AS3255
+    {3255, P::Amazon, M::Direct},      {3255, P::Google, M::Direct},
+    {3255, P::Microsoft, M::Direct},   {3255, P::Alibaba, M::Public},
+    {3255, P::DigitalOcean, M::OneAs}, {3255, P::Ibm, M::OneAs},
+    {3255, P::Linode, M::OneAs},       {3255, P::Oracle, M::Public},
+    {3255, P::Vultr, M::OneAs},
+    // Datagroup AS3326
+    {3326, P::Amazon, M::Direct},      {3326, P::Google, M::Direct},
+    {3326, P::Microsoft, M::Direct},   {3326, P::Alibaba, M::Public},
+    {3326, P::DigitalOcean, M::OneAs}, {3326, P::Ibm, M::DirectIxp},
+    {3326, P::Linode, M::Public},      {3326, P::Oracle, M::Public},
+    {3326, P::Vultr, M::OneAs},
+    // UKRTELNET AS6849
+    {6849, P::Amazon, M::Direct},      {6849, P::Google, M::Direct},
+    {6849, P::Microsoft, M::Direct},   {6849, P::Alibaba, M::Public},
+    {6849, P::DigitalOcean, M::OneAs}, {6849, P::Ibm, M::OneAs},
+    {6849, P::Linode, M::OneAs},       {6849, P::Oracle, M::Public},
+    {6849, P::Vultr, M::Public},
+    // Kyivstar AS15895
+    {15895, P::Amazon, M::Direct},     {15895, P::Google, M::Direct},
+    {15895, P::Microsoft, M::Direct},  {15895, P::Alibaba, M::Public},
+    {15895, P::DigitalOcean, M::OneAs},{15895, P::Ibm, M::OneAs},
+    {15895, P::Linode, M::OneAs},      {15895, P::Oracle, M::OneAs},
+    {15895, P::Vultr, M::OneAs},
+    // Volia AS25229
+    {25229, P::Amazon, M::Direct},     {25229, P::Google, M::Direct},
+    {25229, P::Microsoft, M::Direct},  {25229, P::Alibaba, M::Public},
+    {25229, P::DigitalOcean, M::OneAs},{25229, P::Ibm, M::OneAs},
+    {25229, P::Linode, M::OneAs},      {25229, P::Oracle, M::Public},
+    {25229, P::Vultr, M::OneAs},
+    // --- Bahrain (Fig. 18a): direct interconnections are rare — only
+    // Microsoft and Google peer directly with a handful of serving ISPs;
+    // everyone else rides private carriers or the public Internet.
+    // Batelco AS5416
+    {5416, P::Amazon, M::OneAs},       {5416, P::Google, M::Direct},
+    {5416, P::Microsoft, M::Direct},   {5416, P::Alibaba, M::Public},
+    {5416, P::DigitalOcean, M::Public},{5416, P::Ibm, M::Public},
+    {5416, P::Linode, M::Public},      {5416, P::Oracle, M::Public},
+    {5416, P::Vultr, M::OneAs},
+    // ZAIN AS31452
+    {31452, P::Amazon, M::OneAs},      {31452, P::Google, M::OneAs},
+    {31452, P::Microsoft, M::Direct},  {31452, P::Alibaba, M::Public},
+    {31452, P::DigitalOcean, M::Public},{31452, P::Ibm, M::Public},
+    {31452, P::Linode, M::Public},     {31452, P::Oracle, M::Public},
+    {31452, P::Vultr, M::Public},
+    // Kalaam AS39273
+    {39273, P::Amazon, M::Public},     {39273, P::Google, M::OneAs},
+    {39273, P::Microsoft, M::OneAs},   {39273, P::Alibaba, M::Public},
+    {39273, P::DigitalOcean, M::Public},{39273, P::Ibm, M::Public},
+    {39273, P::Linode, M::Public},     {39273, P::Oracle, M::Public},
+    {39273, P::Vultr, M::Public},
+    // stc AS51375
+    {51375, P::Amazon, M::OneAs},      {51375, P::Google, M::Direct},
+    {51375, P::Microsoft, M::Direct},  {51375, P::Alibaba, M::Public},
+    {51375, P::DigitalOcean, M::Public},{51375, P::Ibm, M::Public},
+    {51375, P::Linode, M::Public},     {51375, P::Oracle, M::Public},
+    {51375, P::Vultr, M::Public},
+};
+
+}  // namespace
+
+std::optional<InterconnectMode> policy_override(Asn isp, cloud::ProviderId provider) {
+  for (const PolicyOverride& o : kOverrides) {
+    if (o.isp == isp && o.provider == provider) return o.mode;
+  }
+  // Lightsail rides Amazon's interconnection fabric in the case studies.
+  if (provider == cloud::ProviderId::Lightsail) {
+    return policy_override(isp, cloud::ProviderId::Amazon);
+  }
+  return std::nullopt;
+}
+
+}  // namespace cloudrtt::topology

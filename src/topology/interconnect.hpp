@@ -1,0 +1,60 @@
+#pragma once
+// ISP <-> cloud interconnection modes (§2.3/§6.1 of the paper) and the
+// policy tables that decide which mode a given <ISP, provider, destination
+// continent> pair uses.
+//
+// Four observable modes:
+//  * Direct     — the serving ISP peers directly with the cloud WAN (LOA-CFA
+//                 agreements); traffic ingresses the WAN in (or near) the
+//                 ISP's country.
+//  * DirectIxp  — direct peering established across a public IXP fabric; the
+//                 IXP hop is visible in traceroutes ("1 IXP" in Figs. 12a/13a).
+//  * OneAs      — private peering at a Tier-1 carrier hosting the cloud's
+//                 edge PoP (PNI / "1 AS").
+//  * Public     — regular hierarchical transit, two or more intermediate
+//                 ASes ("2+ AS").
+
+#include <optional>
+#include <string_view>
+
+#include "cloud/provider.hpp"
+#include "geo/continent.hpp"
+#include "topology/asn.hpp"
+
+namespace cloudrtt::topology {
+
+enum class InterconnectMode : unsigned char { Direct, DirectIxp, OneAs, Public };
+
+[[nodiscard]] constexpr std::string_view to_string(InterconnectMode mode) {
+  switch (mode) {
+    case InterconnectMode::Direct: return "direct";
+    case InterconnectMode::DirectIxp: return "1 IXP";
+    case InterconnectMode::OneAs: return "1 AS";
+    case InterconnectMode::Public: return "2+ AS";
+  }
+  return "?";
+}
+
+/// Stable per-pair interconnection decision. Individual paths follow `base`
+/// with probability `adherence` and otherwise fall back (routing churn,
+/// multi-homing), which produces the non-100% cells of Fig. 12a/13a.
+struct PairPolicy {
+  InterconnectMode base = InterconnectMode::Public;
+  InterconnectMode fallback = InterconnectMode::Public;
+  double adherence = 0.9;
+};
+
+/// Case-study override: fixes the base mode for a named ISP and provider,
+/// matching the matrices of Figs. 12a, 13a, 17a and 18a.
+struct PolicyOverride {
+  Asn isp;
+  cloud::ProviderId provider;
+  InterconnectMode mode;
+};
+
+/// Lookup in the override table; nullopt when the pair is not a case-study
+/// pair (the probabilistic default applies).
+[[nodiscard]] std::optional<InterconnectMode> policy_override(
+    Asn isp, cloud::ProviderId provider);
+
+}  // namespace cloudrtt::topology

@@ -1,0 +1,130 @@
+#include "util/json.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace cloudrtt::util {
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::prepare_for_value() {
+  if (stack_.empty()) {
+    wrote_root_ = true;
+    return;
+  }
+  if (stack_.back() == Frame::Array) {
+    if (!first_in_frame_.back()) out_ << ',';
+    first_in_frame_.back() = false;
+    newline_indent();
+  } else {
+    // Inside an object a value must follow a key; key() already handled the
+    // comma and indent.
+    assert(pending_key_ && "JsonWriter: value inside object without key");
+    pending_key_ = false;
+  }
+}
+
+void JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back() == Frame::Object);
+  assert(!pending_key_);
+  if (!first_in_frame_.back()) out_ << ',';
+  first_in_frame_.back() = false;
+  newline_indent();
+  out_ << '"';
+  write_escaped(name);
+  out_ << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::begin_object() {
+  prepare_for_value();
+  out_ << '{';
+  stack_.push_back(Frame::Object);
+  first_in_frame_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == Frame::Object);
+  const bool empty = first_in_frame_.back();
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (!empty) newline_indent();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  prepare_for_value();
+  out_ << '[';
+  stack_.push_back(Frame::Array);
+  first_in_frame_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == Frame::Array);
+  const bool empty = first_in_frame_.back();
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (!empty) newline_indent();
+  out_ << ']';
+}
+
+void JsonWriter::value(std::string_view text) {
+  prepare_for_value();
+  out_ << '"';
+  write_escaped(text);
+  out_ << '"';
+}
+
+void JsonWriter::value(double number) {
+  prepare_for_value();
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", number);
+  out_ << buffer;
+}
+
+void JsonWriter::value(std::int64_t number) {
+  prepare_for_value();
+  out_ << number;
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  prepare_for_value();
+  out_ << number;
+}
+
+void JsonWriter::value(bool flag) {
+  prepare_for_value();
+  out_ << (flag ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  prepare_for_value();
+  out_ << "null";
+}
+
+void JsonWriter::write_escaped(std::string_view text) {
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out_ << buffer;
+        } else {
+          out_ << ch;
+        }
+    }
+  }
+}
+
+}  // namespace cloudrtt::util

@@ -1,0 +1,63 @@
+#pragma once
+// Minimal streaming JSON writer (output only, no DOM): enough to export the
+// study's experiment results for external plotting. Handles nesting, commas
+// and string escaping; numbers are emitted with full precision.
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace cloudrtt::util {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, bool pretty = true)
+      : out_(out), pretty_(pretty) {}
+
+  // Containers. Every begin_* must be matched by the corresponding end_*;
+  // enforced with asserts in debug and a validity flag in release.
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key inside an object; must be followed by a value or container.
+  void key(std::string_view name);
+
+  // Values.
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view{text}); }
+  void value(double number);
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  void value(bool flag);
+  void null();
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  void field(std::string_view name, T&& v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+  /// All containers closed?
+  [[nodiscard]] bool complete() const { return stack_.empty() && wrote_root_; }
+
+ private:
+  enum class Frame : unsigned char { Object, Array };
+
+  void prepare_for_value();
+  void newline_indent();
+  void write_escaped(std::string_view text);
+
+  std::ostream& out_;
+  bool pretty_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_in_frame_;
+  bool pending_key_ = false;
+  bool wrote_root_ = false;
+};
+
+}  // namespace cloudrtt::util

@@ -1,0 +1,101 @@
+// Unit tests for the CLI argument parser.
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+
+namespace cloudrtt::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser{"prog", "test program"};
+  parser.add_option("count", "5", "how many");
+  parser.add_option("ratio", "0.5", "a ratio");
+  parser.add_flag("verbose", "say more");
+  parser.add_positional("target", "what to hit", "default-target");
+  return parser;
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get("count"), "5");
+  EXPECT_DOUBLE_EQ(parser.get_double("ratio"), 0.5);
+  EXPECT_FALSE(parser.get_flag("verbose"));
+  EXPECT_EQ(parser.get("target"), "default-target");
+}
+
+TEST(ArgParser, OptionsAndFlagsParse) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--count", "9", "--verbose", "thing"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get_int("count"), 9);
+  EXPECT_TRUE(parser.get_flag("verbose"));
+  EXPECT_EQ(parser.get("target"), "thing");
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--count=12", "--ratio=0.25"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("count"), 12);
+  EXPECT_DOUBLE_EQ(parser.get_double("ratio"), 0.25);
+}
+
+TEST(ArgParser, UnknownOptionFails) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_FALSE(parser.parse(3, argv));
+  EXPECT_NE(parser.error().find("unknown option"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_NE(parser.error().find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParser, FlagWithValueFails) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--verbose=yes"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParser, RequiredPositionalEnforced) {
+  ArgParser parser{"prog", "test"};
+  parser.add_positional("must", "required");
+  const char* missing[] = {"prog"};
+  EXPECT_FALSE(parser.parse(1, missing));
+  ArgParser parser2{"prog", "test"};
+  parser2.add_positional("must", "required");
+  const char* present[] = {"prog", "x"};
+  EXPECT_TRUE(parser2.parse(2, present));
+  EXPECT_EQ(parser2.get("must"), "x");
+}
+
+TEST(ArgParser, ExtraPositionalFails) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "a", "b"};
+  EXPECT_FALSE(parser.parse(3, argv));
+}
+
+TEST(ArgParser, HelpMentionsEverything) {
+  const ArgParser parser = make_parser();
+  const std::string help = parser.help();
+  for (const char* needle : {"--count", "--ratio", "--verbose", "target", "--help"}) {
+    EXPECT_NE(help.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(ArgParser, GetUnknownThrows) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_THROW((void)parser.get("nope"), std::out_of_range);
+  EXPECT_THROW((void)parser.get_flag("count"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cloudrtt::util

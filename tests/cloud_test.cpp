@@ -1,0 +1,146 @@
+// Unit tests for the provider/region catalogue: Table 1 of the paper is an
+// input to the study, so the counts must match it exactly.
+
+#include <gtest/gtest.h>
+
+#include "cloud/provider.hpp"
+#include "cloud/region.hpp"
+#include "geo/country.hpp"
+
+namespace cloudrtt::cloud {
+namespace {
+
+using geo::Continent;
+
+struct Table1Row {
+  ProviderId provider;
+  std::array<std::size_t, 6> counts;  // EU NA SA AS AF OC (paper column order)
+  BackboneClass backbone;
+};
+
+// Table 1, verbatim.
+const Table1Row kTable1[] = {
+    {ProviderId::Amazon, {6, 6, 1, 6, 1, 1}, BackboneClass::Private},
+    {ProviderId::Google, {6, 10, 1, 8, 0, 1}, BackboneClass::Private},
+    {ProviderId::Microsoft, {14, 10, 1, 15, 2, 4}, BackboneClass::Private},
+    {ProviderId::DigitalOcean, {4, 6, 0, 1, 0, 0}, BackboneClass::Semi},
+    {ProviderId::Alibaba, {2, 2, 0, 16, 0, 1}, BackboneClass::Semi},
+    {ProviderId::Vultr, {4, 9, 0, 1, 0, 1}, BackboneClass::Public},
+    {ProviderId::Linode, {2, 5, 0, 3, 0, 1}, BackboneClass::Public},
+    {ProviderId::Lightsail, {4, 4, 0, 4, 0, 1}, BackboneClass::Private},
+    {ProviderId::Oracle, {4, 4, 1, 7, 0, 2}, BackboneClass::Private},
+    {ProviderId::Ibm, {6, 6, 0, 1, 0, 0}, BackboneClass::Semi},
+};
+
+constexpr std::array<Continent, 6> kColumnOrder{
+    Continent::Europe, Continent::NorthAmerica, Continent::SouthAmerica,
+    Continent::Asia,   Continent::Africa,       Continent::Oceania};
+
+TEST(RegionCatalog, Total195Regions) {
+  EXPECT_EQ(RegionCatalog::instance().total(), 195u);
+}
+
+TEST(RegionCatalog, PerProviderPerContinentCountsMatchTable1) {
+  const auto& catalog = RegionCatalog::instance();
+  for (const Table1Row& row : kTable1) {
+    for (std::size_t i = 0; i < kColumnOrder.size(); ++i) {
+      EXPECT_EQ(catalog.count(row.provider, kColumnOrder[i]), row.counts[i])
+          << provider_info(row.provider).ticker << " "
+          << geo::to_code(kColumnOrder[i]);
+    }
+  }
+}
+
+TEST(RegionCatalog, ContinentTotalsMatchTable1) {
+  const auto& catalog = RegionCatalog::instance();
+  EXPECT_EQ(catalog.in_continent(Continent::Europe).size(), 52u);
+  EXPECT_EQ(catalog.in_continent(Continent::NorthAmerica).size(), 62u);
+  EXPECT_EQ(catalog.in_continent(Continent::SouthAmerica).size(), 4u);
+  EXPECT_EQ(catalog.in_continent(Continent::Asia).size(), 62u);
+  EXPECT_EQ(catalog.in_continent(Continent::Africa).size(), 3u);
+  EXPECT_EQ(catalog.in_continent(Continent::Oceania).size(), 12u);
+}
+
+TEST(ProviderInfo, BackboneClassesMatchTable1) {
+  for (const Table1Row& row : kTable1) {
+    EXPECT_EQ(provider_info(row.provider).backbone, row.backbone)
+        << provider_info(row.provider).ticker;
+  }
+}
+
+TEST(ProviderInfo, HypergiantsAreTheBigThreePlusLightsail) {
+  EXPECT_TRUE(provider_info(ProviderId::Amazon).hypergiant);
+  EXPECT_TRUE(provider_info(ProviderId::Google).hypergiant);
+  EXPECT_TRUE(provider_info(ProviderId::Microsoft).hypergiant);
+  EXPECT_TRUE(provider_info(ProviderId::Lightsail).hypergiant);
+  EXPECT_FALSE(provider_info(ProviderId::Vultr).hypergiant);
+  EXPECT_FALSE(provider_info(ProviderId::Ibm).hypergiant);
+}
+
+TEST(ProviderInfo, TickerRoundTrip) {
+  for (const ProviderId id : kAllProviders) {
+    const auto parsed = provider_from_ticker(provider_info(id).ticker);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_FALSE(provider_from_ticker("NOPE").has_value());
+}
+
+TEST(ProviderInfo, AsnsAreUnique) {
+  for (const ProviderId a : kAllProviders) {
+    for (const ProviderId b : kAllProviders) {
+      if (a == b) continue;
+      EXPECT_NE(provider_info(a).asn, provider_info(b).asn);
+    }
+  }
+}
+
+TEST(RegionCatalog, EveryRegionCountryExistsInCountryTable) {
+  const auto& countries = geo::CountryTable::instance();
+  for (const RegionInfo& region : RegionCatalog::instance().all()) {
+    const geo::CountryInfo* info = countries.find(region.country);
+    ASSERT_NE(info, nullptr) << region.region_name << " " << region.country;
+    EXPECT_EQ(info->continent, region.continent) << region.region_name;
+  }
+}
+
+TEST(RegionCatalog, RegionNamesUniquePerProvider) {
+  const auto& catalog = RegionCatalog::instance();
+  for (const ProviderId id : kAllProviders) {
+    const auto regions = catalog.of_provider(id);
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      for (std::size_t j = i + 1; j < regions.size(); ++j) {
+        EXPECT_NE(regions[i]->region_name, regions[j]->region_name)
+            << provider_info(id).ticker;
+      }
+    }
+  }
+}
+
+TEST(RegionCatalog, AfricaHostsOnlySouthAfricanRegions) {
+  // §4.1: the three in-continent DCs are all in the south (ZA) — the premise
+  // of the Africa analysis.
+  for (const RegionInfo* region :
+       RegionCatalog::instance().in_continent(Continent::Africa)) {
+    EXPECT_EQ(region->country, std::string_view{"ZA"});
+  }
+}
+
+TEST(RegionCatalog, SouthAmericaHostsOnlyBrazilRegions) {
+  for (const RegionInfo* region :
+       RegionCatalog::instance().in_continent(Continent::SouthAmerica)) {
+    EXPECT_EQ(region->country, std::string_view{"BR"});
+  }
+}
+
+TEST(RegionCatalog, CoordinatesAreValid) {
+  for (const RegionInfo& region : RegionCatalog::instance().all()) {
+    EXPECT_GE(region.location.lat_deg, -90.0) << region.region_name;
+    EXPECT_LE(region.location.lat_deg, 90.0) << region.region_name;
+    EXPECT_GT(region.location.lon_deg, -180.0) << region.region_name;
+    EXPECT_LE(region.location.lon_deg, 180.0) << region.region_name;
+  }
+}
+
+}  // namespace
+}  // namespace cloudrtt::cloud

@@ -1,0 +1,235 @@
+// Unit tests for the core layer: JSON writer, CSV parse/serialize round
+// trips, dataset export/import, and the full JSON report.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/trace_analysis.hpp"
+#include "core/export.hpp"
+#include "core/import.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "util/json.hpp"
+#include "util/text.hpp"
+
+namespace cloudrtt {
+namespace {
+
+TEST(JsonWriter, ScalarsAndNesting) {
+  std::ostringstream out;
+  util::JsonWriter json{out, /*pretty=*/false};
+  json.begin_object();
+  json.field("name", "cloudrtt");
+  json.field("count", std::size_t{42});
+  json.field("ratio", 0.5);
+  json.field("flag", true);
+  json.key("list");
+  json.begin_array();
+  json.value(1);
+  json.value(2);
+  json.end_array();
+  json.key("nothing");
+  json.null();
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(out.str(),
+            R"({"name": "cloudrtt","count": 42,"ratio": 0.5,"flag": true,)"
+            R"("list": [1,2],"nothing": null})");
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  util::JsonWriter json{out, false};
+  json.value(std::string_view{"a\"b\\c\nd\te"});
+  EXPECT_EQ(out.str(), "\"a\\\"b\\\\c\\nd\\te\"");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  std::ostringstream out;
+  util::JsonWriter json{out, false};
+  json.begin_object();
+  json.key("empty_list");
+  json.begin_array();
+  json.end_array();
+  json.key("empty_obj");
+  json.begin_object();
+  json.end_object();
+  json.end_object();
+  EXPECT_EQ(out.str(), R"({"empty_list": [],"empty_obj": {}})");
+}
+
+TEST(CsvParse, RoundTripsQuoting) {
+  const std::vector<std::string> cells{"plain", "with,comma", "with\"quote",
+                                       "", "multi word"};
+  std::ostringstream out;
+  util::write_csv_row(out, cells);
+  std::string line = out.str();
+  line.pop_back();  // strip the trailing newline
+  EXPECT_EQ(util::parse_csv_row(line), cells);
+}
+
+TEST(CsvParse, HandlesCrLfAndEmptyFields) {
+  const auto cells = util::parse_csv_row("a,,c\r");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[1], "");
+  EXPECT_EQ(cells[2], "c");
+}
+
+class CoreRoundTrip : public ::testing::Test {
+ protected:
+  static const core::Study& study() {
+    static core::Study s = [] {
+      core::StudyConfig config = core::StudyConfig::quick();
+      core::Study st{config};
+      st.run();
+      return st;
+    }();
+    return s;
+  }
+};
+
+TEST_F(CoreRoundTrip, PingsExportImport) {
+  std::ostringstream out;
+  core::export_pings_csv(out, study().sc_dataset());
+
+  std::istringstream in{out.str()};
+  measure::Dataset imported;
+  const core::ImportStats stats = core::import_pings_csv(
+      in, &study().sc_fleet(), &study().atlas_fleet(), imported);
+  EXPECT_TRUE(stats.clean()) << stats.skipped << " skipped";
+  ASSERT_EQ(imported.pings.size(), study().sc_dataset().pings.size());
+  for (std::size_t i = 0; i < imported.pings.size(); ++i) {
+    const auto& a = study().sc_dataset().pings[i];
+    const auto& b = imported.pings[i];
+    EXPECT_EQ(a.probe, b.probe);
+    EXPECT_EQ(a.region, b.region);
+    EXPECT_EQ(a.protocol, b.protocol);
+    EXPECT_NEAR(a.rtt_ms, b.rtt_ms, 0.001);
+    EXPECT_EQ(a.day, b.day);
+  }
+}
+
+TEST_F(CoreRoundTrip, TracesExportImport) {
+  std::ostringstream out;
+  core::export_traces_csv(out, study().sc_dataset());
+
+  std::istringstream in{out.str()};
+  measure::Dataset imported;
+  const core::ImportStats stats = core::import_traces_csv(
+      in, &study().sc_fleet(), &study().atlas_fleet(), imported);
+  EXPECT_TRUE(stats.clean()) << stats.skipped << " skipped";
+  ASSERT_EQ(imported.traces.size(), study().sc_dataset().traces.size());
+  for (std::size_t i = 0; i < imported.traces.size(); ++i) {
+    const auto& a = study().sc_dataset().traces[i];
+    const auto& b = imported.traces[i];
+    EXPECT_EQ(a.probe, b.probe);
+    EXPECT_EQ(a.region, b.region);
+    EXPECT_EQ(a.target_ip, b.target_ip);
+    EXPECT_EQ(a.completed, b.completed);
+    ASSERT_EQ(a.hops.size(), b.hops.size());
+    for (std::size_t h = 0; h < a.hops.size(); ++h) {
+      EXPECT_EQ(a.hops[h].responded, b.hops[h].responded);
+      if (a.hops[h].responded) {
+        EXPECT_EQ(a.hops[h].ip, b.hops[h].ip);
+        EXPECT_NEAR(a.hops[h].rtt_ms, b.hops[h].rtt_ms, 0.001);
+      }
+    }
+  }
+}
+
+TEST_F(CoreRoundTrip, ImportedTracesReanalyzeIdentically) {
+  // The "dataset + scripts" promise: analysis on the re-imported dataset
+  // gives the same answers as on the original.
+  std::ostringstream out;
+  core::export_traces_csv(out, study().sc_dataset());
+  std::istringstream in{out.str()};
+  measure::Dataset imported;
+  (void)core::import_traces_csv(in, &study().sc_fleet(), &study().atlas_fleet(),
+                                imported);
+  const auto& resolver = study().resolver();
+  ASSERT_FALSE(imported.traces.empty());
+  for (std::size_t i = 0; i < std::min<std::size_t>(200, imported.traces.size());
+       ++i) {
+    const auto a =
+        analysis::classify_interconnect(study().sc_dataset().traces[i], resolver);
+    const auto b = analysis::classify_interconnect(imported.traces[i], resolver);
+    EXPECT_EQ(a.valid, b.valid);
+    if (a.valid) {
+      EXPECT_EQ(a.mode, b.mode);
+    }
+  }
+}
+
+TEST_F(CoreRoundTrip, ImportSkipsGarbageRows) {
+  std::istringstream in{
+      "probe_id,platform,country,continent,isp_asn,provider,region,protocol,"
+      "rtt_ms,day\n"
+      "notanumber,x,DE,EU,1,AMZN,eu-central-1,TCP,12.0,0\n"
+      "999999999,x,DE,EU,1,AMZN,eu-central-1,TCP,12.0,0\n"
+      "1,x,DE,EU,1,NOPE,nowhere,TCP,12.0,0\n"
+      "short,row\n"};
+  measure::Dataset imported;
+  const core::ImportStats stats = core::import_pings_csv(
+      in, &study().sc_fleet(), nullptr, imported);
+  EXPECT_EQ(stats.rows, 4u);
+  EXPECT_EQ(stats.imported, 0u);
+  EXPECT_EQ(stats.skipped, 4u);
+  EXPECT_TRUE(imported.pings.empty());
+}
+
+TEST_F(CoreRoundTrip, FullReportIsWellFormedJson) {
+  std::ostringstream out;
+  core::write_full_report(out, study().view());
+  const std::string text = out.str();
+  // Structural sanity: balanced braces/brackets, key exhibits present.
+  long depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char ch : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (ch == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (ch == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  for (const char* needle :
+       {"table1_endpoints", "fig3_country_latency", "fig10_interconnect_share",
+        "fig18_bh_in", "sec33_methodology"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(StudyApi, ViewBeforeRunThrows) {
+  core::StudyConfig config = core::StudyConfig::quick();
+  config.sc_probes = 100;
+  config.atlas_probes = 50;
+  const core::Study study{config};
+  EXPECT_THROW((void)study.view(), std::logic_error);
+}
+
+TEST(StudyApi, AblationKnobsPropagate) {
+  core::StudyConfig config = core::StudyConfig::quick();
+  config.sc_probes = 200;
+  config.include_atlas = false;
+  config.enable_edge_pops = false;
+  config.sc_access_override = lastmile::AccessTech::Wired;
+  core::Study study{config};
+  EXPECT_FALSE(study.world().has_pop(cloud::ProviderId::Microsoft, "DE"));
+  for (const probes::Probe& probe : study.sc_fleet().probes()) {
+    EXPECT_EQ(probe.access, lastmile::AccessTech::Wired);
+  }
+}
+
+}  // namespace
+}  // namespace cloudrtt

@@ -1,0 +1,248 @@
+// Deterministic unit tests for the experiment functions, on hand-built
+// synthetic datasets (no simulator involved): the aggregation math itself
+// must be right before the integration suite checks the shapes.
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hpp"
+#include "analysis/nearest.hpp"
+#include "cloud/region.hpp"
+#include "probes/fleet.hpp"
+
+namespace cloudrtt::analysis {
+namespace {
+
+/// Minimal hand-built probe (no world needed).
+probes::Probe make_probe(std::uint32_t id, const char* country,
+                         probes::Platform platform = probes::Platform::Speedchecker) {
+  probes::Probe probe;
+  probe.id = id;
+  probe.platform = platform;
+  probe.country = &geo::CountryTable::instance().at(country);
+  probe.location = probe.country->centroid;
+  return probe;
+}
+
+const cloud::RegionInfo* region_in(const char* country, std::size_t skip = 0) {
+  for (const cloud::RegionInfo& region : cloud::RegionCatalog::instance().all()) {
+    if (region.country == country) {
+      if (skip == 0) return &region;
+      --skip;
+    }
+  }
+  return nullptr;
+}
+
+TEST(Fig3Aggregation, MedianPerCountryOverNearestDcSamples) {
+  const probes::Probe de1 = make_probe(1, "DE");
+  const probes::Probe de2 = make_probe(2, "DE");
+  const cloud::RegionInfo* frankfurt = region_in("DE");
+  const cloud::RegionInfo* london = region_in("GB");
+  ASSERT_TRUE(frankfurt && london);
+
+  measure::Dataset data;
+  const auto ping = [&](const probes::Probe& probe, const cloud::RegionInfo* region,
+                        double rtt) {
+    data.pings.push_back(
+        measure::PingRecord{&probe, region, measure::Protocol::Tcp, rtt, 0, 0});
+  };
+  // de1: Frankfurt is nearest (mean 20 vs 30) -> contributes {18, 22}.
+  ping(de1, frankfurt, 18);
+  ping(de1, frankfurt, 22);
+  ping(de1, london, 30);
+  // de2: London nearest (10 vs 40) -> contributes {10}.
+  ping(de2, frankfurt, 40);
+  ping(de2, london, 10);
+
+  StudyView view;
+  view.sc_data = &data;
+  const auto rows = fig3_country_latency(view);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].country, "DE");
+  EXPECT_EQ(rows[0].samples, 3u);
+  EXPECT_DOUBLE_EQ(rows[0].median_ms, 18.0);  // median of {18, 22, 10}
+  EXPECT_EQ(rows[0].bucket, "<30");
+}
+
+TEST(Fig4Aggregation, GroupsByProbeContinent) {
+  const probes::Probe de = make_probe(1, "DE");
+  const probes::Probe jp = make_probe(2, "JP");
+  const cloud::RegionInfo* frankfurt = region_in("DE");
+  const cloud::RegionInfo* tokyo = region_in("JP");
+  measure::Dataset data;
+  data.pings.push_back(
+      measure::PingRecord{&de, frankfurt, measure::Protocol::Tcp, 25, 0, 0});
+  data.pings.push_back(
+      measure::PingRecord{&jp, tokyo, measure::Protocol::Tcp, 55, 0, 0});
+
+  StudyView view;
+  view.sc_data = &data;
+  const auto series = fig4_continent_rtt(view);
+  for (const util::Series& s : series) {
+    if (s.label == "EU") {
+      ASSERT_EQ(s.values.size(), 1u);
+      EXPECT_DOUBLE_EQ(s.values[0], 25.0);
+    }
+    if (s.label == "AS") {
+      ASSERT_EQ(s.values.size(), 1u);
+      EXPECT_DOUBLE_EQ(s.values[0], 55.0);
+    }
+    if (s.label == "AF") {
+      EXPECT_TRUE(s.values.empty());
+    }
+  }
+}
+
+TEST(Fig15Aggregation, SplitsTcpPingsAndIcmpTraces) {
+  const probes::Probe de = make_probe(1, "DE");
+  const cloud::RegionInfo* frankfurt = region_in("DE");
+  measure::Dataset data;
+  for (const double rtt : {20.0, 30.0, 40.0}) {
+    data.pings.push_back(
+        measure::PingRecord{&de, frankfurt, measure::Protocol::Tcp, rtt, 0, 0});
+  }
+  measure::TraceRecord trace;
+  trace.probe = &de;
+  trace.region = frankfurt;
+  trace.completed = true;
+  trace.end_to_end_ms = 33.0;
+  data.traces.push_back(trace);
+  trace.completed = false;  // incomplete traces must not contribute
+  trace.end_to_end_ms = 999.0;
+  data.traces.push_back(trace);
+
+  StudyView view;
+  view.sc_data = &data;
+  const auto rows = fig15_protocols(view);
+  for (const auto& row : rows) {
+    if (row.continent != geo::Continent::Europe) {
+      EXPECT_EQ(row.tcp.count, 0u);
+      continue;
+    }
+    EXPECT_EQ(row.tcp.count, 3u);
+    EXPECT_DOUBLE_EQ(row.tcp.median, 30.0);
+    EXPECT_EQ(row.icmp.count, 1u);
+    EXPECT_DOUBLE_EQ(row.icmp.median, 33.0);
+  }
+}
+
+TEST(Fig10Aggregation, LightsailMergesIntoAmazon) {
+  // Build a trace whose classification is Direct to a Lightsail region and
+  // verify the share lands in the AMZN row. Needs a resolver: use a tiny
+  // synthetic one.
+  IpToAsn resolver;
+  resolver.add_rib(*net::Ipv4Prefix::parse("10.0.0.0/8"), 0);  // unused
+  resolver.add_rib(*net::Ipv4Prefix::parse("20.0.0.0/16"), 100);   // ISP
+  resolver.add_rib(*net::Ipv4Prefix::parse("30.0.0.0/16"),
+                   cloud::provider_info(cloud::ProviderId::Lightsail).asn);
+
+  const probes::Probe de = make_probe(1, "DE");
+  const cloud::RegionInfo* ltsl = nullptr;
+  for (const cloud::RegionInfo& region : cloud::RegionCatalog::instance().all()) {
+    if (region.provider == cloud::ProviderId::Lightsail) {
+      ltsl = &region;
+      break;
+    }
+  }
+  ASSERT_NE(ltsl, nullptr);
+
+  measure::TraceRecord trace;
+  trace.probe = &de;
+  trace.region = ltsl;
+  trace.target_ip = *net::Ipv4Address::parse("30.0.0.10");
+  trace.completed = true;
+  trace.end_to_end_ms = 20.0;
+  const auto hop = [&](const char* ip) {
+    measure::HopRecord h;
+    h.ttl = static_cast<std::uint8_t>(trace.hops.size() + 1);
+    h.responded = true;
+    h.ip = *net::Ipv4Address::parse(ip);
+    h.rtt_ms = 5.0;
+    trace.hops.push_back(h);
+  };
+  hop("20.0.0.1");   // ISP
+  hop("30.0.0.1");   // cloud edge
+  hop("30.0.0.10");  // VM
+
+  measure::Dataset data;
+  data.traces.push_back(trace);
+  StudyView view;
+  view.sc_data = &data;
+  view.resolver = &resolver;
+  const auto rows = fig10_interconnect_share(view);
+  for (const auto& row : rows) {
+    if (row.ticker == "AMZN") {
+      EXPECT_EQ(row.paths, 1u);
+      EXPECT_DOUBLE_EQ(row.direct_pct, 100.0);
+    } else {
+      EXPECT_EQ(row.paths, 0u);
+    }
+  }
+}
+
+TEST(LastMileAggregation, SharesAreClampedAndSplitByCategory) {
+  IpToAsn resolver;
+  resolver.add_rib(*net::Ipv4Prefix::parse("20.0.0.0/16"), 100);
+
+  const probes::Probe de = make_probe(1, "DE");
+  measure::TraceRecord trace;
+  trace.probe = &de;
+  trace.region = region_in("DE");
+  trace.target_ip = *net::Ipv4Address::parse("20.0.0.99");
+  trace.completed = true;
+  trace.end_to_end_ms = 50.0;
+  // Home-shaped: private router at 8 ms, ISP hop at 20 ms.
+  measure::HopRecord router;
+  router.ttl = 1;
+  router.responded = true;
+  router.ip = net::Ipv4Address{192, 168, 1, 1};
+  router.rtt_ms = 8.0;
+  measure::HopRecord isp;
+  isp.ttl = 2;
+  isp.responded = true;
+  isp.ip = *net::Ipv4Address::parse("20.0.0.1");
+  isp.rtt_ms = 20.0;
+  trace.hops = {router, isp};
+
+  measure::Dataset data;
+  data.pings.push_back(measure::PingRecord{&de, trace.region,
+                                           measure::Protocol::Tcp, 50.0, 0, 0});
+  data.traces.push_back(trace);
+  StudyView view;
+  view.sc_data = &data;
+  view.resolver = &resolver;
+  const auto stats = lastmile_stats(view, /*nearest_only=*/false);
+  const auto& home_share =
+      stats.share(LastMileCategory::HomeUsrIsp, kGlobalIndex);
+  ASSERT_EQ(home_share.size(), 1u);
+  EXPECT_DOUBLE_EQ(home_share[0], 40.0);  // 20 / 50
+  const auto& rtr_abs =
+      stats.absolute(LastMileCategory::HomeRtrIsp, kGlobalIndex);
+  ASSERT_EQ(rtr_abs.size(), 1u);
+  EXPECT_DOUBLE_EQ(rtr_abs[0], 12.0);  // 20 - 8
+  EXPECT_TRUE(stats.share(LastMileCategory::Cell, kGlobalIndex).empty());
+}
+
+TEST(PeeringCaseStudyAggregation, ThinCellsAreMarked) {
+  // No data at all: every cell must be has_data == false, every latency row
+  // invalid, and the matrix still lists the named ISPs.
+  measure::Dataset data;
+  IpToAsn resolver;
+  StudyView view;
+  view.sc_data = &data;
+  view.resolver = &resolver;
+  const auto study = peering_case_study(view, "DE", "GB");
+  EXPECT_EQ(study.matrix.size(), 5u);
+  for (const auto& row : study.matrix) {
+    for (const auto& cell : row.cells) {
+      EXPECT_FALSE(cell.has_data);
+      EXPECT_EQ(cell.paths, 0u);
+    }
+  }
+  for (const auto& row : study.latency) {
+    EXPECT_FALSE(row.valid);
+  }
+}
+
+}  // namespace
+}  // namespace cloudrtt::analysis

@@ -1,0 +1,158 @@
+// Unit tests for geodesy and the country catalogue calibration
+// (continent-level probe weights must track Figs. 1b and 2 of the paper).
+
+#include <gtest/gtest.h>
+
+#include "geo/continent.hpp"
+#include "geo/coords.hpp"
+#include "geo/country.hpp"
+
+namespace cloudrtt::geo {
+namespace {
+
+TEST(Coords, HaversineKnownDistances) {
+  const GeoPoint london{51.51, -0.13};
+  const GeoPoint new_york{40.71, -74.01};
+  const GeoPoint tokyo{35.68, 139.69};
+  EXPECT_NEAR(haversine_km(london, new_york), 5570.0, 60.0);
+  EXPECT_NEAR(haversine_km(london, tokyo), 9560.0, 100.0);
+  EXPECT_NEAR(haversine_km(london, london), 0.0, 1e-9);
+}
+
+TEST(Coords, HaversineIsSymmetric) {
+  const GeoPoint a{12.3, 45.6};
+  const GeoPoint b{-33.9, 151.2};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Coords, FibreRttRuleOfThumb) {
+  // 100 km of fibre ~ 1 ms RTT.
+  EXPECT_DOUBLE_EQ(fibre_rtt_ms(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fibre_one_way_ms(200.0), 1.0);
+}
+
+TEST(Coords, OffsetRoundTripDistance) {
+  const GeoPoint origin{48.0, 11.0};
+  for (const double bearing : {0.0, 90.0, 180.0, 270.0, 45.0}) {
+    const GeoPoint moved = offset(origin, bearing, 500.0);
+    EXPECT_NEAR(haversine_km(origin, moved), 500.0, 1.0);
+  }
+}
+
+TEST(Coords, OffsetNormalizesLongitude) {
+  const GeoPoint near_dateline{0.0, 179.5};
+  const GeoPoint moved = offset(near_dateline, 90.0, 300.0);
+  EXPECT_LE(moved.lon_deg, 180.0);
+  EXPECT_GT(moved.lon_deg, -180.0);
+}
+
+TEST(Continent, CodesRoundTrip) {
+  for (const Continent c : kAllContinents) {
+    const auto parsed = continent_from_code(to_code(c));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, c);
+  }
+  EXPECT_FALSE(continent_from_code("XX").has_value());
+}
+
+TEST(CountryTable, LookupKnownCountries) {
+  const auto& table = CountryTable::instance();
+  EXPECT_NE(table.find("DE"), nullptr);
+  EXPECT_NE(table.find("BH"), nullptr);
+  EXPECT_EQ(table.find("XX"), nullptr);
+  EXPECT_THROW((void)table.at("XX"), std::out_of_range);
+  EXPECT_EQ(table.at("JP").continent, Continent::Asia);
+}
+
+TEST(CountryTable, CaseStudyCountriesPresent) {
+  const auto& table = CountryTable::instance();
+  for (const char* code : {"DE", "GB", "JP", "IN", "UA", "BH"}) {
+    EXPECT_NE(table.find(code), nullptr) << code;
+  }
+}
+
+TEST(CountryTable, SpeedcheckerWeightsTrackFig1b) {
+  // Fig. 1b: EU 72K, AS 31K, NA 5.4K, AF 4K, SA 2.8K, OC 351. Our weights
+  // follow the same ordering and rough magnitudes (+-30%).
+  const auto& table = CountryTable::instance();
+  const double eu = table.continent_sc_weight(Continent::Europe);
+  const double as = table.continent_sc_weight(Continent::Asia);
+  const double na = table.continent_sc_weight(Continent::NorthAmerica);
+  const double af = table.continent_sc_weight(Continent::Africa);
+  const double sa = table.continent_sc_weight(Continent::SouthAmerica);
+  const double oc = table.continent_sc_weight(Continent::Oceania);
+  EXPECT_GT(eu, as);
+  EXPECT_GT(as, na);
+  EXPECT_GT(na, af);
+  EXPECT_GT(af, sa);
+  EXPECT_GT(sa, oc);
+  EXPECT_NEAR(eu, 72000.0, 72000.0 * 0.3);
+  EXPECT_NEAR(as, 31000.0, 31000.0 * 0.3);
+  EXPECT_NEAR(oc, 351.0, 351.0 * 0.3);
+}
+
+TEST(CountryTable, AtlasWeightsTrackFig2) {
+  const auto& table = CountryTable::instance();
+  const double eu = table.continent_atlas_weight(Continent::Europe);
+  const double as = table.continent_atlas_weight(Continent::Asia);
+  const double af = table.continent_atlas_weight(Continent::Africa);
+  EXPECT_NEAR(eu, 5574.0, 5574.0 * 0.35);
+  EXPECT_NEAR(as, 1083.0, 1083.0 * 0.35);
+  EXPECT_NEAR(af, 261.0, 261.0 * 0.35);
+}
+
+TEST(CountryTable, BrazilDominatesSouthAmericaOnSpeedcheckerOnly) {
+  // §4.2: >80% of SC probes in SA are Brazilian vs ~40% for Atlas — the
+  // driver of the Fig. 5 South-America inversion.
+  const auto& table = CountryTable::instance();
+  const double br_sc = table.at("BR").sc_weight;
+  const double br_atlas = table.at("BR").atlas_weight;
+  const double sa_sc = table.continent_sc_weight(Continent::SouthAmerica);
+  const double sa_atlas = table.continent_atlas_weight(Continent::SouthAmerica);
+  EXPECT_GT(br_sc / sa_sc, 0.75);
+  EXPECT_LT(br_atlas / sa_atlas, 0.5);
+}
+
+TEST(CountryTable, AtlasAfricaConcentratedInSouthAfrica) {
+  const auto& table = CountryTable::instance();
+  const double za = table.at("ZA").atlas_weight;
+  const double af = table.continent_atlas_weight(Continent::Africa);
+  EXPECT_GT(za / af, 0.4);
+}
+
+TEST(CountryTable, NorthAfricaIsCellularHeavy) {
+  const auto& table = CountryTable::instance();
+  for (const char* code : {"EG", "DZ", "MA"}) {
+    EXPECT_GE(table.at(code).cell_fraction, 0.8) << code;
+  }
+  EXPECT_LE(table.at("ZA").cell_fraction, 0.4);
+}
+
+TEST(CountryTable, WeightsAndQualitiesAreSane) {
+  for (const CountryInfo& c : CountryTable::instance().all()) {
+    EXPECT_GE(c.sc_weight, 0.0) << c.code;
+    EXPECT_GE(c.atlas_weight, 0.0) << c.code;
+    EXPECT_GE(c.cell_fraction, 0.0) << c.code;
+    EXPECT_LE(c.cell_fraction, 1.0) << c.code;
+    EXPECT_GT(c.backhaul_quality, 0.0) << c.code;
+    EXPECT_LE(c.backhaul_quality, 1.0) << c.code;
+    EXPECT_GT(c.spread_km, 0.0) << c.code;
+    EXPECT_GE(c.centroid.lat_deg, -90.0) << c.code;
+    EXPECT_LE(c.centroid.lat_deg, 90.0) << c.code;
+    EXPECT_GT(c.centroid.lon_deg, -180.0) << c.code;
+    EXPECT_LE(c.centroid.lon_deg, 180.0) << c.code;
+    EXPECT_EQ(std::string_view{c.code}.size(), 2u) << c.code;
+  }
+}
+
+TEST(CountryTable, CodesAreUnique) {
+  const auto all = CountryTable::instance().all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i].code, all[j].code);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudrtt::geo

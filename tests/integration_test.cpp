@@ -1,0 +1,431 @@
+// Integration tests: run the whole study once at a moderate scale and assert
+// the paper's qualitative findings on the reproduced exhibits. These are the
+// "shape" guarantees of DESIGN.md §3 — who wins, by roughly what factor,
+// where the crossovers fall.
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hpp"
+#include "core/export.hpp"
+#include "core/study.hpp"
+#include "util/stats.hpp"
+
+#include <sstream>
+
+namespace cloudrtt {
+namespace {
+
+/// One shared study for the whole binary (built lazily, a few seconds).
+const core::Study& shared_study() {
+  static core::Study study = [] {
+    core::StudyConfig config;
+    config.sc_probes = 4000;
+    config.atlas_probes = 1200;
+    config.sc_campaign.days = 8;
+    config.sc_campaign.daily_budget = 10000;
+    config.atlas_campaign.days = 6;
+    config.atlas_campaign.daily_budget = 3000;
+    core::Study s{config};
+    s.run();
+    return s;
+  }();
+  return study;
+}
+
+double share_below(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t below = 0;
+  for (const double v : values) {
+    if (v <= threshold) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(values.size());
+}
+
+const util::Series& series_for(const std::vector<util::Series>& series,
+                               std::string_view label) {
+  for (const util::Series& s : series) {
+    if (s.label == label) return s;
+  }
+  throw std::logic_error{"missing series"};
+}
+
+TEST(StudyRun, ProducesSubstantialDatasets) {
+  const core::Study& study = shared_study();
+  EXPECT_GT(study.sc_dataset().pings.size(), 20000u);
+  EXPECT_EQ(study.sc_dataset().pings.size(), study.sc_dataset().traces.size());
+  EXPECT_GT(study.atlas_dataset().pings.size(), 5000u);
+}
+
+TEST(Fig3Shape, MostCountriesMeetHplAllButAFewMeetHrt) {
+  const auto rows = analysis::fig3_country_latency(shared_study().view());
+  ASSERT_GT(rows.size(), 60u);
+  std::size_t below_hpl = 0;
+  std::size_t failing_hrt = 0;
+  for (const auto& row : rows) {
+    if (row.median_ms < analysis::kHplMs) ++below_hpl;
+    if (row.median_ms >= analysis::kHrtMs) ++failing_hrt;
+  }
+  // Paper: 96/120 countries < HPL; all but two (African) < HRT.
+  EXPECT_GT(static_cast<double>(below_hpl) / static_cast<double>(rows.size()), 0.65);
+  EXPECT_LE(failing_hrt, 5u);
+  for (const auto& row : rows) {
+    if (row.median_ms >= analysis::kHrtMs) {
+      EXPECT_EQ(row.continent, geo::Continent::Africa) << row.country;
+    }
+  }
+}
+
+TEST(Fig3Shape, InLandDatacentersGiveTheLowestMedians) {
+  const auto rows = analysis::fig3_country_latency(shared_study().view());
+  double de = 0.0;
+  double et = 0.0;
+  for (const auto& row : rows) {
+    if (row.country == "DE") de = row.median_ms;
+    if (row.country == "ET") et = row.median_ms;
+  }
+  ASSERT_GT(de, 0.0);
+  ASSERT_GT(et, 0.0);
+  EXPECT_LT(de * 3.0, et);
+}
+
+TEST(Fig4Shape, ContinentOrderingMatchesThePaper) {
+  const auto series = analysis::fig4_continent_rtt(shared_study().view());
+  const auto median_of = [&](std::string_view label) {
+    return util::median(series_for(series, label).values);
+  };
+  // AF worst by far; EU/OC best; AS/SA in between.
+  EXPECT_GT(median_of("AF"), 2.0 * median_of("EU"));
+  EXPECT_GT(median_of("AS"), median_of("EU"));
+  EXPECT_GT(median_of("AF"), median_of("AS"));
+  // EU/NA/OC: ~90% of samples below HPL.
+  for (const std::string_view label : {"EU", "OC"}) {
+    EXPECT_GT(share_below(series_for(series, label).values, analysis::kHplMs), 0.85)
+        << label;
+  }
+  // AF: few below HPL, majority below HRT (paper: <10% and ~65%).
+  EXPECT_LT(share_below(series_for(series, "AF").values, analysis::kHplMs), 0.35);
+  const double af_hrt = share_below(series_for(series, "AF").values, analysis::kHrtMs);
+  EXPECT_GT(af_hrt, 0.45);
+  EXPECT_LT(af_hrt, 0.95);
+}
+
+TEST(Fig4Shape, MtpIsOutOfReach) {
+  const auto series = analysis::fig4_continent_rtt(shared_study().view());
+  for (const util::Series& s : series) {
+    if (s.values.size() < 50) continue;
+    EXPECT_LT(share_below(s.values, analysis::kMtpMs), 0.35) << s.label;
+  }
+}
+
+TEST(Fig5Shape, AtlasFasterEverywhereExceptSouthAmerica) {
+  const auto series = analysis::fig5_platform_diff(shared_study().view());
+  const auto sc_faster_share = [&](std::string_view label) {
+    const util::Series& s = series_for(series, label);
+    if (s.values.empty()) return -1.0;
+    std::size_t negative = 0;
+    for (const double d : s.values) {
+      if (d < 0.0) ++negative;
+    }
+    return static_cast<double>(negative) / static_cast<double>(s.values.size());
+  };
+  for (const std::string_view label : {"EU", "NA", "AS", "AF"}) {
+    EXPECT_LT(sc_faster_share(label), 0.3) << label;
+  }
+  EXPECT_GT(sc_faster_share("SA"), 0.4);
+  // The chasm is greatest in Africa.
+  EXPECT_GT(util::median(series_for(series, "AF").values),
+            util::median(series_for(series, "EU").values));
+}
+
+TEST(Fig6Shape, NorthAfricaReachesEuropeFastestAndInContinentSlowest) {
+  const auto cells = analysis::fig6_intercontinental(shared_study().view(),
+                                                     geo::Continent::Africa);
+  const auto median_of = [&](std::string_view country, geo::Continent dst) {
+    for (const auto& cell : cells) {
+      if (cell.src_country == country && cell.dst_continent == dst) {
+        return cell.summary.median;
+      }
+    }
+    return 0.0;
+  };
+  for (const std::string_view country : {"EG", "MA", "TN", "DZ"}) {
+    const double eu = median_of(country, geo::Continent::Europe);
+    const double na = median_of(country, geo::Continent::NorthAmerica);
+    const double af = median_of(country, geo::Continent::Africa);
+    if (eu == 0.0 || na == 0.0 || af == 0.0) continue;
+    EXPECT_LT(eu, na) << country;
+    EXPECT_LT(na, af * 1.15) << country;  // NA at worst marginally slower
+  }
+  // South Africa reaches its in-land DCs quickest.
+  EXPECT_LT(median_of("ZA", geo::Continent::Africa),
+            median_of("ZA", geo::Continent::Europe));
+  // Kenya: in-continent lowest median.
+  EXPECT_LT(median_of("KE", geo::Continent::Africa),
+            median_of("KE", geo::Continent::Europe));
+}
+
+TEST(Fig6Shape, AndeanCountriesTieOrPreferNorthAmerica) {
+  const auto cells = analysis::fig6_intercontinental(shared_study().view(),
+                                                     geo::Continent::SouthAmerica);
+  const auto median_of = [&](std::string_view country, geo::Continent dst) {
+    for (const auto& cell : cells) {
+      if (cell.src_country == country && cell.dst_continent == dst) {
+        return cell.summary.median;
+      }
+    }
+    return 0.0;
+  };
+  // BR and AR reach the in-continent DCs far quicker than NA.
+  EXPECT_LT(median_of("BR", geo::Continent::SouthAmerica) * 2.0,
+            median_of("BR", geo::Continent::NorthAmerica));
+  // CO / VE reach NA at least as fast as BR-hosted DCs.
+  for (const std::string_view country : {"CO", "VE"}) {
+    const double na = median_of(country, geo::Continent::NorthAmerica);
+    const double sa = median_of(country, geo::Continent::SouthAmerica);
+    if (na == 0.0 || sa == 0.0) continue;
+    EXPECT_LT(na, sa * 1.1) << country;
+  }
+  // BO: roughly comparable (the Pacific-cable story).
+  const double bo_na = median_of("BO", geo::Continent::NorthAmerica);
+  const double bo_sa = median_of("BO", geo::Continent::SouthAmerica);
+  if (bo_na > 0.0 && bo_sa > 0.0) {
+    EXPECT_LT(std::abs(bo_na - bo_sa), std::max(bo_na, bo_sa) * 0.6);
+  }
+}
+
+TEST(Fig7Shape, WirelessLastMileDominates) {
+  const auto stats = analysis::lastmile_stats(shared_study().view(), false);
+  const double home_share = util::median(
+      stats.share(analysis::LastMileCategory::HomeUsrIsp, analysis::kGlobalIndex));
+  const double cell_share = util::median(
+      stats.share(analysis::LastMileCategory::Cell, analysis::kGlobalIndex));
+  // Paper: 40-50% of the median latency globally (we accept 30-60).
+  EXPECT_GT(home_share, 30.0);
+  EXPECT_LT(home_share, 60.0);
+  EXPECT_NEAR(home_share, cell_share, 12.0);
+
+  const double home_abs = util::median(
+      stats.absolute(analysis::LastMileCategory::HomeUsrIsp, analysis::kGlobalIndex));
+  const double cell_abs = util::median(
+      stats.absolute(analysis::LastMileCategory::Cell, analysis::kGlobalIndex));
+  const double rtr_abs = util::median(
+      stats.absolute(analysis::LastMileCategory::HomeRtrIsp, analysis::kGlobalIndex));
+  const double atlas_abs = util::median(
+      stats.absolute(analysis::LastMileCategory::Atlas, analysis::kGlobalIndex));
+  // Paper Fig. 7b: wireless 20-25 ms; RTR-ISP and Atlas ~10 ms.
+  EXPECT_GT(home_abs, 15.0);
+  EXPECT_LT(home_abs, 32.0);
+  EXPECT_NEAR(home_abs, cell_abs, 8.0);
+  EXPECT_LT(rtr_abs, 15.0);
+  EXPECT_GT(atlas_abs, 5.0);
+  EXPECT_LT(atlas_abs, 16.0);
+  // Atlas resembles the wired tail of the home connection.
+  EXPECT_NEAR(atlas_abs, rtr_abs, 7.0);
+}
+
+TEST(Fig19Shape, LastMileShareRisesTowardsTheNearestDc) {
+  const auto all = analysis::lastmile_stats(shared_study().view(), false);
+  const auto nearest = analysis::lastmile_stats(shared_study().view(), true);
+  const double all_share = util::median(
+      all.share(analysis::LastMileCategory::HomeUsrIsp, analysis::kGlobalIndex));
+  const double nearest_share = util::median(
+      nearest.share(analysis::LastMileCategory::HomeUsrIsp, analysis::kGlobalIndex));
+  EXPECT_GT(nearest_share, all_share);
+  EXPECT_GT(nearest_share, 40.0);  // "exceeds the 50% share almost globally"
+}
+
+TEST(Fig8Shape, LastMileCvAroundOneHalfForBothAccessTypes) {
+  const auto groups = analysis::fig8_cv_by_continent(shared_study().view());
+  for (const auto& group : groups) {
+    if (group.home.size() >= 30) {
+      const double cv = util::median(group.home);
+      EXPECT_GT(cv, 0.25) << group.label;
+      EXPECT_LT(cv, 0.80) << group.label;
+    }
+    if (group.cell.size() >= 30) {
+      const double cv = util::median(group.cell);
+      EXPECT_GT(cv, 0.25) << group.label;
+      EXPECT_LT(cv, 0.80) << group.label;
+    }
+  }
+}
+
+TEST(Fig9Shape, RepresentativeCountriesAreComparable) {
+  const auto groups = analysis::fig9_cv_by_country(shared_study().view());
+  ASSERT_EQ(groups.size(), 10u);
+  for (const auto& group : groups) {
+    if (group.cell.size() >= 10) {
+      EXPECT_GT(util::median(group.cell), 0.2) << group.label;
+      EXPECT_LT(util::median(group.cell), 0.9) << group.label;
+    }
+  }
+}
+
+TEST(Fig10Shape, HypergiantsPeerDirectlySmallProvidersRidePublicTransit) {
+  const auto rows = analysis::fig10_interconnect_share(shared_study().view());
+  const auto row_for = [&](std::string_view ticker) {
+    for (const auto& row : rows) {
+      if (row.ticker == ticker) return row;
+    }
+    throw std::logic_error{"missing provider row"};
+  };
+  for (const std::string_view ticker : {"AMZN", "GCP", "MSFT"}) {
+    const auto& row = row_for(ticker);
+    EXPECT_GT(row.direct_pct, 50.0) << ticker;  // the paper's >50% claim
+    EXPECT_GT(row.paths, 500u) << ticker;
+  }
+  for (const std::string_view ticker : {"LIN", "VLTR", "ORCL", "BABA"}) {
+    const auto& row = row_for(ticker);
+    EXPECT_GT(row.multi_as_pct, row.direct_pct) << ticker;
+    EXPECT_GT(row.multi_as_pct, 40.0) << ticker;
+  }
+  // DigitalOcean leans on single-carrier private peering.
+  EXPECT_GT(row_for("DO").one_as_pct, row_for("DO").direct_pct);
+}
+
+TEST(Fig11Shape, PervasivenessSeparatesWanOwnersFromTenants) {
+  const auto rows = analysis::fig11_pervasiveness(shared_study().view());
+  const auto median_eu = [&](std::string_view ticker) -> double {
+    for (const auto& row : rows) {
+      if (row.ticker == ticker) {
+        const auto& v =
+            row.median_by_continent[geo::index_of(geo::Continent::Europe)];
+        return v ? *v : -1.0;
+      }
+    }
+    return -1.0;
+  };
+  for (const std::string_view big : {"AMZN", "GCP", "MSFT"}) {
+    for (const std::string_view small : {"LIN", "VLTR", "ORCL"}) {
+      const double b = median_eu(big);
+      const double s = median_eu(small);
+      ASSERT_GT(b, 0.0);
+      ASSERT_GT(s, 0.0);
+      EXPECT_GT(b, s) << big << " vs " << small;
+    }
+  }
+  EXPECT_GT(median_eu("MSFT"), 0.45);
+  EXPECT_LT(median_eu("VLTR"), 0.40);
+}
+
+TEST(Fig12Shape, EuropeDirectAndTransitLatenciesAreComparable) {
+  const auto study =
+      analysis::peering_case_study(shared_study().view(), "DE", "GB");
+  ASSERT_EQ(study.matrix.size(), 5u);
+  // Big-3 columns (AMZN=1, GCP=3, MSFT=6 in figure order) are direct.
+  for (const auto& row : study.matrix) {
+    for (const std::size_t column : {1u, 3u, 6u}) {
+      if (!row.cells[column].has_data) continue;
+      EXPECT_TRUE(row.cells[column].majority == topology::InterconnectMode::Direct ||
+                  row.cells[column].majority == topology::InterconnectMode::DirectIxp)
+          << row.isp_label << " column " << column;
+    }
+  }
+  for (const auto& row : study.latency) {
+    if (!row.valid) continue;
+    EXPECT_LT(std::abs(row.direct.median - row.intermediate.median), 20.0)
+        << row.ticker;
+  }
+}
+
+TEST(Fig13Shape, AsiaDirectPeeringCutsTheVariance) {
+  const auto study =
+      analysis::peering_case_study(shared_study().view(), "JP", "IN");
+  bool asserted = false;
+  for (const auto& row : study.latency) {
+    if (!row.valid) continue;
+    // Medians comparable; the intermediate paths have visibly fatter boxes.
+    EXPECT_LT(std::abs(row.direct.median - row.intermediate.median),
+              row.intermediate.median * 0.5)
+        << row.ticker;
+    if (row.ticker == "MSFT" || row.ticker == "GCP") {
+      EXPECT_LT(row.direct.iqr(), row.intermediate.iqr()) << row.ticker;
+      asserted = true;
+    }
+  }
+  EXPECT_TRUE(asserted);
+}
+
+TEST(Fig17Shape, UkraineMirrorsTheGermanStory) {
+  const auto study =
+      analysis::peering_case_study(shared_study().view(), "UA", "GB");
+  ASSERT_EQ(study.matrix.size(), 5u);
+  std::size_t direct_big3_cells = 0;
+  for (const auto& row : study.matrix) {
+    for (const std::size_t column : {1u, 3u, 6u}) {
+      if (row.cells[column].has_data &&
+          (row.cells[column].majority == topology::InterconnectMode::Direct ||
+           row.cells[column].majority == topology::InterconnectMode::DirectIxp)) {
+        ++direct_big3_cells;
+      }
+    }
+  }
+  EXPECT_GE(direct_big3_cells, 10u);
+}
+
+TEST(Fig18Shape, BahrainDirectPeeringWinsOutright) {
+  const auto study =
+      analysis::peering_case_study(shared_study().view(), "BH", "IN", 10);
+  bool checked = false;
+  for (const auto& row : study.latency) {
+    if (row.ticker != "MSFT" && row.ticker != "GCP") continue;
+    if (row.direct.count < 10 || row.intermediate.count < 10) continue;
+    EXPECT_LT(row.direct.median * 1.4, row.intermediate.median) << row.ticker;
+    checked = true;
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(Fig15Shape, TcpAndIcmpMediansAgree) {
+  const auto rows = analysis::fig15_protocols(shared_study().view());
+  for (const auto& row : rows) {
+    if (row.tcp.count < 100 || row.icmp.count < 100) continue;
+    EXPECT_LE(row.tcp.median, row.icmp.median * 1.02)
+        << geo::to_code(row.continent);
+    EXPECT_NEAR(row.tcp.median, row.icmp.median, row.icmp.median * 0.10)
+        << geo::to_code(row.continent);
+  }
+}
+
+TEST(Fig16Shape, MatchedCityAsnComparisonStillFavoursAtlas) {
+  const auto series = analysis::fig16_city_asn_diff(shared_study().view());
+  ASSERT_EQ(series.size(), 3u);  // AS, EU, NA only
+  for (const util::Series& s : series) {
+    if (s.values.size() < 100) continue;
+    std::size_t negative = 0;
+    for (const double d : s.values) {
+      if (d < 0.0) ++negative;
+    }
+    EXPECT_LT(static_cast<double>(negative) / static_cast<double>(s.values.size()),
+              0.25)
+        << s.label;
+  }
+}
+
+TEST(Sec33Shape, MethodologyNumbersHold) {
+  const auto stats = analysis::sec33_stats(shared_study().view());
+  EXPECT_EQ(stats.required_samples_per_country, 2401u);
+  // Composition: EU around half, AS around a fifth.
+  EXPECT_GT(stats.continent_sample_share[geo::index_of(geo::Continent::Europe)], 40.0);
+  EXPECT_LT(stats.continent_sample_share[geo::index_of(geo::Continent::Europe)], 65.0);
+  EXPECT_GT(stats.continent_sample_share[geo::index_of(geo::Continent::Asia)], 12.0);
+  EXPECT_LT(stats.continent_sample_share[geo::index_of(geo::Continent::Asia)], 35.0);
+  // TCP within ~2% of ICMP.
+  EXPECT_LT(std::abs(stats.tcp_vs_icmp_gap_pct), 5.0);
+  // The whois fallback is exercised but rare.
+  EXPECT_GT(stats.whois_fallback_share_pct, 0.0);
+  EXPECT_LT(stats.whois_fallback_share_pct, 5.0);
+}
+
+TEST(Export, CsvRoundTripHasHeaderAndRows) {
+  const core::Study& study = shared_study();
+  std::ostringstream pings;
+  core::export_pings_csv(pings, study.sc_dataset());
+  const std::string text = pings.str();
+  EXPECT_NE(text.find("probe_id,platform,country"), std::string::npos);
+  EXPECT_GT(std::count(text.begin(), text.end(), '\n'),
+            static_cast<long>(study.sc_dataset().pings.size()));
+}
+
+}  // namespace
+}  // namespace cloudrtt

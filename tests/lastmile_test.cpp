@@ -1,0 +1,137 @@
+// Unit tests for the last-mile access models: calibration targets from §5
+// (wireless medians 20-25 ms, wired ~10 ms, per-probe Cv ~0.5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lastmile/access.hpp"
+#include "util/stats.hpp"
+
+namespace cloudrtt::lastmile {
+namespace {
+
+Profile profile_for(AccessTech tech, double quality, std::uint64_t seed) {
+  util::Rng rng{seed};
+  return make_profile(tech, quality, rng);
+}
+
+TEST(Profiles, WifiHasBothSegments) {
+  const Profile p = profile_for(AccessTech::HomeWifi, 0.9, 1);
+  EXPECT_GT(p.air_median_ms, 0.0);
+  EXPECT_GT(p.wired_median_ms, 0.0);
+}
+
+TEST(Profiles, CellularIsAirOnly) {
+  const Profile p = profile_for(AccessTech::Cellular, 0.9, 1);
+  EXPECT_GT(p.air_median_ms, 0.0);
+  EXPECT_DOUBLE_EQ(p.wired_median_ms, 0.0);
+}
+
+TEST(Profiles, WiredIsWireOnly) {
+  const Profile p = profile_for(AccessTech::Wired, 0.9, 1);
+  EXPECT_DOUBLE_EQ(p.air_median_ms, 0.0);
+  EXPECT_GT(p.wired_median_ms, 0.0);
+}
+
+TEST(Profiles, PoorBackhaulDegradesMedians) {
+  // Average across many probes: same seed stream, different quality.
+  double good_sum = 0.0;
+  double bad_sum = 0.0;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    good_sum += profile_for(AccessTech::Cellular, 0.95, seed).air_median_ms;
+    bad_sum += profile_for(AccessTech::Cellular, 0.2, seed).air_median_ms;
+  }
+  EXPECT_GT(bad_sum, good_sum * 1.1);
+}
+
+/// Population-level calibration: draw many probes x many samples.
+std::vector<double> population_samples(AccessTech tech, double quality,
+                                       std::size_t probes, std::size_t per_probe) {
+  util::Rng rng{99};
+  std::vector<double> all;
+  all.reserve(probes * per_probe);
+  for (std::size_t p = 0; p < probes; ++p) {
+    const Profile profile = make_profile(tech, quality, rng);
+    for (std::size_t s = 0; s < per_probe; ++s) {
+      all.push_back(draw(profile, rng).total_ms());
+    }
+  }
+  return all;
+}
+
+TEST(Calibration, WirelessMediansMatchPaper) {
+  // §5: wireless last-mile medians hover around 20-25 ms.
+  const double wifi = util::median(population_samples(AccessTech::HomeWifi, 0.85,
+                                                      400, 20));
+  const double cell = util::median(population_samples(AccessTech::Cellular, 0.85,
+                                                      400, 20));
+  EXPECT_GT(wifi, 15.0);
+  EXPECT_LT(wifi, 30.0);
+  EXPECT_GT(cell, 15.0);
+  EXPECT_LT(cell, 30.0);
+}
+
+TEST(Calibration, WiredMedianMatchesAtlas) {
+  // Atlas last-mile ~10 ms (Fig. 7b).
+  const double wired =
+      util::median(population_samples(AccessTech::Wired, 0.85, 400, 20));
+  EXPECT_GT(wired, 6.0);
+  EXPECT_LT(wired, 14.0);
+}
+
+TEST(Calibration, WifiAndCellularAreComparable) {
+  // §5 finding: access technology does not differentiate the last mile.
+  const double wifi = util::median(population_samples(AccessTech::HomeWifi, 0.7,
+                                                      400, 20));
+  const double cell = util::median(population_samples(AccessTech::Cellular, 0.7,
+                                                      400, 20));
+  EXPECT_NEAR(wifi, cell, std::max(wifi, cell) * 0.35);
+}
+
+TEST(Draws, AlwaysNonNegativeAndFinite) {
+  util::Rng rng{5};
+  const Profile profile = make_profile(AccessTech::HomeWifi, 0.5, rng);
+  for (int i = 0; i < 5000; ++i) {
+    const Sample sample = draw(profile, rng);
+    EXPECT_GE(sample.air_ms, 0.0);
+    EXPECT_GE(sample.wired_ms, 0.0);
+    EXPECT_TRUE(std::isfinite(sample.total_ms()));
+  }
+}
+
+// Property sweep over access technologies and qualities: the per-probe Cv of
+// wireless links lands near the paper's ~0.5, wired well below.
+class CvSweep
+    : public ::testing::TestWithParam<std::tuple<AccessTech, double>> {};
+
+TEST_P(CvSweep, PerProbeCvInRange) {
+  const auto [tech, quality] = GetParam();
+  util::Rng rng{util::fnv1a(to_string(tech)) +
+                static_cast<std::uint64_t>(quality * 100)};
+  std::vector<double> cvs;
+  for (int p = 0; p < 150; ++p) {
+    const Profile profile = make_profile(tech, quality, rng);
+    std::vector<double> samples;
+    for (int s = 0; s < 60; ++s) samples.push_back(draw(profile, rng).total_ms());
+    const auto cv = util::coefficient_of_variation(samples);
+    ASSERT_TRUE(cv.has_value());
+    cvs.push_back(*cv);
+  }
+  const double median_cv = util::median(cvs);
+  if (tech == AccessTech::Wired) {
+    EXPECT_LT(median_cv, 0.40);
+  } else {
+    EXPECT_GT(median_cv, 0.30);
+    EXPECT_LT(median_cv, 0.75);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TechAndQuality, CvSweep,
+    ::testing::Combine(::testing::Values(AccessTech::HomeWifi, AccessTech::Cellular,
+                                         AccessTech::Wired),
+                       ::testing::Values(0.3, 0.6, 0.9)));
+
+}  // namespace
+}  // namespace cloudrtt::lastmile

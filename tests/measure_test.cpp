@@ -1,0 +1,429 @@
+// Unit tests for the measurement engine and the campaign scheduler.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "measure/campaign.hpp"
+#include "measure/engine.hpp"
+#include "probes/fleet.hpp"
+#include "topology/world.hpp"
+#include "util/stats.hpp"
+
+namespace cloudrtt::measure {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  topology::World world_{topology::WorldConfig{21}};
+  probes::ProbeFleet fleet_{world_,
+                            probes::FleetConfig{probes::Platform::Speedchecker, 800}};
+  Engine engine_{world_};
+
+  const probes::Probe& probe_in(std::string_view country) {
+    for (const probes::Probe& probe : fleet_.probes()) {
+      if (probe.country->code == country) return probe;
+    }
+    throw std::logic_error{"no probe in test country"};
+  }
+};
+
+TEST_F(EngineTest, PingIsPositiveAndBoundedBelow) {
+  util::Rng rng{1};
+  const probes::Probe& probe = probe_in("DE");
+  const auto& endpoint = world_.endpoints().front();
+  for (int i = 0; i < 200; ++i) {
+    const PingRecord ping = engine_.ping(probe, endpoint, Protocol::Tcp, 0, rng);
+    EXPECT_GT(ping.rtt_ms, 1.0);
+    EXPECT_LT(ping.rtt_ms, 2000.0);
+    EXPECT_EQ(ping.probe, &probe);
+    EXPECT_EQ(ping.region, endpoint.region);
+  }
+}
+
+TEST_F(EngineTest, IcmpIsSlightlySlowerOnAverage) {
+  util::Rng rng{2};
+  const probes::Probe& probe = probe_in("EG");  // low quality => bigger gap
+  const auto& endpoint = world_.endpoints().front();
+  std::vector<double> tcp;
+  std::vector<double> icmp;
+  for (int i = 0; i < 800; ++i) {
+    tcp.push_back(engine_.ping(probe, endpoint, Protocol::Tcp, 0, rng).rtt_ms);
+    icmp.push_back(engine_.ping(probe, endpoint, Protocol::Icmp, 0, rng).rtt_ms);
+  }
+  EXPECT_GT(util::mean(icmp), util::mean(tcp));
+  // ...but medians stay comparable (§A.2).
+  EXPECT_NEAR(util::median(icmp), util::median(tcp), util::median(tcp) * 0.25);
+}
+
+TEST_F(EngineTest, TracerouteHopsAreOrderedAndMostlyResponsive) {
+  util::Rng rng{3};
+  const probes::Probe& probe = probe_in("GB");
+  const auto& endpoint = world_.endpoints().front();
+  std::size_t responded = 0;
+  std::size_t total = 0;
+  for (int i = 0; i < 100; ++i) {
+    const TraceRecord trace = engine_.traceroute(probe, endpoint, 0, rng);
+    EXPECT_EQ(trace.target_ip, endpoint.vm_ip);
+    for (std::size_t h = 0; h < trace.hops.size(); ++h) {
+      EXPECT_EQ(trace.hops[h].ttl, h + 1);
+      ++total;
+      if (trace.hops[h].responded) {
+        ++responded;
+        EXPECT_GT(trace.hops[h].rtt_ms, 0.0);
+      }
+    }
+  }
+  const double rate = static_cast<double>(responded) / static_cast<double>(total);
+  EXPECT_GT(rate, 0.75);
+  EXPECT_LT(rate, 0.99);
+}
+
+TEST_F(EngineTest, MostTracesCompleteButSomeAreFirewalled) {
+  util::Rng rng{4};
+  const probes::Probe& probe = probe_in("FR");
+  const auto& endpoint = world_.endpoints().front();
+  int completed = 0;
+  constexpr int kRuns = 400;
+  for (int i = 0; i < kRuns; ++i) {
+    if (engine_.traceroute(probe, endpoint, 0, rng).completed) ++completed;
+  }
+  EXPECT_GT(completed, kRuns * 80 / 100);
+  EXPECT_LT(completed, kRuns);
+}
+
+TEST_F(EngineTest, EndToEndAtLeastLastHopBase) {
+  util::Rng rng{5};
+  const probes::Probe& probe = probe_in("JP");
+  const auto& endpoint = world_.endpoints().back();
+  for (int i = 0; i < 50; ++i) {
+    const TraceRecord trace = engine_.traceroute(probe, endpoint, 0, rng);
+    if (!trace.completed) continue;
+    EXPECT_GE(trace.end_to_end_ms, trace.hops.back().rtt_ms - 1e-9);
+  }
+}
+
+TEST_F(EngineTest, DeterministicGivenSameRngState) {
+  const probes::Probe& probe = probe_in("US");
+  const auto& endpoint = world_.endpoints().front();
+  util::Rng rng_a{77};
+  util::Rng rng_b{77};
+  const TraceRecord a = engine_.traceroute(probe, endpoint, 3, rng_a);
+  const TraceRecord b = engine_.traceroute(probe, endpoint, 3, rng_b);
+  ASSERT_EQ(a.hops.size(), b.hops.size());
+  for (std::size_t i = 0; i < a.hops.size(); ++i) {
+    EXPECT_EQ(a.hops[i].responded, b.hops[i].responded);
+    if (a.hops[i].responded) {
+      EXPECT_EQ(a.hops[i].ip, b.hops[i].ip);
+      EXPECT_DOUBLE_EQ(a.hops[i].rtt_ms, b.hops[i].rtt_ms);
+    }
+  }
+}
+
+TEST_F(EngineTest, ModeRollFollowsPolicyMostOfTheTime) {
+  util::Rng rng{6};
+  const probes::Probe& probe = probe_in("DE");
+  const cloud::RegionInfo& region = *world_.endpoints().front().region;
+  const topology::PairPolicy& policy =
+      world_.interconnect(probe.isp->asn, region.provider, region.continent);
+  int base_hits = 0;
+  constexpr int kRolls = 1000;
+  for (int i = 0; i < kRolls; ++i) {
+    if (engine_.roll_mode(probe, region, rng) == policy.base) ++base_hits;
+  }
+  EXPECT_NEAR(static_cast<double>(base_hits) / kRolls, policy.adherence, 0.05);
+}
+
+TEST_F(EngineTest, ParisTracerouteShowsStableInterfaces) {
+  const probes::Probe& probe = probe_in("DE");
+  // A small provider reached over public transit => ECMP segments on path.
+  const topology::CloudEndpoint* endpoint = nullptr;
+  for (const topology::CloudEndpoint& candidate : world_.endpoints()) {
+    if (candidate.region->provider == cloud::ProviderId::Linode) {
+      endpoint = &candidate;
+      break;
+    }
+  }
+  ASSERT_NE(endpoint, nullptr);
+
+  const auto interfaces_seen = [&](Engine::TraceMethod method) {
+    util::Rng rng{11};
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 40; ++i) {
+      const TraceRecord trace =
+          engine_.traceroute(probe, *endpoint, 0, rng, method);
+      for (const HopRecord& hop : trace.hops) {
+        if (hop.responded) seen.insert(hop.ip.value());
+      }
+    }
+    return seen.size();
+  };
+  // Classic flow-id churn exposes the ECMP siblings; Paris does not.
+  EXPECT_GT(interfaces_seen(Engine::TraceMethod::Classic),
+            interfaces_seen(Engine::TraceMethod::Paris));
+}
+
+TEST_F(EngineTest, ClassicInflationIsMild) {
+  const probes::Probe& probe = probe_in("JP");
+  const auto& endpoint = world_.endpoints().front();
+  std::vector<double> classic;
+  std::vector<double> paris;
+  util::Rng rng_a{12};
+  util::Rng rng_b{12};
+  for (int i = 0; i < 300; ++i) {
+    const TraceRecord a =
+        engine_.traceroute(probe, endpoint, 0, rng_a, Engine::TraceMethod::Classic);
+    const TraceRecord b =
+        engine_.traceroute(probe, endpoint, 0, rng_b, Engine::TraceMethod::Paris);
+    if (a.completed) classic.push_back(a.end_to_end_ms);
+    if (b.completed) paris.push_back(b.end_to_end_ms);
+  }
+  // End-to-end medians stay comparable: ECMP noise is per-hop, the final
+  // echo is what the study's Fig. 15 consumed.
+  EXPECT_NEAR(util::median(classic), util::median(paris),
+              util::median(paris) * 0.15);
+}
+
+TEST_F(EngineTest, HttpGetStagesAreOrdered) {
+  util::Rng rng{13};
+  const probes::Probe& probe = probe_in("GB");
+  const auto& endpoint = world_.endpoints().front();
+  std::vector<double> connects;
+  std::vector<double> pings;
+  for (int i = 0; i < 300; ++i) {
+    const Engine::HttpRecord http = engine_.http_get(probe, endpoint, rng);
+    EXPECT_GT(http.connect_ms, 0.0);
+    EXPECT_GT(http.ttfb_ms, http.connect_ms);
+    EXPECT_GT(http.total_ms, http.ttfb_ms);
+    connects.push_back(http.connect_ms);
+    pings.push_back(engine_.ping(probe, endpoint, Protocol::Tcp, 0, rng).rtt_ms);
+  }
+  // The handshake is one round trip: its median matches the ping median.
+  EXPECT_NEAR(util::median(connects), util::median(pings),
+              util::median(pings) * 0.25);
+}
+
+TEST_F(EngineTest, InterDcPrivateBackboneBeatsPublicAtMatchedDistance) {
+  util::Rng rng{14};
+  // Frankfurt -> Tokyo on Amazon's WAN vs Frankfurt -> Tokyo for Linode
+  // (public backbone): roughly the same geography, different transport.
+  const auto find = [&](cloud::ProviderId provider, std::string_view country)
+      -> const topology::CloudEndpoint* {
+    for (const topology::CloudEndpoint& endpoint : world_.endpoints()) {
+      if (endpoint.region->provider == provider &&
+          endpoint.region->country == country) {
+        return &endpoint;
+      }
+    }
+    return nullptr;
+  };
+  const auto* amzn_de = find(cloud::ProviderId::Amazon, "DE");
+  const auto* amzn_jp = find(cloud::ProviderId::Amazon, "JP");
+  const auto* lin_de = find(cloud::ProviderId::Linode, "DE");
+  const auto* lin_jp = find(cloud::ProviderId::Linode, "JP");
+  ASSERT_TRUE(amzn_de && amzn_jp && lin_de && lin_jp);
+
+  std::vector<double> wan;
+  std::vector<double> pub;
+  for (int i = 0; i < 200; ++i) {
+    wan.push_back(engine_.interdc_rtt(*amzn_de, *amzn_jp, rng));
+    pub.push_back(engine_.interdc_rtt(*lin_de, *lin_jp, rng));
+  }
+  EXPECT_LT(util::median(wan), util::median(pub));
+  const auto wan_cv = util::coefficient_of_variation(wan);
+  const auto pub_cv = util::coefficient_of_variation(pub);
+  ASSERT_TRUE(wan_cv && pub_cv);
+  EXPECT_LT(*wan_cv, *pub_cv);
+}
+
+TEST_F(EngineTest, InterDcIsRoughlySymmetric) {
+  util::Rng rng{15};
+  const auto& a = world_.endpoints().front();
+  const auto& b = world_.endpoints().back();
+  std::vector<double> forward;
+  std::vector<double> backward;
+  for (int i = 0; i < 150; ++i) {
+    forward.push_back(engine_.interdc_rtt(a, b, rng));
+    backward.push_back(engine_.interdc_rtt(b, a, rng));
+  }
+  EXPECT_NEAR(util::median(forward), util::median(backward),
+              util::median(forward) * 0.2);
+}
+
+TEST_F(EngineTest, EveningSlotsRunHotterOnWeakBackhauls) {
+  // Direct model check: for a fixed low-quality-country probe, the slot
+  // whose local time hits the evening peak must yield higher mean RTTs.
+  const probes::Probe& probe = probe_in("EG");
+  const auto& endpoint = world_.endpoints().front();
+  // Find the slot mapping closest to 20:00 local and the one furthest away.
+  std::uint8_t peak_slot = 0;
+  std::uint8_t off_slot = 0;
+  double peak_best = 0.0;
+  double off_best = 2.0;
+  for (std::uint8_t slot = 0; slot < 6; ++slot) {
+    const double factor = Engine::diurnal_factor(probe, slot);
+    if (factor > peak_best) {
+      peak_best = factor;
+      peak_slot = slot;
+    }
+    if (factor < off_best) {
+      off_best = factor;
+      off_slot = slot;
+    }
+  }
+  EXPECT_GT(peak_best, off_best);
+
+  util::Rng rng_a{31};
+  util::Rng rng_b{31};
+  std::vector<double> peak;
+  std::vector<double> off;
+  for (int i = 0; i < 600; ++i) {
+    peak.push_back(
+        engine_.ping(probe, endpoint, Protocol::Tcp, 0, rng_a, peak_slot).rtt_ms);
+    off.push_back(
+        engine_.ping(probe, endpoint, Protocol::Tcp, 0, rng_b, off_slot).rtt_ms);
+  }
+  EXPECT_GT(util::mean(peak), util::mean(off));
+}
+
+TEST_F(EngineTest, DiurnalFactorIsBounded) {
+  for (const probes::Probe& probe : fleet_.probes()) {
+    for (std::uint8_t slot = 0; slot < 6; ++slot) {
+      const double factor = Engine::diurnal_factor(probe, slot);
+      EXPECT_GE(factor, 1.0);
+      EXPECT_LE(factor, 1.25);
+    }
+  }
+}
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  CampaignTest() {
+    config_.days = 2;
+    config_.daily_budget = 1500;
+    config_.run_case_studies = true;
+    config_.case_study_probes = 4;
+  }
+
+  topology::World world_{topology::WorldConfig{22}};
+  probes::ProbeFleet fleet_{world_,
+                            probes::FleetConfig{probes::Platform::Speedchecker, 1500}};
+  CampaignConfig config_;
+};
+
+TEST_F(CampaignTest, RespectsDailyBudget) {
+  const Campaign campaign{world_, fleet_, config_};
+  const Dataset data = campaign.run(util::Rng{1});
+  EXPECT_LE(data.pings.size(), config_.days * config_.daily_budget);
+  EXPECT_EQ(data.pings.size(), data.traces.size());
+  EXPECT_GT(data.pings.size(), config_.daily_budget / 2);
+}
+
+TEST_F(CampaignTest, DaysAreStamped) {
+  const Campaign campaign{world_, fleet_, config_};
+  const Dataset data = campaign.run(util::Rng{1});
+  std::set<std::uint32_t> days;
+  for (const PingRecord& ping : data.pings) days.insert(ping.day);
+  EXPECT_LE(*days.rbegin(), config_.days - 1);
+  EXPECT_GE(days.size(), 2u);
+}
+
+TEST_F(CampaignTest, SchedulesOnlyCountriesAboveThePaperThreshold) {
+  const Campaign campaign{world_, fleet_, config_};
+  for (const std::string_view code : campaign.scheduled_countries()) {
+    EXPECT_GE(world_.countries().at(code).sc_weight,
+              config_.paper_country_threshold)
+        << code;
+  }
+  // Fiji (weight 25) never qualifies.
+  for (const std::string_view code : campaign.scheduled_countries()) {
+    EXPECT_NE(code, "FJ");
+  }
+}
+
+TEST_F(CampaignTest, CaseStudiesProduceFocusedMeasurements) {
+  const Campaign campaign{world_, fleet_, config_};
+  const Dataset data = campaign.run(util::Rng{1});
+  std::size_t de_to_gb = 0;
+  std::size_t bh_to_in = 0;
+  for (const TraceRecord& trace : data.traces) {
+    if (trace.probe->country->code == std::string_view{"DE"} &&
+        trace.region->country == std::string_view{"GB"}) {
+      ++de_to_gb;
+    }
+    if (trace.probe->country->code == std::string_view{"BH"} &&
+        trace.region->country == std::string_view{"IN"}) {
+      ++bh_to_in;
+    }
+  }
+  EXPECT_GT(de_to_gb, 20u);
+  EXPECT_GT(bh_to_in, 20u);
+}
+
+TEST_F(CampaignTest, AfricanProbesTargetNeighbouringContinents) {
+  const Campaign campaign{world_, fleet_, config_};
+  const Dataset data = campaign.run(util::Rng{1});
+  bool af_to_eu = false;
+  bool af_to_na = false;
+  bool sa_to_na = false;
+  for (const PingRecord& ping : data.pings) {
+    const geo::Continent src = ping.probe->country->continent;
+    const geo::Continent dst = ping.region->continent;
+    if (src == geo::Continent::Africa && dst == geo::Continent::Europe)
+      af_to_eu = true;
+    if (src == geo::Continent::Africa && dst == geo::Continent::NorthAmerica)
+      af_to_na = true;
+    if (src == geo::Continent::SouthAmerica && dst == geo::Continent::NorthAmerica)
+      sa_to_na = true;
+  }
+  EXPECT_TRUE(af_to_eu);
+  EXPECT_TRUE(af_to_na);
+  EXPECT_TRUE(sa_to_na);
+}
+
+TEST_F(CampaignTest, EuropeDoesNotTargetOtherContinents) {
+  const Campaign campaign{world_, fleet_, config_};
+  const Dataset data = campaign.run(util::Rng{1});
+  for (const PingRecord& ping : data.pings) {
+    if (ping.probe->country->continent == geo::Continent::Europe) {
+      EXPECT_EQ(ping.region->continent, geo::Continent::Europe);
+    }
+  }
+}
+
+TEST_F(CampaignTest, DeterministicForSameRng) {
+  const Campaign campaign{world_, fleet_, config_};
+  const Dataset a = campaign.run(util::Rng{9});
+  const Dataset b = campaign.run(util::Rng{9});
+  ASSERT_EQ(a.pings.size(), b.pings.size());
+  for (std::size_t i = 0; i < a.pings.size(); ++i) {
+    EXPECT_EQ(a.pings[i].probe, b.pings[i].probe);
+    EXPECT_DOUBLE_EQ(a.pings[i].rtt_ms, b.pings[i].rtt_ms);
+  }
+}
+
+TEST_F(CampaignTest, SlotsSpanTheDay) {
+  const Campaign campaign{world_, fleet_, config_};
+  const Dataset data = campaign.run(util::Rng{1});
+  std::set<std::uint8_t> slots;
+  for (const PingRecord& ping : data.pings) {
+    EXPECT_LE(ping.slot, 5);
+    slots.insert(ping.slot);
+  }
+  EXPECT_GE(slots.size(), 4u);  // the budget drains across the day
+}
+
+TEST_F(CampaignTest, OnlyConnectedProbesMeasure) {
+  // All selected probes must come from the fleet (sanity of the pointers).
+  const Campaign campaign{world_, fleet_, config_};
+  const Dataset data = campaign.run(util::Rng{1});
+  std::unordered_set<const probes::Probe*> known;
+  for (const probes::Probe& probe : fleet_.probes()) known.insert(&probe);
+  for (const PingRecord& ping : data.pings) {
+    EXPECT_TRUE(known.contains(ping.probe));
+  }
+}
+
+}  // namespace
+}  // namespace cloudrtt::measure

@@ -1,0 +1,186 @@
+// Unit tests for the probe fleets and the shared city directory.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "probes/cities.hpp"
+#include "probes/fleet.hpp"
+
+namespace cloudrtt::probes {
+namespace {
+
+TEST(CityDirectory, EveryCountryHasCities) {
+  for (const geo::CountryInfo& country : geo::CountryTable::instance().all()) {
+    const auto cities = CityDirectory::instance().cities(country.code);
+    EXPECT_GE(cities.size(), 2u) << country.code;
+    EXPECT_LE(cities.size(), 12u) << country.code;
+  }
+  EXPECT_TRUE(CityDirectory::instance().cities("XX").empty());
+}
+
+TEST(CityDirectory, CitiesStayWithinCountrySpread) {
+  for (const char* code : {"DE", "US", "SG", "BR"}) {
+    const geo::CountryInfo& country = geo::CountryTable::instance().at(code);
+    for (const City& city : CityDirectory::instance().cities(code)) {
+      EXPECT_LE(geo::haversine_km(country.centroid, city.location),
+                country.spread_km * 1.3)
+          << city.name;
+    }
+  }
+}
+
+TEST(CityDirectory, FirstCityIsTheCapitalAnchor) {
+  const geo::CountryInfo& de = geo::CountryTable::instance().at("DE");
+  const auto cities = CityDirectory::instance().cities("DE");
+  EXPECT_LE(geo::haversine_km(de.centroid, cities.front().location),
+            de.spread_km * 0.2);
+  EXPECT_GT(cities.front().weight, cities.back().weight);
+}
+
+class FleetTest : public ::testing::Test {
+ protected:
+  topology::World world_{topology::WorldConfig{77}};
+  ProbeFleet sc_{world_, FleetConfig{Platform::Speedchecker, 4000}};
+  ProbeFleet atlas_{world_, FleetConfig{Platform::RipeAtlas, 1200}};
+};
+
+TEST_F(FleetTest, FleetSizesAreNearTargets) {
+  EXPECT_NEAR(static_cast<double>(sc_.size()), 4000.0, 4000.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(atlas_.size()), 1200.0, 1200.0 * 0.05);
+}
+
+TEST_F(FleetTest, CountryProportionsTrackWeights) {
+  const auto& table = geo::CountryTable::instance();
+  const double de_expected = table.at("DE").sc_weight / table.total_sc_weight() *
+                             static_cast<double>(sc_.size());
+  EXPECT_NEAR(static_cast<double>(sc_.count_in_country("DE")), de_expected,
+              de_expected * 0.35 + 5.0);
+}
+
+TEST_F(FleetTest, AtlasIsEntirelyWired) {
+  for (const Probe& probe : atlas_.probes()) {
+    EXPECT_EQ(probe.access, lastmile::AccessTech::Wired);
+    EXPECT_GE(probe.availability, 0.85);
+  }
+}
+
+TEST_F(FleetTest, SpeedcheckerIsWirelessAndTransient) {
+  std::size_t cellular = 0;
+  for (const Probe& probe : sc_.probes()) {
+    EXPECT_NE(probe.access, lastmile::AccessTech::Wired);
+    EXPECT_LE(probe.availability, 0.60);
+    if (probe.access == lastmile::AccessTech::Cellular) ++cellular;
+  }
+  const double cell_share =
+      static_cast<double>(cellular) / static_cast<double>(sc_.size());
+  EXPECT_GT(cell_share, 0.30);
+  EXPECT_LT(cell_share, 0.60);
+}
+
+TEST_F(FleetTest, NorthAfricaIsCellularHeavy) {
+  std::size_t cellular = 0;
+  std::size_t total = 0;
+  for (const Probe* probe : sc_.in_country("EG")) {
+    ++total;
+    if (probe->access == lastmile::AccessTech::Cellular) ++cellular;
+  }
+  ASSERT_GT(total, 5u);
+  EXPECT_GT(static_cast<double>(cellular) / static_cast<double>(total), 0.6);
+}
+
+TEST_F(FleetTest, ProbesSitInTheirCountryIsps) {
+  for (const Probe& probe : sc_.probes()) {
+    ASSERT_NE(probe.isp, nullptr);
+    EXPECT_EQ(probe.isp->country, probe.country->code);
+    ASSERT_NE(probe.city, nullptr);
+    EXPECT_LE(geo::haversine_km(probe.city->location, probe.location), 20.0);
+  }
+}
+
+TEST_F(FleetTest, AddressesMatchCgnFlag) {
+  std::size_t cgn = 0;
+  for (const Probe& probe : sc_.probes()) {
+    if (probe.behind_cgn) {
+      EXPECT_TRUE(net::is_cgn(probe.address));
+      ++cgn;
+    } else {
+      EXPECT_FALSE(net::is_private(probe.address));
+      EXPECT_TRUE(probe.isp->customer_prefix.contains(probe.address));
+    }
+  }
+  // CGN should be a real but minority phenomenon.
+  EXPECT_GT(cgn, sc_.size() / 20);
+  EXPECT_LT(cgn, sc_.size() / 2);
+}
+
+TEST_F(FleetTest, ProbeIdsAreUniqueAcrossPlatforms) {
+  std::map<std::uint32_t, int> ids;
+  for (const Probe& probe : sc_.probes()) ++ids[probe.id];
+  for (const Probe& probe : atlas_.probes()) ++ids[probe.id];
+  for (const auto& [id, count] : ids) {
+    EXPECT_EQ(count, 1) << id;
+  }
+}
+
+TEST_F(FleetTest, BrazilDominatesScSouthAmericaButNotAtlas) {
+  std::size_t sc_sa = 0;
+  std::size_t sc_br = 0;
+  std::size_t atlas_sa = 0;
+  std::size_t atlas_br = 0;
+  for (const Probe& probe : sc_.probes()) {
+    if (probe.country->continent != geo::Continent::SouthAmerica) continue;
+    ++sc_sa;
+    if (probe.country->code == std::string_view{"BR"}) ++sc_br;
+  }
+  for (const Probe& probe : atlas_.probes()) {
+    if (probe.country->continent != geo::Continent::SouthAmerica) continue;
+    ++atlas_sa;
+    if (probe.country->code == std::string_view{"BR"}) ++atlas_br;
+  }
+  ASSERT_GT(sc_sa, 20u);
+  ASSERT_GT(atlas_sa, 10u);
+  EXPECT_GT(static_cast<double>(sc_br) / static_cast<double>(sc_sa), 0.65);
+  EXPECT_LT(static_cast<double>(atlas_br) / static_cast<double>(atlas_sa), 0.55);
+}
+
+TEST(FleetDeterminism, SameWorldSeedSameFleet) {
+  topology::World w1{topology::WorldConfig{5}};
+  topology::World w2{topology::WorldConfig{5}};
+  const ProbeFleet f1{w1, FleetConfig{Platform::Speedchecker, 500}};
+  const ProbeFleet f2{w2, FleetConfig{Platform::Speedchecker, 500}};
+  ASSERT_EQ(f1.size(), f2.size());
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_EQ(f1.probes()[i].id, f2.probes()[i].id);
+    EXPECT_EQ(f1.probes()[i].address, f2.probes()[i].address);
+    EXPECT_EQ(f1.probes()[i].access, f2.probes()[i].access);
+  }
+}
+
+TEST(FleetScaling, ThresholdScalesWithFleetSize) {
+  topology::World world{topology::WorldConfig{5}};
+  const ProbeFleet fleet{world, FleetConfig{Platform::Speedchecker, 1150}};
+  EXPECT_NEAR(fleet.scaled_country_threshold(), 1.0, 0.2);
+}
+
+// Property sweep: fleet generation stays proportional at any scale.
+class ScaleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScaleSweep, EuropeRemainsTheLargestShare) {
+  topology::World world{topology::WorldConfig{9}};
+  const ProbeFleet fleet{world, FleetConfig{Platform::Speedchecker, GetParam()}};
+  std::array<std::size_t, geo::kContinentCount> counts{};
+  for (const Probe& probe : fleet.probes()) {
+    ++counts[geo::index_of(probe.country->continent)];
+  }
+  const std::size_t eu = counts[geo::index_of(geo::Continent::Europe)];
+  for (const geo::Continent c : geo::kAllContinents) {
+    if (c == geo::Continent::Europe) continue;
+    EXPECT_GE(eu, counts[geo::index_of(c)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScaleSweep, ::testing::Values(500, 2000, 8000));
+
+}  // namespace
+}  // namespace cloudrtt::probes

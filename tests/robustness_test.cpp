@@ -1,0 +1,120 @@
+// Robustness: the headline paper shapes must hold across study seeds — the
+// reproduction is a property of the model, not of one lucky random stream.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "analysis/experiments.hpp"
+#include "core/study.hpp"
+#include "util/stats.hpp"
+
+namespace cloudrtt {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static const core::Study& study_for(std::uint64_t seed) {
+    static std::map<std::uint64_t, std::unique_ptr<core::Study>> cache;
+    auto it = cache.find(seed);
+    if (it == cache.end()) {
+      core::StudyConfig config;
+      config.seed = seed;
+      config.sc_probes = 2500;
+      config.atlas_probes = 800;
+      config.sc_campaign.days = 5;
+      config.sc_campaign.daily_budget = 7000;
+      config.atlas_campaign.days = 4;
+      config.atlas_campaign.daily_budget = 2000;
+      auto study = std::make_unique<core::Study>(config);
+      study->run();
+      it = cache.emplace(seed, std::move(study)).first;
+    }
+    return *it->second;
+  }
+};
+
+TEST_P(SeedSweep, GeographyOrderingHolds) {
+  const auto series = analysis::fig4_continent_rtt(study_for(GetParam()).view());
+  double af = 0.0;
+  double eu = 0.0;
+  for (const auto& s : series) {
+    if (s.label == "AF") af = util::median(s.values);
+    if (s.label == "EU") eu = util::median(s.values);
+  }
+  ASSERT_GT(af, 0.0);
+  ASSERT_GT(eu, 0.0);
+  EXPECT_GT(af, 2.0 * eu);
+}
+
+TEST_P(SeedSweep, HypergiantsStayDirect) {
+  const auto rows =
+      analysis::fig10_interconnect_share(study_for(GetParam()).view());
+  for (const auto& row : rows) {
+    if (row.ticker == "AMZN" || row.ticker == "GCP" || row.ticker == "MSFT") {
+      EXPECT_GT(row.direct_pct, 45.0) << row.ticker;
+      EXPECT_GT(row.direct_pct, row.multi_as_pct) << row.ticker;
+    }
+    if (row.ticker == "VLTR" || row.ticker == "LIN" || row.ticker == "ORCL") {
+      EXPECT_GT(row.multi_as_pct, row.direct_pct) << row.ticker;
+    }
+  }
+}
+
+TEST_P(SeedSweep, WirelessLastMileCalibrationHolds) {
+  const auto stats =
+      analysis::lastmile_stats(study_for(GetParam()).view(), false);
+  const double home = util::median(stats.absolute(
+      analysis::LastMileCategory::HomeUsrIsp, analysis::kGlobalIndex));
+  EXPECT_GT(home, 15.0);
+  EXPECT_LT(home, 35.0);
+}
+
+TEST_P(SeedSweep, AtlasStaysFasterInEurope) {
+  const auto series = analysis::fig5_platform_diff(study_for(GetParam()).view());
+  for (const auto& s : series) {
+    if (s.label != "EU" || s.values.empty()) continue;
+    EXPECT_GT(util::median(s.values), 0.0);  // positive = Atlas faster
+  }
+}
+
+TEST_P(SeedSweep, BahrainDirectPeeringAlwaysWins) {
+  // At the sweep's reduced scale individual providers can be thin, so pool
+  // direct samples (MSFT/GCP are the only direct peers in BH) against the
+  // intermediate samples of every provider.
+  const auto cs = analysis::peering_case_study(study_for(GetParam()).view(),
+                                               "BH", "IN", 1);
+  double direct_weighted = 0.0;
+  std::size_t direct_n = 0;
+  double intermediate_weighted = 0.0;
+  std::size_t intermediate_n = 0;
+  for (const auto& row : cs.latency) {
+    direct_weighted += row.direct.median * static_cast<double>(row.direct.count);
+    direct_n += row.direct.count;
+    intermediate_weighted +=
+        row.intermediate.median * static_cast<double>(row.intermediate.count);
+    intermediate_n += row.intermediate.count;
+  }
+  ASSERT_GE(direct_n, 5u);
+  ASSERT_GE(intermediate_n, 20u);
+  EXPECT_LT(direct_weighted / static_cast<double>(direct_n),
+            intermediate_weighted / static_cast<double>(intermediate_n));
+}
+
+TEST_P(SeedSweep, BootstrapCiBracketsTheEuMedian) {
+  const auto series = analysis::fig4_continent_rtt(study_for(GetParam()).view());
+  for (const auto& s : series) {
+    if (s.label != "EU") continue;
+    util::Rng rng{GetParam()};
+    const util::Interval ci = util::bootstrap_median_ci(s.values, 0.95, rng);
+    const double med = util::median(s.values);
+    EXPECT_TRUE(ci.contains(med)) << ci.low << ".." << ci.high << " vs " << med;
+    EXPECT_LT(ci.width(), med * 0.2);  // plenty of samples => tight CI
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(7, 101, 9001));
+
+}  // namespace
+}  // namespace cloudrtt

@@ -1,0 +1,324 @@
+// Unit tests for forwarding-path construction: per-mode path shapes, hop
+// ownership, latency monotonicity, and the case-study geography (§6.2).
+
+#include <gtest/gtest.h>
+
+#include "probes/fleet.hpp"
+#include "routing/path_builder.hpp"
+#include "topology/world.hpp"
+
+namespace cloudrtt::routing {
+namespace {
+
+using topology::InterconnectMode;
+
+class PathBuilderTest : public ::testing::Test {
+ protected:
+  PathBuilderTest() : builder_(world_) {}
+
+  /// A synthetic probe pinned to a given country's first ISP.
+  probes::Probe make_probe(std::string_view country,
+                           lastmile::AccessTech access = lastmile::AccessTech::HomeWifi,
+                           bool cgn = false) {
+    const geo::CountryInfo& info = world_.countries().at(country);
+    probes::Probe probe;
+    probe.id = next_id_++;
+    probe.country = &info;
+    probe.isp = world_.isps_in(country).front();
+    probe.city = &probes::CityDirectory::instance().cities(country).front();
+    probe.location = probe.city->location;
+    probe.access = access;
+    probe.behind_cgn = cgn;
+    util::Rng rng{probe.id};
+    probe.lastmile = lastmile::make_profile(access, info.backhaul_quality, rng);
+    probe.address = cgn ? world_.allocate_cgn_ip(probe.isp->asn)
+                        : world_.allocate_customer_ip(probe.isp->asn);
+    return probe;
+  }
+
+  const topology::CloudEndpoint& endpoint_in(std::string_view country,
+                                             cloud::ProviderId provider) {
+    for (const topology::CloudEndpoint& endpoint : world_.endpoints()) {
+      if (endpoint.region->country == country &&
+          endpoint.region->provider == provider) {
+        return endpoint;
+      }
+    }
+    throw std::logic_error{"no such endpoint in test"};
+  }
+
+  /// Count distinct non-ISP, non-cloud, non-IXP ASes between ISP and cloud.
+  int intermediate_as_count(const ForwardingPath& path,
+                            topology::Asn isp_asn, topology::Asn cloud_asn) {
+    std::vector<topology::Asn> seen;
+    for (const RouterHop& hop : path.hops) {
+      if (hop.is_private || hop.asn == isp_asn) continue;
+      if (hop.asn == cloud_asn) break;
+      if (world_.registry().contains(hop.asn) &&
+          world_.registry().at(hop.asn).is_ixp()) {
+        continue;
+      }
+      if (std::find(seen.begin(), seen.end(), hop.asn) == seen.end()) {
+        seen.push_back(hop.asn);
+      }
+    }
+    return static_cast<int>(seen.size());
+  }
+
+  topology::World world_{topology::WorldConfig{11}};
+  PathBuilder builder_;
+  std::uint32_t next_id_ = 1;
+};
+
+TEST_F(PathBuilderTest, PathEndsAtTheTargetVm) {
+  const probes::Probe probe = make_probe("DE");
+  const auto& endpoint = endpoint_in("GB", cloud::ProviderId::Amazon);
+  for (const InterconnectMode mode :
+       {InterconnectMode::Direct, InterconnectMode::DirectIxp,
+        InterconnectMode::OneAs, InterconnectMode::Public}) {
+    const ForwardingPath path = builder_.build(probe, endpoint, mode);
+    ASSERT_FALSE(path.hops.empty());
+    EXPECT_EQ(path.hops.back().ip, endpoint.vm_ip);
+    EXPECT_TRUE(path.hops.back().cloud_owned);
+    EXPECT_EQ(path.mode, mode);
+  }
+}
+
+TEST_F(PathBuilderTest, BaseRttIsMonotoneAlongThePath) {
+  const probes::Probe probe = make_probe("JP");
+  const auto& endpoint = endpoint_in("IN", cloud::ProviderId::Microsoft);
+  const ForwardingPath path =
+      builder_.build(probe, endpoint, InterconnectMode::Public);
+  double previous = -1.0;
+  for (const RouterHop& hop : path.hops) {
+    EXPECT_GE(hop.base_rtt_ms, previous);
+    previous = hop.base_rtt_ms;
+  }
+}
+
+TEST_F(PathBuilderTest, HomeProbeStartsWithPrivateRouter) {
+  const probes::Probe probe = make_probe("DE", lastmile::AccessTech::HomeWifi);
+  const ForwardingPath path = builder_.build(
+      probe, endpoint_in("DE", cloud::ProviderId::Amazon), InterconnectMode::Direct);
+  ASSERT_GE(path.hops.size(), 2u);
+  EXPECT_TRUE(path.hops.front().is_private);
+  EXPECT_TRUE(net::is_rfc1918(path.hops.front().ip));
+  EXPECT_FALSE(path.hops[1].is_private);
+}
+
+TEST_F(PathBuilderTest, CellularProbeHitsIspDirectly) {
+  const probes::Probe probe = make_probe("DE", lastmile::AccessTech::Cellular);
+  const ForwardingPath path = builder_.build(
+      probe, endpoint_in("DE", cloud::ProviderId::Amazon), InterconnectMode::Direct);
+  EXPECT_FALSE(path.hops.front().is_private);
+  EXPECT_EQ(path.hops.front().asn, probe.isp->asn);
+}
+
+TEST_F(PathBuilderTest, CgnInsertsSharedSpaceHop) {
+  const probes::Probe probe =
+      make_probe("DE", lastmile::AccessTech::Cellular, /*cgn=*/true);
+  const ForwardingPath path = builder_.build(
+      probe, endpoint_in("DE", cloud::ProviderId::Amazon), InterconnectMode::Direct);
+  EXPECT_TRUE(path.hops.front().is_private);
+  EXPECT_TRUE(net::is_cgn(path.hops.front().ip));
+}
+
+TEST_F(PathBuilderTest, DirectPathHasNoIntermediateAs) {
+  const probes::Probe probe = make_probe("DE");
+  const auto& endpoint = endpoint_in("GB", cloud::ProviderId::Google);
+  const ForwardingPath path =
+      builder_.build(probe, endpoint, InterconnectMode::Direct);
+  EXPECT_EQ(intermediate_as_count(path, probe.isp->asn,
+                                  cloud::provider_info(cloud::ProviderId::Google).asn),
+            0);
+}
+
+TEST_F(PathBuilderTest, OneAsPathHasExactlyOneCarrier) {
+  const probes::Probe probe = make_probe("DE");
+  const auto& endpoint = endpoint_in("GB", cloud::ProviderId::Vultr);
+  const ForwardingPath path =
+      builder_.build(probe, endpoint, InterconnectMode::OneAs);
+  EXPECT_EQ(intermediate_as_count(path, probe.isp->asn,
+                                  cloud::provider_info(cloud::ProviderId::Vultr).asn),
+            1);
+}
+
+TEST_F(PathBuilderTest, PublicPathHasTwoOrMoreIntermediates) {
+  const probes::Probe probe = make_probe("DE");
+  const auto& endpoint = endpoint_in("GB", cloud::ProviderId::Linode);
+  const ForwardingPath path =
+      builder_.build(probe, endpoint, InterconnectMode::Public);
+  EXPECT_GE(intermediate_as_count(path, probe.isp->asn,
+                                  cloud::provider_info(cloud::ProviderId::Linode).asn),
+            2);
+}
+
+TEST_F(PathBuilderTest, DirectIxpExposesAnExchangeHop) {
+  const probes::Probe probe = make_probe("DE");
+  const auto& endpoint = endpoint_in("GB", cloud::ProviderId::Ibm);
+  const ForwardingPath path =
+      builder_.build(probe, endpoint, InterconnectMode::DirectIxp);
+  bool has_ixp_hop = false;
+  for (const RouterHop& hop : path.hops) {
+    if (world_.registry().contains(hop.asn) &&
+        world_.registry().at(hop.asn).is_ixp()) {
+      has_ixp_hop = true;
+    }
+  }
+  EXPECT_TRUE(has_ixp_hop);
+}
+
+TEST_F(PathBuilderTest, HypergiantDirectPathsAreCloudHeavy) {
+  // Fig. 11: >60% of routers on a hypergiant path belong to the provider.
+  const probes::Probe probe = make_probe("FR");
+  const ForwardingPath path = builder_.build(
+      probe, endpoint_in("JP", cloud::ProviderId::Google), InterconnectMode::Direct);
+  const double ratio = static_cast<double>(path.cloud_owned_hops()) /
+                       static_cast<double>(path.hops.size());
+  EXPECT_GT(ratio, 0.45);
+}
+
+TEST_F(PathBuilderTest, PublicPathsAreCloudLight) {
+  const probes::Probe probe = make_probe("FR");
+  const ForwardingPath path = builder_.build(
+      probe, endpoint_in("JP", cloud::ProviderId::Linode), InterconnectMode::Public);
+  const double ratio = static_cast<double>(path.cloud_owned_hops()) /
+                       static_cast<double>(path.hops.size());
+  EXPECT_LT(ratio, 0.35);
+}
+
+TEST_F(PathBuilderTest, GeographyOrdersLatency) {
+  const probes::Probe probe = make_probe("DE");
+  const double to_fr =
+      builder_.build(probe, endpoint_in("FR", cloud::ProviderId::Amazon),
+                     InterconnectMode::Direct)
+          .base_rtt_ms();
+  const double to_jp =
+      builder_.build(probe, endpoint_in("JP", cloud::ProviderId::Amazon),
+                     InterconnectMode::Direct)
+          .base_rtt_ms();
+  const double to_au =
+      builder_.build(probe, endpoint_in("AU", cloud::ProviderId::Amazon),
+                     InterconnectMode::Direct)
+          .base_rtt_ms();
+  EXPECT_LT(to_fr, to_jp);
+  EXPECT_LT(to_jp, to_au);
+  EXPECT_GT(to_fr, 2.0);
+}
+
+TEST_F(PathBuilderTest, BahrainDirectBeatsPublicToIndia) {
+  // Fig. 18b: where direct peering exists (MSFT), it is substantially faster
+  // than transit paths that hairpin via Egypt.
+  const probes::Probe probe = make_probe("BH");
+  const auto& endpoint = endpoint_in("IN", cloud::ProviderId::Microsoft);
+  const double direct =
+      builder_.build(probe, endpoint, InterconnectMode::Direct).base_rtt_ms();
+  const double pub =
+      builder_.build(probe, endpoint, InterconnectMode::Public).base_rtt_ms();
+  EXPECT_LT(direct * 1.5, pub);
+}
+
+TEST_F(PathBuilderTest, GermanyDirectAndTransitAreComparableToUk) {
+  // Fig. 12b: the well-provisioned EU backbone leaves no margin.
+  const probes::Probe probe = make_probe("DE");
+  const auto& endpoint = endpoint_in("GB", cloud::ProviderId::Amazon);
+  const double direct =
+      builder_.build(probe, endpoint, InterconnectMode::Direct).base_rtt_ms();
+  const double one_as =
+      builder_.build(probe, endpoint, InterconnectMode::OneAs).base_rtt_ms();
+  EXPECT_LT(std::abs(direct - one_as), 15.0);
+}
+
+TEST_F(PathBuilderTest, JapanDirectHasLowerJitterBudgetThanPublic) {
+  // Fig. 13b: comparable medians, much tighter spread over direct peering.
+  const probes::Probe probe = make_probe("JP");
+  const auto& endpoint = endpoint_in("IN", cloud::ProviderId::Microsoft);
+  const ForwardingPath direct =
+      builder_.build(probe, endpoint, InterconnectMode::Direct);
+  const ForwardingPath pub =
+      builder_.build(probe, endpoint, InterconnectMode::Public);
+  EXPECT_LT(direct.noise_abs_ms() * 1.5, pub.noise_abs_ms());
+  EXPECT_LT(std::abs(direct.base_rtt_ms() - pub.base_rtt_ms()),
+            pub.base_rtt_ms() * 0.4);
+}
+
+TEST_F(PathBuilderTest, WanServesMatchesBackboneClasses) {
+  const auto& catalog = cloud::RegionCatalog::instance();
+  for (const cloud::RegionInfo& region : catalog.all()) {
+    const bool wan = PathBuilder::wan_serves(region.provider, region);
+    switch (cloud::provider_info(region.provider).backbone) {
+      case cloud::BackboneClass::Private:
+        EXPECT_TRUE(wan) << region.region_name;
+        break;
+      case cloud::BackboneClass::Public:
+        EXPECT_FALSE(wan) << region.region_name;
+        break;
+      case cloud::BackboneClass::Semi:
+        if (region.provider == cloud::ProviderId::Alibaba) {
+          EXPECT_EQ(wan, region.country == std::string_view{"CN"} ||
+                             region.country == std::string_view{"HK"})
+              << region.region_name;
+        } else {
+          EXPECT_EQ(wan, region.continent == geo::Continent::Europe ||
+                             region.continent == geo::Continent::NorthAmerica)
+              << region.region_name;
+        }
+        break;
+    }
+  }
+}
+
+TEST_F(PathBuilderTest, DeterministicForSameInputs) {
+  const probes::Probe probe = make_probe("UA");
+  const auto& endpoint = endpoint_in("GB", cloud::ProviderId::Oracle);
+  const ForwardingPath a = builder_.build(probe, endpoint, InterconnectMode::OneAs);
+  const ForwardingPath b = builder_.build(probe, endpoint, InterconnectMode::OneAs);
+  ASSERT_EQ(a.hops.size(), b.hops.size());
+  for (std::size_t i = 0; i < a.hops.size(); ++i) {
+    EXPECT_EQ(a.hops[i].ip, b.hops[i].ip);
+    EXPECT_DOUBLE_EQ(a.hops[i].base_rtt_ms, b.hops[i].base_rtt_ms);
+  }
+}
+
+// Property sweep: from several source countries to several destinations, the
+// base RTT never undercuts the speed of light over the great circle.
+class PhysicsSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {};
+
+TEST_P(PhysicsSweep, NoFasterThanLight) {
+  topology::World world{topology::WorldConfig{13}};
+  PathBuilder builder{world};
+  const auto [src, dst] = GetParam();
+
+  const geo::CountryInfo& src_info = world.countries().at(src);
+  probes::Probe probe;
+  probe.id = 1;
+  probe.country = &src_info;
+  probe.isp = world.isps_in(src).front();
+  probe.city = &probes::CityDirectory::instance().cities(src).front();
+  probe.location = probe.city->location;
+  probe.access = lastmile::AccessTech::Cellular;
+
+  for (const topology::CloudEndpoint& endpoint : world.endpoints()) {
+    if (endpoint.region->country != std::string_view{dst}) continue;
+    for (const InterconnectMode mode :
+         {InterconnectMode::Direct, InterconnectMode::OneAs,
+          InterconnectMode::Public}) {
+      const ForwardingPath path = builder.build(probe, endpoint, mode);
+      const double light =
+          geo::fibre_rtt_ms(geo::haversine_km(probe.location,
+                                              endpoint.region->location));
+      EXPECT_GE(path.base_rtt_ms(), light * 0.999)
+          << src << "->" << dst << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, PhysicsSweep,
+    ::testing::Values(std::make_tuple("DE", "GB"), std::make_tuple("JP", "IN"),
+                      std::make_tuple("BR", "US"), std::make_tuple("EG", "ZA"),
+                      std::make_tuple("AU", "SG"), std::make_tuple("US", "JP")));
+
+}  // namespace
+}  // namespace cloudrtt::routing

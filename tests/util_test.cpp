@@ -1,0 +1,237 @@
+// Unit tests for the util library: PRNG determinism and distribution sanity,
+// descriptive statistics, and the §3.3 confidence calculator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/text.hpp"
+
+namespace cloudrtt::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{1234};
+  Rng b{1234};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkByLabelIsStableAndIndependent) {
+  const Rng root{99};
+  Rng f1 = root.fork("alpha");
+  Rng f2 = root.fork("alpha");
+  Rng f3 = root.fork("beta");
+  EXPECT_EQ(f1.next(), f2.next());
+  Rng f4 = root.fork("alpha");
+  EXPECT_NE(f4.next(), f3.next());
+}
+
+TEST(Rng, ForkByIndexIsStable) {
+  const Rng root{7};
+  Rng a = root.fork(std::uint64_t{5});
+  Rng b = root.fork(std::uint64_t{5});
+  Rng c = root.fork(std::uint64_t{6});
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{42};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossRange) {
+  Rng rng{42};
+  std::array<int, 10> histogram{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[rng.below(10)];
+  }
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, BetweenCoversInclusiveBounds) {
+  Rng rng{5};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{42};
+  std::vector<double> samples;
+  samples.reserve(50000);
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.normal());
+  EXPECT_NEAR(mean(samples), 0.0, 0.02);
+  EXPECT_NEAR(stddev(samples), 1.0, 0.02);
+}
+
+TEST(Rng, LognormalMedianIsCalibrated) {
+  Rng rng{42};
+  std::vector<double> samples;
+  for (int i = 0; i < 40000; ++i) samples.push_back(rng.lognormal_median(20.0, 0.5));
+  EXPECT_NEAR(median(samples), 20.0, 0.5);
+}
+
+TEST(Rng, LognormalSigmaControlsCv) {
+  Rng rng{42};
+  std::vector<double> samples;
+  for (int i = 0; i < 40000; ++i) samples.push_back(rng.lognormal_median(20.0, 0.5));
+  // Cv of lognormal = sqrt(exp(sigma^2) - 1) ~= 0.533 for sigma = 0.5.
+  const auto cv = coefficient_of_variation(samples);
+  ASSERT_TRUE(cv.has_value());
+  EXPECT_NEAR(*cv, std::sqrt(std::exp(0.25) - 1.0), 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{42};
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.exponential(7.0));
+  EXPECT_NEAR(mean(samples), 7.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng{42};
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::array<int, 4> histogram{};
+  for (int i = 0; i < 100000; ++i) {
+    ++histogram[rng.weighted_index(weights)];
+  }
+  EXPECT_EQ(histogram[2], 0);
+  EXPECT_NEAR(histogram[0], 10000, 800);
+  EXPECT_NEAR(histogram[1], 30000, 1200);
+  EXPECT_NEAR(histogram[3], 60000, 1500);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 10.0);
+}
+
+TEST(Stats, SummaryFields) {
+  const Summary s = summarize({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.5);
+  EXPECT_NEAR(s.p25, 3.25, 1e-9);
+  EXPECT_NEAR(s.p75, 7.75, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+}
+
+TEST(Stats, CoefficientOfVariationEdgeCases) {
+  EXPECT_FALSE(coefficient_of_variation({1.0}).has_value());
+  EXPECT_FALSE(coefficient_of_variation({0.0, 0.0}).has_value());
+  const auto cv = coefficient_of_variation({10.0, 10.0, 10.0});
+  ASSERT_TRUE(cv.has_value());
+  EXPECT_DOUBLE_EQ(*cv, 0.0);
+}
+
+TEST(Stats, EmpiricalCdfEvaluate) {
+  const EmpiricalCdf cdf{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(cdf.evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(10.0), 1.0);
+}
+
+TEST(Stats, RequiredSampleSizeMatchesPaper) {
+  // §3.3: z = 1.96, p = 0.5, eps = 2% -> 2401 measurements per country.
+  EXPECT_EQ(required_sample_size(1.96, 0.5, 0.02), 2401u);
+  EXPECT_EQ(required_sample_size(z_score_for_confidence(0.95), 0.5, 0.02), 2401u);
+}
+
+TEST(Stats, RequiredSampleSizeRejectsBadInput) {
+  EXPECT_THROW((void)required_sample_size(1.96, 0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)required_sample_size(1.96, 1.5, 0.02), std::invalid_argument);
+  EXPECT_THROW((void)z_score_for_confidence(0.42), std::invalid_argument);
+}
+
+TEST(Text, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Text, TableRendersAlignedColumns) {
+  TextTable table;
+  table.set_header({"a", "bbb"});
+  table.add_row({"x", "y"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("a  bbb"), std::string::npos);
+  EXPECT_NE(out.find("x  y"), std::string::npos);
+}
+
+TEST(Text, BarProportions) {
+  EXPECT_EQ(bar(0.0, 10.0, 10), "..........");
+  EXPECT_EQ(bar(10.0, 10.0, 10), "##########");
+  EXPECT_EQ(bar(5.0, 10.0, 10), "#####.....");
+}
+
+TEST(Text, CsvQuoting) {
+  std::ostringstream out;
+  write_csv_row(out, {"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Text, ThresholdTableReportsFractions) {
+  const std::vector<Series> series{{"s", {10.0, 20.0, 30.0, 40.0}}};
+  const std::string out = render_threshold_table(series, {25.0});
+  EXPECT_NE(out.find("50.0%"), std::string::npos);
+}
+
+// Property sweep: quantile_sorted is monotone in q for any sample set.
+class QuantileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotone, MonotoneInQ) {
+  Rng rng{GetParam()};
+  std::vector<double> values;
+  const auto n = 1 + rng.below(200);
+  for (std::uint64_t i = 0; i < n; ++i) values.push_back(rng.uniform(0, 1000));
+  std::sort(values.begin(), values.end());
+  double prev = quantile_sorted(values, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double current = quantile_sorted(values, q);
+    EXPECT_GE(current, prev - 1e-12);
+    prev = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace cloudrtt::util

@@ -1,0 +1,250 @@
+// cloudrtt — command-line front end to the library.
+//
+//   cloudrtt world   [--seed N]                     topology inventory
+//   cloudrtt resolve <ip> [--seed N]                IP -> ASN through the pipeline
+//   cloudrtt trace <country> <provider> [...]       one annotated traceroute
+//   cloudrtt study   [--sc-probes N --days D ...]   full campaign + artefacts
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/resolve.hpp"
+#include "analysis/trace_analysis.hpp"
+#include "core/export.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "measure/engine.hpp"
+#include "probes/fleet.hpp"
+#include "topology/world.hpp"
+#include "util/cli.hpp"
+#include "util/text.hpp"
+
+namespace {
+
+using namespace cloudrtt;
+
+int cmd_world(int argc, const char* const* argv) {
+  util::ArgParser args{"cloudrtt world", "print the synthetic-Internet inventory"};
+  args.add_option("seed", "42", "world seed");
+  if (!args.parse(argc, argv)) return 1;
+
+  const topology::World world{
+      topology::WorldConfig{static_cast<std::uint64_t>(args.get_int("seed"))}};
+  std::size_t isps = world.isps().size();
+  std::size_t named = 0;
+  for (const topology::IspNetwork& isp : world.isps()) {
+    if (isp.named) ++named;
+  }
+  util::TextTable table;
+  table.set_header({"component", "count"});
+  table.add_row({"countries", std::to_string(world.countries().all().size())});
+  table.add_row({"backbone nodes", std::to_string(world.backbone().node_count())});
+  table.add_row({"backbone links", std::to_string(world.backbone().edge_count())});
+  table.add_row({"access ISPs", std::to_string(isps) + " (" +
+                                    std::to_string(named) + " from the paper)"});
+  table.add_row({"tier-1/regional carriers",
+                 std::to_string(topology::tier1_carriers().size())});
+  table.add_row({"IXPs", std::to_string(topology::known_ixps().size())});
+  table.add_row({"registered ASes", std::to_string(world.registry().size())});
+  table.add_row({"cloud regions", std::to_string(world.endpoints().size())});
+  table.add_row({"announced prefixes (RIB)", std::to_string(world.rib_dump().size())});
+  table.add_row({"whois-only prefixes", std::to_string(world.whois_entries().size())});
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_resolve(int argc, const char* const* argv) {
+  util::ArgParser args{"cloudrtt resolve", "resolve an IPv4 address to its AS"};
+  args.add_positional("ip", "dotted-quad IPv4 address");
+  args.add_option("seed", "42", "world seed");
+  if (!args.parse(argc, argv)) return 1;
+
+  const auto addr = net::Ipv4Address::parse(args.get("ip"));
+  if (!addr) {
+    std::cerr << "not a valid IPv4 address: " << args.get("ip") << "\n";
+    return 1;
+  }
+  const topology::World world{
+      topology::WorldConfig{static_cast<std::uint64_t>(args.get_int("seed"))}};
+  const analysis::IpToAsn resolver = analysis::IpToAsn::from_world(world);
+  if (net::is_private(*addr)) {
+    std::cout << addr->to_string() << ": private address space ("
+              << (net::is_cgn(*addr) ? "CGN 100.64/10" : "RFC1918/loopback/LL")
+              << ")\n";
+    return 0;
+  }
+  const auto res = resolver.resolve(*addr);
+  if (!res) {
+    std::cout << addr->to_string() << ": no covering prefix in RIB or whois\n";
+    return 0;
+  }
+  const topology::AsInfo& info = world.registry().at(res->asn);
+  std::cout << addr->to_string() << ": AS" << res->asn << " (" << info.name << ")"
+            << (res->is_ixp ? " [IXP peering LAN]" : "")
+            << (res->source == analysis::ResolutionSource::Whois
+                    ? " [whois fallback]"
+                    : " [RIB]")
+            << "\n";
+  return 0;
+}
+
+int cmd_trace(int argc, const char* const* argv) {
+  util::ArgParser args{"cloudrtt trace",
+                       "run one annotated traceroute from a country to a provider"};
+  args.add_positional("country", "probe country (ISO code)", "DE");
+  args.add_positional("provider", "provider ticker (AMZN/GCP/MSFT/...)", "AMZN");
+  args.add_option("seed", "42", "world seed");
+  args.add_option("access", "wifi", "probe access: wifi | cell | wired");
+  if (!args.parse(argc, argv)) return 1;
+
+  const auto provider = cloud::provider_from_ticker(args.get("provider"));
+  if (!provider) {
+    std::cerr << "unknown provider ticker " << args.get("provider") << "\n";
+    return 1;
+  }
+  topology::World world{
+      topology::WorldConfig{static_cast<std::uint64_t>(args.get_int("seed"))}};
+  if (world.countries().find(args.get("country")) == nullptr) {
+    std::cerr << "unknown country " << args.get("country") << "\n";
+    return 1;
+  }
+  lastmile::AccessTech access = lastmile::AccessTech::HomeWifi;
+  if (args.get("access") == "cell") access = lastmile::AccessTech::Cellular;
+  if (args.get("access") == "wired") access = lastmile::AccessTech::Wired;
+
+  probes::FleetConfig fleet_config{probes::Platform::Speedchecker, 15000};
+  fleet_config.access_override = access;
+  probes::ProbeFleet fleet{world, fleet_config};
+  const auto panel = fleet.in_country(args.get("country"));
+  if (panel.empty()) {
+    std::cerr << "no probes available in " << args.get("country") << "\n";
+    return 1;
+  }
+  const probes::Probe& probe = *panel.front();
+
+  const topology::CloudEndpoint* endpoint = nullptr;
+  double best = 1e18;
+  for (const topology::CloudEndpoint& candidate : world.endpoints()) {
+    if (candidate.region->provider != *provider) continue;
+    const double km = geo::haversine_km(probe.location, candidate.region->location);
+    if (km < best) {
+      best = km;
+      endpoint = &candidate;
+    }
+  }
+
+  measure::Engine engine{world};
+  const analysis::IpToAsn resolver = analysis::IpToAsn::from_world(world);
+  util::Rng rng = world.fork_rng("cli-trace");
+  const measure::TraceRecord trace = engine.traceroute(probe, *endpoint, 0, rng);
+
+  std::cout << "traceroute to " << endpoint->vm_ip.to_string() << " ("
+            << endpoint->region->region_name << ", " << endpoint->region->city
+            << "), from " << probe.city->name << " via " << probe.isp->name
+            << " [" << to_string(probe.access) << "]\n";
+  for (const measure::HopRecord& hop : trace.hops) {
+    std::cout << " " << (hop.ttl < 10 ? " " : "") << static_cast<int>(hop.ttl)
+              << "  ";
+    if (!hop.responded) {
+      std::cout << "* * *\n";
+      continue;
+    }
+    std::cout << hop.ip.to_string() << "  "
+              << util::format_double(hop.rtt_ms, 2) << " ms";
+    if (const auto res = resolver.resolve(hop.ip)) {
+      std::cout << "  [AS" << res->asn << " " << world.registry().at(res->asn).name
+                << "]";
+    } else if (net::is_private(hop.ip)) {
+      std::cout << "  [private]";
+    }
+    std::cout << "\n";
+  }
+  const auto obs = analysis::classify_interconnect(trace, resolver);
+  if (obs.valid) {
+    std::cout << "interconnection: " << topology::to_string(obs.mode) << "\n";
+  }
+  return 0;
+}
+
+int cmd_study(int argc, const char* const* argv) {
+  util::ArgParser args{"cloudrtt study",
+                       "run the full measurement campaign and write artefacts"};
+  args.add_option("seed", "42", "study seed");
+  args.add_option("sc-probes", "6000", "Speedchecker fleet size");
+  args.add_option("atlas-probes", "1500", "RIPE Atlas fleet size");
+  args.add_option("days", "10", "campaign days");
+  args.add_option("budget", "15000", "daily task budget");
+  args.add_option("out", "cloudrtt-out", "output directory");
+  args.add_flag("no-atlas", "skip the Atlas campaign");
+  args.add_flag("no-export", "skip CSV export (report.json only)");
+  if (!args.parse(argc, argv)) return 1;
+
+  core::StudyConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  config.sc_probes = static_cast<std::size_t>(args.get_int("sc-probes"));
+  config.atlas_probes = static_cast<std::size_t>(args.get_int("atlas-probes"));
+  config.include_atlas = !args.get_flag("no-atlas");
+  config.sc_campaign.days = static_cast<std::uint32_t>(args.get_int("days"));
+  config.sc_campaign.daily_budget = static_cast<std::size_t>(args.get_int("budget"));
+
+  std::cout << "running study: " << config.sc_probes << " SC probes, "
+            << config.sc_campaign.days << " days, seed " << config.seed << "\n";
+  core::Study study{config};
+  study.run();
+  std::cout << "collected " << study.sc_dataset().pings.size() << " pings / "
+            << study.sc_dataset().traces.size() << " traceroutes\n";
+
+  const std::filesystem::path out_dir{args.get("out")};
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::cerr << "cannot create " << out_dir << ": " << ec.message() << "\n";
+    return 1;
+  }
+  if (!args.get_flag("no-export")) {
+    std::ofstream pings{out_dir / "pings.csv"};
+    core::export_pings_csv(pings, study.sc_dataset());
+    std::ofstream traces{out_dir / "traceroutes.csv"};
+    core::export_traces_csv(traces, study.sc_dataset());
+  }
+  std::ofstream report{out_dir / "report.json"};
+  core::write_full_report(report, study.view());
+  std::cout << "artefacts written to " << out_dir.string() << "/\n";
+  return 0;
+}
+
+void print_usage() {
+  std::cout <<
+      "cloudrtt — synthetic cloud-connectivity measurement toolkit\n\n"
+      "subcommands:\n"
+      "  world    print the synthetic-Internet inventory\n"
+      "  resolve  resolve an IPv4 address through the analysis pipeline\n"
+      "  trace    run one annotated traceroute\n"
+      "  study    run the full campaign and export artefacts\n\n"
+      "run `cloudrtt <subcommand> --help` for details.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string_view command = argv[1];
+  // Shift argv so subcommand parsers see their own name at index 0.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (command == "world") return cmd_world(sub_argc, sub_argv);
+  if (command == "resolve") return cmd_resolve(sub_argc, sub_argv);
+  if (command == "trace") return cmd_trace(sub_argc, sub_argv);
+  if (command == "study") return cmd_study(sub_argc, sub_argv);
+  if (command == "--help" || command == "-h") {
+    print_usage();
+    return 0;
+  }
+  std::cerr << "unknown subcommand: " << command << "\n";
+  print_usage();
+  return 1;
+}
