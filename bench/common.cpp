@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <string_view>
+
+#include "obs/trace.hpp"
 
 namespace cloudrtt::bench {
 
@@ -25,6 +28,11 @@ const core::Study& shared_study() {
   static core::Study study = [] {
     core::Study s{bench_config()};
     s.run();
+    if (const char* env = std::getenv("CLOUDRTT_BENCH_PHASES");
+        env != nullptr && std::string_view{env} == "1") {
+      std::cerr << "-- phase timings (CLOUDRTT_BENCH_PHASES=1) --\n";
+      obs::SpanTracker::global().write_text(std::cerr);
+    }
     return s;
   }();
   return study;

@@ -1,6 +1,32 @@
 #include "analysis/resolve.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace cloudrtt::analysis {
+
+namespace {
+
+/// Resolver counters, resolved once: resolve() runs for every traceroute hop
+/// of every analysis, so no per-call Registry lookups.
+struct ResolveMetrics {
+  obs::Counter& lookups;
+  obs::Counter& misses;
+  obs::Counter& whois_fallbacks;
+  obs::Counter& ixp_hits;
+
+  static ResolveMetrics& instance() {
+    obs::Registry& r = obs::Registry::global();
+    static ResolveMetrics metrics{
+        r.counter("resolve.lookups_total"),
+        r.counter("resolve.misses_total"),
+        r.counter("resolve.whois_fallbacks_total"),
+        r.counter("resolve.ixp_hits_total"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 IpToAsn IpToAsn::from_world(const topology::World& world) {
   IpToAsn resolver;
@@ -30,18 +56,23 @@ void IpToAsn::add_ixp(const net::Ipv4Prefix& prefix, topology::Asn asn) {
 }
 
 std::optional<Resolution> IpToAsn::resolve(net::Ipv4Address addr) const {
+  ResolveMetrics& metrics = ResolveMetrics::instance();
+  metrics.lookups.inc();
   if (net::is_private(addr)) return std::nullopt;
   // IXP peering LANs are checked first: they are deliberately absent from
   // the RIB (CAIDA-style tagging).
   if (const auto ixp = ixp_.lookup(addr)) {
+    metrics.ixp_hits.inc();
     return Resolution{*ixp, ResolutionSource::Rib, true};
   }
   if (const auto asn = rib_.lookup(addr)) {
     return Resolution{*asn, ResolutionSource::Rib, false};
   }
   if (const auto asn = whois_.lookup(addr)) {
+    metrics.whois_fallbacks.inc();
     return Resolution{*asn, ResolutionSource::Whois, false};
   }
+  metrics.misses.inc();
   return std::nullopt;
 }
 

@@ -3,11 +3,14 @@
 #include <ostream>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/text.hpp"
 
 namespace cloudrtt::core {
 
 void export_pings_csv(std::ostream& out, const measure::Dataset& data) {
+  obs::Span phase = obs::span("core.export.pings_csv");
   util::write_csv_row(out, {"probe_id", "platform", "country", "continent",
                             "isp_asn", "provider", "region", "protocol",
                             "rtt_ms", "day", "slot"});
@@ -24,9 +27,12 @@ void export_pings_csv(std::ostream& out, const measure::Dataset& data) {
               util::format_double(ping.rtt_ms, 3), std::to_string(ping.day),
               std::to_string(ping.slot)});
   }
+  obs::Registry::global().counter("export.ping_rows_total").inc(data.pings.size());
 }
 
 void export_traces_csv(std::ostream& out, const measure::Dataset& data) {
+  obs::Span phase = obs::span("core.export.traces_csv");
+  std::uint64_t rows = 0;
   util::write_csv_row(out, {"trace_id", "probe_id", "provider", "region",
                             "target_ip", "day", "slot", "completed",
                             "end_to_end_ms", "ttl", "responded", "hop_ip",
@@ -45,9 +51,11 @@ void export_traces_csv(std::ostream& out, const measure::Dataset& data) {
            hop.responded ? "1" : "0",
            hop.responded ? hop.ip.to_string() : std::string{},
            hop.responded ? util::format_double(hop.rtt_ms, 3) : std::string{}});
+      ++rows;
     }
     ++trace_id;
   }
+  obs::Registry::global().counter("export.trace_rows_total").inc(rows);
 }
 
 }  // namespace cloudrtt::core

@@ -2,9 +2,13 @@
 
 #include <stdexcept>
 
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+
 namespace cloudrtt::core {
 
 Study::Study(StudyConfig config) : config_(config) {
+  obs::Span build = obs::span("study.build");
   topology::WorldConfig world_config;
   world_config.seed = config_.seed;
   world_config.enable_uplink_gateways = config_.enable_uplink_gateways;
@@ -25,15 +29,32 @@ Study::Study(StudyConfig config) : config_(config) {
 }
 
 void Study::run() {
-  const measure::Campaign sc_campaign{*world_, *sc_fleet_, config_.sc_campaign};
-  sc_data_ = sc_campaign.run(world_->fork_rng("campaign/speedchecker"));
+  obs::Span run_span = obs::span("study.run");
+  {
+    obs::Span phase = obs::span("campaign.speedchecker");
+    CLOUDRTT_LOG_INFO("study.campaign.start", {"platform", "speedchecker"},
+                      {"probes", sc_fleet_->probes().size()},
+                      {"days", config_.sc_campaign.days});
+    const measure::Campaign sc_campaign{*world_, *sc_fleet_, config_.sc_campaign};
+    sc_data_ = sc_campaign.run(world_->fork_rng("campaign/speedchecker"));
+  }
   if (atlas_fleet_) {
+    obs::Span phase = obs::span("campaign.atlas");
+    CLOUDRTT_LOG_INFO("study.campaign.start", {"platform", "atlas"},
+                      {"probes", atlas_fleet_->probes().size()},
+                      {"days", config_.atlas_campaign.days});
     const measure::Campaign atlas_campaign{*world_, *atlas_fleet_,
                                            config_.atlas_campaign};
     atlas_data_ = atlas_campaign.run(world_->fork_rng("campaign/atlas"));
   }
-  resolver_ = analysis::IpToAsn::from_world(*world_);
+  {
+    obs::Span phase = obs::span("resolver.build");
+    resolver_ = analysis::IpToAsn::from_world(*world_);
+  }
   ran_ = true;
+  CLOUDRTT_LOG_INFO("study.done", {"pings", sc_data_.pings.size()},
+                    {"traceroutes", sc_data_.traces.size()},
+                    {"atlas_pings", atlas_data_.pings.size()});
 }
 
 analysis::StudyView Study::view() const {

@@ -5,6 +5,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cloudrtt::measure {
 
 namespace {
@@ -131,6 +135,22 @@ void Campaign::plan_case_study(std::string_view src, std::string_view dst) {
 }
 
 Dataset Campaign::run(util::Rng rng) const {
+  obs::Span campaign_span = obs::span("measure.campaign.run");
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter& tasks_total = registry.counter("campaign.tasks_total");
+  obs::Counter& budget_used_total = registry.counter("campaign.budget_used_total");
+  obs::Counter& days_total = registry.counter("campaign.days_total");
+  obs::Counter& countries_visited_total =
+      registry.counter("campaign.countries_visited_total");
+  obs::Counter& probes_connected_total =
+      registry.counter("campaign.probes_connected_total");
+  obs::Counter& case_study_tasks_total =
+      registry.counter("campaign.case_study_tasks_total");
+  CLOUDRTT_LOG_DEBUG("campaign.start", {"days", config_.days},
+                     {"daily_budget", config_.daily_budget},
+                     {"countries", plans_.size()},
+                     {"case_studies", case_studies_.size()});
+
   Dataset dataset;
   dataset.reserve(config_.days * config_.daily_budget,
                   config_.days * config_.daily_budget);
@@ -138,6 +158,10 @@ Dataset Campaign::run(util::Rng rng) const {
   std::size_t cursor = 0;  // persists across days: a full cycle may take
                            // several days when the budget is tight (§3.3)
   for (std::uint32_t day = 0; day < config_.days; ++day) {
+    obs::Span day_span = obs::span("day");
+    std::size_t day_connected = 0;
+    std::size_t day_countries = 0;
+    std::size_t day_case_tasks = 0;
     std::size_t budget = config_.daily_budget;
     util::Rng day_rng = rng.fork(day);
 
@@ -164,6 +188,7 @@ Dataset Campaign::run(util::Rng rng) const {
       for (const probes::Probe* probe : study.probes) {
         if (day_rng.chance(probe->availability)) connected.push_back(probe);
       }
+      day_connected += connected.size();
       std::shuffle(connected.begin(), connected.end(), day_rng);
       const std::size_t take =
           std::min(config_.case_study_probes, connected.size());
@@ -172,6 +197,7 @@ Dataset Campaign::run(util::Rng rng) const {
           if (budget == 0) break;
           run_task(*connected[i], *endpoint);
           --budget;
+          ++day_case_tasks;
         }
       }
     }
@@ -185,6 +211,8 @@ Dataset Campaign::run(util::Rng rng) const {
         if (day_rng.chance(probe->availability)) connected.push_back(probe);
       }
       if (connected.empty()) continue;
+      day_connected += connected.size();
+      ++day_countries;
       std::shuffle(connected.begin(), connected.end(), day_rng);
       const geo::Continent continent =
           connected.front()->country->continent;
@@ -213,6 +241,18 @@ Dataset Campaign::run(util::Rng rng) const {
         break;
       }
     }
+
+    const std::size_t used = config_.daily_budget - budget;
+    tasks_total.inc(used);
+    budget_used_total.inc(used);
+    days_total.inc();
+    countries_visited_total.inc(day_countries);
+    probes_connected_total.inc(day_connected);
+    case_study_tasks_total.inc(day_case_tasks);
+    CLOUDRTT_LOG_INFO("campaign.day", {"day", day}, {"tasks", used},
+                      {"budget_left", budget},
+                      {"connected_probes", day_connected},
+                      {"countries_visited", day_countries});
   }
   return dataset;
 }

@@ -3,9 +3,44 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace cloudrtt::measure {
 
 namespace {
+
+/// Metric references resolved once per process: the engine runs inside the
+/// campaign's innermost loop, so per-call Registry lookups are off the table.
+/// These count the §3.3/§7 measurement anomalies the simulator injects.
+struct EngineMetrics {
+  obs::Counter& pings;
+  obs::Counter& traceroutes;
+  obs::Counter& traceroutes_completed;
+  obs::Counter& unresponsive_hops;
+  obs::Counter& firewall_drops;
+  obs::Counter& rate_limited_hops;
+  obs::Counter& ecmp_detours;
+  obs::Counter& icmp_penalties;
+  obs::Counter& spikes;
+  obs::Histogram& ping_rtt_ms;
+
+  static EngineMetrics& instance() {
+    obs::Registry& r = obs::Registry::global();
+    static EngineMetrics metrics{
+        r.counter("engine.pings_total"),
+        r.counter("engine.traceroutes_total"),
+        r.counter("engine.traceroutes_completed_total"),
+        r.counter("engine.traceroute.unresponsive_hops"),
+        r.counter("engine.traceroute.firewall_drops"),
+        r.counter("engine.traceroute.rate_limited_hops"),
+        r.counter("engine.traceroute.ecmp_detours"),
+        r.counter("engine.icmp_penalties_total"),
+        r.counter("engine.congestion_spikes_total"),
+        r.histogram("engine.ping.rtt_ms"),
+    };
+    return metrics;
+  }
+};
 
 /// Probability that a router answers TTL-expired probes, by role.
 [[nodiscard]] double respond_probability(const routing::RouterHop& hop,
@@ -59,6 +94,7 @@ Engine::PathDraw Engine::draw_path(const probes::Probe& probe,
   const double spike_prob = 0.02 + 0.10 * sigma_rel;
   if (rng.chance(spike_prob)) {
     draw.spike_ms = rng.exponential(5.0 + 3.0 * draw.path.noise_abs_ms());
+    EngineMetrics::instance().spikes.inc();
   }
   return draw;
 }
@@ -70,6 +106,7 @@ double Engine::icmp_penalty_ms(const probes::Probe& probe, util::Rng& rng) const
   const double quality = probe.country->backhaul_quality;
   const double prob = 0.08 + 0.30 * (1.0 - quality);
   if (!rng.chance(prob)) return 0.0;
+  EngineMetrics::instance().icmp_penalties.inc();
   return rng.exponential(3.0 + 16.0 * (1.0 - quality));
 }
 
@@ -89,6 +126,9 @@ PingRecord Engine::ping(const probes::Probe& probe,
   if (protocol == Protocol::Icmp) {
     record.rtt_ms += icmp_penalty_ms(probe, rng);
   }
+  EngineMetrics& metrics = EngineMetrics::instance();
+  metrics.pings.inc();
+  metrics.ping_rtt_ms.record(record.rtt_ms);
   return record;
 }
 
@@ -131,6 +171,8 @@ TraceRecord Engine::traceroute(const probes::Probe& probe,
                                const topology::CloudEndpoint& endpoint,
                                std::uint32_t day, util::Rng& rng,
                                TraceMethod method, std::uint8_t slot) const {
+  EngineMetrics& metrics = EngineMetrics::instance();
+  metrics.traceroutes.inc();
   const PathDraw draw = draw_path(probe, endpoint, rng, slot);
   TraceRecord record;
   record.probe = &probe;
@@ -152,6 +194,9 @@ TraceRecord Engine::traceroute(const probes::Probe& probe,
     if (is_final) {
       // Cloud perimeter firewalls occasionally drop the final ICMP echo.
       out.responded = !rng.chance(0.07);
+      if (!out.responded) metrics.firewall_drops.inc();
+    } else if (!out.responded) {
+      metrics.unresponsive_hops.inc();
     }
     if (out.responded) {
       // The first hop of a home path sits before the wired tail: only the
@@ -166,6 +211,7 @@ TraceRecord Engine::traceroute(const probes::Probe& probe,
       rtt += rng.exponential(0.4);
       if (!is_final && rng.chance(0.05)) {
         rtt += rng.exponential(14.0);  // control-plane rate limiting (§3.3)
+        metrics.rate_limited_hops.inc();
       }
       out.ip = hop.ip;
       // Classic traceroute varies the flow identifier per TTL, so ECMP
@@ -176,6 +222,7 @@ TraceRecord Engine::traceroute(const probes::Probe& probe,
         out.ip = hop.alt_ip;
         rtt += rng.exponential(2.5);
         if (rng.chance(0.08)) rtt += rng.exponential(9.0);
+        metrics.ecmp_detours.inc();
       }
       out.rtt_ms = std::max(0.1, rtt);
     }
@@ -185,6 +232,7 @@ TraceRecord Engine::traceroute(const probes::Probe& probe,
       record.end_to_end_ms = out.rtt_ms + icmp_penalty_ms(probe, rng);
     }
   }
+  if (record.completed) metrics.traceroutes_completed.inc();
   return record;
 }
 

@@ -1,0 +1,170 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+namespace cloudrtt::obs {
+
+namespace detail {
+std::atomic<int> g_level{static_cast<int>(Level::Warn)};
+}
+
+namespace {
+
+constexpr std::string_view kLevelNames[] = {"trace", "debug", "info",
+                                            "warn",  "error", "off"};
+
+[[nodiscard]] std::string_view padded_level(Level level) {
+  switch (level) {
+    case Level::Trace: return "trace";
+    case Level::Debug: return "debug";
+    case Level::Info: return "info ";
+    case Level::Warn: return "warn ";
+    case Level::Error: return "error";
+    case Level::Off: return "off  ";
+  }
+  return "?????";
+}
+
+/// %.10g matches util::JsonWriter's number formatting.
+void write_number(std::ostream& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  out << buffer;
+}
+
+void write_json_escaped(std::ostream& out, std::string_view text) {
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out << buffer;
+        } else {
+          out << ch;
+        }
+    }
+  }
+}
+
+void write_field_value(std::ostream& out, const Field& field, bool json) {
+  switch (field.kind) {
+    case Field::Kind::Int: out << field.i; break;
+    case Field::Kind::Uint: out << field.u; break;
+    case Field::Kind::Float: write_number(out, field.d); break;
+    case Field::Kind::Bool: out << (field.b ? "true" : "false"); break;
+    case Field::Kind::Str:
+      if (json) {
+        out << '"';
+        write_json_escaped(out, field.s);
+        out << '"';
+      } else {
+        out << field.s;
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Level level) {
+  const auto index = static_cast<std::size_t>(level);
+  if (index >= std::size(kLevelNames)) return "?";
+  return kLevelNames[index];
+}
+
+std::optional<Level> level_from_string(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char ch : text) {
+    lower.push_back(ch >= 'A' && ch <= 'Z' ? static_cast<char>(ch - 'A' + 'a')
+                                           : ch);
+  }
+  for (std::size_t i = 0; i < std::size(kLevelNames); ++i) {
+    if (lower == kLevelNames[i]) return static_cast<Level>(i);
+  }
+  return std::nullopt;
+}
+
+void TextSink::write(const LogRecord& record) {
+  std::ostream& out = *out_;
+  out << '[' << padded_level(record.level) << "] " << record.event;
+  for (std::size_t i = 0; i < record.field_count; ++i) {
+    const Field& field = record.fields[i];
+    out << ' ' << field.name << '=';
+    write_field_value(out, field, /*json=*/false);
+  }
+  out << '\n';
+}
+
+void JsonLinesSink::write(const LogRecord& record) {
+  std::ostream& out = *out_;
+  out << "{\"t_ms\":";
+  write_number(out, record.t_ms);
+  out << ",\"level\":\"" << to_string(record.level) << "\",\"event\":\"";
+  write_json_escaped(out, record.event);
+  out << '"';
+  for (std::size_t i = 0; i < record.field_count; ++i) {
+    const Field& field = record.fields[i];
+    out << ",\"";
+    write_json_escaped(out, field.name);
+    out << "\":";
+    write_field_value(out, field, /*json=*/true);
+  }
+  out << "}\n";
+}
+
+struct Logger::Impl {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<Sink>> sinks;
+  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+};
+
+Logger::Logger() : impl_(std::make_unique<Impl>()) {
+  impl_->sinks.push_back(std::make_unique<TextSink>(std::cerr));
+  if (const char* env = std::getenv("CLOUDRTT_LOG")) {
+    if (const auto level = level_from_string(env)) set_level(*level);
+  }
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::add_sink(std::unique_ptr<Sink> sink) {
+  const std::scoped_lock lock{impl_->mutex};
+  impl_->sinks.push_back(std::move(sink));
+}
+
+void Logger::clear_sinks() {
+  const std::scoped_lock lock{impl_->mutex};
+  impl_->sinks.clear();
+}
+
+void Logger::emit(Level level, std::string_view event,
+                  std::initializer_list<Field> fields) {
+  LogRecord record;
+  record.level = level;
+  record.event = event;
+  record.fields = fields.begin();
+  record.field_count = fields.size();
+  record.t_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - impl_->start)
+                    .count();
+  const std::scoped_lock lock{impl_->mutex};
+  for (const std::unique_ptr<Sink>& sink : impl_->sinks) sink->write(record);
+}
+
+}  // namespace cloudrtt::obs

@@ -1,0 +1,256 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+namespace cloudrtt::obs {
+
+namespace {
+
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double candidate) {
+  double current = target.load(std::memory_order_relaxed);
+  while (current < candidate &&
+         !target.compare_exchange_weak(current, candidate,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+[[nodiscard]] std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// "campaign.tasks_total" -> "cloudrtt_campaign_tasks_total".
+[[nodiscard]] std::string prometheus_name(std::string_view name) {
+  std::string out = "cloudrtt_";
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void Gauge::add(double delta) { atomic_add(value_, delta); }
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value > 0.0)) return 0;
+  const double position =
+      (std::log2(value) - kMinExponent) * static_cast<double>(kSubBuckets);
+  if (position <= 0.0) return 0;
+  const auto index = static_cast<std::size_t>(position);
+  return std::min(index, kBucketCount - 1);
+}
+
+double Histogram::bucket_lower_bound(std::size_t index) {
+  return std::exp2(static_cast<double>(index) / kSubBuckets + kMinExponent);
+}
+
+void Histogram::record(double value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_max(max_, value);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      const double lower = bucket_lower_bound(i);
+      const double upper = bucket_lower_bound(i + 1);
+      const double fraction =
+          std::clamp((target - static_cast<double>(seen)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      // Geometric interpolation inside the bucket, clamped to the observed
+      // maximum so the top quantiles never exceed a real sample.
+      return std::min(lower * std::pow(upper / lower, fraction), max());
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (std::atomic<std::uint64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer(Histogram& histogram)
+    : histogram_(histogram), start_ns_(now_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  histogram_.record(static_cast<double>(now_ns() - start_ns_) / 1e6);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // std::map keeps exports sorted and deterministic; std::deque keeps the
+  // metric objects' addresses stable as the registry grows.
+  std::map<std::string, Counter*, std::less<>> counters;
+  std::map<std::string, Gauge*, std::less<>> gauges;
+  std::map<std::string, Histogram*, std::less<>> histograms;
+  std::deque<Counter> counter_storage;
+  std::deque<Gauge> gauge_storage;
+  std::deque<Histogram> histogram_storage;
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumented code may hold metric references in
+  // static objects whose destructors run after main().
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::scoped_lock lock{impl_->mutex};
+  const auto it = impl_->counters.find(name);
+  if (it != impl_->counters.end()) return *it->second;
+  Counter& created = impl_->counter_storage.emplace_back();
+  impl_->counters.emplace(std::string{name}, &created);
+  return created;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::scoped_lock lock{impl_->mutex};
+  const auto it = impl_->gauges.find(name);
+  if (it != impl_->gauges.end()) return *it->second;
+  Gauge& created = impl_->gauge_storage.emplace_back();
+  impl_->gauges.emplace(std::string{name}, &created);
+  return created;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::scoped_lock lock{impl_->mutex};
+  const auto it = impl_->histograms.find(name);
+  if (it != impl_->histograms.end()) return *it->second;
+  Histogram& created = impl_->histogram_storage.emplace_back();
+  impl_->histograms.emplace(std::string{name}, &created);
+  return created;
+}
+
+void Registry::reset_values() {
+  const std::scoped_lock lock{impl_->mutex};
+  for (Counter& counter : impl_->counter_storage) counter.reset();
+  for (Gauge& gauge : impl_->gauge_storage) gauge.reset();
+  for (Histogram& histogram : impl_->histogram_storage) histogram.reset();
+}
+
+void Registry::write_json_fields(util::JsonWriter& json) const {
+  const std::scoped_lock lock{impl_->mutex};
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, counter] : impl_->counters) {
+    json.field(name, counter->value());
+  }
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, gauge] : impl_->gauges) {
+    json.field(name, gauge->value());
+  }
+  json.end_object();
+  json.key("histograms");
+  json.begin_object();
+  for (const auto& [name, histogram] : impl_->histograms) {
+    json.key(name);
+    json.begin_object();
+    json.field("count", histogram->count());
+    json.field("sum", histogram->sum());
+    json.field("mean", histogram->mean());
+    json.field("p50", histogram->quantile(0.50));
+    json.field("p90", histogram->quantile(0.90));
+    json.field("p99", histogram->quantile(0.99));
+    json.field("max", histogram->max());
+    json.end_object();
+  }
+  json.end_object();
+}
+
+void Registry::write_json(std::ostream& out) const {
+  util::JsonWriter json{out};
+  json.begin_object();
+  write_json_fields(json);
+  json.end_object();
+  out << '\n';
+}
+
+void Registry::write_prometheus(std::ostream& out) const {
+  const std::scoped_lock lock{impl_->mutex};
+  char buffer[64];
+  const auto number = [&](double value) -> const char* {
+    std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+    return buffer;
+  };
+  for (const auto& [name, counter] : impl_->counters) {
+    const std::string prom = prometheus_name(name);
+    out << "# TYPE " << prom << " counter\n"
+        << prom << ' ' << counter->value() << '\n';
+  }
+  for (const auto& [name, gauge] : impl_->gauges) {
+    const std::string prom = prometheus_name(name);
+    out << "# TYPE " << prom << " gauge\n"
+        << prom << ' ' << number(gauge->value()) << '\n';
+  }
+  for (const auto& [name, histogram] : impl_->histograms) {
+    const std::string prom = prometheus_name(name);
+    out << "# TYPE " << prom << " summary\n";
+    for (const double q : {0.5, 0.9, 0.99}) {
+      out << prom << "{quantile=\"" << number(q) << "\"} ";
+      out << number(histogram->quantile(q)) << '\n';
+    }
+    out << prom << "_sum " << number(histogram->sum()) << '\n'
+        << prom << "_count " << histogram->count() << '\n';
+  }
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  const std::scoped_lock lock{impl_->mutex};
+  Snapshot snap;
+  for (const auto& [name, counter] : impl_->counters) {
+    snap.counters.push_back({name, static_cast<double>(counter->value())});
+  }
+  for (const auto& [name, gauge] : impl_->gauges) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  for (const auto& [name, histogram] : impl_->histograms) {
+    snap.histograms.push_back({name, histogram->count(), histogram->mean(),
+                               histogram->quantile(0.50),
+                               histogram->quantile(0.90),
+                               histogram->quantile(0.99), histogram->max()});
+  }
+  return snap;
+}
+
+}  // namespace cloudrtt::obs

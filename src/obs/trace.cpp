@@ -1,0 +1,175 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/text.hpp"
+
+namespace cloudrtt::obs {
+
+namespace {
+
+struct PhaseNode {
+  std::string name;
+  PhaseNode* parent = nullptr;
+  double total_ms = 0.0;
+  std::uint64_t count = 0;
+  std::vector<std::unique_ptr<PhaseNode>> children;
+};
+
+[[nodiscard]] std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The per-thread cursor: which node new spans nest under. Null means the
+// tracker's root.
+thread_local PhaseNode* t_current = nullptr;
+
+}  // namespace
+
+struct SpanTracker::Impl {
+  mutable std::mutex mutex;
+  PhaseNode root;
+  std::uint64_t generation = 0;  ///< bumped by reset() to orphan open spans
+};
+
+SpanTracker::SpanTracker() : impl_(new Impl) {}
+
+SpanTracker& SpanTracker::global() {
+  static SpanTracker tracker;
+  return tracker;
+}
+
+Span::Span(std::string_view name) : start_ns_(now_ns()) {
+  SpanTracker::Impl& impl = *SpanTracker::global().impl_;
+  const std::scoped_lock lock{impl.mutex};
+  generation_ = impl.generation;
+  PhaseNode* parent = t_current ? t_current : &impl.root;
+  for (const std::unique_ptr<PhaseNode>& child : parent->children) {
+    if (child->name == name) {
+      node_ = child.get();
+      break;
+    }
+  }
+  if (node_ == nullptr) {
+    auto created = std::make_unique<PhaseNode>();
+    created->name = std::string{name};
+    created->parent = parent;
+    node_ = created.get();
+    parent->children.push_back(std::move(created));
+  }
+  t_current = static_cast<PhaseNode*>(node_);
+}
+
+Span::Span(Span&& other) noexcept
+    : node_(other.node_),
+      start_ns_(other.start_ns_),
+      generation_(other.generation_) {
+  other.node_ = nullptr;
+}
+
+void Span::end() {
+  if (node_ == nullptr) return;
+  auto* node = static_cast<PhaseNode*>(node_);
+  node_ = nullptr;
+  SpanTracker::Impl& impl = *SpanTracker::global().impl_;
+  const std::scoped_lock lock{impl.mutex};
+  if (generation_ != impl.generation) {
+    // The tree was reset while this span was open; its node is gone.
+    t_current = nullptr;
+    return;
+  }
+  node->total_ms += static_cast<double>(now_ns() - start_ns_) / 1e6;
+  node->count += 1;
+  t_current = node->parent == &impl.root ? nullptr : node->parent;
+}
+
+Span::~Span() { end(); }
+
+namespace {
+
+void write_node_text(std::ostream& out, const PhaseNode& node, int depth) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << node.name << "  " << util::format_double(node.total_ms, 2) << " ms";
+  if (node.count > 1) out << "  x" << node.count;
+  out << '\n';
+  for (const std::unique_ptr<PhaseNode>& child : node.children) {
+    write_node_text(out, *child, depth + 1);
+  }
+}
+
+void write_node_json(util::JsonWriter& json, const PhaseNode& node) {
+  json.begin_object();
+  json.field("name", node.name);
+  json.field("total_ms", node.total_ms);
+  json.field("count", node.count);
+  json.key("children");
+  json.begin_array();
+  for (const std::unique_ptr<PhaseNode>& child : node.children) {
+    write_node_json(json, *child);
+  }
+  json.end_array();
+  json.end_object();
+}
+
+[[nodiscard]] double sum_named(const PhaseNode& node, std::string_view name) {
+  double total = node.name == name ? node.total_ms : 0.0;
+  for (const std::unique_ptr<PhaseNode>& child : node.children) {
+    total += sum_named(*child, name);
+  }
+  return total;
+}
+
+}  // namespace
+
+void SpanTracker::write_text(std::ostream& out) const {
+  const std::scoped_lock lock{impl_->mutex};
+  for (const std::unique_ptr<PhaseNode>& child : impl_->root.children) {
+    write_node_text(out, *child, 0);
+  }
+}
+
+void SpanTracker::write_json_fields(util::JsonWriter& json) const {
+  const std::scoped_lock lock{impl_->mutex};
+  json.key("phases");
+  json.begin_array();
+  for (const std::unique_ptr<PhaseNode>& child : impl_->root.children) {
+    write_node_json(json, *child);
+  }
+  json.end_array();
+}
+
+double SpanTracker::total_ms(std::string_view name) const {
+  const std::scoped_lock lock{impl_->mutex};
+  double total = 0.0;
+  for (const std::unique_ptr<PhaseNode>& child : impl_->root.children) {
+    total += sum_named(*child, name);
+  }
+  return total;
+}
+
+void SpanTracker::reset() {
+  const std::scoped_lock lock{impl_->mutex};
+  impl_->root.children.clear();
+  impl_->generation += 1;
+  t_current = nullptr;
+}
+
+void write_observability_json(std::ostream& out) {
+  util::JsonWriter json{out};
+  json.begin_object();
+  Registry::global().write_json_fields(json);
+  SpanTracker::global().write_json_fields(json);
+  json.end_object();
+  out << '\n';
+}
+
+}  // namespace cloudrtt::obs

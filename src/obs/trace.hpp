@@ -1,0 +1,83 @@
+#pragma once
+// Phase tracing: lightweight nested spans that aggregate wall-time per
+// pipeline phase into a process-wide tree.
+//
+//   {
+//     obs::Span build = obs::span("topology.world.build");
+//     ...  // child spans nest automatically (thread-local stack)
+//   }
+//   obs::SpanTracker::global().write_text(std::cout);
+//
+// Repeated spans with the same name under the same parent aggregate (count +
+// total wall-time), so per-day campaign spans collapse into one row. Spans
+// are scoped to one thread; concurrent threads build parallel subtrees under
+// the shared root.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace cloudrtt::obs {
+
+class SpanTracker;
+
+/// RAII handle for one phase. Move-only; ends at destruction or end().
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&&) = delete;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// End early (idempotent).
+  void end();
+
+ private:
+  void* node_ = nullptr;  ///< opaque PhaseNode*; null once ended/moved-from
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t generation_ = 0;  ///< tracker generation at construction
+};
+
+/// Convenience factory mirroring the call-site phrasing in the ISSUE:
+/// `obs::Span s = obs::span("campaign.run");`
+[[nodiscard]] inline Span span(std::string_view name) { return Span{name}; }
+
+class SpanTracker {
+ public:
+  [[nodiscard]] static SpanTracker& global();
+
+  /// Indented phase tree: name, total ms, count — children under parents.
+  void write_text(std::ostream& out) const;
+
+  /// "phases": [{name, total_ms, count, children: [...]}, ...] written into
+  /// an already-open JSON object (composes with Registry::write_json_fields).
+  void write_json_fields(util::JsonWriter& json) const;
+
+  /// Total recorded wall-time of a phase by dotted-path-less name, summed
+  /// over every position in the tree; 0 when absent. Mostly for tests.
+  [[nodiscard]] double total_ms(std::string_view name) const;
+
+  /// Drop the whole tree (tests). Spans still open when reset runs are
+  /// discarded when they end rather than recorded.
+  void reset();
+
+  SpanTracker(const SpanTracker&) = delete;
+  SpanTracker& operator=(const SpanTracker&) = delete;
+
+ private:
+  SpanTracker();
+  friend class Span;
+  struct Impl;
+  Impl* impl_;  ///< leaked: spans may end during static destruction
+};
+
+/// One JSON document with everything: the global Registry's counters, gauges
+/// and histograms plus the global phase tree — the payload behind the CLI's
+/// --metrics-out flag.
+void write_observability_json(std::ostream& out);
+
+}  // namespace cloudrtt::obs

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cloudrtt::probes {
 
 namespace {
@@ -15,6 +19,9 @@ namespace {
 
 ProbeFleet::ProbeFleet(topology::World& world, const FleetConfig& config)
     : config_(config) {
+  const bool speedchecker = config.platform == Platform::Speedchecker;
+  obs::Span build = obs::span(speedchecker ? "probes.fleet.build.speedchecker"
+                                           : "probes.fleet.build.atlas");
   util::Rng rng = world.fork_rng(config.platform == Platform::Speedchecker
                                      ? "fleet/speedchecker"
                                      : "fleet/atlas");
@@ -83,6 +90,19 @@ ProbeFleet::ProbeFleet(topology::World& world, const FleetConfig& config)
       probes_.push_back(std::move(probe));
     }
   }
+  std::size_t cgn = 0;
+  for (const Probe& probe : probes_) {
+    if (probe.behind_cgn) ++cgn;
+  }
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("fleet.probes_built_total").inc(probes_.size());
+  registry.gauge(speedchecker ? "fleet.speedchecker.probes"
+                              : "fleet.atlas.probes")
+      .set(static_cast<double>(probes_.size()));
+  CLOUDRTT_LOG_DEBUG("fleet.built",
+                     {"platform", to_string(config.platform)},
+                     {"requested", config.target_count},
+                     {"probes", probes_.size()}, {"behind_cgn", cgn});
 }
 
 std::vector<const Probe*> ProbeFleet::in_country(std::string_view code) const {

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cloudrtt::topology {
 
 namespace {
@@ -38,11 +42,36 @@ World::World(const WorldConfig& config)
       backbone_(geo::CountryTable::instance()),
       prefix_allocator_(net::Ipv4Address{5, 0, 0, 0}),
       cgn_cursor_(kCgnBase) {
-  build_transit();
-  build_ixps();
-  build_isps();
-  build_clouds();
-  build_pops();
+  obs::Span build = obs::span("topology.world.build");
+  {
+    obs::Span phase = obs::span("transit");
+    build_transit();
+  }
+  {
+    obs::Span phase = obs::span("ixps");
+    build_ixps();
+  }
+  {
+    obs::Span phase = obs::span("isps");
+    build_isps();
+  }
+  {
+    obs::Span phase = obs::span("clouds");
+    build_clouds();
+  }
+  {
+    obs::Span phase = obs::span("pops");
+    build_pops();
+  }
+  obs::Registry& registry = obs::Registry::global();
+  registry.gauge("world.ases").set(static_cast<double>(registry_.size()));
+  registry.gauge("world.isps").set(static_cast<double>(isps_.size()));
+  registry.gauge("world.endpoints").set(static_cast<double>(endpoints_.size()));
+  registry.gauge("world.rib_prefixes").set(static_cast<double>(rib_.size()));
+  CLOUDRTT_LOG_DEBUG("world.built", {"seed", config_.seed},
+                     {"ases", registry_.size()}, {"isps", isps_.size()},
+                     {"endpoints", endpoints_.size()},
+                     {"rib_prefixes", rib_.size()});
 }
 
 net::Ipv4Prefix World::allocate_infra(Asn asn, std::uint8_t length, bool announced) {

@@ -5,6 +5,7 @@
 //   cloudrtt trace <country> <provider> [...]       one annotated traceroute
 //   cloudrtt study   [--sc-probes N --days D ...]   full campaign + artefacts
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -15,6 +16,9 @@
 #include "core/report.hpp"
 #include "core/study.hpp"
 #include "measure/engine.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "probes/fleet.hpp"
 #include "topology/world.hpp"
 #include "util/cli.hpp"
@@ -23,6 +27,55 @@
 namespace {
 
 using namespace cloudrtt;
+
+/// Resolve the study's log level: --quiet wins, then an explicit --log-level,
+/// then the CLOUDRTT_LOG environment variable, then info (the study narrates
+/// per-day progress by default).
+void init_study_logging(const util::ArgParser& args) {
+  obs::Level level = obs::Level::Info;
+  if (const char* env = std::getenv("CLOUDRTT_LOG")) {
+    if (const auto parsed = obs::level_from_string(env)) level = *parsed;
+  }
+  const std::string& flag = args.get("log-level");
+  if (!flag.empty()) {
+    if (const auto parsed = obs::level_from_string(flag)) {
+      level = *parsed;
+    } else {
+      std::cerr << "unknown log level " << flag << ", keeping "
+                << obs::to_string(level) << "\n";
+    }
+  }
+  if (args.get_flag("quiet")) level = obs::Level::Warn;
+  obs::Logger::global().set_level(level);
+}
+
+/// End-of-run operational summary: every registered counter, the latency
+/// histograms, and the phase-timing tree.
+void print_observability_summary() {
+  const obs::Registry::Snapshot snap = obs::Registry::global().snapshot();
+  util::TextTable counters;
+  counters.set_header({"counter", "value"});
+  for (const auto& entry : snap.counters) {
+    counters.add_row({entry.name,
+                      std::to_string(static_cast<std::uint64_t>(entry.value))});
+  }
+  std::cout << "\n-- metrics --\n" << counters.render();
+  if (!snap.histograms.empty()) {
+    util::TextTable hists;
+    hists.set_header({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& entry : snap.histograms) {
+      hists.add_row({entry.name, std::to_string(entry.count),
+                     util::format_double(entry.mean, 2),
+                     util::format_double(entry.p50, 2),
+                     util::format_double(entry.p90, 2),
+                     util::format_double(entry.p99, 2),
+                     util::format_double(entry.max, 2)});
+    }
+    std::cout << hists.render();
+  }
+  std::cout << "\n-- phase timings --\n";
+  obs::SpanTracker::global().write_text(std::cout);
+}
 
 int cmd_world(int argc, const char* const* argv) {
   util::ArgParser args{"cloudrtt world", "print the synthetic-Internet inventory"};
@@ -176,9 +229,15 @@ int cmd_study(int argc, const char* const* argv) {
   args.add_option("days", "10", "campaign days");
   args.add_option("budget", "15000", "daily task budget");
   args.add_option("out", "cloudrtt-out", "output directory");
+  args.add_option("log-level", "", "trace|debug|info|warn|error|off "
+                                   "(default: CLOUDRTT_LOG or info)");
+  args.add_option("metrics-out", "", "write the metrics registry + phase "
+                                     "timings as JSON to this file");
+  args.add_flag("quiet", "only warnings and errors (log level warn)");
   args.add_flag("no-atlas", "skip the Atlas campaign");
   args.add_flag("no-export", "skip CSV export (report.json only)");
   if (!args.parse(argc, argv)) return 1;
+  init_study_logging(args);
 
   core::StudyConfig config;
   config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
@@ -208,9 +267,24 @@ int cmd_study(int argc, const char* const* argv) {
     std::ofstream traces{out_dir / "traceroutes.csv"};
     core::export_traces_csv(traces, study.sc_dataset());
   }
-  std::ofstream report{out_dir / "report.json"};
-  core::write_full_report(report, study.view());
+  {
+    obs::Span phase = obs::span("core.report");
+    std::ofstream report{out_dir / "report.json"};
+    core::write_full_report(report, study.view());
+  }
   std::cout << "artefacts written to " << out_dir.string() << "/\n";
+
+  if (const std::string& metrics_path = args.get("metrics-out");
+      !metrics_path.empty()) {
+    std::ofstream metrics{metrics_path};
+    if (!metrics) {
+      std::cerr << "cannot write metrics to " << metrics_path << "\n";
+      return 1;
+    }
+    obs::write_observability_json(metrics);
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+  if (!args.get_flag("quiet")) print_observability_summary();
   return 0;
 }
 
