@@ -1,0 +1,169 @@
+// perf_fault — cost of the fault-injection subsystem. The ISSUE's contract
+// is that a campaign without a FaultPlan pays nothing measurable for the
+// hooks: BM_TracerouteNoFaultArg (the pre-existing call shape) and
+// BM_TracerouteNullFaults (hooks present, pointer null) must agree within
+// noise (<2%). BM_TracerouteActiveFaults shows the price of a mild-profile
+// fault day, and the checkpoint benchmarks price the per-day save/load the
+// resilient campaign driver performs.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "core/checkpoint.hpp"
+#include "fault/plan.hpp"
+#include "measure/campaign.hpp"
+#include "measure/engine.hpp"
+#include "probes/fleet.hpp"
+#include "topology/world.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cloudrtt;
+
+struct Fixture {
+  topology::World world{topology::WorldConfig{7}};
+  probes::ProbeFleet fleet{world,
+                           probes::FleetConfig{probes::Platform::Speedchecker, 600}};
+  measure::Engine engine{world};
+
+  static Fixture& instance() {
+    static Fixture fixture;
+    return fixture;
+  }
+};
+
+// Identical body to perf_core's BM_Traceroute: the default-argument call the
+// whole pre-fault codebase makes.
+void BM_TracerouteNoFaultArg(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  util::Rng rng{4};
+  const auto& probes = f.fleet.probes();
+  const auto& endpoints = f.world.endpoints();
+  for (auto _ : state) {
+    const probes::Probe& probe = probes[rng.below(probes.size())];
+    const topology::CloudEndpoint& endpoint = endpoints[rng.below(endpoints.size())];
+    benchmark::DoNotOptimize(f.engine.traceroute(probe, endpoint, 0, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerouteNoFaultArg);
+
+// The campaign's call shape on a clean day: hooks threaded through, fault
+// pointer null. Must be indistinguishable from BM_TracerouteNoFaultArg.
+void BM_TracerouteNullFaults(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  util::Rng rng{4};
+  const auto& probes = f.fleet.probes();
+  const auto& endpoints = f.world.endpoints();
+  for (auto _ : state) {
+    const probes::Probe& probe = probes[rng.below(probes.size())];
+    const topology::CloudEndpoint& endpoint = endpoints[rng.below(endpoints.size())];
+    benchmark::DoNotOptimize(
+        f.engine.traceroute(probe, endpoint, 0, rng,
+                            measure::Engine::TraceMethod::Classic, 0, nullptr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerouteNullFaults);
+
+// A mild-profile fault day's trace damage, for scale.
+void BM_TracerouteActiveFaults(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  util::Rng rng{4};
+  const fault::FaultIntensity intensity =
+      fault::FaultIntensity::for_profile(fault::FaultProfile::Mild);
+  const fault::TraceFaults faults{intensity.trace_truncate_prob, 0.03};
+  const auto& probes = f.fleet.probes();
+  const auto& endpoints = f.world.endpoints();
+  for (auto _ : state) {
+    const probes::Probe& probe = probes[rng.below(probes.size())];
+    const topology::CloudEndpoint& endpoint = endpoints[rng.below(endpoints.size())];
+    benchmark::DoNotOptimize(
+        f.engine.traceroute(probe, endpoint, 0, rng,
+                            measure::Engine::TraceMethod::Classic, 0, &faults));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerouteActiveFaults);
+
+// Building a whole campaign's fault schedule (done once per run).
+void BM_FaultPlanConstruction(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  const fault::FaultIntensity intensity =
+      fault::FaultIntensity::for_profile(fault::FaultProfile::Harsh);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fault::FaultPlan{f.world, 180, intensity, ++seed});
+  }
+  state.SetItemsProcessed(state.iterations() * 180);
+}
+BENCHMARK(BM_FaultPlanConstruction);
+
+/// One day's worth of campaign data for the checkpoint benchmarks.
+[[nodiscard]] const measure::Dataset& bench_dataset() {
+  static const measure::Dataset data = [] {
+    Fixture& f = Fixture::instance();
+    measure::CampaignConfig config;
+    config.days = 1;
+    config.daily_budget = 2000;
+    config.run_case_studies = false;
+    const measure::Campaign campaign{f.world, f.fleet, config};
+    return campaign.run(f.world.fork_rng("bench/checkpoint"));
+  }();
+  return data;
+}
+
+// What the after_day hook costs: serialize + hash + atomic rename for one
+// day's dataset (amortised against a multi-minute simulated day).
+void BM_CheckpointSave(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  const measure::Dataset& data = bench_dataset();
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "cloudrtt_perf_ckpt";
+  core::CheckpointMeta meta;
+  meta.state = {1, 0};
+  meta.seed = 7;
+  meta.platform = "speedchecker";
+  for (auto _ : state) {
+    const std::string err = core::save_checkpoint(dir, meta, data, f.world);
+    if (!err.empty()) state.SkipWithError(err.c_str());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.pings.size()));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointSave);
+
+// Resume cost: parse + integrity validation + probe re-binding.
+void BM_CheckpointLoad(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  const measure::Dataset& data = bench_dataset();
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "cloudrtt_perf_ckpt_load";
+  core::CheckpointMeta meta;
+  meta.state = {1, 0};
+  meta.seed = 7;
+  meta.platform = "speedchecker";
+  if (const std::string err = core::save_checkpoint(dir, meta, data, f.world);
+      !err.empty()) {
+    state.SkipWithError(err.c_str());
+    return;
+  }
+  for (auto _ : state) {
+    core::CheckpointLoad load =
+        core::load_checkpoint(dir, "speedchecker", &f.fleet, nullptr, &f.world);
+    if (!load.ok()) state.SkipWithError(load.error.c_str());
+    benchmark::DoNotOptimize(load);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.pings.size()));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,282 @@
+#include "core/checkpoint.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <system_error>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/export.hpp"
+#include "core/import.hpp"
+#include "util/text.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cloudrtt::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] fs::path manifest_path(const fs::path& dir, std::string_view p) {
+  return dir / (std::string{p} + ".manifest");
+}
+[[nodiscard]] fs::path pings_path(const fs::path& dir, std::string_view p) {
+  return dir / (std::string{p} + ".pings.csv");
+}
+[[nodiscard]] fs::path traces_path(const fs::path& dir, std::string_view p) {
+  return dir / (std::string{p} + ".traces.csv");
+}
+[[nodiscard]] fs::path routers_path(const fs::path& dir, std::string_view p) {
+  return dir / (std::string{p} + ".routers.csv");
+}
+
+/// Write `content` to `target` via a .tmp sibling + rename (atomic on POSIX
+/// within one filesystem). Returns empty string or the failure description.
+[[nodiscard]] std::string write_atomic(const fs::path& target,
+                                       const std::string& content) {
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return "cannot open " + tmp.string() + " for writing";
+    out << content;
+    out.flush();
+    if (!out) return "write failed for " + tmp.string();
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) return "rename to " + target.string() + " failed: " + ec.message();
+  return {};
+}
+
+[[nodiscard]] std::string first_error(const ImportStats& stats) {
+  if (stats.errors.empty()) return "no detail";
+  return "line " + std::to_string(stats.errors.front().line) + ": " +
+         stats.errors.front().message;
+}
+
+}  // namespace
+
+bool checkpoint_exists(const fs::path& dir, std::string_view platform) {
+  std::error_code ec;
+  return fs::is_regular_file(manifest_path(dir, platform), ec);
+}
+
+std::string save_checkpoint(const fs::path& dir, const CheckpointMeta& meta,
+                            const measure::Dataset& data,
+                            const topology::World& world) {
+  obs::Span phase = obs::span("core.checkpoint.save");
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return "cannot create " + dir.string() + ": " + ec.message();
+
+  ExportOptions options;
+  options.integrity_trailer = true;
+  options.roundtrip_doubles = true;
+  options.ground_truth = true;
+
+  std::ostringstream pings;
+  export_pings_csv(pings, data, options);
+  if (std::string err = write_atomic(pings_path(dir, meta.platform), pings.str());
+      !err.empty()) {
+    return err;
+  }
+  std::ostringstream traces;
+  export_traces_csv(traces, data, options);
+  if (std::string err =
+          write_atomic(traces_path(dir, meta.platform), traces.str());
+      !err.empty()) {
+    return err;
+  }
+
+  // Router interface addresses are allocated lazily in first-request order,
+  // so they are process state the dataset alone cannot reconstruct (ping
+  // paths allocate them without recording any). Truncation of this file is
+  // caught by the row count in the manifest, which is written after it.
+  const std::vector<topology::World::RouterAssignment> routers =
+      world.router_assignments();
+  std::ostringstream router_rows;
+  for (const auto& assignment : routers) {
+    util::write_csv_row(router_rows, {std::to_string(assignment.asn),
+                                      assignment.site,
+                                      assignment.ip.to_string()});
+  }
+  if (std::string err =
+          write_atomic(routers_path(dir, meta.platform), router_rows.str());
+      !err.empty()) {
+    return err;
+  }
+
+  // Manifest last: its presence commits the checkpoint.
+  std::ostringstream manifest;
+  manifest << "format=1\n"
+           << "platform=" << meta.platform << '\n'
+           << "seed=" << meta.seed << '\n'
+           << "fault_profile=" << meta.fault_profile << '\n'
+           << "next_day=" << meta.state.next_day << '\n'
+           << "cursor=" << meta.state.cursor << '\n'
+           << "pings=" << data.pings.size() << '\n'
+           << "traces=" << data.traces.size() << '\n'
+           << "routers=" << routers.size() << '\n';
+  if (std::string err =
+          write_atomic(manifest_path(dir, meta.platform), manifest.str());
+      !err.empty()) {
+    return err;
+  }
+  obs::Registry::global().counter("checkpoint.saves_total").inc();
+  CLOUDRTT_LOG_DEBUG("checkpoint.saved", {"platform", meta.platform},
+                     {"next_day", meta.state.next_day},
+                     {"pings", data.pings.size()},
+                     {"traces", data.traces.size()});
+  return {};
+}
+
+CheckpointLoad load_checkpoint(const fs::path& dir, std::string_view platform,
+                               const probes::ProbeFleet* sc_fleet,
+                               const probes::ProbeFleet* atlas_fleet,
+                               const topology::World* world) {
+  obs::Span phase = obs::span("core.checkpoint.load");
+  CheckpointLoad result;
+  result.meta.platform = std::string{platform};
+
+  std::ifstream manifest(manifest_path(dir, platform));
+  if (!manifest) {
+    result.error = "missing manifest " + manifest_path(dir, platform).string();
+    return result;
+  }
+  std::unordered_map<std::string, std::string> kv;
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      result.error = "damaged manifest line: '" + line + "'";
+      return result;
+    }
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  const auto number = [&](const char* key, auto& out) {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return false;
+    const std::string& text = it->second;
+    return std::from_chars(text.data(), text.data() + text.size(), out).ec ==
+               std::errc{} &&
+           !text.empty();
+  };
+  std::uint64_t expect_pings = 0;
+  std::uint64_t expect_traces = 0;
+  std::uint64_t expect_routers = 0;
+  if (kv["format"] != "1" || !number("seed", result.meta.seed) ||
+      !number("next_day", result.meta.state.next_day) ||
+      !number("cursor", result.meta.state.cursor) ||
+      !number("pings", expect_pings) || !number("traces", expect_traces) ||
+      !number("routers", expect_routers)) {
+    result.error = "manifest missing or damaged fields";
+    return result;
+  }
+  if (kv["platform"] != platform) {
+    result.error = "manifest platform '" + kv["platform"] +
+                   "' does not match requested '" + std::string{platform} + "'";
+    return result;
+  }
+  result.meta.fault_profile = kv.contains("fault_profile")
+                                  ? kv["fault_profile"]
+                                  : std::string{"none"};
+
+  std::ifstream pings(pings_path(dir, platform));
+  if (!pings) {
+    result.error = "missing " + pings_path(dir, platform).string();
+    return result;
+  }
+  const ImportStats ping_stats =
+      import_pings_csv(pings, sc_fleet, atlas_fleet, result.data);
+  if (!ping_stats.trailer_present) {
+    result.error = "pings checkpoint has no integrity trailer (truncated?)";
+    return result;
+  }
+  if (!ping_stats.clean()) {
+    result.error = "pings checkpoint corrupt: " + first_error(ping_stats);
+    return result;
+  }
+  if (result.data.pings.size() != expect_pings) {
+    result.error = "pings checkpoint holds " +
+                   std::to_string(result.data.pings.size()) +
+                   " records, manifest expects " + std::to_string(expect_pings);
+    return result;
+  }
+
+  std::ifstream traces(traces_path(dir, platform));
+  if (!traces) {
+    result.error = "missing " + traces_path(dir, platform).string();
+    return result;
+  }
+  const ImportStats trace_stats =
+      import_traces_csv(traces, sc_fleet, atlas_fleet, result.data);
+  if (!trace_stats.trailer_present) {
+    result.error = "traces checkpoint has no integrity trailer (truncated?)";
+    return result;
+  }
+  if (!trace_stats.clean()) {
+    result.error = "traces checkpoint corrupt: " + first_error(trace_stats);
+    return result;
+  }
+  if (result.data.traces.size() != expect_traces) {
+    result.error = "traces checkpoint holds " +
+                   std::to_string(result.data.traces.size()) +
+                   " records, manifest expects " + std::to_string(expect_traces);
+    return result;
+  }
+
+  std::ifstream routers(routers_path(dir, platform));
+  if (!routers) {
+    result.error = "missing " + routers_path(dir, platform).string();
+    return result;
+  }
+  std::vector<topology::World::RouterAssignment> assignments;
+  std::size_t router_line = 0;
+  while (std::getline(routers, line)) {
+    ++router_line;
+    if (line.empty()) continue;
+    const auto cells = util::parse_csv_row(line);
+    topology::World::RouterAssignment assignment;
+    std::optional<net::Ipv4Address> ip;
+    if (cells.size() != 3 ||
+        std::from_chars(cells[0].data(), cells[0].data() + cells[0].size(),
+                        assignment.asn).ec != std::errc{} ||
+        !(ip = net::Ipv4Address::parse(cells[2]))) {
+      result.error = "routers checkpoint line " + std::to_string(router_line) +
+                     ": bad router assignment";
+      return result;
+    }
+    assignment.site = cells[1];
+    assignment.ip = *ip;
+    assignments.push_back(std::move(assignment));
+  }
+  if (assignments.size() != expect_routers) {
+    result.error = "routers checkpoint holds " +
+                   std::to_string(assignments.size()) +
+                   " assignments, manifest expects " +
+                   std::to_string(expect_routers) + " (truncated?)";
+    return result;
+  }
+  if (world != nullptr) {
+    if (std::string err = world->restore_router_assignments(assignments);
+        !err.empty()) {
+      result.error = std::move(err);
+      return result;
+    }
+  }
+
+  obs::Registry::global().counter("checkpoint.loads_total").inc();
+  CLOUDRTT_LOG_INFO("checkpoint.loaded", {"platform", result.meta.platform},
+                    {"next_day", result.meta.state.next_day},
+                    {"pings", result.data.pings.size()},
+                    {"traces", result.data.traces.size()});
+  return result;
+}
+
+}  // namespace cloudrtt::core

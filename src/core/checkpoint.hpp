@@ -1,0 +1,73 @@
+#pragma once
+// Campaign checkpointing: after every simulated day the study can snapshot
+// the dataset collected so far plus the campaign cursor, and a later process
+// can resume bit-identically — the per-day RNG streams are forked from the
+// (never-advanced) base seed, so the only state a resume needs is (next day,
+// country cursor, rows so far). The paper's campaign ran for six months
+// (§3.3); nothing that long finishes without the driver dying at least once.
+//
+// Layout under the checkpoint directory, one quartet per platform:
+//   <platform>.manifest     key=value text, written last (commit marker)
+//   <platform>.pings.csv    round-trip doubles + integrity trailer
+//   <platform>.traces.csv   ditto, plus the true_mode ground-truth column
+//   <platform>.routers.csv  lazy router-interface assignments (see
+//                           World::router_assignments) — hidden allocator
+//                           state a resume must replay, or traces collected
+//                           after the resume point would name different
+//                           interface addresses
+//
+// All writes go to a .tmp sibling first and are renamed into place, so a
+// crash mid-save leaves the previous checkpoint intact; import-side trailer
+// validation catches truncation of the CSVs themselves.
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "measure/campaign.hpp"
+#include "measure/records.hpp"
+#include "probes/fleet.hpp"
+#include "topology/world.hpp"
+
+namespace cloudrtt::core {
+
+/// What one campaign checkpoint remembers besides the dataset itself.
+struct CheckpointMeta {
+  measure::CampaignState state;  ///< next day to run + country-cycle cursor
+  std::uint64_t seed = 0;        ///< study seed; resume refuses a mismatch
+  std::string platform;          ///< "speedchecker" or "atlas"
+  std::string fault_profile = "none";
+};
+
+/// Result of a checkpoint load. `ok()` false carries the failure reason
+/// (missing files, damaged manifest, row-count/checksum mismatch, ...).
+struct CheckpointLoad {
+  CheckpointMeta meta;
+  measure::Dataset data;
+  std::string error;
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// True when `dir` holds a committed checkpoint for `platform`.
+[[nodiscard]] bool checkpoint_exists(const std::filesystem::path& dir,
+                                     std::string_view platform);
+
+/// Persist `meta` + `data` + `world`'s router-assignment state under `dir`
+/// (created if needed). Returns an empty string on success, else a
+/// description of what failed.
+[[nodiscard]] std::string save_checkpoint(const std::filesystem::path& dir,
+                                          const CheckpointMeta& meta,
+                                          const measure::Dataset& data,
+                                          const topology::World& world);
+
+/// Load and validate the `platform` checkpoint from `dir`. Probe references
+/// are re-bound against the given fleets (either may be null). When `world`
+/// is non-null the saved router assignments are replayed into it; a fresh
+/// world (or one whose assignments agree) is required.
+[[nodiscard]] CheckpointLoad load_checkpoint(const std::filesystem::path& dir,
+                                             std::string_view platform,
+                                             const probes::ProbeFleet* sc_fleet,
+                                             const probes::ProbeFleet* atlas_fleet,
+                                             const topology::World* world);
+
+}  // namespace cloudrtt::core

@@ -1,6 +1,8 @@
 #include "core/export.hpp"
 
+#include <charconv>
 #include <ostream>
+#include <sstream>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -9,53 +11,133 @@
 
 namespace cloudrtt::core {
 
+namespace {
+
+/// Continue an FNV-1a hash over more bytes (util::fnv1a seeds it).
+[[nodiscard]] std::uint64_t fnv1a_accum(std::uint64_t hash,
+                                        std::string_view text) {
+  for (const char ch : text) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+/// Row writer that optionally hashes every data row (header excluded) so the
+/// integrity trailer covers exactly what import will re-hash.
+class RowSink {
+ public:
+  RowSink(std::ostream& out, const ExportOptions& options)
+      : out_(out), options_(options) {}
+
+  void header(const std::vector<std::string>& cells) {
+    util::write_csv_row(out_, cells);
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    if (options_.integrity_trailer) {
+      std::ostringstream buffer;
+      util::write_csv_row(buffer, cells);
+      const std::string serialized = buffer.str();
+      hash_ = fnv1a_accum(hash_, serialized);
+      out_ << serialized;
+    } else {
+      util::write_csv_row(out_, cells);
+    }
+    ++rows_;
+  }
+
+  void finish() {
+    if (!options_.integrity_trailer) return;
+    char hex[17] = {};
+    std::to_chars(hex, hex + 16, hash_, 16);
+    std::string padded(16 - std::string_view{hex}.size(), '0');
+    padded += hex;
+    out_ << "#cloudrtt-integrity rows=" << rows_ << " fnv1a=" << padded << '\n';
+  }
+
+  [[nodiscard]] std::string fmt(double value) const {
+    if (!options_.roundtrip_doubles) return util::format_double(value, 3);
+    char buffer[32];
+    const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
+    return ec == std::errc{} ? std::string(buffer, ptr)
+                             : util::format_double(value, 3);
+  }
+
+  [[nodiscard]] std::uint64_t rows() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  const ExportOptions& options_;
+  std::uint64_t hash_ = kFnvBasis;
+  std::uint64_t rows_ = 0;
+};
+
+}  // namespace
+
 void export_pings_csv(std::ostream& out, const measure::Dataset& data) {
+  export_pings_csv(out, data, ExportOptions{});
+}
+
+void export_pings_csv(std::ostream& out, const measure::Dataset& data,
+                      const ExportOptions& options) {
   obs::Span phase = obs::span("core.export.pings_csv");
-  util::write_csv_row(out, {"probe_id", "platform", "country", "continent",
-                            "isp_asn", "provider", "region", "protocol",
-                            "rtt_ms", "day", "slot"});
+  RowSink sink(out, options);
+  sink.header({"probe_id", "platform", "country", "continent", "isp_asn",
+               "provider", "region", "protocol", "rtt_ms", "day", "slot"});
   for (const measure::PingRecord& ping : data.pings) {
     const probes::Probe& probe = *ping.probe;
-    util::write_csv_row(
-        out, {std::to_string(probe.id), std::string{to_string(probe.platform)},
+    sink.row({std::to_string(probe.id), std::string{to_string(probe.platform)},
               std::string{probe.country->code},
               std::string{geo::to_code(probe.country->continent)},
               std::to_string(probe.isp->asn),
               std::string{cloud::provider_info(ping.region->provider).ticker},
               std::string{ping.region->region_name},
-              std::string{to_string(ping.protocol)},
-              util::format_double(ping.rtt_ms, 3), std::to_string(ping.day),
-              std::to_string(ping.slot)});
+              std::string{to_string(ping.protocol)}, sink.fmt(ping.rtt_ms),
+              std::to_string(ping.day), std::to_string(ping.slot)});
   }
+  sink.finish();
   obs::Registry::global().counter("export.ping_rows_total").inc(data.pings.size());
 }
 
 void export_traces_csv(std::ostream& out, const measure::Dataset& data) {
+  export_traces_csv(out, data, ExportOptions{});
+}
+
+void export_traces_csv(std::ostream& out, const measure::Dataset& data,
+                       const ExportOptions& options) {
   obs::Span phase = obs::span("core.export.traces_csv");
-  std::uint64_t rows = 0;
-  util::write_csv_row(out, {"trace_id", "probe_id", "provider", "region",
-                            "target_ip", "day", "slot", "completed",
-                            "end_to_end_ms", "ttl", "responded", "hop_ip",
-                            "hop_rtt_ms"});
+  RowSink sink(out, options);
+  std::vector<std::string> header{"trace_id", "probe_id", "provider", "region",
+                                  "target_ip", "day", "slot", "completed",
+                                  "end_to_end_ms", "ttl", "responded", "hop_ip",
+                                  "hop_rtt_ms"};
+  if (options.ground_truth) header.emplace_back("true_mode");
+  sink.header(header);
   std::size_t trace_id = 0;
   for (const measure::TraceRecord& trace : data.traces) {
     for (const measure::HopRecord& hop : trace.hops) {
-      util::write_csv_row(
-          out,
-          {std::to_string(trace_id), std::to_string(trace.probe->id),
-           std::string{cloud::provider_info(trace.region->provider).ticker},
-           std::string{trace.region->region_name},
-           trace.target_ip.to_string(), std::to_string(trace.day),
-           std::to_string(trace.slot), trace.completed ? "1" : "0",
-           util::format_double(trace.end_to_end_ms, 3), std::to_string(hop.ttl),
-           hop.responded ? "1" : "0",
-           hop.responded ? hop.ip.to_string() : std::string{},
-           hop.responded ? util::format_double(hop.rtt_ms, 3) : std::string{}});
-      ++rows;
+      std::vector<std::string> cells{
+          std::to_string(trace_id), std::to_string(trace.probe->id),
+          std::string{cloud::provider_info(trace.region->provider).ticker},
+          std::string{trace.region->region_name},
+          trace.target_ip.to_string(), std::to_string(trace.day),
+          std::to_string(trace.slot), trace.completed ? "1" : "0",
+          sink.fmt(trace.end_to_end_ms), std::to_string(hop.ttl),
+          hop.responded ? "1" : "0",
+          hop.responded ? hop.ip.to_string() : std::string{},
+          hop.responded ? sink.fmt(hop.rtt_ms) : std::string{}};
+      if (options.ground_truth) {
+        cells.emplace_back(topology::to_string(trace.true_mode));
+      }
+      sink.row(cells);
     }
     ++trace_id;
   }
-  obs::Registry::global().counter("export.trace_rows_total").inc(rows);
+  sink.finish();
+  obs::Registry::global().counter("export.trace_rows_total").inc(sink.rows());
 }
 
 }  // namespace cloudrtt::core

@@ -1,6 +1,10 @@
 #pragma once
 // Dataset export: tidy CSVs of the collected pings and traceroutes, in the
-// spirit of the paper's published dataset.
+// spirit of the paper's published dataset. Checkpoint files reuse the same
+// writers with stricter options: an integrity trailer so a truncated file is
+// detected on import, round-trip double formatting so a resumed campaign is
+// bit-identical to an uninterrupted one, and the ground-truth columns that
+// the human-facing CSVs deliberately omit.
 
 #include <iosfwd>
 
@@ -8,12 +12,29 @@
 
 namespace cloudrtt::core {
 
+struct ExportOptions {
+  /// Append a `#cloudrtt-integrity rows=<N> fnv1a=<16 hex>` trailer line
+  /// covering every data row, so import can detect truncation/corruption.
+  bool integrity_trailer = false;
+  /// Emit doubles in shortest round-trip form (std::to_chars) instead of the
+  /// human-friendly 3-decimal fixed point. Required for lossless reload.
+  bool roundtrip_doubles = false;
+  /// Traces only: append the `true_mode` ground-truth column so a reloaded
+  /// dataset compares equal to the in-memory one (checkpoints need this; the
+  /// published-dataset flavour keeps ground truth out of the CSV).
+  bool ground_truth = false;
+};
+
 /// One row per ping: probe id, platform, country, continent, ISP ASN,
 /// provider, region, protocol, rtt_ms, day.
 void export_pings_csv(std::ostream& out, const measure::Dataset& data);
+void export_pings_csv(std::ostream& out, const measure::Dataset& data,
+                      const ExportOptions& options);
 
 /// One row per traceroute hop: trace id, probe id, provider, region, target
 /// ip, day, completed flag, end-to-end RTT, ttl, responded, hop ip, hop rtt.
 void export_traces_csv(std::ostream& out, const measure::Dataset& data);
+void export_traces_csv(std::ostream& out, const measure::Dataset& data,
+                       const ExportOptions& options);
 
 }  // namespace cloudrtt::core

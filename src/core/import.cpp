@@ -2,7 +2,9 @@
 
 #include <charconv>
 #include <istream>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "cloud/region.hpp"
@@ -55,6 +57,85 @@ template <typename T>
   }
 }
 
+[[nodiscard]] std::optional<topology::InterconnectMode> mode_from_string(
+    std::string_view text) {
+  using topology::InterconnectMode;
+  for (const InterconnectMode mode :
+       {InterconnectMode::Direct, InterconnectMode::DirectIxp,
+        InterconnectMode::OneAs, InterconnectMode::Public}) {
+    if (text == topology::to_string(mode)) return mode;
+  }
+  return std::nullopt;
+}
+
+void record_error(ImportStats& stats, std::size_t line_no, std::string message) {
+  ++stats.skipped;
+  if (stats.errors.size() < ImportStats::kMaxErrors) {
+    stats.errors.push_back(ImportError{line_no, std::move(message)});
+  }
+}
+
+constexpr std::string_view kTrailerPrefix = "#cloudrtt-integrity ";
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+/// Streaming FNV-1a over the data rows, mirrored by core/export's RowSink.
+struct IntegrityTracker {
+  std::uint64_t hash = kFnvBasis;
+
+  void add_line(const std::string& line) {
+    for (const char ch : line) {
+      hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+      hash *= 0x100000001b3ULL;
+    }
+    hash ^= static_cast<std::uint64_t>('\n');
+    hash *= 0x100000001b3ULL;
+  }
+
+  /// Validate a trailer line against the rows hashed so far; records the
+  /// outcome (and any mismatch detail) into `stats`.
+  void check_trailer(const std::string& line, std::size_t line_no,
+                     ImportStats& stats) const {
+    stats.trailer_present = true;
+    std::string_view rest{line};
+    rest.remove_prefix(kTrailerPrefix.size());
+    std::uint64_t expect_rows = 0;
+    std::uint64_t expect_hash = 0;
+    const auto rows_pos = rest.find("rows=");
+    const auto hash_pos = rest.find("fnv1a=");
+    bool parsed = rows_pos != std::string_view::npos &&
+                  hash_pos != std::string_view::npos;
+    if (parsed) {
+      const std::string_view rows_text =
+          rest.substr(rows_pos + 5, rest.find(' ', rows_pos) - (rows_pos + 5));
+      const std::string_view hash_text = rest.substr(hash_pos + 6);
+      parsed = std::from_chars(rows_text.data(),
+                               rows_text.data() + rows_text.size(), expect_rows)
+                       .ec == std::errc{} &&
+               std::from_chars(hash_text.data(),
+                               hash_text.data() + hash_text.size(), expect_hash,
+                               16)
+                       .ec == std::errc{};
+    }
+    if (!parsed) {
+      stats.trailer_ok = false;
+      record_error(stats, line_no, "malformed integrity trailer");
+      return;
+    }
+    if (expect_rows != stats.rows) {
+      stats.trailer_ok = false;
+      record_error(stats, line_no,
+                   "integrity trailer row count mismatch: file has " +
+                       std::to_string(stats.rows) + " rows, trailer says " +
+                       std::to_string(expect_rows) + " (truncated?)");
+      return;
+    }
+    if (expect_hash != hash) {
+      stats.trailer_ok = false;
+      record_error(stats, line_no, "integrity trailer checksum mismatch");
+    }
+  }
+};
+
 }  // namespace
 
 ImportStats import_pings_csv(std::istream& in, const probes::ProbeFleet* sc_fleet,
@@ -63,37 +144,66 @@ ImportStats import_pings_csv(std::istream& in, const probes::ProbeFleet* sc_flee
   ImportStats stats;
   const ProbeIndex probes = build_probe_index(sc_fleet, atlas_fleet);
   const RegionIndex regions = build_region_index();
+  IntegrityTracker integrity;
 
   std::string line;
+  std::size_t line_no = 0;
   bool header = true;
   while (std::getline(in, line)) {
+    ++line_no;
     if (header) {
       header = false;
       continue;
     }
     if (line.empty()) continue;
+    if (line.starts_with(kTrailerPrefix)) {
+      integrity.check_trailer(line, line_no, stats);
+      continue;
+    }
+    if (stats.trailer_present) {
+      stats.trailer_ok = false;
+      record_error(stats, line_no, "data row after integrity trailer");
+      continue;
+    }
     ++stats.rows;
+    integrity.add_line(line);
     const auto cells = util::parse_csv_row(line);
     // probe_id, platform, country, continent, isp_asn, provider, region,
     // protocol, rtt_ms, day, slot
     if (cells.size() != 11) {
-      ++stats.skipped;
+      record_error(stats, line_no,
+                   "expected 11 fields, got " + std::to_string(cells.size()));
       continue;
     }
     std::uint32_t probe_id = 0;
     std::uint32_t day = 0;
     unsigned slot = 0;
     double rtt = 0.0;
-    if (!parse_number(cells[0], probe_id) || !parse_double(cells[8], rtt) ||
-        !parse_number(cells[9], day) || !parse_number(cells[10], slot) ||
-        slot > 5) {
-      ++stats.skipped;
+    if (!parse_number(cells[0], probe_id)) {
+      record_error(stats, line_no, "bad probe_id '" + cells[0] + "'");
+      continue;
+    }
+    if (!parse_double(cells[8], rtt)) {
+      record_error(stats, line_no, "bad rtt_ms '" + cells[8] + "'");
+      continue;
+    }
+    if (!parse_number(cells[9], day)) {
+      record_error(stats, line_no, "bad day '" + cells[9] + "'");
+      continue;
+    }
+    if (!parse_number(cells[10], slot) || slot > 5) {
+      record_error(stats, line_no, "bad slot '" + cells[10] + "'");
       continue;
     }
     const auto probe_it = probes.find(probe_id);
+    if (probe_it == probes.end()) {
+      record_error(stats, line_no, "unknown probe id " + cells[0]);
+      continue;
+    }
     const auto region_it = regions.find(cells[5] + "/" + cells[6]);
-    if (probe_it == probes.end() || region_it == regions.end()) {
-      ++stats.skipped;
+    if (region_it == regions.end()) {
+      record_error(stats, line_no,
+                   "unknown region '" + cells[5] + "/" + cells[6] + "'");
       continue;
     }
     measure::PingRecord record;
@@ -116,9 +226,12 @@ ImportStats import_traces_csv(std::istream& in, const probes::ProbeFleet* sc_fle
   ImportStats stats;
   const ProbeIndex probes = build_probe_index(sc_fleet, atlas_fleet);
   const RegionIndex regions = build_region_index();
+  IntegrityTracker integrity;
 
   std::string line;
+  std::size_t line_no = 0;
   bool header = true;
+  bool has_true_mode = false;
   std::string current_trace_id;
   bool current_valid = false;
   measure::TraceRecord current;
@@ -133,17 +246,33 @@ ImportStats import_traces_csv(std::istream& in, const probes::ProbeFleet* sc_fle
   };
 
   while (std::getline(in, line)) {
+    ++line_no;
     if (header) {
       header = false;
+      const auto columns = util::parse_csv_row(line);
+      has_true_mode = !columns.empty() && columns.back() == "true_mode";
       continue;
     }
     if (line.empty()) continue;
+    if (line.starts_with(kTrailerPrefix)) {
+      integrity.check_trailer(line, line_no, stats);
+      continue;
+    }
+    if (stats.trailer_present) {
+      stats.trailer_ok = false;
+      record_error(stats, line_no, "data row after integrity trailer");
+      continue;
+    }
     ++stats.rows;
+    integrity.add_line(line);
     const auto cells = util::parse_csv_row(line);
     // trace_id, probe_id, provider, region, target_ip, day, slot, completed,
-    // end_to_end_ms, ttl, responded, hop_ip, hop_rtt_ms
-    if (cells.size() != 13) {
-      ++stats.skipped;
+    // end_to_end_ms, ttl, responded, hop_ip, hop_rtt_ms[, true_mode]
+    const std::size_t expected = has_true_mode ? 14 : 13;
+    if (cells.size() != expected) {
+      record_error(stats, line_no,
+                   "expected " + std::to_string(expected) + " fields, got " +
+                       std::to_string(cells.size()));
       continue;
     }
     if (cells[0] != current_trace_id) {
@@ -157,13 +286,15 @@ ImportStats import_traces_csv(std::istream& in, const probes::ProbeFleet* sc_fle
       if (!parse_number(cells[1], probe_id) || !parse_number(cells[5], day) ||
           !parse_number(cells[6], slot) || slot > 5 ||
           !parse_double(cells[8], e2e) || !target) {
-        ++stats.skipped;
+        record_error(stats, line_no,
+                     "bad trace fields for trace_id '" + cells[0] + "'");
         continue;
       }
       const auto probe_it = probes.find(probe_id);
       const auto region_it = regions.find(cells[2] + "/" + cells[3]);
       if (probe_it == probes.end() || region_it == regions.end()) {
-        ++stats.skipped;
+        record_error(stats, line_no,
+                     "unknown probe/region for trace_id '" + cells[0] + "'");
         continue;
       }
       current.probe = probe_it->second;
@@ -173,16 +304,25 @@ ImportStats import_traces_csv(std::istream& in, const probes::ProbeFleet* sc_fle
       current.slot = static_cast<std::uint8_t>(slot);
       current.completed = cells[7] == "1";
       current.end_to_end_ms = e2e;
+      if (has_true_mode) {
+        const auto mode = mode_from_string(cells[13]);
+        if (!mode) {
+          record_error(stats, line_no, "bad true_mode '" + cells[13] + "'");
+          continue;
+        }
+        current.true_mode = *mode;
+      }
       current_valid = true;
     }
     if (!current_valid) {
-      ++stats.skipped;
+      record_error(stats, line_no,
+                   "hop row for unparseable trace_id '" + cells[0] + "'");
       continue;
     }
     measure::HopRecord hop;
     unsigned ttl = 0;
     if (!parse_number(cells[9], ttl) || ttl == 0 || ttl > 255) {
-      ++stats.skipped;
+      record_error(stats, line_no, "bad ttl '" + cells[9] + "'");
       continue;
     }
     hop.ttl = static_cast<std::uint8_t>(ttl);
@@ -191,7 +331,7 @@ ImportStats import_traces_csv(std::istream& in, const probes::ProbeFleet* sc_fle
       const auto ip = net::Ipv4Address::parse(cells[11]);
       double rtt = 0.0;
       if (!ip || !parse_double(cells[12], rtt)) {
-        ++stats.skipped;
+        record_error(stats, line_no, "bad hop ip/rtt at ttl " + cells[9]);
         continue;
       }
       hop.ip = *ip;

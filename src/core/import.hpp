@@ -3,20 +3,43 @@
 // records, re-binding probe and region references. Together with the export
 // side this gives the repository the paper's "published dataset + analysis
 // scripts" workflow: measure once, re-analyze many times.
+//
+// Malformed input never throws: every bad row is skipped and reported as a
+// structured, line-numbered error (capped, so a wholly corrupt file can't
+// balloon memory), and integrity trailers written by checkpointing exports
+// are validated so a truncated file fails loudly instead of silently
+// importing a prefix.
 
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "measure/records.hpp"
 #include "probes/fleet.hpp"
 
 namespace cloudrtt::core {
 
+/// One rejected input row: 1-based line number plus what was wrong with it.
+struct ImportError {
+  std::size_t line = 0;
+  std::string message;
+};
+
 struct ImportStats {
+  /// At most this many ImportErrors are retained (skipped counts them all).
+  static constexpr std::size_t kMaxErrors = 32;
+
   std::size_t rows = 0;      ///< data rows seen (excluding the header)
   std::size_t imported = 0;  ///< records produced (pings, or whole traces)
   std::size_t skipped = 0;   ///< malformed rows or unresolvable references
+  /// First kMaxErrors skipped rows, with line numbers and reasons.
+  std::vector<ImportError> errors;
+  /// Integrity trailer state: absent trailers are fine (published-dataset
+  /// CSVs don't carry one); a present-but-wrong trailer marks corruption.
+  bool trailer_present = false;
+  bool trailer_ok = true;
 
-  [[nodiscard]] bool clean() const { return skipped == 0; }
+  [[nodiscard]] bool clean() const { return skipped == 0 && trailer_ok; }
 };
 
 /// Parse a pings CSV (as written by export_pings_csv). Probe ids are
@@ -27,9 +50,10 @@ ImportStats import_pings_csv(std::istream& in, const probes::ProbeFleet* sc_flee
                              measure::Dataset& out);
 
 /// Parse a traces CSV (as written by export_traces_csv), reassembling hop
-/// rows into TraceRecords. Ground-truth-only fields (true_mode) are not part
-/// of the CSV and default; target_ip is recovered from the region catalogue
-/// when the final hop responded, else left unset.
+/// rows into TraceRecords. When the header carries the optional `true_mode`
+/// ground-truth column (checkpoint flavour) it is parsed back; otherwise
+/// true_mode defaults. target_ip is recovered from the region catalogue when
+/// the final hop responded, else left unset.
 ImportStats import_traces_csv(std::istream& in, const probes::ProbeFleet* sc_fleet,
                               const probes::ProbeFleet* atlas_fleet,
                               measure::Dataset& out);

@@ -1,7 +1,9 @@
 #include "core/study.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "core/checkpoint.hpp"
 #include "obs/log.hpp"
 #include "obs/trace.hpp"
 
@@ -28,24 +30,105 @@ Study::Study(StudyConfig config) : config_(config) {
   }
 }
 
-void Study::run() {
+void Study::run() { run(RunControl{}); }
+
+bool Study::run_campaign(std::string_view platform,
+                         const measure::Campaign& campaign, util::Rng rng,
+                         const fault::FaultPlan* plan,
+                         const RunControl& control, measure::Dataset& out) {
+  measure::CampaignState start;
+  measure::Dataset dataset;
+  if (control.resume && !control.checkpoint_dir.empty() &&
+      checkpoint_exists(control.checkpoint_dir, platform)) {
+    CheckpointLoad load =
+        load_checkpoint(control.checkpoint_dir, platform, sc_fleet_.get(),
+                        atlas_fleet_.get(), world_.get());
+    if (!load.ok()) {
+      throw std::runtime_error{"Study::run: cannot resume '" +
+                               std::string{platform} + "': " + load.error};
+    }
+    if (load.meta.seed != config_.seed) {
+      throw std::runtime_error{
+          "Study::run: checkpoint for '" + std::string{platform} +
+          "' was written by seed " + std::to_string(load.meta.seed) +
+          ", this study uses " + std::to_string(config_.seed)};
+    }
+    start = load.meta.state;
+    dataset = std::move(load.data);
+    CLOUDRTT_LOG_INFO("study.resume", {"platform", platform},
+                      {"next_day", start.next_day},
+                      {"pings", dataset.pings.size()});
+  }
+
+  measure::RunHooks hooks;
+  hooks.faults = plan;
+  bool stopped = false;
+  if (!control.checkpoint_dir.empty() || control.stop_after_day) {
+    hooks.after_day = [&](const measure::CampaignState& state,
+                          const measure::Dataset& data) {
+      if (!control.checkpoint_dir.empty()) {
+        CheckpointMeta meta;
+        meta.state = state;
+        meta.seed = config_.seed;
+        meta.platform = std::string{platform};
+        meta.fault_profile = std::string{to_string(config_.fault_profile)};
+        if (const std::string err =
+                save_checkpoint(control.checkpoint_dir, meta, data, *world_);
+            !err.empty()) {
+          CLOUDRTT_LOG_WARN("study.checkpoint_failed", {"platform", platform},
+                            {"error", err});
+        }
+      }
+      if (control.stop_after_day && state.next_day >= *control.stop_after_day) {
+        stopped = true;
+        return false;
+      }
+      return true;
+    };
+  }
+  out = campaign.run(rng, start, hooks, std::move(dataset));
+  return !stopped;
+}
+
+void Study::run(const RunControl& control) {
   obs::Span run_span = obs::span("study.run");
+  const std::optional<fault::FaultPlan> sc_plan =
+      fault::FaultPlan::make(*world_, config_.sc_campaign.days,
+                             config_.fault_profile, config_.fault_seed);
+  bool complete = true;
   {
     obs::Span phase = obs::span("campaign.speedchecker");
     CLOUDRTT_LOG_INFO("study.campaign.start", {"platform", "speedchecker"},
                       {"probes", sc_fleet_->probes().size()},
-                      {"days", config_.sc_campaign.days});
+                      {"days", config_.sc_campaign.days},
+                      {"fault_profile", to_string(config_.fault_profile)});
     const measure::Campaign sc_campaign{*world_, *sc_fleet_, config_.sc_campaign};
-    sc_data_ = sc_campaign.run(world_->fork_rng("campaign/speedchecker"));
+    complete &= run_campaign("speedchecker", sc_campaign,
+                             world_->fork_rng("campaign/speedchecker"),
+                             sc_plan ? &*sc_plan : nullptr, control, sc_data_);
   }
   if (atlas_fleet_) {
     obs::Span phase = obs::span("campaign.atlas");
     CLOUDRTT_LOG_INFO("study.campaign.start", {"platform", "atlas"},
                       {"probes", atlas_fleet_->probes().size()},
                       {"days", config_.atlas_campaign.days});
+    // Independent failure history for the second platform: real outages on
+    // Speedchecker's scheduler never lined up with Atlas's.
+    const std::optional<fault::FaultPlan> atlas_plan =
+        fault::FaultPlan::make(*world_, config_.atlas_campaign.days,
+                               config_.fault_profile, config_.fault_seed + 1);
     const measure::Campaign atlas_campaign{*world_, *atlas_fleet_,
                                            config_.atlas_campaign};
-    atlas_data_ = atlas_campaign.run(world_->fork_rng("campaign/atlas"));
+    complete &= run_campaign("atlas", atlas_campaign,
+                             world_->fork_rng("campaign/atlas"),
+                             atlas_plan ? &*atlas_plan : nullptr, control,
+                             atlas_data_);
+  }
+  if (!complete) {
+    ran_ = false;
+    CLOUDRTT_LOG_INFO("study.stopped_early",
+                      {"stop_after_day", control.stop_after_day.value_or(0)});
+    return;
   }
   {
     obs::Span phase = obs::span("resolver.build");

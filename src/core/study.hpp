@@ -11,9 +11,12 @@
 // analysis resolver from the world's public data products.
 
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "analysis/resolve.hpp"
 #include "analysis/study_view.hpp"
+#include "fault/plan.hpp"
 #include "measure/campaign.hpp"
 #include "measure/records.hpp"
 #include "probes/fleet.hpp"
@@ -38,6 +41,14 @@ struct StudyConfig {
   std::optional<lastmile::AccessTech> sc_access_override;
   /// Scale the wireless radio-leg medians (0.15 ~ optimistic 5G).
   double sc_air_scale = 1.0;
+
+  // --- fault injection (see README "Fault injection & chaos testing") ------
+  /// Fault-episode intensity applied to both campaigns; None (default) runs
+  /// the campaigns bit-identically to a build without the fault subsystem.
+  fault::FaultProfile fault_profile = fault::FaultProfile::None;
+  /// Seed of the fault schedule, independent of the study seed so the same
+  /// world can be stressed with different failure histories.
+  std::uint64_t fault_seed = 1337;
 
   StudyConfig() {
     sc_campaign.days = 10;
@@ -67,12 +78,33 @@ struct StudyConfig {
   }
 };
 
+/// How one run() invocation interacts with persistence and early stopping.
+struct RunControl {
+  /// Directory for per-day checkpoints; empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Resume from `checkpoint_dir` when a committed checkpoint exists there
+  /// (resuming replays the remaining days bit-identically). Throws
+  /// std::runtime_error when the checkpoint is corrupt or from another seed.
+  bool resume = false;
+  /// Stop each campaign once this many days have completed (campaign days
+  /// are counted from day 0, so resume + a larger value continues). The
+  /// study is left incomplete; completed() reports false.
+  std::optional<std::uint32_t> stop_after_day;
+};
+
 class Study {
  public:
   explicit Study(StudyConfig config = {});
 
   /// Execute both campaigns; idempotent (re-running replaces the datasets).
   void run();
+
+  /// run() with checkpointing / resume / early stop. run() == run({}).
+  void run(const RunControl& control);
+
+  /// True once run() has finished every campaign day (an early-stopped run
+  /// leaves the study incomplete and its view() unavailable).
+  [[nodiscard]] bool completed() const { return ran_; }
 
   [[nodiscard]] const topology::World& world() const { return *world_; }
   [[nodiscard]] topology::World& world() { return *world_; }
@@ -87,6 +119,12 @@ class Study {
   [[nodiscard]] analysis::StudyView view() const;
 
  private:
+  /// Runs one campaign with fault plan + checkpoint hooks; returns true when
+  /// every day completed (false = stopped early by control.stop_after_day).
+  bool run_campaign(std::string_view platform, const measure::Campaign& campaign,
+                    util::Rng rng, const fault::FaultPlan* plan,
+                    const RunControl& control, measure::Dataset& out);
+
   StudyConfig config_;
   std::unique_ptr<topology::World> world_;
   std::unique_ptr<probes::ProbeFleet> sc_fleet_;

@@ -135,6 +135,11 @@ void Campaign::plan_case_study(std::string_view src, std::string_view dst) {
 }
 
 Dataset Campaign::run(util::Rng rng) const {
+  return run(rng, CampaignState{}, RunHooks{});
+}
+
+Dataset Campaign::run(util::Rng rng, const CampaignState& start,
+                      const RunHooks& hooks, Dataset dataset) const {
   obs::Span campaign_span = obs::span("measure.campaign.run");
   obs::Registry& registry = obs::Registry::global();
   obs::Counter& tasks_total = registry.counter("campaign.tasks_total");
@@ -146,39 +151,149 @@ Dataset Campaign::run(util::Rng rng) const {
       registry.counter("campaign.probes_connected_total");
   obs::Counter& case_study_tasks_total =
       registry.counter("campaign.case_study_tasks_total");
+  obs::Counter& tasks_delivered_total =
+      registry.counter("campaign.tasks_delivered_total");
+  obs::Counter& empty_days_total = registry.counter("campaign.empty_days_total");
+  // Fault-path telemetry (all zero on clean runs).
+  obs::Counter& fault_degraded_days =
+      registry.counter("campaign.fault.degraded_days_total");
+  obs::Counter& fault_failures =
+      registry.counter("campaign.fault.submission_failures_total");
+  obs::Counter& fault_retries = registry.counter("campaign.fault.retries_total");
+  obs::Counter& fault_exhausted =
+      registry.counter("campaign.fault.retry_exhausted_total");
+  obs::Counter& fault_country_aborts =
+      registry.counter("campaign.fault.country_aborts_total");
+  obs::Counter& fault_dropped_tasks =
+      registry.counter("campaign.fault.dropped_tasks_total");
+  obs::Counter& fault_brownout_skips =
+      registry.counter("campaign.fault.brownout_skips_total");
+  obs::Counter& fault_mid_visit_drops =
+      registry.counter("campaign.fault.mid_visit_drops_total");
+  obs::Counter& fault_outage_budget_lost =
+      registry.counter("campaign.fault.outage_budget_lost_total");
+  obs::Histogram& fault_backoff_ms =
+      registry.histogram("campaign.fault.backoff_ms");
   CLOUDRTT_LOG_DEBUG("campaign.start", {"days", config_.days},
                      {"daily_budget", config_.daily_budget},
                      {"countries", plans_.size()},
-                     {"case_studies", case_studies_.size()});
+                     {"case_studies", case_studies_.size()},
+                     {"start_day", start.next_day},
+                     {"faults", hooks.faults != nullptr});
 
-  Dataset dataset;
   dataset.reserve(config_.days * config_.daily_budget,
                   config_.days * config_.daily_budget);
 
-  std::size_t cursor = 0;  // persists across days: a full cycle may take
-                           // several days when the budget is tight (§3.3)
-  for (std::uint32_t day = 0; day < config_.days; ++day) {
+  // Restores the backbone when a cut day ends (exceptions included).
+  struct OutageGuard {
+    const topology::Backbone* backbone = nullptr;
+    ~OutageGuard() {
+      if (backbone != nullptr) backbone->clear_outages();
+    }
+  };
+
+  std::size_t cursor = start.cursor;  // persists across days: a full cycle may
+                                      // take several days when the budget is
+                                      // tight (§3.3)
+  for (std::uint32_t day = start.next_day; day < config_.days; ++day) {
     obs::Span day_span = obs::span("day");
     std::size_t day_connected = 0;
     std::size_t day_countries = 0;
     std::size_t day_case_tasks = 0;
+    std::size_t day_delivered = 0;
     std::size_t budget = config_.daily_budget;
     util::Rng day_rng = rng.fork(day);
 
-    const auto run_task = [&](const probes::Probe& probe,
-                              const topology::CloudEndpoint& endpoint) {
-      util::Rng task_rng = day_rng.fork(probe.id * 1315423911ULL +
-                                        endpoint.vm_ip.value());
+    // Today's fault episode, if any. Fault decisions draw from a forked
+    // stream so the measurement stream stays aligned with a clean run for
+    // every fault class that doesn't intentionally perturb scheduling.
+    const fault::DayFaults* faults = nullptr;
+    if (hooks.faults != nullptr && day < hooks.faults->days() &&
+        hooks.faults->day(day).any()) {
+      faults = &hooks.faults->day(day);
+      fault_degraded_days.inc();
+    }
+    util::Rng fault_rng = day_rng.fork("faults");
+    const double churn = faults != nullptr ? faults->churn_factor : 1.0;
+    const fault::TraceFaults* trace_faults =
+        faults != nullptr && (faults->trace_faults.truncate_prob > 0.0 ||
+                              faults->trace_faults.loss_boost > 0.0)
+            ? &faults->trace_faults
+            : nullptr;
+    OutageGuard outage_guard;
+    if (faults != nullptr && !faults->backbone_cuts.empty()) {
+      world_.backbone().set_outages(faults->backbone_cuts);
+      outage_guard.backbone = &world_.backbone();
+    }
+
+    const auto slot_now = [&] {
       // The daily budget drains across the six 4-hour scheduling slots of
       // §3.3; the slot index doubles as the measurement's time of day.
       const std::size_t spent = config_.daily_budget - budget;
-      const auto slot = static_cast<std::uint8_t>(
+      return static_cast<std::uint8_t>(
           std::min<std::size_t>(5, spent * 6 / std::max<std::size_t>(
                                                   1, config_.daily_budget)));
+    };
+
+    // Outcome of one task submission. Ok = measured; Dropped = this task is
+    // lost but the visit continues; CountryAbort = give up on the country and
+    // reallocate its remaining share to the next one (graceful degradation).
+    enum class TaskOutcome : unsigned char { Ok, Dropped, CountryAbort };
+
+    const auto run_task = [&](const probes::Probe& probe,
+                              const topology::CloudEndpoint& endpoint)
+        -> TaskOutcome {
+      util::Rng task_rng = day_rng.fork(probe.id * 1315423911ULL +
+                                        endpoint.vm_ip.value());
+      std::uint8_t slot = slot_now();
+      if (faults != nullptr) {
+        const auto endpoint_index = static_cast<std::size_t>(
+            &endpoint - world_.endpoints().data());
+        if (faults->region_is_down(endpoint_index)) {
+          // Brownout: the target VM is unreachable; nothing is submitted.
+          fault_brownout_skips.inc();
+          return TaskOutcome::Dropped;
+        }
+        // Submission loop: the quota meters API calls, so every attempt —
+        // accepted or rejected — burns one budget unit.
+        const fault::RetryPolicy& retry = hooks.faults->retry();
+        for (std::size_t attempt = 1;; ++attempt) {
+          if (budget == 0) return TaskOutcome::Dropped;  // day quota gone
+          slot = slot_now();
+          --budget;
+          const bool outage = faults->api_down_in_slot(slot);
+          if (!outage && !fault_rng.chance(faults->task_failure_rate)) break;
+          fault_failures.inc();
+          if (attempt >= retry.max_attempts) {
+            fault_exhausted.inc();
+            if (outage) {
+              // The API is down for the whole 4-hour slot: waiting out the
+              // outage forfeits the slot's share of the daily quota.
+              const std::uint8_t down_slot = slot;
+              std::size_t lost = 0;
+              while (budget > 0 && slot_now() == down_slot) {
+                --budget;
+                ++lost;
+              }
+              fault_outage_budget_lost.inc(lost);
+              fault_dropped_tasks.inc();
+              return TaskOutcome::Dropped;
+            }
+            return TaskOutcome::CountryAbort;
+          }
+          fault_retries.inc();
+          fault_backoff_ms.record(retry.backoff_ms(attempt, fault_rng));
+        }
+      } else {
+        --budget;
+      }
       dataset.pings.push_back(
           engine_.ping(probe, endpoint, Protocol::Tcp, day, task_rng, slot));
-      dataset.traces.push_back(engine_.traceroute(
-          probe, endpoint, day, task_rng, Engine::TraceMethod::Classic, slot));
+      dataset.traces.push_back(
+          engine_.traceroute(probe, endpoint, day, task_rng,
+                             Engine::TraceMethod::Classic, slot, trace_faults));
+      ++day_delivered;
+      return TaskOutcome::Ok;
     };
 
     // Focused case-study measurements first (they are small and §6.2's
@@ -186,18 +301,25 @@ Dataset Campaign::run(util::Rng rng) const {
     for (const CaseStudy& study : case_studies_) {
       std::vector<const probes::Probe*> connected;
       for (const probes::Probe* probe : study.probes) {
-        if (day_rng.chance(probe->availability)) connected.push_back(probe);
+        if (probes::ProbeFleet::connected_now(*probe, day_rng, churn)) {
+          connected.push_back(probe);
+        }
       }
       day_connected += connected.size();
       std::shuffle(connected.begin(), connected.end(), day_rng);
       const std::size_t take =
           std::min(config_.case_study_probes, connected.size());
-      for (std::size_t i = 0; i < take && budget > 0; ++i) {
+      bool aborted = false;
+      for (std::size_t i = 0; i < take && budget > 0 && !aborted; ++i) {
         for (const topology::CloudEndpoint* endpoint : study.targets) {
           if (budget == 0) break;
-          run_task(*connected[i], *endpoint);
-          --budget;
-          ++day_case_tasks;
+          const TaskOutcome outcome = run_task(*connected[i], *endpoint);
+          if (outcome == TaskOutcome::CountryAbort) {
+            fault_country_aborts.inc();
+            aborted = true;
+            break;
+          }
+          if (outcome == TaskOutcome::Ok) ++day_case_tasks;
         }
       }
     }
@@ -208,7 +330,9 @@ Dataset Campaign::run(util::Rng rng) const {
       const CountryPlan& plan = plans_[(cursor + visited) % plans_.size()];
       std::vector<const probes::Probe*> connected;
       for (const probes::Probe* probe : plan.probes) {
-        if (day_rng.chance(probe->availability)) connected.push_back(probe);
+        if (probes::ProbeFleet::connected_now(*probe, day_rng, churn)) {
+          connected.push_back(probe);
+        }
       }
       if (connected.empty()) continue;
       day_connected += connected.size();
@@ -221,19 +345,42 @@ Dataset Campaign::run(util::Rng rng) const {
           connected.size() / 2;
       const std::size_t take =
           std::min({want, config_.visit_probes_cap, connected.size()});
-      for (std::size_t i = 0; i < take && budget > 0; ++i) {
+      bool aborted = false;
+      for (std::size_t i = 0; i < take && budget > 0 && !aborted; ++i) {
         const probes::Probe& probe = *connected[i];
+        // Churn episodes knock selected probes offline mid-visit: the probe
+        // completes a random prefix of its target list, then vanishes.
+        std::size_t allowed = std::numeric_limits<std::size_t>::max();
+        if (faults != nullptr && faults->mid_visit_drop > 0.0 &&
+            fault_rng.chance(faults->mid_visit_drop)) {
+          const std::size_t total_targets =
+              plan.fixed_targets.size() + config_.extra_targets;
+          allowed = total_targets > 0 ? fault_rng.below(total_targets) : 0;
+          fault_mid_visit_drops.inc();
+        }
+        std::size_t done = 0;
         for (const topology::CloudEndpoint* endpoint : plan.fixed_targets) {
-          if (budget == 0) break;
-          run_task(probe, *endpoint);
-          --budget;
+          if (budget == 0 || done >= allowed) break;
+          const TaskOutcome outcome = run_task(probe, *endpoint);
+          if (outcome == TaskOutcome::CountryAbort) {
+            fault_country_aborts.inc();
+            aborted = true;
+            break;
+          }
+          ++done;
         }
         for (std::size_t extra = 0;
-             extra < config_.extra_targets && !plan.extra_pool.empty() &&
-             budget > 0;
+             !aborted && extra < config_.extra_targets &&
+             !plan.extra_pool.empty() && budget > 0 && done < allowed;
              ++extra) {
-          run_task(probe, *day_rng.pick(plan.extra_pool));
-          --budget;
+          const TaskOutcome outcome =
+              run_task(probe, *day_rng.pick(plan.extra_pool));
+          if (outcome == TaskOutcome::CountryAbort) {
+            fault_country_aborts.inc();
+            aborted = true;
+            break;
+          }
+          ++done;
         }
       }
       if (budget == 0) {
@@ -249,10 +396,24 @@ Dataset Campaign::run(util::Rng rng) const {
     countries_visited_total.inc(day_countries);
     probes_connected_total.inc(day_connected);
     case_study_tasks_total.inc(day_case_tasks);
+    tasks_delivered_total.inc(day_delivered);
+    if (day_delivered == 0) {
+      empty_days_total.inc();
+      CLOUDRTT_LOG_WARN("campaign.empty_day", {"day", day},
+                        {"daily_budget", config_.daily_budget},
+                        {"connected_probes", day_connected});
+    }
     CLOUDRTT_LOG_INFO("campaign.day", {"day", day}, {"tasks", used},
+                      {"delivered", day_delivered},
                       {"budget_left", budget},
                       {"connected_probes", day_connected},
-                      {"countries_visited", day_countries});
+                      {"countries_visited", day_countries},
+                      {"degraded", faults != nullptr});
+
+    if (hooks.after_day) {
+      const CampaignState state{day + 1, cursor};
+      if (!hooks.after_day(state, dataset)) break;
+    }
   }
   return dataset;
 }

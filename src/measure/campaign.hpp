@@ -10,9 +10,11 @@
 // the paper's probes did.
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "measure/engine.hpp"
 #include "measure/records.hpp"
 #include "probes/fleet.hpp"
@@ -45,6 +47,25 @@ struct CampaignConfig {
   std::size_t case_study_probes = 16;
 };
 
+/// Resumable campaign position: the next day to execute plus the country
+/// cycle cursor carried across days. Default-constructed = start of campaign.
+/// Together with the (never-advanced) base RNG this is the complete state a
+/// checkpoint needs — every day's stream is forked from (rng, day) alone.
+struct CampaignState {
+  std::uint32_t next_day = 0;
+  std::size_t cursor = 0;
+};
+
+/// Optional extension points for a campaign run. All default-inactive: a
+/// default-constructed RunHooks reproduces the plain run() bit-for-bit.
+struct RunHooks {
+  /// Fault schedule; null = clean run (no fault RNG draws at all).
+  const fault::FaultPlan* faults = nullptr;
+  /// Called after each completed day with the advanced state and the dataset
+  /// so far (checkpointing). Return false to stop before the next day.
+  std::function<bool(const CampaignState&, const Dataset&)> after_day;
+};
+
 class Campaign {
  public:
   Campaign(const topology::World& world, const probes::ProbeFleet& fleet,
@@ -52,6 +73,14 @@ class Campaign {
 
   /// Execute the full campaign; deterministic given `rng`.
   [[nodiscard]] Dataset run(util::Rng rng) const;
+
+  /// Resumable, fault-aware run: starts at `start` (appending to `dataset`,
+  /// which a resume path restores from a checkpoint) and consults `hooks`.
+  /// `rng` must be the same base RNG as the original run for a resumed
+  /// campaign to replay bit-identically.
+  [[nodiscard]] Dataset run(util::Rng rng, const CampaignState& start,
+                            const RunHooks& hooks,
+                            Dataset dataset = Dataset{}) const;
 
   /// Countries that pass the scaled probe threshold (sorted by code).
   [[nodiscard]] const std::vector<std::string_view>& scheduled_countries() const {

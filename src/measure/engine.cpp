@@ -23,6 +23,8 @@ struct EngineMetrics {
   obs::Counter& icmp_penalties;
   obs::Counter& spikes;
   obs::Histogram& ping_rtt_ms;
+  obs::Counter& fault_truncations;
+  obs::Counter& fault_lost_hops;
 
   static EngineMetrics& instance() {
     obs::Registry& r = obs::Registry::global();
@@ -37,6 +39,8 @@ struct EngineMetrics {
         r.counter("engine.icmp_penalties_total"),
         r.counter("engine.congestion_spikes_total"),
         r.histogram("engine.ping.rtt_ms"),
+        r.counter("engine.fault.truncated_traces_total"),
+        r.counter("engine.fault.lost_hops_total"),
     };
     return metrics;
   }
@@ -170,7 +174,8 @@ double Engine::interdc_rtt(const topology::CloudEndpoint& src,
 TraceRecord Engine::traceroute(const probes::Probe& probe,
                                const topology::CloudEndpoint& endpoint,
                                std::uint32_t day, util::Rng& rng,
-                               TraceMethod method, std::uint8_t slot) const {
+                               TraceMethod method, std::uint8_t slot,
+                               const fault::TraceFaults* faults) const {
   EngineMetrics& metrics = EngineMetrics::instance();
   metrics.traceroutes.inc();
   const PathDraw draw = draw_path(probe, endpoint, rng, slot);
@@ -185,12 +190,30 @@ TraceRecord Engine::traceroute(const probes::Probe& probe,
 
   const bool home = probe.access == lastmile::AccessTech::HomeWifi;
   const std::size_t hop_count = draw.path.hops.size();
-  for (std::size_t i = 0; i < hop_count; ++i) {
+  // Fault episodes can sever the path mid-trace (the probe loses its route
+  // before the DC) and boost per-hop loss; the null-faults path stays free
+  // of extra RNG draws so fault-free campaigns replay bit-identically.
+  std::size_t hop_limit = hop_count;
+  double loss_boost = 0.0;
+  if (faults != nullptr) {
+    loss_boost = faults->loss_boost;
+    if (faults->truncate_prob > 0.0 && hop_count > 1 &&
+        rng.chance(faults->truncate_prob)) {
+      hop_limit = 1 + static_cast<std::size_t>(rng.below(hop_count - 1));
+      metrics.fault_truncations.inc();
+    }
+  }
+  for (std::size_t i = 0; i < hop_limit; ++i) {
     const routing::RouterHop& hop = draw.path.hops[i];
     const bool is_final = i + 1 == hop_count;
     HopRecord out;
     out.ttl = static_cast<std::uint8_t>(i + 1);
     out.responded = rng.chance(respond_probability(hop, is_final));
+    if (!is_final && out.responded && loss_boost > 0.0 &&
+        rng.chance(loss_boost)) {
+      out.responded = false;
+      metrics.fault_lost_hops.inc();
+    }
     if (is_final) {
       // Cloud perimeter firewalls occasionally drop the final ICMP echo.
       out.responded = !rng.chance(0.07);

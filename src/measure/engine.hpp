@@ -5,6 +5,7 @@
 // spikes, ICMP deprioritisation by middleboxes, unresponsive routers,
 // control-plane rate limiting, and cloud firewalls eating the final echo.
 
+#include "fault/plan.hpp"
 #include "measure/records.hpp"
 #include "routing/path_builder.hpp"
 #include "topology/world.hpp"
@@ -28,11 +29,15 @@ class Engine {
   /// Paris keeps the flow pinned.
   enum class TraceMethod : unsigned char { Classic, Paris };
 
+  /// `faults` (optional) injects episode-level measurement damage: mid-path
+  /// truncation (the trace loses connectivity before the DC) and boosted
+  /// per-hop loss. Null — the default and the hot path — costs one branch.
   [[nodiscard]] TraceRecord traceroute(const probes::Probe& probe,
                                        const topology::CloudEndpoint& endpoint,
                                        std::uint32_t day, util::Rng& rng,
                                        TraceMethod method = TraceMethod::Classic,
-                                       std::uint8_t slot = 0) const;
+                                       std::uint8_t slot = 0,
+                                       const fault::TraceFaults* faults = nullptr) const;
 
   /// Inter-datacenter ("horizontal") RTT between two regions — private WAN
   /// when the provider serves both, public carriers otherwise.

@@ -66,6 +66,17 @@ class ProbeFleet {
   [[nodiscard]] std::size_t count_in_country(std::string_view code) const;
   [[nodiscard]] std::size_t size() const { return probes_.size(); }
 
+  /// Per-day churn resampling: one Bernoulli draw deciding whether `probe`
+  /// is connected at this scheduling instant. `churn_factor` scales the
+  /// probe's nominal availability (fault injection: churn episodes push it
+  /// below 1.0); with factor 1.0 the draw is exactly the nominal one, so
+  /// fault-free campaigns consume an identical RNG stream.
+  [[nodiscard]] static bool connected_now(const Probe& probe, util::Rng& rng,
+                                          double churn_factor = 1.0) {
+    const double p = probe.availability * churn_factor;
+    return rng.chance(p < 1.0 ? p : 1.0);
+  }
+
   /// The per-country probe threshold of the paper (>=100 of 115k probes),
   /// scaled to this fleet's size.
   [[nodiscard]] double scaled_country_threshold(double paper_threshold = 100.0,

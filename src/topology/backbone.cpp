@@ -223,6 +223,7 @@ Backbone::Backbone(const geo::CountryTable& countries) : countries_(countries) {
     if (!ia || !ib) {
       throw std::logic_error{"Backbone: link references unknown country"};
     }
+    catalog_.push_back(BackboneLinkRef{link.a, link.b, link.kind});
     double km = link.length_km;
     if (km <= 0.0) {
       km = geo::haversine_km(nodes_[*ia]->centroid, nodes_[*ib]->centroid) * 1.2;
@@ -271,6 +272,18 @@ void Backbone::add_edge(std::string_view a, std::string_view b, double km,
   edges_ += 2;
 }
 
+void Backbone::set_outages(
+    const std::vector<std::pair<std::string_view, std::string_view>>& cuts) const {
+  outage_keys_.clear();
+  outage_cache_.clear();
+  for (const auto& [a, b] : cuts) {
+    const auto ia = node_index(a);
+    const auto ib = node_index(b);
+    if (!ia || !ib) continue;  // unknown pairs are ignored, not fatal
+    outage_keys_.insert(pair_key(*ia, *ib));
+  }
+}
+
 const BackboneRoute& Backbone::route(std::string_view from, std::string_view to) const {
   const auto ia = node_index(from);
   const auto ib = node_index(to);
@@ -278,6 +291,11 @@ const BackboneRoute& Backbone::route(std::string_view from, std::string_view to)
     throw std::out_of_range{"Backbone::route: unknown country code"};
   }
   const std::uint64_t key = (static_cast<std::uint64_t>(*ia) << 32) | *ib;
+  if (!outage_keys_.empty()) {
+    const auto it = outage_cache_.find(key);
+    if (it != outage_cache_.end()) return it->second;
+    return outage_cache_.emplace(key, compute_route(*ia, *ib)).first->second;
+  }
   const auto it = route_cache_.find(key);
   if (it != route_cache_.end()) return it->second;
   return route_cache_.emplace(key, compute_route(*ia, *ib)).first->second;
@@ -309,6 +327,9 @@ BackboneRoute Backbone::compute_route(std::size_t from, std::size_t to) const {
     if (u == to) break;
     for (std::size_t e = 0; e < adjacency_[u].size(); ++e) {
       const Edge& edge = adjacency_[u][e];
+      if (!outage_keys_.empty() && outage_keys_.contains(pair_key(u, edge.to))) {
+        continue;  // severed link: every parallel edge of the pair is down
+      }
       const double cost = edge.km * detour_factor(edge.quality) +
                           crossing_penalty_ms(edge.quality) * kKmPerPenaltyMs;
       if (dist[u] + cost < dist[edge.to]) {

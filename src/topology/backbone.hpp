@@ -12,10 +12,13 @@
 // fast as their terrestrial path to Brazil (Fig. 6b), Gulf traffic detouring
 // through Egypt/Marseille (Fig. 18).
 
+#include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "geo/country.hpp"
@@ -31,6 +34,13 @@ struct BackboneLink {
   double length_km;  ///< 0 = derive from centroid distance * 1.2
   LinkKind kind;
   double quality;    ///< 0 = derive from endpoint countries
+};
+
+/// One explicit catalogue link (for inventories and fault-episode pools).
+struct BackboneLinkRef {
+  std::string_view a;
+  std::string_view b;
+  LinkKind kind;
 };
 
 /// Result of routing between two countries over the backbone.
@@ -73,6 +83,25 @@ class Backbone {
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] std::size_t edge_count() const { return edges_ / 2; }
 
+  /// The explicit long-haul catalogue (no auto-mesh edges) — the episode
+  /// pool the fault subsystem draws submarine-cable cuts from.
+  [[nodiscard]] const std::vector<BackboneLinkRef>& links() const {
+    return catalog_;
+  }
+
+  // --- link outages (fault injection) ------------------------------------
+  // Severing a country pair removes every parallel edge between the two
+  // nodes (explicit cables and auto-mesh alike): the world reroutes affected
+  // paths for the episode's duration, exactly like a submarine-cable cut.
+  // Outage routes are cached separately so clearing the outage restores the
+  // nominal cache untouched. Const-qualified (like the route cache) because
+  // campaigns hold the world by const reference; not thread-safe, callers
+  // serialize campaign execution.
+  void set_outages(
+      const std::vector<std::pair<std::string_view, std::string_view>>& cuts) const;
+  void clear_outages() const { set_outages({}); }
+  [[nodiscard]] bool outages_active() const { return !outage_keys_.empty(); }
+
   /// Detour multiplier applied to an edge of the given quality.
   [[nodiscard]] static double detour_factor(double quality) {
     return 1.10 + 0.55 * (1.0 - quality);
@@ -92,13 +121,20 @@ class Backbone {
   [[nodiscard]] std::optional<std::size_t> node_index(std::string_view code) const;
   void add_edge(std::string_view a, std::string_view b, double km, double quality);
   [[nodiscard]] BackboneRoute compute_route(std::size_t from, std::size_t to) const;
+  [[nodiscard]] static std::uint64_t pair_key(std::size_t a, std::size_t b) {
+    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+           static_cast<std::uint64_t>(std::max(a, b));
+  }
 
   const geo::CountryTable& countries_;
   std::vector<const geo::CountryInfo*> nodes_;
   std::unordered_map<std::string, std::size_t> index_;
   std::vector<std::vector<Edge>> adjacency_;
+  std::vector<BackboneLinkRef> catalog_;
   std::size_t edges_ = 0;
   mutable std::unordered_map<std::uint64_t, BackboneRoute> route_cache_;
+  mutable std::unordered_set<std::uint64_t> outage_keys_;
+  mutable std::unordered_map<std::uint64_t, BackboneRoute> outage_cache_;
 };
 
 /// Forced egress waypoints for public-transit paths leaving `country`:

@@ -311,6 +311,61 @@ net::Ipv4Address World::router_ip(Asn asn, std::string_view site) const {
   return ip;
 }
 
+std::vector<World::RouterAssignment> World::router_assignments() const {
+  std::vector<RouterAssignment> out;
+  for (const auto& [asn, sites] : router_cache_) {
+    for (const auto& [site, ip] : sites) {
+      out.push_back(RouterAssignment{asn, site, ip});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RouterAssignment& a, const RouterAssignment& b) {
+              return a.asn != b.asn ? a.asn < b.asn
+                                    : a.ip.value() < b.ip.value();
+            });
+  return out;
+}
+
+std::string World::restore_router_assignments(
+    const std::vector<RouterAssignment>& assignments) const {
+  // Per AS the snapshot lists addresses in allocation order (they are
+  // sequential, so sorted-by-ip == allocation order). Walk each AS's list:
+  // entries already cached must match; the rest must be the allocator's next
+  // addresses, which re-allocating verifies.
+  std::vector<const RouterAssignment*> sorted;
+  sorted.reserve(assignments.size());
+  for (const RouterAssignment& a : assignments) sorted.push_back(&a);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RouterAssignment* a, const RouterAssignment* b) {
+              return a->asn != b->asn ? a->asn < b->asn
+                                      : a->ip.value() < b->ip.value();
+            });
+  for (const RouterAssignment* a : sorted) {
+    auto& per_as = router_cache_[a->asn];
+    const auto it = per_as.find(a->site);
+    if (it != per_as.end()) {
+      if (it->second != a->ip) {
+        return "router snapshot conflicts with live assignment for AS" +
+               std::to_string(a->asn) + " site '" + a->site + "'";
+      }
+      continue;
+    }
+    const auto alloc_it = infra_alloc_.find(a->asn);
+    if (alloc_it == infra_alloc_.end()) {
+      return "router snapshot names AS" + std::to_string(a->asn) +
+             ", which has no infrastructure prefix";
+    }
+    const net::Ipv4Address ip = alloc_it->second.allocate();
+    if (ip != a->ip) {
+      return "router snapshot out of sequence for AS" + std::to_string(a->asn) +
+             " site '" + a->site + "': expected " + ip.to_string() + ", got " +
+             a->ip.to_string();
+    }
+    per_as.emplace(a->site, ip);
+  }
+  return {};
+}
+
 const PairPolicy& World::interconnect(Asn isp_asn, cloud::ProviderId provider,
                                       geo::Continent dst) const {
   const std::uint64_t key = (static_cast<std::uint64_t>(isp_asn) << 16) |

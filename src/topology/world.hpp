@@ -105,6 +105,25 @@ class World {
   /// same hops.
   [[nodiscard]] net::Ipv4Address router_ip(Asn asn, std::string_view site) const;
 
+  /// One lazily-allocated router interface (see router_ip). Addresses are
+  /// handed out first-come from each AS's sequential infrastructure
+  /// allocator, so the assignment depends on request order — process state a
+  /// campaign checkpoint must capture for a resume to be bit-identical.
+  struct RouterAssignment {
+    Asn asn = 0;
+    std::string site;
+    net::Ipv4Address ip;
+  };
+  /// Snapshot of every router address handed out so far, sorted by
+  /// (asn, ip) so the listing is deterministic.
+  [[nodiscard]] std::vector<RouterAssignment> router_assignments() const;
+  /// Replay a snapshot into the lazy router cache. Existing assignments must
+  /// agree with the snapshot and new ones must extend each AS's allocator
+  /// sequence exactly (both hold for a fresh world or a consistent resume).
+  /// Returns an empty string on success, else what conflicted.
+  [[nodiscard]] std::string restore_router_assignments(
+      const std::vector<RouterAssignment>& assignments) const;
+
   // --- analysis bootstrap data --------------------------------------------------
   /// Announced prefixes (the "RIB dump" PyASN would ingest).
   [[nodiscard]] const std::vector<RibEntry>& rib_dump() const { return rib_; }

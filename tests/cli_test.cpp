@@ -1,7 +1,9 @@
-// Unit tests for the CLI argument parser.
+// Unit tests for the CLI argument parser and the study command's fault /
+// checkpoint option handling.
 
 #include <gtest/gtest.h>
 
+#include "fault/plan.hpp"
 #include "util/cli.hpp"
 
 namespace cloudrtt::util {
@@ -95,6 +97,48 @@ TEST(ArgParser, GetUnknownThrows) {
   ASSERT_TRUE(parser.parse(1, argv));
   EXPECT_THROW((void)parser.get("nope"), std::out_of_range);
   EXPECT_THROW((void)parser.get_flag("count"), std::out_of_range);
+}
+
+// The study command's fault-injection options, exercised with the same
+// parser shape cloudrtt_cli.cpp builds for `cloudrtt study`.
+ArgParser make_study_parser() {
+  ArgParser parser{"cloudrtt study", "run the measurement study"};
+  parser.add_option("fault-profile", "none", "fault intensity");
+  parser.add_option("fault-seed", "1337", "fault schedule seed");
+  parser.add_option("checkpoint-dir", "", "per-day checkpoint directory");
+  parser.add_flag("resume", "resume from checkpoint-dir");
+  return parser;
+}
+
+TEST(StudyCliOptions, FaultDefaultsAreOff) {
+  ArgParser parser = make_study_parser();
+  const char* argv[] = {"cloudrtt"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get("fault-profile"), "none");
+  EXPECT_EQ(parser.get_int("fault-seed"), 1337);
+  EXPECT_TRUE(parser.get("checkpoint-dir").empty());
+  EXPECT_FALSE(parser.get_flag("resume"));
+}
+
+TEST(StudyCliOptions, FaultAndCheckpointFlagsParse) {
+  ArgParser parser = make_study_parser();
+  const char* argv[] = {"cloudrtt", "--fault-profile", "harsh",
+                        "--fault-seed=99", "--checkpoint-dir", "/tmp/ck",
+                        "--resume"};
+  ASSERT_TRUE(parser.parse(7, argv));
+  EXPECT_EQ(parser.get("fault-profile"), "harsh");
+  EXPECT_EQ(parser.get_int("fault-seed"), 99);
+  EXPECT_EQ(parser.get("checkpoint-dir"), "/tmp/ck");
+  EXPECT_TRUE(parser.get_flag("resume"));
+}
+
+TEST(StudyCliOptions, EveryProfileNameRoundTrips) {
+  // The CLI validates --fault-profile with fault::profile_from_string; the
+  // accepted spellings must stay in sync with the enum.
+  EXPECT_EQ(fault::profile_from_string("none"), fault::FaultProfile::None);
+  EXPECT_EQ(fault::profile_from_string("mild"), fault::FaultProfile::Mild);
+  EXPECT_EQ(fault::profile_from_string("harsh"), fault::FaultProfile::Harsh);
+  EXPECT_FALSE(fault::profile_from_string("spicy").has_value());
 }
 
 }  // namespace

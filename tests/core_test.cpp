@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "analysis/trace_analysis.hpp"
 #include "core/export.hpp"
@@ -177,6 +180,83 @@ TEST_F(CoreRoundTrip, ImportSkipsGarbageRows) {
   EXPECT_EQ(stats.imported, 0u);
   EXPECT_EQ(stats.skipped, 4u);
   EXPECT_TRUE(imported.pings.empty());
+}
+
+TEST_F(CoreRoundTrip, ImportReportsLineNumberedErrors) {
+  // A damaged file must come back with structured diagnostics — the line
+  // that failed and why — not just a skip counter.
+  const std::uint32_t good_probe = study().sc_fleet().probes().front().id;
+  std::istringstream in{
+      "probe_id,platform,country,continent,isp_asn,provider,region,protocol,"
+      "rtt_ms,day,slot\n"                                          // line 1
+      "short,row\n"                                                // line 2
+      "oops,x,DE,EU,1,AMZN,eu-central-1,TCP,12.0,0,0\n"            // line 3
+      "1,x,DE,EU,1,AMZN,eu-central-1,TCP,fast,0,0\n"               // line 4
+      "1,x,DE,EU,1,AMZN,eu-central-1,TCP,12.0,0,9\n"               // line 5
+      + std::to_string(good_probe) +
+      ",x,DE,EU,1,NOPE,nowhere,TCP,12.0,0,0\n"};                   // line 6
+  measure::Dataset imported;
+  const core::ImportStats stats =
+      core::import_pings_csv(in, &study().sc_fleet(), nullptr, imported);
+  EXPECT_EQ(stats.skipped, 5u);
+  ASSERT_EQ(stats.errors.size(), 5u);
+  const std::pair<std::size_t, std::string> expected[] = {
+      {2, "expected 11 fields"}, {3, "bad probe_id"}, {4, "bad rtt_ms"},
+      {5, "bad slot"},           {6, "unknown region"},
+  };
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(stats.errors[i].line, expected[i].first) << i;
+    EXPECT_NE(stats.errors[i].message.find(expected[i].second),
+              std::string::npos)
+        << stats.errors[i].message;
+  }
+}
+
+TEST_F(CoreRoundTrip, ImportCapsStoredErrors) {
+  // Pathological files must not balloon memory: the skip counter keeps
+  // counting but only the first kMaxErrors diagnostics are retained.
+  std::ostringstream in;
+  in << "probe_id,platform,country,continent,isp_asn,provider,region,protocol,"
+        "rtt_ms,day,slot\n";
+  for (int i = 0; i < 100; ++i) in << "bad,row\n";
+  std::istringstream stream{in.str()};
+  measure::Dataset imported;
+  const core::ImportStats stats =
+      core::import_pings_csv(stream, nullptr, nullptr, imported);
+  EXPECT_EQ(stats.skipped, 100u);
+  EXPECT_EQ(stats.errors.size(), core::ImportStats::kMaxErrors);
+}
+
+TEST_F(CoreRoundTrip, IntegrityTrailerRoundTripsAndCatchesTampering) {
+  core::ExportOptions options;
+  options.integrity_trailer = true;
+  options.roundtrip_doubles = true;
+  std::ostringstream out;
+  core::export_pings_csv(out, study().sc_dataset(), options);
+  const std::string text = out.str();
+  ASSERT_NE(text.find("#cloudrtt-integrity"), std::string::npos);
+
+  {  // untouched: trailer validates
+    std::istringstream in{text};
+    measure::Dataset imported;
+    const core::ImportStats stats =
+        core::import_pings_csv(in, &study().sc_fleet(), nullptr, imported);
+    EXPECT_TRUE(stats.trailer_present);
+    EXPECT_TRUE(stats.clean());
+    EXPECT_EQ(imported.pings.size(), study().sc_dataset().pings.size());
+  }
+  {  // one byte flipped in a data row: checksum mismatch
+    std::string tampered = text;
+    const std::size_t mid = tampered.find('\n') + 10;
+    tampered[mid] = tampered[mid] == '1' ? '2' : '1';
+    std::istringstream in{tampered};
+    measure::Dataset imported;
+    const core::ImportStats stats =
+        core::import_pings_csv(in, &study().sc_fleet(), nullptr, imported);
+    EXPECT_TRUE(stats.trailer_present);
+    EXPECT_FALSE(stats.trailer_ok);
+    EXPECT_FALSE(stats.clean());
+  }
 }
 
 TEST_F(CoreRoundTrip, FullReportIsWellFormedJson) {

@@ -4,7 +4,9 @@
 
 #include <set>
 #include <unordered_set>
+#include <utility>
 
+#include "fault/plan.hpp"
 #include "measure/campaign.hpp"
 #include "measure/engine.hpp"
 #include "probes/fleet.hpp"
@@ -412,6 +414,58 @@ TEST_F(CampaignTest, SlotsSpanTheDay) {
     slots.insert(ping.slot);
   }
   EXPECT_GE(slots.size(), 4u);  // the budget drains across the day
+}
+
+TEST_F(CampaignTest, ZeroDailyBudgetCompletesCleanly) {
+  // A platform quota of zero is a degenerate but legal configuration: every
+  // day ends immediately with nothing delivered.
+  config_.daily_budget = 0;
+  const Campaign campaign{world_, fleet_, config_};
+  const Dataset data = campaign.run(util::Rng{5});
+  EXPECT_TRUE(data.pings.empty());
+  EXPECT_TRUE(data.traces.empty());
+}
+
+TEST_F(CampaignTest, AllOfflineFleetCompletesCleanly) {
+  // Churn factor 0 knocks every probe offline: the campaign must walk its
+  // days without crashing or spinning, and deliver nothing.
+  config_.run_case_studies = false;
+  fault::FaultIntensity intensity;
+  intensity.churn_factor = 0.0;
+  const fault::FaultPlan plan{world_, config_.days, intensity, 1};
+  const Campaign campaign{world_, fleet_, config_};
+  RunHooks hooks;
+  hooks.faults = &plan;
+  const Dataset data = campaign.run(util::Rng{5}, {}, hooks);
+  EXPECT_TRUE(data.pings.empty());
+  EXPECT_TRUE(data.traces.empty());
+}
+
+TEST_F(CampaignTest, ResumeMidCampaignMatchesStraightRun) {
+  // The after_day hook reports a (next_day, cursor) state; feeding that state
+  // back into a second run must produce the same tail the straight run did.
+  config_.run_case_studies = false;
+  const Campaign campaign{world_, fleet_, config_};
+  const Dataset straight = campaign.run(util::Rng{7});
+
+  CampaignState checkpoint;
+  Dataset first_half;
+  RunHooks stop_after_first_day;
+  stop_after_first_day.after_day = [&](const CampaignState& state,
+                                       const Dataset& data) {
+    checkpoint = state;
+    first_half = data;
+    return state.next_day < 1;
+  };
+  (void)campaign.run(util::Rng{7}, {}, stop_after_first_day);
+
+  const Dataset resumed =
+      campaign.run(util::Rng{7}, checkpoint, {}, std::move(first_half));
+  ASSERT_EQ(straight.pings.size(), resumed.pings.size());
+  for (std::size_t i = 0; i < straight.pings.size(); ++i) {
+    EXPECT_EQ(straight.pings[i].probe, resumed.pings[i].probe);
+    EXPECT_DOUBLE_EQ(straight.pings[i].rtt_ms, resumed.pings[i].rtt_ms);
+  }
 }
 
 TEST_F(CampaignTest, OnlyConnectedProbesMeasure) {

@@ -15,6 +15,7 @@
 #include "core/export.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "fault/plan.hpp"
 #include "measure/engine.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -75,6 +76,27 @@ void print_observability_summary() {
   }
   std::cout << "\n-- phase timings --\n";
   obs::SpanTracker::global().write_text(std::cout);
+}
+
+/// One-screen digest of what the fault schedule did to the campaign: how
+/// many submissions failed, were retried, exhausted their retries, and how
+/// much budget outages burned. Reads the same registry the JSON export does.
+void print_fault_summary() {
+  const obs::Registry::Snapshot snap = obs::Registry::global().snapshot();
+  util::TextTable table;
+  table.set_header({"fault counter", "value"});
+  bool any = false;
+  for (const auto& entry : snap.counters) {
+    if (entry.name.find("fault") == std::string::npos &&
+        entry.name != "campaign.tasks_delivered_total" &&
+        entry.name != "campaign.empty_days_total") {
+      continue;
+    }
+    table.add_row({entry.name,
+                   std::to_string(static_cast<std::uint64_t>(entry.value))});
+    any = true;
+  }
+  if (any) std::cout << "\n-- fault injection --\n" << table.render();
 }
 
 int cmd_world(int argc, const char* const* argv) {
@@ -233,6 +255,12 @@ int cmd_study(int argc, const char* const* argv) {
                                    "(default: CLOUDRTT_LOG or info)");
   args.add_option("metrics-out", "", "write the metrics registry + phase "
                                      "timings as JSON to this file");
+  args.add_option("fault-profile", "none",
+                  "fault-injection intensity: none | mild | harsh");
+  args.add_option("fault-seed", "1337", "fault-schedule seed");
+  args.add_option("checkpoint-dir", "", "snapshot the campaign after every "
+                                        "day into this directory");
+  args.add_flag("resume", "resume from --checkpoint-dir if a checkpoint exists");
   args.add_flag("quiet", "only warnings and errors (log level warn)");
   args.add_flag("no-atlas", "skip the Atlas campaign");
   args.add_flag("no-export", "skip CSV export (report.json only)");
@@ -247,10 +275,36 @@ int cmd_study(int argc, const char* const* argv) {
   config.sc_campaign.days = static_cast<std::uint32_t>(args.get_int("days"));
   config.sc_campaign.daily_budget = static_cast<std::size_t>(args.get_int("budget"));
 
+  const auto profile = fault::profile_from_string(args.get("fault-profile"));
+  if (!profile) {
+    std::cerr << "unknown fault profile '" << args.get("fault-profile")
+              << "' (expected none | mild | harsh)\n";
+    return 1;
+  }
+  config.fault_profile = *profile;
+  config.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
+
+  core::RunControl control;
+  control.checkpoint_dir = args.get("checkpoint-dir");
+  control.resume = args.get_flag("resume");
+  if (control.resume && control.checkpoint_dir.empty()) {
+    std::cerr << "--resume needs --checkpoint-dir\n";
+    return 1;
+  }
+
   std::cout << "running study: " << config.sc_probes << " SC probes, "
-            << config.sc_campaign.days << " days, seed " << config.seed << "\n";
+            << config.sc_campaign.days << " days, seed " << config.seed;
+  if (config.fault_profile != fault::FaultProfile::None) {
+    std::cout << ", fault profile " << to_string(config.fault_profile);
+  }
+  std::cout << "\n";
   core::Study study{config};
-  study.run();
+  try {
+    study.run(control);
+  } catch (const std::runtime_error& error) {
+    std::cerr << "study failed: " << error.what() << "\n";
+    return 1;
+  }
   std::cout << "collected " << study.sc_dataset().pings.size() << " pings / "
             << study.sc_dataset().traces.size() << " traceroutes\n";
 
@@ -284,6 +338,7 @@ int cmd_study(int argc, const char* const* argv) {
     obs::write_observability_json(metrics);
     std::cout << "metrics written to " << metrics_path << "\n";
   }
+  if (config.fault_profile != fault::FaultProfile::None) print_fault_summary();
   if (!args.get_flag("quiet")) print_observability_summary();
   return 0;
 }
