@@ -1,5 +1,7 @@
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "analysis/experiments.hpp"
 #include "analysis/nearest.hpp"
@@ -86,13 +88,19 @@ struct ProbeLastMile {
   [[nodiscard]] bool is_home() const { return home_votes >= cell_votes; }
 };
 
-std::unordered_map<const probes::Probe*, ProbeLastMile> collect_per_probe(
+/// Per-probe last-mile summaries in ascending probe-id order. The
+/// accumulation map is keyed by probe pointer, so its iteration order would
+/// change with every run's heap layout; fig8/fig9 append to their box-plot
+/// series while walking this, so the result is sorted before it is returned
+/// — otherwise the exported series order (and the dataset report) would
+/// differ between two same-seed runs.
+std::vector<std::pair<const probes::Probe*, ProbeLastMile>> collect_per_probe(
     const StudyView& view) {
-  std::unordered_map<const probes::Probe*, ProbeLastMile> out;
+  std::unordered_map<const probes::Probe*, ProbeLastMile> accumulator;
   for (const measure::TraceRecord& trace : view.sc_data->traces) {
     const LastMileObservation obs = infer_last_mile(trace, *view.resolver);
     if (!obs.valid) continue;
-    ProbeLastMile& entry = out[trace.probe];
+    ProbeLastMile& entry = accumulator[trace.probe];
     entry.samples.push_back(obs.usr_isp_ms);
     if (obs.access == AccessClass::Home) {
       ++entry.home_votes;
@@ -100,6 +108,14 @@ std::unordered_map<const probes::Probe*, ProbeLastMile> collect_per_probe(
       ++entry.cell_votes;
     }
   }
+  std::vector<std::pair<const probes::Probe*, ProbeLastMile>> out;
+  out.reserve(accumulator.size());
+  for (auto& [probe, entry] : accumulator) {  // lint:allow(unordered-iter): sorted by probe id on the next line
+    out.emplace_back(probe, std::move(entry));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first->id < b.first->id;
+  });
   return out;
 }
 

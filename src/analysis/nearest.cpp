@@ -21,10 +21,15 @@ const cloud::RegionInfo* NearestIndex::nearest(
   if (it == table_.end()) return nullptr;
   const cloud::RegionInfo* best = nullptr;
   double best_mean = std::numeric_limits<double>::infinity();
-  for (const auto& [region, cell] : it->second) {
+  // The map is keyed by region pointer, so iteration order varies with the
+  // heap layout of the run; the strict tie-break on region_name below makes
+  // the selected minimum independent of that order.
+  for (const auto& [region, cell] : it->second) {  // lint:allow(unordered-iter): min-selection with total-order tie-break
     if (within && region->continent != *within) continue;
     const double mean = cell.mean();
-    if (mean < best_mean) {
+    if (mean < best_mean ||
+        (mean == best_mean && best != nullptr &&
+         region->region_name < best->region_name)) {
       best_mean = mean;
       best = region;
     }

@@ -11,6 +11,7 @@
 
 #include "core/export.hpp"
 #include "core/import.hpp"
+#include "util/check.hpp"
 #include "util/text.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -69,6 +70,11 @@ bool checkpoint_exists(const fs::path& dir, std::string_view platform) {
 std::string save_checkpoint(const fs::path& dir, const CheckpointMeta& meta,
                             const measure::Dataset& data,
                             const topology::World& world) {
+  CLOUDRTT_CHECK(!meta.platform.empty(),
+                 "checkpoint platform label must be non-empty");
+  CLOUDRTT_CHECK(meta.state.next_day > 0 || data.pings.empty(),
+                 "checkpoint claims day 0 but already carries ",
+                 data.pings.size(), " pings");
   obs::Span phase = obs::span("core.checkpoint.save");
   std::error_code ec;
   fs::create_directories(dir, ec);

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <ostream>
 #include <sstream>
+#include <streambuf>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -138,6 +139,56 @@ void export_traces_csv(std::ostream& out, const measure::Dataset& data,
   }
   sink.finish();
   obs::Registry::global().counter("export.trace_rows_total").inc(sink.rows());
+}
+
+namespace {
+
+/// Discarding streambuf that folds every byte into an FNV-1a hash; lets the
+/// CSV writers double as the canonical dataset serialisation without holding
+/// the whole serialisation in memory.
+class HashingStreambuf final : public std::streambuf {
+ public:
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (ch != traits_type::eof()) mix(static_cast<char>(ch));
+    return ch;
+  }
+
+  std::streamsize xsputn(const char* data, std::streamsize count) override {
+    for (std::streamsize i = 0; i < count; ++i) mix(data[i]);
+    return count;
+  }
+
+ private:
+  void mix(char ch) {
+    hash_ ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+    hash_ *= 0x100000001b3ULL;
+  }
+
+  std::uint64_t hash_ = kFnvBasis;
+};
+
+}  // namespace
+
+std::uint64_t dataset_hash(const measure::Dataset& data) {
+  HashingStreambuf buffer;
+  std::ostream out{&buffer};
+  ExportOptions options;
+  options.roundtrip_doubles = true;  // hash every collected bit, not 3 decimals
+  options.ground_truth = true;
+  export_pings_csv(out, data, options);
+  export_traces_csv(out, data, options);
+  return buffer.hash();
+}
+
+std::string format_dataset_hash(std::uint64_t hash) {
+  char hex[17] = {};
+  std::to_chars(hex, hex + 16, hash, 16);
+  std::string padded(16 - std::string_view{hex}.size(), '0');
+  padded += hex;
+  return padded;
 }
 
 }  // namespace cloudrtt::core

@@ -6,7 +6,9 @@
 // bit-identical to an uninterrupted one, and the ground-truth columns that
 // the human-facing CSVs deliberately omit.
 
+#include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "measure/records.hpp"
 
@@ -36,5 +38,16 @@ void export_pings_csv(std::ostream& out, const measure::Dataset& data,
 void export_traces_csv(std::ostream& out, const measure::Dataset& data);
 void export_traces_csv(std::ostream& out, const measure::Dataset& data,
                        const ExportOptions& options);
+
+/// FNV-1a (64-bit) over the full exported dataset: the ping CSV followed by
+/// the trace CSV, both with round-trip doubles and ground truth so every
+/// collected bit is covered. Two runs are reproductions of each other iff
+/// their hashes match — this is what `cloudrtt study --dataset-hash` prints
+/// and what the determinism CI gate compares. Streams through a hashing
+/// streambuf, so no serialized copy of the dataset is materialised.
+[[nodiscard]] std::uint64_t dataset_hash(const measure::Dataset& data);
+
+/// The hash as the canonical 16-digit zero-padded lower-case hex string.
+[[nodiscard]] std::string format_dataset_hash(std::uint64_t hash);
 
 }  // namespace cloudrtt::core

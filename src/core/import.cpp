@@ -142,7 +142,7 @@ ImportStats import_pings_csv(std::istream& in, const probes::ProbeFleet* sc_flee
                              const probes::ProbeFleet* atlas_fleet,
                              measure::Dataset& out) {
   ImportStats stats;
-  const ProbeIndex probes = build_probe_index(sc_fleet, atlas_fleet);
+  const ProbeIndex probe_index = build_probe_index(sc_fleet, atlas_fleet);
   const RegionIndex regions = build_region_index();
   IntegrityTracker integrity;
 
@@ -195,8 +195,8 @@ ImportStats import_pings_csv(std::istream& in, const probes::ProbeFleet* sc_flee
       record_error(stats, line_no, "bad slot '" + cells[10] + "'");
       continue;
     }
-    const auto probe_it = probes.find(probe_id);
-    if (probe_it == probes.end()) {
+    const auto probe_it = probe_index.find(probe_id);
+    if (probe_it == probe_index.end()) {
       record_error(stats, line_no, "unknown probe id " + cells[0]);
       continue;
     }
@@ -224,7 +224,7 @@ ImportStats import_traces_csv(std::istream& in, const probes::ProbeFleet* sc_fle
                               const probes::ProbeFleet* atlas_fleet,
                               measure::Dataset& out) {
   ImportStats stats;
-  const ProbeIndex probes = build_probe_index(sc_fleet, atlas_fleet);
+  const ProbeIndex probe_index = build_probe_index(sc_fleet, atlas_fleet);
   const RegionIndex regions = build_region_index();
   IntegrityTracker integrity;
 
@@ -290,9 +290,9 @@ ImportStats import_traces_csv(std::istream& in, const probes::ProbeFleet* sc_fle
                      "bad trace fields for trace_id '" + cells[0] + "'");
         continue;
       }
-      const auto probe_it = probes.find(probe_id);
+      const auto probe_it = probe_index.find(probe_id);
       const auto region_it = regions.find(cells[2] + "/" + cells[3]);
-      if (probe_it == probes.end() || region_it == regions.end()) {
+      if (probe_it == probe_index.end() || region_it == regions.end()) {
         record_error(stats, line_no,
                      "unknown probe/region for trace_id '" + cells[0] + "'");
         continue;

@@ -107,7 +107,12 @@ void Study::run(const RunControl& control) {
                              world_->fork_rng("campaign/speedchecker"),
                              sc_plan ? &*sc_plan : nullptr, control, sc_data_);
   }
-  if (atlas_fleet_) {
+  // Strictly sequential: Atlas never starts while Speedchecker is incomplete.
+  // Both campaigns lazily allocate router addresses from the shared world, so
+  // an uninterrupted run's allocation order is "all of SC, then Atlas" — a
+  // partial Atlas run interleaved with a resumed SC day would replay those
+  // allocations in a different order and break bit-identical resume.
+  if (atlas_fleet_ && complete) {
     obs::Span phase = obs::span("campaign.atlas");
     CLOUDRTT_LOG_INFO("study.campaign.start", {"platform", "atlas"},
                       {"probes", atlas_fleet_->probes().size()},

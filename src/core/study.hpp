@@ -88,7 +88,10 @@ struct RunControl {
   bool resume = false;
   /// Stop each campaign once this many days have completed (campaign days
   /// are counted from day 0, so resume + a larger value continues). The
-  /// study is left incomplete; completed() reports false.
+  /// study is left incomplete; completed() reports false. Later campaigns
+  /// are not started at all while an earlier one is incomplete, so that a
+  /// resumed study replays the shared world's lazy allocations in the same
+  /// order as an uninterrupted run.
   std::optional<std::uint32_t> stop_after_day;
 };
 

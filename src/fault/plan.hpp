@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "topology/world.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace cloudrtt::fault {
@@ -119,7 +120,11 @@ class FaultPlan {
                                                     FaultProfile profile,
                                                     std::uint64_t seed);
 
-  [[nodiscard]] const DayFaults& day(std::uint32_t d) const { return days_.at(d); }
+  [[nodiscard]] const DayFaults& day(std::uint32_t d) const {
+    CLOUDRTT_CHECK(d < days_.size(), "fault day ", d, " outside the ",
+                   days_.size(), "-day schedule");
+    return days_[d];
+  }
   [[nodiscard]] std::uint32_t days() const {
     return static_cast<std::uint32_t>(days_.size());
   }

@@ -1,0 +1,670 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cloudrtt::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident_char(char ch) {
+  return std::isalnum(static_cast<unsigned char>(ch)) != 0 || ch == '_';
+}
+
+[[nodiscard]] bool is_space(char ch) {
+  return std::isspace(static_cast<unsigned char>(ch)) != 0;
+}
+
+[[nodiscard]] std::string_view trim(std::string_view text) {
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+// ---------------------------------------------------------------------------
+// Scrubber: strip comments / string / char literals so the rule passes only
+// ever see real code, and collect per-line comment text for suppressions.
+
+struct Scrubbed {
+  std::string code;                   ///< same length/line layout as input
+  std::vector<std::string> comments;  ///< comment text per 0-based line
+};
+
+/// Replace comments and literal contents with spaces, preserving newlines so
+/// positions map 1:1 to the original text. Handles //, /*...*/, "...",
+/// '...', and raw strings R"delim(...)delim". Digit separators (1'000) are
+/// not treated as char literals.
+[[nodiscard]] Scrubbed scrub(std::string_view text) {
+  Scrubbed out;
+  out.code.reserve(text.size());
+  out.comments.emplace_back();
+  std::size_t line = 0;
+
+  const auto emit = [&](char ch) { out.code.push_back(ch); };
+  const auto blank = [&](char ch) { out.code.push_back(ch == '\n' ? '\n' : ' '); };
+  const auto newline = [&] {
+    ++line;
+    out.comments.emplace_back();
+  };
+
+  enum class State { Code, Line, Block, Str, Chr, Raw };
+  State state = State::Code;
+  std::string raw_delim;  // the ")delim" terminator of the active raw string
+  char prev_code = '\0';  // last significant char emitted in Code state
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (ch == '/' && next == '/') {
+          state = State::Line;
+          blank(ch);
+        } else if (ch == '/' && next == '*') {
+          state = State::Block;
+          blank(ch);
+          blank(next);
+          ++i;
+        } else if (ch == '"') {
+          // Raw string when the preceding token ends in R (u8R, LR, ...).
+          if (prev_code == 'R' && !out.code.empty()) {
+            std::size_t open = text.find('(', i + 1);
+            if (open != std::string_view::npos && open - i <= 18) {
+              raw_delim = ")";
+              raw_delim.append(text.substr(i + 1, open - i - 1));
+              raw_delim.push_back('"');
+              state = State::Raw;
+              emit(ch);
+              break;
+            }
+          }
+          state = State::Str;
+          emit(ch);
+        } else if (ch == '\'' && !is_ident_char(prev_code)) {
+          state = State::Chr;
+          emit(ch);
+        } else {
+          emit(ch);
+          if (!is_space(ch)) prev_code = ch;
+          if (ch == '\n') newline();
+        }
+        break;
+      case State::Line:
+        if (ch == '\n') {
+          state = State::Code;
+          blank(ch);
+          newline();
+        } else {
+          out.comments[line].push_back(ch);
+          blank(ch);
+        }
+        break;
+      case State::Block:
+        if (ch == '*' && next == '/') {
+          state = State::Code;
+          blank(ch);
+          blank(next);
+          ++i;
+        } else {
+          if (ch != '\n') out.comments[line].push_back(ch);
+          blank(ch);
+          if (ch == '\n') newline();
+        }
+        break;
+      case State::Str:
+        if (ch == '\\' && next != '\0') {
+          blank(ch);
+          blank(next);
+          ++i;
+        } else if (ch == '"') {
+          state = State::Code;
+          emit(ch);
+          prev_code = ch;
+        } else {
+          blank(ch);
+          if (ch == '\n') newline();
+        }
+        break;
+      case State::Chr:
+        if (ch == '\\' && next != '\0') {
+          blank(ch);
+          blank(next);
+          ++i;
+        } else if (ch == '\'') {
+          state = State::Code;
+          emit(ch);
+          prev_code = ch;
+        } else {
+          blank(ch);
+          if (ch == '\n') newline();
+        }
+        break;
+      case State::Raw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) blank(text[i + k]);
+          i += raw_delim.size() - 1;
+          state = State::Code;
+          prev_code = '"';
+        } else {
+          blank(ch);
+          if (ch == '\n') newline();
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// 1-based line number of a position in the scrubbed code.
+[[nodiscard]] std::size_t line_of(std::string_view code, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(code.begin(), code.begin() + static_cast<long>(pos), '\n'));
+}
+
+/// The trimmed source line containing `pos` (for finding snippets).
+[[nodiscard]] std::string snippet_at(std::string_view original, std::string_view code,
+                                     std::size_t pos) {
+  std::size_t begin = code.rfind('\n', pos);
+  begin = begin == std::string_view::npos ? 0 : begin + 1;
+  std::size_t end = code.find('\n', pos);
+  if (end == std::string_view::npos) end = code.size();
+  return std::string{trim(original.substr(begin, end - begin))};
+}
+
+/// Next occurrence of `token` at or after `from` with identifier boundaries
+/// on both sides; npos when absent.
+[[nodiscard]] std::size_t find_token(std::string_view code, std::string_view token,
+                                     std::size_t from) {
+  for (std::size_t pos = code.find(token, from); pos != std::string_view::npos;
+       pos = code.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+    const std::size_t after = pos + token.size();
+    const bool right_ok = after >= code.size() || !is_ident_char(code[after]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string_view::npos;
+}
+
+[[nodiscard]] std::size_t skip_spaces(std::string_view code, std::size_t pos) {
+  while (pos < code.size() && is_space(code[pos])) ++pos;
+  return pos;
+}
+
+/// Read an identifier (possibly qualified, A::b::c) starting at `pos`;
+/// returns the last component and advances `pos` past the whole name.
+[[nodiscard]] std::string read_qualified_ident(std::string_view code,
+                                               std::size_t& pos) {
+  std::string last;
+  while (pos < code.size()) {
+    if (!is_ident_char(code[pos])) break;
+    std::size_t start = pos;
+    while (pos < code.size() && is_ident_char(code[pos])) ++pos;
+    last.assign(code.substr(start, pos - start));
+    if (pos + 1 < code.size() && code[pos] == ':' && code[pos + 1] == ':') {
+      pos += 2;
+      continue;
+    }
+    break;
+  }
+  return last;
+}
+
+/// With `pos` at the '<' opening a template argument list, return the
+/// position just past the matching '>'; npos if unbalanced.
+[[nodiscard]] std::size_t skip_template_args(std::string_view code,
+                                             std::size_t pos) {
+  int depth = 0;
+  for (; pos < code.size(); ++pos) {
+    if (code[pos] == '<') ++depth;
+    if (code[pos] == '>' && --depth == 0) return pos + 1;
+  }
+  return std::string_view::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+
+/// Normalise for suffix matching: backslashes to slashes.
+[[nodiscard]] std::string normalise(std::string_view path) {
+  std::string out{path};
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+[[nodiscard]] bool path_matches(std::string_view path, std::string_view prefix) {
+  // Exempt prefixes are repo-relative; accept them anywhere in the path so
+  // absolute invocations ("/repo/src/obs/log.cpp") scope identically.
+  for (std::size_t pos = 0;; ++pos) {
+    pos = path.find(prefix, pos);
+    if (pos == std::string_view::npos) return false;
+    if (pos == 0 || path[pos - 1] == '/') return true;
+  }
+}
+
+[[nodiscard]] bool is_header(std::string_view path) {
+  return path.ends_with(".hpp") || path.ends_with(".h");
+}
+
+}  // namespace
+
+std::string_view rule_key(Rule rule) {
+  switch (rule) {
+    case Rule::UnorderedIter: return "unordered-iter";
+    case Rule::Nondeterminism: return "nondeterminism";
+    case Rule::RawAssert: return "raw-assert";
+    case Rule::HeaderHygiene: return "header-hygiene";
+  }
+  return "?";
+}
+
+std::string_view rule_summary(Rule rule) {
+  switch (rule) {
+    case Rule::UnorderedIter:
+      return "range-for over an unordered container (iteration order leak)";
+    case Rule::Nondeterminism:
+      return "entropy/clock source outside util/rng and obs";
+    case Rule::RawAssert:
+      return "raw assert() in library code (use CLOUDRTT_CHECK/DCHECK)";
+    case Rule::HeaderHygiene:
+      return "header without #pragma once / with using namespace";
+  }
+  return "?";
+}
+
+bool LintOptions::applies(Rule rule, std::string_view path) const {
+  const std::vector<std::string>* exempt = nullptr;
+  if (rule == Rule::Nondeterminism) exempt = &nondeterminism_exempt;
+  if (rule == Rule::RawAssert) exempt = &raw_assert_exempt;
+  if (exempt == nullptr) return true;
+  for (const std::string& prefix : *exempt) {
+    if (path_matches(path, prefix)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Linter
+
+struct Linter::Impl {
+  struct File {
+    std::string path;
+    std::string original;
+    Scrubbed scrubbed;
+  };
+
+  LintOptions options;
+  std::vector<File> files;
+  // std::set: the symbol tables themselves must never introduce iteration-
+  // order nondeterminism into reports.
+  std::set<std::string> unordered_vars;
+  std::set<std::string> unordered_fns;
+  std::set<std::string> unordered_aliases;
+
+  void harvest(const File& file);
+  void harvest_alias_uses(const File& file);
+  void check_file(const File& file, std::vector<Finding>& findings) const;
+  void apply_suppressions(const File& file, Finding& finding) const;
+};
+
+Linter::Linter(LintOptions options) : impl_(new Impl) {
+  impl_->options = std::move(options);
+}
+
+Linter::~Linter() { delete impl_; }
+
+void Linter::add(std::string path, std::string content) {
+  Impl::File file;
+  file.path = normalise(path);
+  file.scrubbed = scrub(content);
+  file.original = std::move(content);
+  impl_->files.push_back(std::move(file));
+}
+
+// Pass 1a+1b: record every name declared with an unordered type — variables
+// and members (`std::unordered_map<K,V> index_;`), functions returning one
+// (`std::unordered_map<K,V> compute() const;`), and aliases
+// (`using Index = std::unordered_map<...>;`).
+void Linter::Impl::harvest(const File& file) {
+  const std::string& code = file.scrubbed.code;
+  for (const std::string_view kind : {"unordered_map", "unordered_set"}) {
+    for (std::size_t pos = find_token(code, kind, 0);
+         pos != std::string::npos; pos = find_token(code, kind, pos + 1)) {
+      std::size_t cursor = skip_spaces(code, pos + kind.size());
+      // `#include <unordered_map>` puts '>' right after the name; a real
+      // type use puts '<'.
+      if (cursor >= code.size() || code[cursor] != '<') continue;
+      // Alias? Look back along the line for `using NAME =`.
+      {
+        std::size_t bol = code.rfind('\n', pos);
+        bol = bol == std::string::npos ? 0 : bol + 1;
+        const std::string_view before{code.data() + bol, pos - bol};
+        const std::size_t using_pos = find_token(before, "using", 0);
+        if (using_pos != std::string_view::npos &&
+            before.find('=', using_pos) != std::string_view::npos) {
+          std::size_t name_pos = skip_spaces(before, using_pos + 5);
+          const std::string alias = read_qualified_ident(before, name_pos);
+          if (!alias.empty()) unordered_aliases.insert(alias);
+          continue;
+        }
+      }
+      cursor = skip_template_args(code, cursor);
+      if (cursor == std::string::npos) continue;
+      cursor = skip_spaces(code, cursor);
+      while (cursor < code.size() &&
+             (code[cursor] == '&' || code[cursor] == '*')) {
+        cursor = skip_spaces(code, cursor + 1);
+      }
+      const std::string name = read_qualified_ident(code, cursor);
+      if (name.empty() || name == "const") continue;
+      cursor = skip_spaces(code, cursor);
+      if (cursor < code.size() && code[cursor] == '(') {
+        unordered_fns.insert(name);
+      } else {
+        unordered_vars.insert(name);
+      }
+    }
+  }
+}
+
+// Pass 1c: `IndexAlias name` declares an unordered variable too, and
+// `auto name = unordered_fn(...)` binds the function's unordered result.
+void Linter::Impl::harvest_alias_uses(const File& file) {
+  const std::string& code = file.scrubbed.code;
+  // lint:allow(unordered-iter): std::set of names; iteration is ordered
+  for (const std::string& alias : unordered_aliases) {
+    for (std::size_t pos = find_token(code, alias, 0); pos != std::string::npos;
+         pos = find_token(code, alias, pos + 1)) {
+      std::size_t cursor = skip_spaces(code, pos + alias.size());
+      while (cursor < code.size() &&
+             (code[cursor] == '&' || code[cursor] == '*')) {
+        cursor = skip_spaces(code, cursor + 1);
+      }
+      std::string name = read_qualified_ident(code, cursor);
+      if (name.empty() || name == alias) continue;
+      cursor = skip_spaces(code, cursor);
+      // `IdSet name;` declares a variable, `IdSet name(...)` a function
+      // whose result is unordered too.
+      if (cursor < code.size() && code[cursor] == '(') {
+        unordered_fns.insert(std::move(name));
+      } else {
+        unordered_vars.insert(std::move(name));
+      }
+    }
+  }
+  for (std::size_t pos = find_token(code, "auto", 0); pos != std::string::npos;
+       pos = find_token(code, "auto", pos + 1)) {
+    std::size_t cursor = skip_spaces(code, pos + 4);
+    while (cursor < code.size() && (code[cursor] == '&' || code[cursor] == '*')) {
+      cursor = skip_spaces(code, cursor + 1);
+    }
+    const std::string name = read_qualified_ident(code, cursor);
+    if (name.empty()) continue;
+    cursor = skip_spaces(code, cursor);
+    if (cursor >= code.size() || code[cursor] != '=') continue;
+    cursor = skip_spaces(code, cursor + 1);
+    std::string callee = read_qualified_ident(code, cursor);
+    // Follow one member access: `index.samples()` / `view->probes()`.
+    while (cursor + 1 < code.size() &&
+           (code[cursor] == '.' ||
+            (code[cursor] == '-' && code[cursor + 1] == '>'))) {
+      cursor += code[cursor] == '.' ? std::size_t{1} : std::size_t{2};
+      callee = read_qualified_ident(code, cursor);
+    }
+    if (cursor < code.size() && code[cursor] == '(' &&
+        unordered_fns.count(callee) > 0) {
+      unordered_vars.insert(name);
+    }
+  }
+}
+
+namespace {
+
+/// Entropy/clock tokens banned outside the sanctioned modules. Tokens with
+/// `needs_call` only match when followed by '(' so that e.g. a variable
+/// named `time` in exported CSV headers can never trip the rule.
+struct BannedToken {
+  std::string_view token;
+  bool needs_call;
+  std::string_view why;
+};
+
+constexpr BannedToken kNondeterminismTokens[] = {
+    {"rand", true, "libc rand() is not seedable per-study"},
+    {"srand", true, "global libc seeding breaks stream forking"},
+    {"random_device", false, "hardware entropy differs every run"},
+    {"mt19937", false, "std engines differ across standard libraries"},
+    {"mt19937_64", false, "std engines differ across standard libraries"},
+    {"minstd_rand", false, "std engines differ across standard libraries"},
+    {"default_random_engine", false, "implementation-defined engine"},
+    {"time", true, "wall-clock seeding breaks reproducibility"},
+    {"clock", true, "process clocks vary run-to-run"},
+    {"steady_clock", false, "clock reads must stay inside src/obs"},
+    {"system_clock", false, "clock reads must stay inside src/obs"},
+    {"high_resolution_clock", false, "clock reads must stay inside src/obs"},
+};
+
+}  // namespace
+
+void Linter::Impl::check_file(const File& file,
+                              std::vector<Finding>& findings) const {
+  const std::string& code = file.scrubbed.code;
+  const std::string& original = file.original;
+
+  const auto report = [&](Rule rule, std::size_t pos, std::string message) {
+    Finding finding;
+    finding.file = file.path;
+    finding.line = line_of(code, pos);
+    finding.rule = rule;
+    finding.message = std::move(message);
+    finding.snippet = snippet_at(original, code, pos);
+    apply_suppressions(file, finding);
+    findings.push_back(std::move(finding));
+  };
+
+  // R1 — range-for over unordered containers.
+  for (std::size_t pos = find_token(code, "for", 0); pos != std::string::npos;
+       pos = find_token(code, "for", pos + 1)) {
+    std::size_t cursor = skip_spaces(code, pos + 3);
+    if (cursor >= code.size() || code[cursor] != '(') continue;
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    std::size_t close = std::string::npos;
+    for (std::size_t i = cursor; i < code.size(); ++i) {
+      const char ch = code[i];
+      if (ch == '(') ++depth;
+      if (ch == ')' && --depth == 0) {
+        close = i;
+        break;
+      }
+      if (ch == ';' && depth == 1) break;  // classic three-clause for
+      if (ch == ':' && depth == 1 && colon == std::string::npos &&
+          (i == 0 || code[i - 1] != ':') &&
+          (i + 1 >= code.size() || code[i + 1] != ':')) {
+        colon = i;
+      }
+    }
+    if (colon == std::string::npos || close == std::string::npos) continue;
+    const std::string_view range =
+        trim(std::string_view{code}.substr(colon + 1, close - colon - 1));
+    std::string culprit;
+    if (range.find("unordered_") != std::string_view::npos) {
+      culprit.assign(range.substr(0, 40));
+    } else {
+      // Classify by the trailing component of the range expression, so
+      // member (`cache.entries_`), pointer (`impl_->table_`) and qualified
+      // accesses all resolve against the harvested symbol tables.
+      std::string_view expr = range;
+      bool call = false;
+      if (!expr.empty() && expr.back() == ')') {
+        int args = 0;
+        std::size_t open = std::string_view::npos;
+        for (std::size_t i = expr.size(); i-- > 0;) {
+          if (expr[i] == ')') ++args;
+          if (expr[i] == '(' && --args == 0) {
+            open = i;
+            break;
+          }
+        }
+        if (open == std::string_view::npos) continue;
+        expr = trim(expr.substr(0, open));
+        call = true;
+      }
+      if (expr.empty() || !is_ident_char(expr.back())) continue;
+      std::size_t start = expr.size();
+      while (start > 0 && is_ident_char(expr[start - 1])) --start;
+      const std::string tail{expr.substr(start)};
+      if (call && unordered_fns.count(tail) > 0) {
+        culprit = tail + "()";
+      } else if (!call && unordered_vars.count(tail) > 0) {
+        culprit = tail;
+      }
+    }
+    if (!culprit.empty()) {
+      report(Rule::UnorderedIter, pos,
+             "range-for over unordered container '" + culprit +
+                 "': iteration order is unspecified and may leak into "
+                 "ordered output");
+    }
+  }
+
+  // R2 — entropy and clock sources.
+  if (options.applies(Rule::Nondeterminism, file.path)) {
+    for (const BannedToken& banned : kNondeterminismTokens) {
+      for (std::size_t pos = find_token(code, banned.token, 0);
+           pos != std::string::npos;
+           pos = find_token(code, banned.token, pos + 1)) {
+        if (banned.needs_call) {
+          const std::size_t after = skip_spaces(code, pos + banned.token.size());
+          if (after >= code.size() || code[after] != '(') continue;
+        }
+        report(Rule::Nondeterminism, pos,
+               "'" + std::string{banned.token} + "' outside util/rng and obs: " +
+                   std::string{banned.why});
+      }
+    }
+  }
+
+  // R3 — raw assert() in library code.
+  if (options.applies(Rule::RawAssert, file.path)) {
+    for (std::size_t pos = find_token(code, "assert", 0);
+         pos != std::string::npos; pos = find_token(code, "assert", pos + 1)) {
+      const std::size_t after = skip_spaces(code, pos + 6);
+      if (after >= code.size() || code[after] != '(') continue;
+      report(Rule::RawAssert, pos,
+             "raw assert() vanishes under NDEBUG; use CLOUDRTT_CHECK or "
+             "CLOUDRTT_DCHECK (util/check.hpp)");
+    }
+  }
+
+  // R4 — header hygiene.
+  if (is_header(file.path)) {
+    if (code.find("#pragma once") == std::string::npos) {
+      report(Rule::HeaderHygiene, 0, "header is missing #pragma once");
+    }
+    for (std::size_t pos = find_token(code, "using", 0);
+         pos != std::string::npos; pos = find_token(code, "using", pos + 1)) {
+      const std::size_t after = skip_spaces(code, pos + 5);
+      if (code.compare(after, 9, "namespace") == 0 &&
+          (after + 9 >= code.size() || !is_ident_char(code[after + 9]))) {
+        report(Rule::HeaderHygiene, pos,
+               "'using namespace' in a header leaks into every includer");
+      }
+    }
+  }
+}
+
+// A finding is suppressed by `// lint:allow(<rule>): <justification>` on the
+// finding's own line, or on a comment-only line directly above it. The
+// justification is mandatory: an allow without one does not suppress.
+void Linter::Impl::apply_suppressions(const File& file, Finding& finding) const {
+  const auto try_line = [&](std::size_t line_index) -> bool {
+    if (line_index >= file.scrubbed.comments.size()) return false;
+    const std::string& comment = file.scrubbed.comments[line_index];
+    const std::string needle = "lint:allow(" + std::string{rule_key(finding.rule)} + ")";
+    const std::size_t pos = comment.find(needle);
+    if (pos == std::string::npos) return false;
+    std::string_view rest = trim(std::string_view{comment}.substr(pos + needle.size()));
+    if (rest.starts_with(':')) {
+      rest = trim(rest.substr(1));
+      if (!rest.empty()) {
+        finding.suppressed = true;
+        finding.justification.assign(rest);
+        return true;
+      }
+    }
+    finding.message += " [lint:allow without ': justification' ignored]";
+    return true;
+  };
+  const std::size_t line_index = finding.line - 1;
+  if (try_line(line_index)) return;
+  if (line_index == 0) return;
+  // The line above only counts when it carries no code of its own.
+  std::size_t bol = 0, eol = 0, current = 0;
+  const std::string& code = file.scrubbed.code;
+  for (std::size_t i = 0; i <= code.size(); ++i) {
+    if (i == code.size() || code[i] == '\n') {
+      if (current + 1 == line_index) {
+        bol = eol == 0 ? 0 : eol + 1;
+        const std::string_view above{code.data() + bol, i - bol};
+        if (trim(above).empty()) try_line(line_index - 1);
+        return;
+      }
+      eol = i;
+      ++current;
+    }
+  }
+}
+
+std::vector<Finding> Linter::run() {
+  for (const Impl::File& file : impl_->files) impl_->harvest(file);
+  for (const Impl::File& file : impl_->files) impl_->harvest_alias_uses(file);
+  std::vector<Finding> findings;
+  for (const Impl::File& file : impl_->files) {
+    impl_->check_file(file, findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+            });
+  return findings;
+}
+
+std::vector<std::string> Linter::unordered_symbols() const {
+  std::vector<std::string> out;
+  // The symbol tables are std::set (ordered) — only their *contents* are
+  // names of unordered symbols, which trips the scanner's own heuristic.
+  // lint:allow(unordered-iter): std::set of names; iteration is ordered
+  for (const std::string& name : impl_->unordered_vars) out.push_back(name);
+  // lint:allow(unordered-iter): std::set of names; iteration is ordered
+  for (const std::string& name : impl_->unordered_fns) out.push_back(name + "()");
+  // lint:allow(unordered-iter): std::set of names; iteration is ordered
+  for (const std::string& name : impl_->unordered_aliases) {
+    out.push_back("using " + name);
+  }
+  return out;
+}
+
+Summary summarize(const std::vector<Finding>& findings, std::size_t files) {
+  Summary summary;
+  summary.files = files;
+  for (const Finding& finding : findings) {
+    Summary::PerRule& row = summary.rules[static_cast<std::size_t>(finding.rule)];
+    ++row.total;
+    if (finding.suppressed) ++row.suppressed;
+  }
+  return summary;
+}
+
+std::size_t Summary::unsuppressed_total() const {
+  std::size_t total = 0;
+  for (const PerRule& row : rules) total += row.total - row.suppressed;
+  return total;
+}
+
+}  // namespace cloudrtt::lint

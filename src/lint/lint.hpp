@@ -1,0 +1,138 @@
+#pragma once
+// cloudrtt-lint: project-specific static analysis for determinism and
+// contract hygiene (see README "Static analysis & determinism").
+//
+// The simulator's headline guarantees — same seed => bit-identical dataset,
+// checkpoint resume == uninterrupted run — only hold while no code path lets
+// incidental runtime state (hash-map iteration order, wall clocks, libc
+// rand()) leak into exported output. This library enforces that as machine
+// checks instead of review folklore:
+//
+//   unordered-iter   range-for over a std::unordered_{map,set} (declared in
+//                    the scanned tree, including via alias or auto-bound
+//                    function result). Iteration order of unordered
+//                    containers is unspecified, and for pointer keys it
+//                    varies run-to-run with ASLR.
+//   nondeterminism   rand()/srand(), std::random_device, time()/clock(),
+//                    std::chrono clocks, std:: engines (mt19937, ...)
+//                    outside src/util/rng.* (the one sanctioned entropy
+//                    source) and src/obs/ (wall-clock timing for telemetry
+//                    is fine; it never feeds the dataset).
+//   raw-assert       assert() in library code — vanishes under NDEBUG and
+//                    carries no runtime context. Use CLOUDRTT_CHECK /
+//                    CLOUDRTT_DCHECK from util/check.hpp.
+//   header-hygiene   headers must contain #pragma once and must not contain
+//                    `using namespace`.
+//
+// Findings are suppressed line-by-line with a justified annotation:
+//
+//   for (const auto& [asn, sites] : cache_) {  // lint:allow(unordered-iter): sorted below
+//
+// or, when the line is too long, a comment-only line directly above. A
+// suppression without a `: justification` does NOT suppress.
+//
+// The scanner is token-aware, not a parser: comments, string literals
+// (including raw strings), and char literals never produce findings, and
+// type knowledge comes from a cross-file symbol harvest, so members declared
+// unordered in a header are recognised when iterated in a .cpp.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudrtt::lint {
+
+enum class Rule {
+  UnorderedIter,
+  Nondeterminism,
+  RawAssert,
+  HeaderHygiene,
+};
+
+inline constexpr std::size_t kRuleCount = 4;
+
+/// Stable key used in suppressions, JSON output and the summary table.
+[[nodiscard]] std::string_view rule_key(Rule rule);
+/// One-line human description for the summary table.
+[[nodiscard]] std::string_view rule_summary(Rule rule);
+
+struct Finding {
+  std::string file;   ///< path as handed to add()
+  std::size_t line{}; ///< 1-based
+  Rule rule{};
+  std::string message;
+  std::string snippet;  ///< trimmed offending source line
+  bool suppressed = false;
+  std::string justification;  ///< text after "lint:allow(<rule>):"
+};
+
+/// Which rules apply to a given path. Paths are matched on '/'-separated
+/// suffix-normalised form, so both "src/obs/log.cpp" and
+/// "/abs/repo/src/obs/log.cpp" hit the "src/obs/" exemption.
+struct LintOptions {
+  /// Prefixes where `nondeterminism` does not apply (sanctioned entropy /
+  /// telemetry clocks).
+  std::vector<std::string> nondeterminism_exempt{"src/util/rng.", "src/obs/"};
+  /// Prefixes where `raw-assert` does not apply (tests may use assert and
+  /// the gtest macros freely).
+  std::vector<std::string> raw_assert_exempt{"tests/"};
+
+  [[nodiscard]] bool applies(Rule rule, std::string_view path) const;
+};
+
+/// Two-pass linter: add() every file first (pass 1 harvests unordered
+/// symbols across the whole tree), then run() scans and returns findings.
+class Linter {
+ public:
+  explicit Linter(LintOptions options = {});
+  ~Linter();
+  Linter(const Linter&) = delete;
+  Linter& operator=(const Linter&) = delete;
+
+  /// Register a source file. `path` is used for reporting and rule scoping;
+  /// `content` is the full file text.
+  void add(std::string path, std::string content);
+
+  /// Scan every added file. Findings are ordered by (file, line, rule).
+  [[nodiscard]] std::vector<Finding> run();
+
+  /// Symbols the harvest pass classified as unordered containers (variables,
+  /// members, aliases, and functions returning unordered types). Exposed for
+  /// tests and --dump-symbols.
+  [[nodiscard]] std::vector<std::string> unordered_symbols() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Per-rule totals plus the overall verdict.
+struct Summary {
+  struct PerRule {
+    std::size_t total = 0;       ///< all findings, suppressed included
+    std::size_t suppressed = 0;  ///< carried a justified lint:allow
+  };
+  PerRule rules[kRuleCount];
+  std::size_t files = 0;
+
+  [[nodiscard]] std::size_t unsuppressed_total() const;
+  /// True when every finding is suppressed (lint exit code 0).
+  [[nodiscard]] bool clean() const { return unsuppressed_total() == 0; }
+};
+
+[[nodiscard]] Summary summarize(const std::vector<Finding>& findings,
+                                std::size_t files);
+
+/// Human-readable report: one line per unsuppressed finding, then the
+/// per-rule count table.
+void write_text_report(std::ostream& out, const std::vector<Finding>& findings,
+                       const Summary& summary, bool show_suppressed = false);
+
+/// Machine-readable report (findings array + per-rule summary), built with
+/// util::JsonWriter.
+void write_json_report(std::ostream& out, const std::vector<Finding>& findings,
+                       const Summary& summary);
+
+}  // namespace cloudrtt::lint

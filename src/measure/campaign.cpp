@@ -8,6 +8,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/check.hpp"
 
 namespace cloudrtt::measure {
 
@@ -77,6 +78,9 @@ Campaign::Campaign(const topology::World& world, const probes::ProbeFleet& fleet
       }
     }
   }
+  CLOUDRTT_CHECK(plans_.size() == countries_.size(),
+                 "continent interleave lost a plan: ", plans_.size(),
+                 " plans vs ", countries_.size(), " countries");
   if (config_.run_case_studies) {
     plan_case_study("DE", "GB");
     plan_case_study("UA", "GB");
@@ -140,6 +144,9 @@ Dataset Campaign::run(util::Rng rng) const {
 
 Dataset Campaign::run(util::Rng rng, const CampaignState& start,
                       const RunHooks& hooks, Dataset dataset) const {
+  CLOUDRTT_CHECK(start.next_day <= config_.days, "campaign resume day ",
+                 start.next_day, " is past the configured ", config_.days,
+                 " days (checkpoint from another configuration?)");
   obs::Span campaign_span = obs::span("measure.campaign.run");
   obs::Registry& registry = obs::Registry::global();
   obs::Counter& tasks_total = registry.counter("campaign.tasks_total");

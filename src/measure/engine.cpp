@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "util/check.hpp"
 
 namespace cloudrtt::measure {
 
@@ -203,6 +204,9 @@ TraceRecord Engine::traceroute(const probes::Probe& probe,
       metrics.fault_truncations.inc();
     }
   }
+  CLOUDRTT_DCHECK(hop_limit > 0 && hop_limit <= hop_count,
+                  "traceroute hop_limit ", hop_limit, " outside path of ",
+                  hop_count, " hops");
   for (std::size_t i = 0; i < hop_limit; ++i) {
     const routing::RouterHop& hop = draw.path.hops[i];
     const bool is_final = i + 1 == hop_count;

@@ -8,6 +8,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace cloudrtt::topology {
 
 namespace {
@@ -220,9 +222,8 @@ Backbone::Backbone(const geo::CountryTable& countries) : countries_(countries) {
   for (const BackboneLink& link : kLinks) {
     const auto ia = node_index(link.a);
     const auto ib = node_index(link.b);
-    if (!ia || !ib) {
-      throw std::logic_error{"Backbone: link references unknown country"};
-    }
+    CLOUDRTT_CHECK(ia && ib, "backbone link table references unknown country ",
+                   link.a, "-", link.b);
     catalog_.push_back(BackboneLinkRef{link.a, link.b, link.kind});
     double km = link.length_km;
     if (km <= 0.0) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "topology/world.hpp"
+#include "util/check.hpp"
 
 namespace cloudrtt::topology {
 
@@ -205,7 +206,9 @@ std::unordered_map<Asn, BgpRoute> BgpGraph::compute_routes(Asn origin) const {
     if (route_u.type != RouteType::Origin && route_u.type != RouteType::Customer) {
       continue;
     }
-    for (const Asn p : find(u)->providers) {
+    const Node* node_u = find(u);
+    CLOUDRTT_CHECK(node_u != nullptr, "AS", u, " in best{} but not in graph");
+    for (const Asn p : node_u->providers) {
       BgpRoute candidate;
       candidate.type = RouteType::Customer;
       candidate.as_path.reserve(route_u.as_path.size() + 1);
@@ -223,11 +226,15 @@ std::unordered_map<Asn, BgpRoute> BgpGraph::compute_routes(Asn origin) const {
   // Phase 2 — peer routes: ASes holding customer/origin routes export them
   // across a single peering hop.
   std::vector<std::pair<Asn, BgpRoute>> peer_candidates;
-  for (const auto& [u, route_u] : best) {
+  // Candidates for the same AS always differ in as_path[1], so better()'s
+  // next-hop tie-break picks the same winner whatever order they arrive in.
+  for (const auto& [u, route_u] : best) {  // lint:allow(unordered-iter): better() is a strict total order, result is order-independent
     if (route_u.type != RouteType::Origin && route_u.type != RouteType::Customer) {
       continue;
     }
-    for (const Asn p : find(u)->peers) {
+    const Node* node_u = find(u);
+    CLOUDRTT_CHECK(node_u != nullptr, "AS", u, " in best{} but not in graph");
+    for (const Asn p : node_u->peers) {
       BgpRoute candidate;
       candidate.type = RouteType::Peer;
       candidate.as_path.push_back(p);
@@ -246,7 +253,9 @@ std::unordered_map<Asn, BgpRoute> BgpGraph::compute_routes(Asn origin) const {
   // Phase 3 — provider routes: anything routable is exported down customer
   // links; iterate to a fixed point (paths are short, this converges fast).
   std::deque<Asn> down;
-  for (const auto& [asn, route] : best) {
+  // Seeding order only affects how fast the fixed point is reached, never
+  // which routes it contains (better() improvements are monotone).
+  for (const auto& [asn, route] : best) {  // lint:allow(unordered-iter): fixed-point iteration is confluent
     (void)route;
     down.push_back(asn);
   }
@@ -254,7 +263,9 @@ std::unordered_map<Asn, BgpRoute> BgpGraph::compute_routes(Asn origin) const {
     const Asn u = down.front();
     down.pop_front();
     const BgpRoute route_u = best.at(u);
-    for (const Asn c : find(u)->customers) {
+    const Node* node_u = find(u);
+    CLOUDRTT_CHECK(node_u != nullptr, "AS", u, " in best{} but not in graph");
+    for (const Asn c : node_u->customers) {
       BgpRoute candidate;
       candidate.type = RouteType::Provider;
       candidate.as_path.push_back(c);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -298,6 +300,7 @@ Asn World::continental_transit(geo::Continent continent) const {
 }
 
 net::Ipv4Address World::router_ip(Asn asn, std::string_view site) const {
+  CLOUDRTT_DCHECK(!site.empty(), "router_ip needs a site label for AS", asn);
   auto& per_as = router_cache_[asn];
   const auto it = per_as.find(std::string{site});
   if (it != per_as.end()) return it->second;
@@ -313,8 +316,8 @@ net::Ipv4Address World::router_ip(Asn asn, std::string_view site) const {
 
 std::vector<World::RouterAssignment> World::router_assignments() const {
   std::vector<RouterAssignment> out;
-  for (const auto& [asn, sites] : router_cache_) {
-    for (const auto& [site, ip] : sites) {
+  for (const auto& [asn, sites] : router_cache_) {  // lint:allow(unordered-iter): flattened list is fully sorted below
+    for (const auto& [site, ip] : sites) {  // lint:allow(unordered-iter): flattened list is fully sorted below
       out.push_back(RouterAssignment{asn, site, ip});
     }
   }

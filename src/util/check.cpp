@@ -1,0 +1,22 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cloudrtt::util {
+
+void check_failed(std::string_view expression, std::string_view file, long line,
+                  std::string_view message) noexcept {
+  std::fprintf(stderr, "CLOUDRTT_CHECK failed: %.*s at %.*s:%ld",
+               static_cast<int>(expression.size()), expression.data(),
+               static_cast<int>(file.size()), file.data(), line);
+  if (!message.empty()) {
+    std::fprintf(stderr, ": %.*s", static_cast<int>(message.size()),
+                 message.data());
+  }
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cloudrtt::util

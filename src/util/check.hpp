@@ -1,0 +1,58 @@
+#pragma once
+// Contract macros for invariants and preconditions.
+//
+//   CLOUDRTT_CHECK(day < days_, "day ", day, " out of range [0,", days_, ")");
+//   CLOUDRTT_DCHECK(bound > 0, "below() needs a positive bound");
+//
+// CLOUDRTT_CHECK is always on: a violated condition aborts with the failing
+// expression, file:line, and the formatted context, in release builds too —
+// a campaign that silently continues past a broken invariant produces
+// plausible-looking but wrong datasets, which is worse than a crash.
+// CLOUDRTT_DCHECK compiles to nothing under NDEBUG; use it on hot paths
+// (per-sample RNG draws, per-row writers) where the predicate itself would
+// show up in profiles. Context arguments are only evaluated on failure.
+//
+// These replace raw assert() in library code (lint rule raw-assert): assert
+// vanishes in release, and its message carries no runtime values.
+
+#include <sstream>
+#include <string_view>
+
+namespace cloudrtt::util {
+
+namespace detail {
+
+/// Render the variadic context into one string; empty context is fine.
+template <typename... Args>
+[[nodiscard]] std::string format_check_message(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+}  // namespace detail
+
+/// Print "<expr> failed at <file>:<line>: <message>" to stderr and abort.
+[[noreturn]] void check_failed(std::string_view expression, std::string_view file,
+                               long line, std::string_view message) noexcept;
+
+}  // namespace cloudrtt::util
+
+/// Always-on invariant: aborts (never throws) when `condition` is false.
+#define CLOUDRTT_CHECK(condition, ...)                                         \
+  do {                                                                         \
+    if (!(condition)) [[unlikely]] {                                           \
+      ::cloudrtt::util::check_failed(                                          \
+          #condition, __FILE__, __LINE__,                                      \
+          ::cloudrtt::util::detail::format_check_message(__VA_ARGS__));        \
+    }                                                                          \
+  } while (false)
+
+/// Debug-only invariant: compiled out (arguments unevaluated) under NDEBUG.
+#ifdef NDEBUG
+#define CLOUDRTT_DCHECK(condition, ...) \
+  do {                                  \
+  } while (false)
+#else
+#define CLOUDRTT_DCHECK(condition, ...) CLOUDRTT_CHECK(condition, __VA_ARGS__)
+#endif

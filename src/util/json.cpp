@@ -1,7 +1,8 @@
 #include "util/json.hpp"
 
-#include <cassert>
 #include <cstdio>
+
+#include "util/check.hpp"
 
 namespace cloudrtt::util {
 
@@ -23,14 +24,15 @@ void JsonWriter::prepare_for_value() {
   } else {
     // Inside an object a value must follow a key; key() already handled the
     // comma and indent.
-    assert(pending_key_ && "JsonWriter: value inside object without key");
+    CLOUDRTT_DCHECK(pending_key_, "JsonWriter: value inside object without key");
     pending_key_ = false;
   }
 }
 
 void JsonWriter::key(std::string_view name) {
-  assert(!stack_.empty() && stack_.back() == Frame::Object);
-  assert(!pending_key_);
+  CLOUDRTT_DCHECK(!stack_.empty() && stack_.back() == Frame::Object,
+                  "JsonWriter: key() outside an object");
+  CLOUDRTT_DCHECK(!pending_key_, "JsonWriter: two keys in a row");
   if (!first_in_frame_.back()) out_ << ',';
   first_in_frame_.back() = false;
   newline_indent();
@@ -48,7 +50,8 @@ void JsonWriter::begin_object() {
 }
 
 void JsonWriter::end_object() {
-  assert(!stack_.empty() && stack_.back() == Frame::Object);
+  CLOUDRTT_DCHECK(!stack_.empty() && stack_.back() == Frame::Object,
+                  "JsonWriter: end_object without matching begin_object");
   const bool empty = first_in_frame_.back();
   stack_.pop_back();
   first_in_frame_.pop_back();
@@ -64,7 +67,8 @@ void JsonWriter::begin_array() {
 }
 
 void JsonWriter::end_array() {
-  assert(!stack_.empty() && stack_.back() == Frame::Array);
+  CLOUDRTT_DCHECK(!stack_.empty() && stack_.back() == Frame::Array,
+                  "JsonWriter: end_array without matching begin_array");
   const bool empty = first_in_frame_.back();
   stack_.pop_back();
   first_in_frame_.pop_back();

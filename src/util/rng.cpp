@@ -1,13 +1,14 @@
 #include "util/rng.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
+
 #include <cmath>
 #include <numbers>
 
 namespace cloudrtt::util {
 
 std::uint64_t Rng::below(std::uint64_t bound) noexcept {
-  assert(bound > 0);
+  CLOUDRTT_DCHECK(bound > 0, "below() needs a positive bound");
   // Lemire's unbiased bounded generation (rejection on the low product).
   std::uint64_t x = next();
   __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
@@ -24,7 +25,7 @@ std::uint64_t Rng::below(std::uint64_t bound) noexcept {
 }
 
 std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) noexcept {
-  assert(lo <= hi);
+  CLOUDRTT_DCHECK(lo <= hi, "between(", lo, ", ", hi, ") is an empty range");
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(below(span));
 }
@@ -50,19 +51,21 @@ double Rng::lognormal(double mu, double sigma) noexcept {
 }
 
 double Rng::lognormal_median(double median, double sigma) noexcept {
-  assert(median > 0.0);
+  CLOUDRTT_CHECK(median > 0.0, "lognormal_median needs median > 0, got ",
+                 median);
   return lognormal(std::log(median), sigma);
 }
 
 double Rng::exponential(double mean) noexcept {
-  assert(mean > 0.0);
+  CLOUDRTT_CHECK(mean > 0.0, "exponential needs mean > 0, got ", mean);
   double u = uniform();
   if (u < 1e-300) u = 1e-300;
   return -mean * std::log(u);
 }
 
 double Rng::pareto(double scale, double alpha) noexcept {
-  assert(scale > 0.0 && alpha > 0.0);
+  CLOUDRTT_CHECK(scale > 0.0 && alpha > 0.0,
+                 "pareto needs positive scale/alpha, got ", scale, "/", alpha);
   double u = uniform();
   if (u < 1e-300) u = 1e-300;
   return scale / std::pow(u, 1.0 / alpha);
@@ -71,7 +74,8 @@ double Rng::pareto(double scale, double alpha) noexcept {
 std::size_t Rng::weighted_index(const std::vector<double>& weights) noexcept {
   double total = 0.0;
   for (const double w : weights) total += (w > 0.0 ? w : 0.0);
-  assert(total > 0.0);
+  CLOUDRTT_CHECK(total > 0.0, "weighted_index needs a positive weight among ",
+                 weights.size(), " entries");
   double target = uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     const double w = weights[i] > 0.0 ? weights[i] : 0.0;

@@ -1,0 +1,134 @@
+// Reproducibility gate: the same seed must yield the same dataset, bit for
+// bit, whether the campaign runs straight through or is killed and resumed
+// from a checkpoint. The comparison is on core::dataset_hash — the FNV-1a
+// fold of the full canonical CSV export — which is exactly what CI's
+// double-run gate checks via `cloudrtt study --dataset-hash`.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "core/export.hpp"
+#include "core/study.hpp"
+#include "fault/plan.hpp"
+
+namespace cloudrtt {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Small campaign with faults on — the hardest case for reproducibility,
+/// since fault episodes reshuffle the per-day schedule.
+[[nodiscard]] core::StudyConfig gate_config(std::uint64_t seed) {
+  core::StudyConfig config;
+  config.seed = seed;
+  config.sc_probes = 1200;
+  config.include_atlas = false;
+  config.sc_campaign.days = 3;
+  config.sc_campaign.daily_budget = 2000;
+  config.sc_campaign.case_study_probes = 5;
+  config.fault_profile = fault::FaultProfile::Mild;
+  return config;
+}
+
+/// Hash of a fresh, uninterrupted run of gate_config(23). Computed once and
+/// shared across cases (the suite runs as one ctest entry, like integration).
+[[nodiscard]] std::uint64_t baseline_hash() {
+  static const std::uint64_t hash = [] {
+    core::Study study{gate_config(23)};
+    study.run();
+    return core::dataset_hash(study.sc_dataset());
+  }();
+  return hash;
+}
+
+TEST(DeterminismGate, SameSeedTwiceHashesIdentically) {
+  core::Study second{gate_config(23)};
+  second.run();
+  EXPECT_EQ(core::format_dataset_hash(baseline_hash()),
+            core::format_dataset_hash(core::dataset_hash(second.sc_dataset())));
+}
+
+TEST(DeterminismGate, DifferentSeedsHashDifferently) {
+  core::Study other{gate_config(24)};
+  other.run();
+  EXPECT_NE(baseline_hash(), core::dataset_hash(other.sc_dataset()));
+}
+
+TEST(DeterminismGate, KillAndResumeHashesLikeUninterruptedRun) {
+  const fs::path dir = fs::path{::testing::TempDir()} / "cloudrtt_det_gate";
+  fs::remove_all(dir);
+
+  core::Study killed{gate_config(23)};
+  core::RunControl first;
+  first.checkpoint_dir = dir.string();
+  first.stop_after_day = 2;
+  killed.run(first);
+  EXPECT_FALSE(killed.completed());
+  ASSERT_TRUE(core::checkpoint_exists(dir, "speedchecker"));
+
+  core::Study resumed{gate_config(23)};
+  core::RunControl second;
+  second.checkpoint_dir = dir.string();
+  second.resume = true;
+  resumed.run(second);
+  ASSERT_TRUE(resumed.completed());
+
+  EXPECT_EQ(core::format_dataset_hash(baseline_hash()),
+            core::format_dataset_hash(core::dataset_hash(resumed.sc_dataset())));
+  fs::remove_all(dir);
+}
+
+// Regression: both campaigns share the world's lazy router allocator, so the
+// study must never start Atlas while Speedchecker is incomplete — otherwise
+// a kill+resume cycle replays the allocations in a different order and the
+// Atlas checkpoint refuses to restore (or worse, hashes drift).
+TEST(DeterminismGate, KillAndResumeWithAtlasHashesIdentically) {
+  const auto config = [] {
+    core::StudyConfig c = gate_config(23);
+    c.include_atlas = true;
+    c.atlas_probes = 400;
+    c.atlas_campaign.days = 3;
+    c.atlas_campaign.daily_budget = 900;
+    return c;
+  };
+  const fs::path dir = fs::path{::testing::TempDir()} / "cloudrtt_det_atlas";
+  fs::remove_all(dir);
+
+  core::Study uninterrupted{config()};
+  uninterrupted.run();
+  ASSERT_TRUE(uninterrupted.completed());
+
+  core::Study killed{config()};
+  core::RunControl first;
+  first.checkpoint_dir = dir.string();
+  first.stop_after_day = 2;
+  killed.run(first);
+  EXPECT_FALSE(killed.completed());
+
+  core::Study resumed{config()};
+  core::RunControl second;
+  second.checkpoint_dir = dir.string();
+  second.resume = true;
+  resumed.run(second);
+  ASSERT_TRUE(resumed.completed());
+
+  EXPECT_EQ(core::dataset_hash(uninterrupted.sc_dataset()),
+            core::dataset_hash(resumed.sc_dataset()));
+  EXPECT_EQ(core::dataset_hash(uninterrupted.atlas_dataset()),
+            core::dataset_hash(resumed.atlas_dataset()));
+  fs::remove_all(dir);
+}
+
+TEST(DeterminismGate, HashFormatIsSixteenHexDigits) {
+  EXPECT_EQ(core::format_dataset_hash(0), "0000000000000000");
+  EXPECT_EQ(core::format_dataset_hash(0xcbf29ce484222325ULL), "cbf29ce484222325");
+  const std::string formatted = core::format_dataset_hash(0xdeadbeefULL);
+  EXPECT_EQ(formatted, "00000000deadbeef");
+}
+
+}  // namespace
+}  // namespace cloudrtt

@@ -1,0 +1,323 @@
+// cloudrtt-lint unit tests: every rule against known-bad and known-clean
+// fixtures, the suppression contract (justified allow suppresses, bare allow
+// does not), the cross-file symbol harvest, and both report formats.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "util/json.hpp"
+
+namespace cloudrtt::lint {
+namespace {
+
+[[nodiscard]] std::vector<Finding> lint_one(std::string path,
+                                            std::string content) {
+  Linter linter;
+  linter.add(std::move(path), std::move(content));
+  return linter.run();
+}
+
+[[nodiscard]] std::size_t count_rule(const std::vector<Finding>& findings,
+                                     Rule rule, bool suppressed_too = true) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(), [&](const Finding& f) {
+        return f.rule == rule && (suppressed_too || !f.suppressed);
+      }));
+}
+
+// ---------------------------------------------------------------------------
+// R1: unordered-iter
+
+TEST(LintUnorderedIter, FlagsRangeForOverUnorderedMap) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+#include <unordered_map>
+void f() {
+  std::unordered_map<int, int> table;
+  for (const auto& [k, v] : table) { (void)k; (void)v; }
+}
+)cpp");
+  ASSERT_EQ(count_rule(findings, Rule::UnorderedIter), 1u);
+  EXPECT_EQ(findings[0].line, 5u);
+  EXPECT_FALSE(findings[0].suppressed);
+}
+
+TEST(LintUnorderedIter, CleanOnOrderedContainers) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+#include <map>
+#include <vector>
+void f() {
+  std::map<int, int> table;
+  std::vector<int> list;
+  for (const auto& [k, v] : table) { (void)k; (void)v; }
+  for (int x : list) { (void)x; }
+}
+)cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintUnorderedIter, HarvestRecognisesMemberDeclaredInHeader) {
+  Linter linter;
+  linter.add("src/t.hpp", R"cpp(#pragma once
+#include <unordered_map>
+struct Cache {
+  std::unordered_map<int, int> entries_;
+};
+)cpp");
+  linter.add("src/t.cpp", R"cpp(
+#include "t.hpp"
+int total(const Cache& cache) {
+  int sum = 0;
+  for (const auto& [k, v] : cache.entries_) sum += v;
+  return sum;
+}
+)cpp");
+  const auto findings = linter.run();
+  ASSERT_EQ(count_rule(findings, Rule::UnorderedIter), 1u);
+  EXPECT_EQ(findings[0].file, "src/t.cpp");
+  const auto symbols = linter.unordered_symbols();
+  EXPECT_NE(std::find(symbols.begin(), symbols.end(), "entries_"),
+            symbols.end());
+}
+
+TEST(LintUnorderedIter, HarvestFollowsAliasAndAutoBoundResult) {
+  Linter linter;
+  linter.add("src/a.hpp", R"cpp(#pragma once
+#include <unordered_set>
+using IdSet = std::unordered_set<int>;
+IdSet collect_ids();
+)cpp");
+  linter.add("src/a.cpp", R"cpp(
+#include "a.hpp"
+void g() {
+  IdSet local;
+  for (int id : local) { (void)id; }
+  auto harvested = collect_ids();
+  for (int id : harvested) { (void)id; }
+}
+)cpp");
+  const auto findings = linter.run();
+  EXPECT_EQ(count_rule(findings, Rule::UnorderedIter), 2u);
+}
+
+TEST(LintUnorderedIter, IgnoresMatchesInCommentsAndStrings) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+// for (auto& x : some_unordered_map) — prose, not code
+const char* kDoc = "for (auto& x : unordered_thing)";
+)cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+TEST(LintSuppression, JustifiedAllowOnSameLineSuppresses) {
+  const auto findings = lint_one("src/x.cpp",
+      "#include <unordered_map>\n"
+      "void f() {\n"
+      "  std::unordered_map<int, int> t;\n"
+      "  for (const auto& [k, v] : t) { (void)k; (void)v; }  "
+      "// lint:allow(unordered-iter): sorted downstream\n"
+      "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_EQ(findings[0].justification, "sorted downstream");
+  EXPECT_TRUE(summarize(findings, 1).clean());
+}
+
+TEST(LintSuppression, JustifiedAllowOnLineAboveSuppresses) {
+  const auto findings = lint_one("src/x.cpp",
+      "#include <unordered_map>\n"
+      "void f() {\n"
+      "  std::unordered_map<int, int> t;\n"
+      "  // lint:allow(unordered-iter): order never escapes this function\n"
+      "  for (const auto& [k, v] : t) { (void)k; (void)v; }\n"
+      "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+TEST(LintSuppression, AllowWithoutJustificationDoesNotSuppress) {
+  const auto findings = lint_one("src/x.cpp",
+      "#include <unordered_map>\n"
+      "void f() {\n"
+      "  std::unordered_map<int, int> t;\n"
+      "  for (const auto& [k, v] : t) { (void)k; (void)v; }  "
+      "// lint:allow(unordered-iter)\n"
+      "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].suppressed);
+  EXPECT_FALSE(summarize(findings, 1).clean());
+  EXPECT_NE(findings[0].message.find("ignored"), std::string::npos);
+}
+
+TEST(LintSuppression, AllowForTheWrongRuleDoesNotSuppress) {
+  const auto findings = lint_one("src/x.cpp",
+      "#include <unordered_map>\n"
+      "void f() {\n"
+      "  std::unordered_map<int, int> t;\n"
+      "  for (const auto& [k, v] : t) { (void)k; (void)v; }  "
+      "// lint:allow(raw-assert): wrong key\n"
+      "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// R2: nondeterminism
+
+TEST(LintNondeterminism, FlagsBannedEntropyAndClocks) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+#include <chrono>
+#include <cstdlib>
+#include <random>
+int f() {
+  std::random_device device;
+  std::mt19937 engine{device()};
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0; (void)engine;
+  return rand();
+}
+)cpp");
+  EXPECT_GE(count_rule(findings, Rule::Nondeterminism), 4u);
+}
+
+TEST(LintNondeterminism, ExemptInRngAndObs) {
+  for (const char* path : {"src/util/rng.cpp", "src/obs/trace.cpp"}) {
+    const auto findings = lint_one(path, R"cpp(
+#include <chrono>
+#include <random>
+auto now() { return std::chrono::steady_clock::now(); }
+std::random_device& device() { static std::random_device d; return d; }
+)cpp");
+    EXPECT_TRUE(findings.empty()) << path;
+  }
+}
+
+TEST(LintNondeterminism, DoesNotFlagIdentifiersContainingTime) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+int runtime_ms = 0;
+int lifetime(int timeout) { return runtime_ms + timeout; }
+)cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R3: raw-assert
+
+TEST(LintRawAssert, FlagsAssertInLibraryCode) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+#include <cassert>
+void f(int x) { assert(x > 0); }
+)cpp");
+  ASSERT_EQ(count_rule(findings, Rule::RawAssert), 1u);
+  EXPECT_NE(findings[0].message.find("CLOUDRTT_CHECK"), std::string::npos);
+}
+
+TEST(LintRawAssert, TestsMayAssertFreely) {
+  const auto findings = lint_one("tests/x_test.cpp", R"cpp(
+#include <cassert>
+void f(int x) { assert(x > 0); }
+)cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRawAssert, DoesNotFlagStaticAssertOrCheckMacros) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+static_assert(sizeof(int) >= 4);
+#define CLOUDRTT_CHECK(c, ...) void(0)
+void f(int x) { CLOUDRTT_CHECK(x > 0, "x=", x); }
+)cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R4: header-hygiene
+
+TEST(LintHeaderHygiene, FlagsMissingPragmaOnceAndUsingNamespace) {
+  const auto findings = lint_one("src/x.hpp",
+      "#include <vector>\n"
+      "using namespace std;\n");
+  EXPECT_EQ(count_rule(findings, Rule::HeaderHygiene), 2u);
+}
+
+TEST(LintHeaderHygiene, CleanHeaderPasses) {
+  const auto findings = lint_one("src/x.hpp",
+      "#pragma once\n"
+      "#include <vector>\n"
+      "namespace cloudrtt { using Row = std::vector<double>; }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintHeaderHygiene, DoesNotApplyToSourceFiles) {
+  const auto findings = lint_one("src/x.cpp", "using namespace std;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Summary and reports
+
+TEST(LintReport, SummaryCountsPerRule) {
+  Linter linter;
+  linter.add("src/bad.hpp", "using namespace std;\n");
+  linter.add("src/bad.cpp",
+             "#include <cassert>\nvoid f(int x) { assert(x > 0); }\n");
+  const auto findings = linter.run();
+  const Summary summary = summarize(findings, 2);
+  EXPECT_EQ(summary.files, 2u);
+  EXPECT_EQ(summary.rules[static_cast<std::size_t>(Rule::HeaderHygiene)].total,
+            2u);  // missing pragma once + using namespace
+  EXPECT_EQ(summary.rules[static_cast<std::size_t>(Rule::RawAssert)].total, 1u);
+  EXPECT_EQ(summary.unsuppressed_total(), 3u);
+  EXPECT_FALSE(summary.clean());
+}
+
+TEST(LintReport, TextReportListsFindingsAndTable) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+#include <cassert>
+void f(int x) { assert(x > 0); }
+)cpp");
+  std::ostringstream out;
+  write_text_report(out, findings, summarize(findings, 1));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("src/x.cpp:3"), std::string::npos);
+  EXPECT_NE(text.find("raw-assert"), std::string::npos);
+  EXPECT_NE(text.find("1 active finding"), std::string::npos);
+}
+
+TEST(LintReport, JsonReportIsValidAndComplete) {
+  const auto findings = lint_one("src/x.cpp",
+      "#include <unordered_map>\n"
+      "void f() {\n"
+      "  std::unordered_map<int, int> t;\n"
+      "  for (const auto& [k, v] : t) { (void)k; (void)v; }  "
+      "// lint:allow(unordered-iter): benign\n"
+      "}\n");
+  std::ostringstream out;
+  write_json_report(out, findings, summarize(findings, 1));
+  const std::string json = out.str();
+  // Spot-check the document shape; JsonWriter guarantees well-formedness.
+  EXPECT_NE(json.find("\"findings\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"unordered-iter\""), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"justification\": \"benign\""), std::string::npos);
+  EXPECT_NE(json.find("\"clean\": true"), std::string::npos);
+}
+
+TEST(LintOptionsTest, PathMatchingIsSuffixNormalised) {
+  const LintOptions options;
+  EXPECT_FALSE(options.applies(Rule::Nondeterminism, "src/util/rng.cpp"));
+  EXPECT_FALSE(
+      options.applies(Rule::Nondeterminism, "/abs/repo/src/util/rng.cpp"));
+  EXPECT_FALSE(options.applies(Rule::Nondeterminism, "src/obs/log.cpp"));
+  EXPECT_TRUE(options.applies(Rule::Nondeterminism, "src/core/study.cpp"));
+  EXPECT_FALSE(options.applies(Rule::RawAssert, "tests/util_test.cpp"));
+  EXPECT_TRUE(options.applies(Rule::RawAssert, "src/util/stats.cpp"));
+}
+
+}  // namespace
+}  // namespace cloudrtt::lint

@@ -5,6 +5,7 @@
 //   cloudrtt trace <country> <provider> [...]       one annotated traceroute
 //   cloudrtt study   [--sc-probes N --days D ...]   full campaign + artefacts
 
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -23,6 +24,7 @@
 #include "probes/fleet.hpp"
 #include "topology/world.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/text.hpp"
 
 namespace {
@@ -261,9 +263,14 @@ int cmd_study(int argc, const char* const* argv) {
   args.add_option("checkpoint-dir", "", "snapshot the campaign after every "
                                         "day into this directory");
   args.add_flag("resume", "resume from --checkpoint-dir if a checkpoint exists");
+  args.add_option("stop-after-day", "0", "abandon each campaign once this many "
+                                         "days completed (0 = run to the end); "
+                                         "simulates a killed driver");
   args.add_flag("quiet", "only warnings and errors (log level warn)");
   args.add_flag("no-atlas", "skip the Atlas campaign");
   args.add_flag("no-export", "skip CSV export (report.json only)");
+  args.add_flag("dataset-hash", "print the FNV-1a hash of the full exported "
+                                "dataset (reproducibility gate)");
   if (!args.parse(argc, argv)) return 1;
   init_study_logging(args);
 
@@ -291,6 +298,9 @@ int cmd_study(int argc, const char* const* argv) {
     std::cerr << "--resume needs --checkpoint-dir\n";
     return 1;
   }
+  if (const long stop = args.get_int("stop-after-day"); stop > 0) {
+    control.stop_after_day = static_cast<std::uint32_t>(stop);
+  }
 
   std::cout << "running study: " << config.sc_probes << " SC probes, "
             << config.sc_campaign.days << " days, seed " << config.seed;
@@ -307,6 +317,28 @@ int cmd_study(int argc, const char* const* argv) {
   }
   std::cout << "collected " << study.sc_dataset().pings.size() << " pings / "
             << study.sc_dataset().traces.size() << " traceroutes\n";
+
+  if (args.get_flag("dataset-hash")) {
+    // Two same-seed runs must print identical lines; the determinism CI gate
+    // diffs this output across a double run and a kill+resume cycle.
+    const std::uint64_t sc = core::dataset_hash(study.sc_dataset());
+    const std::uint64_t atlas = config.include_atlas
+                                    ? core::dataset_hash(study.atlas_dataset())
+                                    : 0;
+    std::uint64_t state = sc ^ (atlas * 0x9e3779b97f4a7c15ULL);
+    const std::uint64_t combined = util::splitmix64(state);
+    std::cout << "dataset-hash sc=" << core::format_dataset_hash(sc)
+              << " atlas=" << core::format_dataset_hash(atlas)
+              << " combined=" << core::format_dataset_hash(combined) << "\n";
+  }
+
+  if (!study.completed()) {
+    // --stop-after-day left the campaign mid-way; there is no full dataset
+    // to report on. The checkpoint (if any) is the artefact.
+    std::cout << "study stopped early; resume from --checkpoint-dir to "
+                 "finish\n";
+    return 0;
+  }
 
   const std::filesystem::path out_dir{args.get("out")};
   std::error_code ec;

@@ -1,0 +1,104 @@
+// cloudrtt-lint — determinism & contract static analysis over the tree.
+//
+//   cloudrtt-lint --root .                      # lint src/ tools/ tests/ ...
+//   cloudrtt-lint --root . --json lint.json     # machine-readable findings
+//   cloudrtt-lint --root . --dump-symbols       # harvested unordered names
+//
+// Exit code 0 when every finding carries a justified lint:allow suppression,
+// 1 when any active finding remains, 2 on usage/IO errors. See src/lint/.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The directories of the repository the lint walks, in scan order.
+constexpr std::string_view kRoots[] = {"src", "tools", "tests", "bench",
+                                       "examples"};
+
+[[nodiscard]] bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cloudrtt::util::ArgParser args{
+      "cloudrtt-lint",
+      "determinism & contract static analysis (rules: unordered-iter, "
+      "nondeterminism, raw-assert, header-hygiene)"};
+  args.add_option("root", ".", "repository root to scan");
+  args.add_option("json", "", "also write the findings as JSON to this file");
+  args.add_flag("show-suppressed", "list suppressed findings in the report");
+  args.add_flag("dump-symbols", "print harvested unordered symbols and exit");
+  if (!args.parse(argc, argv)) return 2;
+
+  const fs::path root{args.get("root")};
+  // Deterministic scan order: collect, then sort by generic path string.
+  std::vector<fs::path> files;
+  for (const std::string_view dir : kRoots) {
+    const fs::path base = root / dir;
+    std::error_code ec;
+    if (!fs::exists(base, ec)) continue;
+    for (fs::recursive_directory_iterator it{base, ec}, end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file() && lintable(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "cloudrtt-lint: nothing to scan under " << root << "\n";
+    return 2;
+  }
+
+  cloudrtt::lint::Linter linter;
+  for (const fs::path& file : files) {
+    std::ifstream in{file, std::ios::binary};
+    if (!in) {
+      std::cerr << "cloudrtt-lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    linter.add(fs::relative(file, root).generic_string(), content.str());
+  }
+
+  if (args.get_flag("dump-symbols")) {
+    (void)linter.run();
+    // lint:allow(unordered-iter): returns a sorted std::vector
+    for (const std::string& symbol : linter.unordered_symbols()) {
+      std::cout << symbol << "\n";
+    }
+    return 0;
+  }
+
+  const std::vector<cloudrtt::lint::Finding> findings = linter.run();
+  const cloudrtt::lint::Summary summary =
+      cloudrtt::lint::summarize(findings, files.size());
+  cloudrtt::lint::write_text_report(std::cout, findings, summary,
+                                    args.get_flag("show-suppressed"));
+
+  if (const std::string& json_path = args.get("json"); !json_path.empty()) {
+    std::ofstream out{json_path};
+    if (!out) {
+      std::cerr << "cloudrtt-lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    cloudrtt::lint::write_json_report(out, findings, summary);
+  }
+  return summary.clean() ? 0 : 1;
+}
