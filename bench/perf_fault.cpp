@@ -119,7 +119,6 @@ BENCHMARK(BM_FaultPlanConstruction);
 // What the after_day hook costs: serialize + hash + atomic rename for one
 // day's dataset (amortised against a multi-minute simulated day).
 void BM_CheckpointSave(benchmark::State& state) {
-  Fixture& f = Fixture::instance();
   const measure::Dataset& data = bench_dataset();
   const std::filesystem::path dir =
       std::filesystem::temp_directory_path() / "cloudrtt_perf_ckpt";
@@ -128,7 +127,7 @@ void BM_CheckpointSave(benchmark::State& state) {
   meta.seed = 7;
   meta.platform = "speedchecker";
   for (auto _ : state) {
-    const std::string err = core::save_checkpoint(dir, meta, data, f.world);
+    const std::string err = core::save_checkpoint(dir, meta, data);
     if (!err.empty()) state.SkipWithError(err.c_str());
   }
   state.SetItemsProcessed(state.iterations() *
@@ -147,14 +146,14 @@ void BM_CheckpointLoad(benchmark::State& state) {
   meta.state = {1, 0};
   meta.seed = 7;
   meta.platform = "speedchecker";
-  if (const std::string err = core::save_checkpoint(dir, meta, data, f.world);
+  if (const std::string err = core::save_checkpoint(dir, meta, data);
       !err.empty()) {
     state.SkipWithError(err.c_str());
     return;
   }
   for (auto _ : state) {
     core::CheckpointLoad load =
-        core::load_checkpoint(dir, "speedchecker", &f.fleet, nullptr, &f.world);
+        core::load_checkpoint(dir, "speedchecker", &f.fleet, nullptr);
     if (!load.ok()) state.SkipWithError(load.error.c_str());
     benchmark::DoNotOptimize(load);
   }

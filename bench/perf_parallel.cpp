@@ -1,0 +1,86 @@
+// perf_parallel — wall-clock of the parallel executor on a paper-scale
+// campaign day, swept over worker counts. Every benchmark re-verifies the
+// PR's core contract before reporting a time: the day's dataset hash at
+// N threads must be bit-identical to the single-threaded baseline, so a
+// regression in the chunk/RNG discipline fails the bench instead of
+// producing a fast wrong number. The measured speedups feed the table in
+// README.md §Concurrency model.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/export.hpp"
+#include "measure/campaign.hpp"
+#include "probes/fleet.hpp"
+#include "topology/world.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cloudrtt;
+
+struct Fixture {
+  topology::World world{topology::WorldConfig{7}};
+  probes::ProbeFleet fleet{world,
+                           probes::FleetConfig{probes::Platform::Speedchecker, 2000}};
+
+  static Fixture& instance() {
+    static Fixture fixture;
+    return fixture;
+  }
+};
+
+/// One paper-scale day: every probe visited several times, faults off so the
+/// run is pure schedule + execute cost.
+[[nodiscard]] measure::CampaignConfig day_config(unsigned threads) {
+  measure::CampaignConfig config;
+  config.days = 1;
+  config.daily_budget = 20000;
+  config.run_case_studies = false;
+  config.threads = threads;
+  return config;
+}
+
+[[nodiscard]] std::uint64_t run_day_hash(unsigned threads) {
+  Fixture& f = Fixture::instance();
+  const measure::Campaign campaign{f.world, f.fleet, day_config(threads)};
+  const measure::Dataset data = campaign.run(f.world.fork_rng("bench/parallel"));
+  return core::dataset_hash(data);
+}
+
+/// Single-threaded reference hash, computed once per process.
+[[nodiscard]] std::uint64_t baseline_hash() {
+  static const std::uint64_t hash = run_day_hash(1);
+  return hash;
+}
+
+// One campaign day at state.range(0) worker threads. Items processed =
+// measurement visits, so google-benchmark reports visits/second directly.
+// The hash verification runs outside the timed region: the sequential CSV
+// fold would otherwise flatten the very speedup this bench measures.
+void BM_CampaignDay(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const std::uint64_t expected = baseline_hash();
+  const measure::Campaign campaign{f.world, f.fleet, day_config(threads)};
+  for (auto _ : state) {
+    const measure::Dataset data =
+        campaign.run(f.world.fork_rng("bench/parallel"));
+    state.PauseTiming();
+    if (core::dataset_hash(data) != expected) {
+      state.SkipWithError("dataset hash drifted from --threads 1 baseline");
+      state.ResumeTiming();
+      break;
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_CampaignDay)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

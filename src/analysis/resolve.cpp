@@ -16,6 +16,7 @@ struct ResolveMetrics {
 
   static ResolveMetrics& instance() {
     obs::Registry& r = obs::Registry::global();
+    // lint:allow(local-static): bundle of atomic-counter references; magic-static init is thread-safe and the counters are lock-free
     static ResolveMetrics metrics{
         r.counter("resolve.lookups_total"),
         r.counter("resolve.misses_total"),

@@ -2,17 +2,13 @@
 
 #include <charconv>
 #include <fstream>
-#include <optional>
 #include <sstream>
 #include <system_error>
 #include <unordered_map>
-#include <utility>
-#include <vector>
 
 #include "core/export.hpp"
 #include "core/import.hpp"
 #include "util/check.hpp"
-#include "util/text.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -31,9 +27,6 @@ namespace fs = std::filesystem;
 }
 [[nodiscard]] fs::path traces_path(const fs::path& dir, std::string_view p) {
   return dir / (std::string{p} + ".traces.csv");
-}
-[[nodiscard]] fs::path routers_path(const fs::path& dir, std::string_view p) {
-  return dir / (std::string{p} + ".routers.csv");
 }
 
 /// Write `content` to `target` via a .tmp sibling + rename (atomic on POSIX
@@ -68,8 +61,7 @@ bool checkpoint_exists(const fs::path& dir, std::string_view platform) {
 }
 
 std::string save_checkpoint(const fs::path& dir, const CheckpointMeta& meta,
-                            const measure::Dataset& data,
-                            const topology::World& world) {
+                            const measure::Dataset& data) {
   CLOUDRTT_CHECK(!meta.platform.empty(),
                  "checkpoint platform label must be non-empty");
   CLOUDRTT_CHECK(meta.state.next_day > 0 || data.pings.empty(),
@@ -99,35 +91,16 @@ std::string save_checkpoint(const fs::path& dir, const CheckpointMeta& meta,
     return err;
   }
 
-  // Router interface addresses are allocated lazily in first-request order,
-  // so they are process state the dataset alone cannot reconstruct (ping
-  // paths allocate them without recording any). Truncation of this file is
-  // caught by the row count in the manifest, which is written after it.
-  const std::vector<topology::World::RouterAssignment> routers =
-      world.router_assignments();
-  std::ostringstream router_rows;
-  for (const auto& assignment : routers) {
-    util::write_csv_row(router_rows, {std::to_string(assignment.asn),
-                                      assignment.site,
-                                      assignment.ip.to_string()});
-  }
-  if (std::string err =
-          write_atomic(routers_path(dir, meta.platform), router_rows.str());
-      !err.empty()) {
-    return err;
-  }
-
   // Manifest last: its presence commits the checkpoint.
   std::ostringstream manifest;
-  manifest << "format=1\n"
+  manifest << "format=2\n"
            << "platform=" << meta.platform << '\n'
            << "seed=" << meta.seed << '\n'
            << "fault_profile=" << meta.fault_profile << '\n'
            << "next_day=" << meta.state.next_day << '\n'
            << "cursor=" << meta.state.cursor << '\n'
            << "pings=" << data.pings.size() << '\n'
-           << "traces=" << data.traces.size() << '\n'
-           << "routers=" << routers.size() << '\n';
+           << "traces=" << data.traces.size() << '\n';
   if (std::string err =
           write_atomic(manifest_path(dir, meta.platform), manifest.str());
       !err.empty()) {
@@ -143,8 +116,7 @@ std::string save_checkpoint(const fs::path& dir, const CheckpointMeta& meta,
 
 CheckpointLoad load_checkpoint(const fs::path& dir, std::string_view platform,
                                const probes::ProbeFleet* sc_fleet,
-                               const probes::ProbeFleet* atlas_fleet,
-                               const topology::World* world) {
+                               const probes::ProbeFleet* atlas_fleet) {
   obs::Span phase = obs::span("core.checkpoint.load");
   CheckpointLoad result;
   result.meta.platform = std::string{platform};
@@ -173,14 +145,19 @@ CheckpointLoad load_checkpoint(const fs::path& dir, std::string_view platform,
                std::errc{} &&
            !text.empty();
   };
+  if (kv["format"] == "1") {
+    result.error =
+        "checkpoint uses legacy format=1 (router-replay quartets); router "
+        "addresses are now pre-materialized at world construction, so this "
+        "checkpoint cannot be resumed — re-run the campaign from scratch";
+    return result;
+  }
   std::uint64_t expect_pings = 0;
   std::uint64_t expect_traces = 0;
-  std::uint64_t expect_routers = 0;
-  if (kv["format"] != "1" || !number("seed", result.meta.seed) ||
+  if (kv["format"] != "2" || !number("seed", result.meta.seed) ||
       !number("next_day", result.meta.state.next_day) ||
       !number("cursor", result.meta.state.cursor) ||
-      !number("pings", expect_pings) || !number("traces", expect_traces) ||
-      !number("routers", expect_routers)) {
+      !number("pings", expect_pings) || !number("traces", expect_traces)) {
     result.error = "manifest missing or damaged fields";
     return result;
   }
@@ -235,46 +212,6 @@ CheckpointLoad load_checkpoint(const fs::path& dir, std::string_view platform,
                    std::to_string(result.data.traces.size()) +
                    " records, manifest expects " + std::to_string(expect_traces);
     return result;
-  }
-
-  std::ifstream routers(routers_path(dir, platform));
-  if (!routers) {
-    result.error = "missing " + routers_path(dir, platform).string();
-    return result;
-  }
-  std::vector<topology::World::RouterAssignment> assignments;
-  std::size_t router_line = 0;
-  while (std::getline(routers, line)) {
-    ++router_line;
-    if (line.empty()) continue;
-    const auto cells = util::parse_csv_row(line);
-    topology::World::RouterAssignment assignment;
-    std::optional<net::Ipv4Address> ip;
-    if (cells.size() != 3 ||
-        std::from_chars(cells[0].data(), cells[0].data() + cells[0].size(),
-                        assignment.asn).ec != std::errc{} ||
-        !(ip = net::Ipv4Address::parse(cells[2]))) {
-      result.error = "routers checkpoint line " + std::to_string(router_line) +
-                     ": bad router assignment";
-      return result;
-    }
-    assignment.site = cells[1];
-    assignment.ip = *ip;
-    assignments.push_back(std::move(assignment));
-  }
-  if (assignments.size() != expect_routers) {
-    result.error = "routers checkpoint holds " +
-                   std::to_string(assignments.size()) +
-                   " assignments, manifest expects " +
-                   std::to_string(expect_routers) + " (truncated?)";
-    return result;
-  }
-  if (world != nullptr) {
-    if (std::string err = world->restore_router_assignments(assignments);
-        !err.empty()) {
-      result.error = std::move(err);
-      return result;
-    }
   }
 
   obs::Registry::global().counter("checkpoint.loads_total").inc();

@@ -6,15 +6,18 @@
 // country cursor, rows so far). The paper's campaign ran for six months
 // (§3.3); nothing that long finishes without the driver dying at least once.
 //
-// Layout under the checkpoint directory, one quartet per platform:
+// Layout under the checkpoint directory, one triplet per platform:
 //   <platform>.manifest     key=value text, written last (commit marker)
 //   <platform>.pings.csv    round-trip doubles + integrity trailer
 //   <platform>.traces.csv   ditto, plus the true_mode ground-truth column
-//   <platform>.routers.csv  lazy router-interface assignments (see
-//                           World::router_assignments) — hidden allocator
-//                           state a resume must replay, or traces collected
-//                           after the resume point would name different
-//                           interface addresses
+//
+// Format history: format=1 checkpoints carried a fourth file,
+// <platform>.routers.csv, replaying the world's then-lazy router-interface
+// allocator into the resuming process. Router addresses are now
+// pre-materialized deterministically at world construction (see
+// topology/address_plan.hpp), so a fresh world with the same seed already
+// agrees with any snapshot; format=2 drops the file, and loaders reject
+// format=1 explicitly rather than silently ignoring its allocator state.
 //
 // All writes go to a .tmp sibling first and are renamed into place, so a
 // crash mid-save leaves the previous checkpoint intact; import-side trailer
@@ -27,7 +30,6 @@
 #include "measure/campaign.hpp"
 #include "measure/records.hpp"
 #include "probes/fleet.hpp"
-#include "topology/world.hpp"
 
 namespace cloudrtt::core {
 
@@ -52,22 +54,17 @@ struct CheckpointLoad {
 [[nodiscard]] bool checkpoint_exists(const std::filesystem::path& dir,
                                      std::string_view platform);
 
-/// Persist `meta` + `data` + `world`'s router-assignment state under `dir`
-/// (created if needed). Returns an empty string on success, else a
-/// description of what failed.
+/// Persist `meta` + `data` under `dir` (created if needed). Returns an empty
+/// string on success, else a description of what failed.
 [[nodiscard]] std::string save_checkpoint(const std::filesystem::path& dir,
                                           const CheckpointMeta& meta,
-                                          const measure::Dataset& data,
-                                          const topology::World& world);
+                                          const measure::Dataset& data);
 
 /// Load and validate the `platform` checkpoint from `dir`. Probe references
-/// are re-bound against the given fleets (either may be null). When `world`
-/// is non-null the saved router assignments are replayed into it; a fresh
-/// world (or one whose assignments agree) is required.
+/// are re-bound against the given fleets (either may be null).
 [[nodiscard]] CheckpointLoad load_checkpoint(const std::filesystem::path& dir,
                                              std::string_view platform,
                                              const probes::ProbeFleet* sc_fleet,
-                                             const probes::ProbeFleet* atlas_fleet,
-                                             const topology::World* world);
+                                             const probes::ProbeFleet* atlas_fleet);
 
 }  // namespace cloudrtt::core

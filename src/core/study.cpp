@@ -6,11 +6,14 @@
 #include "core/checkpoint.hpp"
 #include "obs/log.hpp"
 #include "obs/trace.hpp"
+#include "util/check.hpp"
 
 namespace cloudrtt::core {
 
 Study::Study(StudyConfig config) : config_(config) {
   obs::Span build = obs::span("study.build");
+  config_.sc_campaign.threads = config_.threads;
+  config_.atlas_campaign.threads = config_.threads;
   topology::WorldConfig world_config;
   world_config.seed = config_.seed;
   world_config.enable_uplink_gateways = config_.enable_uplink_gateways;
@@ -40,9 +43,8 @@ bool Study::run_campaign(std::string_view platform,
   measure::Dataset dataset;
   if (control.resume && !control.checkpoint_dir.empty() &&
       checkpoint_exists(control.checkpoint_dir, platform)) {
-    CheckpointLoad load =
-        load_checkpoint(control.checkpoint_dir, platform, sc_fleet_.get(),
-                        atlas_fleet_.get(), world_.get());
+    CheckpointLoad load = load_checkpoint(control.checkpoint_dir, platform,
+                                          sc_fleet_.get(), atlas_fleet_.get());
     if (!load.ok()) {
       throw std::runtime_error{"Study::run: cannot resume '" +
                                std::string{platform} + "': " + load.error};
@@ -73,7 +75,7 @@ bool Study::run_campaign(std::string_view platform,
         meta.platform = std::string{platform};
         meta.fault_profile = std::string{to_string(config_.fault_profile)};
         if (const std::string err =
-                save_checkpoint(control.checkpoint_dir, meta, data, *world_);
+                save_checkpoint(control.checkpoint_dir, meta, data);
             !err.empty()) {
           CLOUDRTT_LOG_WARN("study.checkpoint_failed", {"platform", platform},
                             {"error", err});
@@ -107,12 +109,11 @@ void Study::run(const RunControl& control) {
                              world_->fork_rng("campaign/speedchecker"),
                              sc_plan ? &*sc_plan : nullptr, control, sc_data_);
   }
-  // Strictly sequential: Atlas never starts while Speedchecker is incomplete.
-  // Both campaigns lazily allocate router addresses from the shared world, so
-  // an uninterrupted run's allocation order is "all of SC, then Atlas" — a
-  // partial Atlas run interleaved with a resumed SC day would replay those
-  // allocations in a different order and break bit-identical resume.
-  if (atlas_fleet_ && complete) {
+  // Campaigns are independent: router addressing is pre-materialized at
+  // world construction and each platform forks its own RNG stream, so Atlas
+  // runs its days even when Speedchecker stopped early at a checkpoint —
+  // resuming either campaign later stays bit-identical.
+  if (atlas_fleet_) {
     obs::Span phase = obs::span("campaign.atlas");
     CLOUDRTT_LOG_INFO("study.campaign.start", {"platform", "atlas"},
                       {"probes", atlas_fleet_->probes().size()},
@@ -146,9 +147,7 @@ void Study::run(const RunControl& control) {
 }
 
 analysis::StudyView Study::view() const {
-  if (!ran_) {
-    throw std::logic_error{"Study::view: call run() first"};
-  }
+  CLOUDRTT_CHECK(ran_, "Study::view: call run() first");
   analysis::StudyView view;
   view.world = world_.get();
   view.sc_fleet = sc_fleet_.get();

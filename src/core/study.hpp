@@ -29,6 +29,10 @@ struct StudyConfig {
   std::size_t sc_probes = 6000;     ///< scaled stand-in for the 115k fleet
   std::size_t atlas_probes = 1500;  ///< scaled stand-in for the 8.5k fleet
   bool include_atlas = true;
+  /// Worker threads for campaign execution on both platforms (copied into
+  /// the campaign configs at construction). The dataset is bit-identical
+  /// for any value; 1 = sequential.
+  unsigned threads = 1;
   measure::CampaignConfig sc_campaign;
   measure::CampaignConfig atlas_campaign;
 
@@ -88,10 +92,10 @@ struct RunControl {
   bool resume = false;
   /// Stop each campaign once this many days have completed (campaign days
   /// are counted from day 0, so resume + a larger value continues). The
-  /// study is left incomplete; completed() reports false. Later campaigns
-  /// are not started at all while an earlier one is incomplete, so that a
-  /// resumed study replays the shared world's lazy allocations in the same
-  /// order as an uninterrupted run.
+  /// study is left incomplete; completed() reports false. Campaigns are
+  /// independent — router addressing is pre-materialized at world
+  /// construction and each platform forks its own RNG stream — so a stopped
+  /// Speedchecker campaign no longer blocks Atlas from running its days.
   std::optional<std::uint32_t> stop_after_day;
 };
 

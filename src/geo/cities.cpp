@@ -1,11 +1,11 @@
-#include "probes/cities.hpp"
+#include "geo/cities.hpp"
 
 #include <algorithm>
 #include <cmath>
 
 #include "util/rng.hpp"
 
-namespace cloudrtt::probes {
+namespace cloudrtt::geo {
 
 CityDirectory::CityDirectory() {
   const auto& table = geo::CountryTable::instance();
@@ -48,4 +48,4 @@ std::span<const City> CityDirectory::cities(std::string_view country) const {
   return {};
 }
 
-}  // namespace cloudrtt::probes
+}  // namespace cloudrtt::geo

@@ -6,6 +6,8 @@
 // platforms by <city, first-hop ASN> — so both platforms must draw from the
 // same per-country city set. Cities are deterministic functions of the
 // country (independent of the study seed) with Zipf population weights.
+// Lives in geo (not probes) because the topology's address plan enumerates
+// per-city edge-router sites from the same directory.
 
 #include <span>
 #include <string>
@@ -15,7 +17,7 @@
 #include "geo/country.hpp"
 #include "geo/coords.hpp"
 
-namespace cloudrtt::probes {
+namespace cloudrtt::geo {
 
 struct City {
   std::string name;
@@ -35,4 +37,4 @@ class CityDirectory {
   std::vector<std::vector<City>> per_country_;
 };
 
-}  // namespace cloudrtt::probes
+}  // namespace cloudrtt::geo

@@ -257,6 +257,8 @@ std::string_view rule_key(Rule rule) {
     case Rule::Nondeterminism: return "nondeterminism";
     case Rule::RawAssert: return "raw-assert";
     case Rule::HeaderHygiene: return "header-hygiene";
+    case Rule::MutableMember: return "mutable-member";
+    case Rule::LocalStatic: return "local-static";
   }
   return "?";
 }
@@ -271,6 +273,10 @@ std::string_view rule_summary(Rule rule) {
       return "raw assert() in library code (use CLOUDRTT_CHECK/DCHECK)";
     case Rule::HeaderHygiene:
       return "header without #pragma once / with using namespace";
+    case Rule::MutableMember:
+      return "mutable member in a header (hidden shared state, thread-hostile)";
+    case Rule::LocalStatic:
+      return "function-local static non-const object in library code";
   }
   return "?";
 }
@@ -279,6 +285,8 @@ bool LintOptions::applies(Rule rule, std::string_view path) const {
   const std::vector<std::string>* exempt = nullptr;
   if (rule == Rule::Nondeterminism) exempt = &nondeterminism_exempt;
   if (rule == Rule::RawAssert) exempt = &raw_assert_exempt;
+  if (rule == Rule::MutableMember) exempt = &mutable_member_exempt;
+  if (rule == Rule::LocalStatic) exempt = &local_static_exempt;
   if (exempt == nullptr) return true;
   for (const std::string& prefix : *exempt) {
     if (path_matches(path, prefix)) return false;
@@ -447,6 +455,85 @@ constexpr BannedToken kNondeterminismTokens[] = {
     {"high_resolution_clock", false, "clock reads must stay inside src/obs"},
 };
 
+/// Member types whose mutability is the point: synchronization primitives
+/// guarding other state. Matched as substrings so std::shared_mutex,
+/// std::atomic<...>, std::once_flag etc. all qualify.
+constexpr std::string_view kMutableAllowedTypes[] = {
+    "mutex", "atomic", "once_flag", "condition_variable"};
+
+/// What an opening brace belongs to, decided by the statement text before it.
+enum class BraceKind : unsigned char {
+  Function,   ///< function/lambda body or a control-flow block inside one
+  Type,       ///< class/struct/union/enum body
+  Namespace,  ///< namespace body
+  Other,      ///< initializer lists etc. — transparent, inherits the parent
+};
+
+/// Remove template-argument text between balanced <...> so keywords inside
+/// parameter lists (`template <class T>`) don't confuse classification.
+[[nodiscard]] std::string strip_angle_brackets(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  int depth = 0;
+  for (const char ch : text) {
+    if (ch == '<') {
+      ++depth;
+      continue;
+    }
+    if (ch == '>') {
+      if (depth > 0) --depth;
+      continue;
+    }
+    if (depth == 0) out.push_back(ch);
+  }
+  return out;
+}
+
+[[nodiscard]] BraceKind classify_brace(std::string_view code, std::size_t open) {
+  // The statement introducing this brace: back to the previous ';', '{', '}'.
+  std::size_t begin = open;
+  while (begin > 0) {
+    const char ch = code[begin - 1];
+    if (ch == ';' || ch == '{' || ch == '}') break;
+    --begin;
+  }
+  const std::string intro = strip_angle_brackets(code.substr(begin, open - begin));
+  for (const std::string_view keyword : {"class", "struct", "union", "enum"}) {
+    if (find_token(intro, keyword, 0) != std::string::npos) return BraceKind::Type;
+  }
+  if (find_token(intro, "namespace", 0) != std::string::npos) {
+    return BraceKind::Namespace;
+  }
+  // A parameter list (or trailing function qualifiers after one) marks a
+  // function body; `) {`, `] {` (lambda), `} {` (after brace-init members)
+  // and the block keywords cover control flow.
+  if (intro.find('(') != std::string::npos) return BraceKind::Function;
+  std::size_t j = open;
+  while (j > begin && is_space(code[j - 1])) --j;
+  if (j == begin) return BraceKind::Other;
+  const char prev = code[j - 1];
+  if (prev == ')' || prev == ']' || prev == '}') return BraceKind::Function;
+  if (is_ident_char(prev)) {
+    std::size_t start = j;
+    while (start > begin && is_ident_char(code[start - 1])) --start;
+    const std::string_view word = code.substr(start, j - start);
+    if (word == "else" || word == "do" || word == "try") {
+      return BraceKind::Function;
+    }
+  }
+  return BraceKind::Other;
+}
+
+/// True when the innermost non-transparent scope enclosing `stack` is a
+/// function body (Other braces inherit their parent's classification).
+[[nodiscard]] bool in_function_body(const std::vector<BraceKind>& stack) {
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    if (stack[i] == BraceKind::Other) continue;
+    return stack[i] == BraceKind::Function;
+  }
+  return false;
+}
+
 }  // namespace
 
 void Linter::Impl::check_file(const File& file,
@@ -557,6 +644,68 @@ void Linter::Impl::check_file(const File& file,
       report(Rule::RawAssert, pos,
              "raw assert() vanishes under NDEBUG; use CLOUDRTT_CHECK or "
              "CLOUDRTT_DCHECK (util/check.hpp)");
+    }
+  }
+
+  // R5 — mutable members in headers. A lambda's `mutable` qualifier (body
+  // brace, trailing return or noexcept right after it) is not a member.
+  if (is_header(file.path) && options.applies(Rule::MutableMember, file.path)) {
+    for (std::size_t pos = find_token(code, "mutable", 0);
+         pos != std::string::npos; pos = find_token(code, "mutable", pos + 1)) {
+      const std::size_t cursor = skip_spaces(code, pos + 7);
+      if (cursor >= code.size() || code[cursor] == '{' || code[cursor] == '-') {
+        continue;
+      }
+      if (code.compare(cursor, 8, "noexcept") == 0) continue;
+      const std::size_t end = code.find_first_of(";{=", cursor);
+      const std::string_view decl = std::string_view{code}.substr(
+          cursor, end == std::string::npos ? code.size() - cursor : end - cursor);
+      bool allowed = false;
+      for (const std::string_view type : kMutableAllowedTypes) {
+        if (decl.find(type) != std::string_view::npos) {
+          allowed = true;
+          break;
+        }
+      }
+      if (allowed) continue;
+      report(Rule::MutableMember, pos,
+             "mutable member in a header: lazy caches behind const interfaces "
+             "are hidden shared state the parallel executor cannot tolerate; "
+             "guard it and justify with lint:allow, or materialize up front");
+    }
+  }
+
+  // R6 — function-local static non-const objects.
+  if (options.applies(Rule::LocalStatic, file.path)) {
+    std::vector<std::size_t> statics;
+    for (std::size_t pos = find_token(code, "static", 0);
+         pos != std::string::npos; pos = find_token(code, "static", pos + 1)) {
+      statics.push_back(pos);
+    }
+    if (!statics.empty()) {
+      std::vector<BraceKind> stack;
+      std::size_t next = 0;
+      for (std::size_t i = 0; i < code.size() && next < statics.size(); ++i) {
+        if (i == statics[next]) {
+          if (in_function_body(stack)) {
+            std::size_t cursor = skip_spaces(code, i + 6);
+            const std::string qualifier = read_qualified_ident(code, cursor);
+            if (qualifier != "const" && qualifier != "constexpr" &&
+                qualifier != "constinit") {
+              report(Rule::LocalStatic, i,
+                     "function-local static non-const object: initialization "
+                     "order and lifetime are process state, and mutation is "
+                     "thread-hostile; hoist it or make it const");
+            }
+          }
+          ++next;
+        }
+        if (code[i] == '{') {
+          stack.push_back(classify_brace(code, i));
+        } else if (code[i] == '}' && !stack.empty()) {
+          stack.pop_back();
+        }
+      }
     }
   }
 

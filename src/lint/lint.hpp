@@ -23,6 +23,16 @@
 //                    CLOUDRTT_DCHECK from util/check.hpp.
 //   header-hygiene   headers must contain #pragma once and must not contain
 //                    `using namespace`.
+//   mutable-member   `mutable` data members in headers. Lazy mutable caches
+//                    behind const interfaces are hidden shared state — the
+//                    exact pattern the parallel campaign executor cannot
+//                    tolerate. Synchronization primitives (mutex, atomic,
+//                    once_flag, condition_variable) are allowed; anything
+//                    else needs a justified lint:allow naming its guard.
+//   local-static     function-local `static` non-const objects in library
+//                    code: initialization order and lifetime are process
+//                    state, and mutable singletons are thread-hostile.
+//                    `static const`/`constexpr`/`constinit` are fine.
 //
 // Findings are suppressed line-by-line with a justified annotation:
 //
@@ -49,9 +59,11 @@ enum class Rule {
   Nondeterminism,
   RawAssert,
   HeaderHygiene,
+  MutableMember,
+  LocalStatic,
 };
 
-inline constexpr std::size_t kRuleCount = 4;
+inline constexpr std::size_t kRuleCount = 6;
 
 /// Stable key used in suppressions, JSON output and the summary table.
 [[nodiscard]] std::string_view rule_key(Rule rule);
@@ -78,6 +90,15 @@ struct LintOptions {
   /// Prefixes where `raw-assert` does not apply (tests may use assert and
   /// the gtest macros freely).
   std::vector<std::string> raw_assert_exempt{"tests/"};
+  /// Prefixes where `mutable-member` does not apply (test fixtures may fake
+  /// whatever state they like).
+  std::vector<std::string> mutable_member_exempt{"tests/"};
+  /// Prefixes where `local-static` does not apply: binaries and benchmarks
+  /// are single-threaded drivers, src/obs hosts the sanctioned telemetry
+  /// singletons (whose registries are internally synchronized), and the rng
+  /// module owns the one sanctioned entropy source.
+  std::vector<std::string> local_static_exempt{
+      "tests/", "bench/", "examples/", "tools/", "src/obs/", "src/util/rng."};
 
   [[nodiscard]] bool applies(Rule rule, std::string_view path) const;
 };

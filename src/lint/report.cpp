@@ -8,8 +8,9 @@ namespace cloudrtt::lint {
 
 namespace {
 
-constexpr Rule kAllRules[] = {Rule::UnorderedIter, Rule::Nondeterminism,
-                              Rule::RawAssert, Rule::HeaderHygiene};
+constexpr Rule kAllRules[] = {Rule::UnorderedIter,  Rule::Nondeterminism,
+                              Rule::RawAssert,      Rule::HeaderHygiene,
+                              Rule::MutableMember,  Rule::LocalStatic};
 
 }  // namespace
 

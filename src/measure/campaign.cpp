@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "measure/executor.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -191,6 +192,10 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
   dataset.reserve(config_.days * config_.daily_budget,
                   config_.days * config_.daily_budget);
 
+  const ParallelExecutor executor{config_.threads};
+  std::vector<MeasurementTask> day_tasks;
+  day_tasks.reserve(config_.daily_budget);
+
   // Restores the backbone when a cut day ends (exceptions included).
   struct OutageGuard {
     const topology::Backbone* backbone = nullptr;
@@ -247,11 +252,12 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
     // reallocate its remaining share to the next one (graceful degradation).
     enum class TaskOutcome : unsigned char { Ok, Dropped, CountryAbort };
 
+    // Schedule one task: every shared-state decision (budget, fault retries,
+    // slot assignment) happens here, sequentially; the measurement itself is
+    // deferred to the execute phase below.
     const auto run_task = [&](const probes::Probe& probe,
                               const topology::CloudEndpoint& endpoint)
         -> TaskOutcome {
-      util::Rng task_rng = day_rng.fork(probe.id * 1315423911ULL +
-                                        endpoint.vm_ip.value());
       std::uint8_t slot = slot_now();
       if (faults != nullptr) {
         const auto endpoint_index = static_cast<std::size_t>(
@@ -294,11 +300,8 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
       } else {
         --budget;
       }
-      dataset.pings.push_back(
-          engine_.ping(probe, endpoint, Protocol::Tcp, day, task_rng, slot));
-      dataset.traces.push_back(
-          engine_.traceroute(probe, endpoint, day, task_rng,
-                             Engine::TraceMethod::Classic, slot, trace_faults));
+      day_tasks.push_back(
+          MeasurementTask{&probe, &endpoint, day, slot, trace_faults});
       ++day_delivered;
       return TaskOutcome::Ok;
     };
@@ -394,6 +397,17 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
         cursor = (cursor + visited + 1) % plans_.size();
         break;
       }
+    }
+
+    // Execute phase: runs inside the day scope so backbone outages are still
+    // in force for today's measurements. The "exec" fork happens after the
+    // schedule pass, when day_rng's state is a deterministic function of
+    // (base rng, day) alone — never of thread timing.
+    {
+      obs::Span exec_span = obs::span("execute");
+      const util::Rng exec_rng = day_rng.fork("exec");
+      executor.execute(engine_, day_tasks, exec_rng, dataset);
+      day_tasks.clear();
     }
 
     const std::size_t used = config_.daily_budget - budget;

@@ -8,6 +8,12 @@
 //
 // Each task runs a TCP ping and an ICMP traceroute in parallel, exactly as
 // the paper's probes did.
+//
+// Execution is two-phase per day: a sequential schedule pass owns every
+// shared-state decision (budget, cursor, connectivity, fault retries) and
+// emits a task list; measure::ParallelExecutor then runs the tasks across
+// `threads` workers with per-chunk RNG forking, merging results in schedule
+// order so the dataset is bit-identical at any thread count.
 
 #include <cstdint>
 #include <functional>
@@ -45,6 +51,9 @@ struct CampaignConfig {
   /// Case-study tasks (Speedchecker campaigns only in the paper's setup).
   bool run_case_studies = false;
   std::size_t case_study_probes = 16;
+  /// Worker threads for the execute phase; 1 = inline sequential execution.
+  /// Any value yields the same dataset bits (see measure/executor.hpp).
+  unsigned threads = 1;
 };
 
 /// Resumable campaign position: the next day to execute plus the country

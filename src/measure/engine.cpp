@@ -29,6 +29,7 @@ struct EngineMetrics {
 
   static EngineMetrics& instance() {
     obs::Registry& r = obs::Registry::global();
+    // lint:allow(local-static): bundle of atomic-counter references; magic-static init is thread-safe and the counters are lock-free
     static EngineMetrics metrics{
         r.counter("engine.pings_total"),
         r.counter("engine.traceroutes_total"),

@@ -1,0 +1,80 @@
+#include "measure/executor.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cloudrtt::measure {
+
+void ParallelExecutor::execute(const Engine& engine,
+                               std::span<const MeasurementTask> tasks,
+                               const util::Rng& chunk_root, Dataset& out) const {
+  const std::size_t n = tasks.size();
+  if (n == 0) return;
+  const std::size_t chunk_count = (n + kChunkSize - 1) / kChunkSize;
+
+  // Results land in slots indexed by task position so the merge order is the
+  // schedule order no matter which worker ran which chunk.
+  std::vector<PingRecord> pings(n);
+  std::vector<TraceRecord> traces(n);
+
+  obs::Registry& registry = obs::Registry::global();
+  obs::Gauge& busy = registry.gauge("measure.worker_busy");
+  obs::Histogram& chunk_ms = registry.histogram("measure.chunk_ms");
+
+  const auto run_chunk = [&](std::size_t chunk) {
+    const obs::ScopedTimer timer{chunk_ms};
+    const util::Rng chunk_rng = chunk_root.fork(chunk);
+    const std::size_t begin = chunk * kChunkSize;
+    const std::size_t end = std::min(begin + kChunkSize, n);
+    for (std::size_t i = begin; i < end; ++i) {
+      const MeasurementTask& task = tasks[i];
+      util::Rng task_rng = chunk_rng.fork(i - begin);
+      pings[i] = engine.ping(*task.probe, *task.endpoint, Protocol::Tcp,
+                             task.day, task_rng, task.slot);
+      traces[i] = engine.traceroute(*task.probe, *task.endpoint, task.day,
+                                    task_rng, Engine::TraceMethod::Classic,
+                                    task.slot, task.trace_faults);
+    }
+  };
+
+  const std::size_t workers =
+      std::min<std::size_t>(threads_, chunk_count);
+  if (workers <= 1) {
+    for (std::size_t chunk = 0; chunk < chunk_count; ++chunk) run_chunk(chunk);
+  } else {
+    std::atomic<std::size_t> next_chunk{0};
+    std::mutex failure_mutex;
+    std::exception_ptr failure;
+    const auto drain = [&] {
+      busy.add(1.0);
+      try {
+        for (std::size_t chunk = next_chunk.fetch_add(1);
+             chunk < chunk_count; chunk = next_chunk.fetch_add(1)) {
+          run_chunk(chunk);
+        }
+      } catch (...) {
+        const std::scoped_lock lock{failure_mutex};
+        if (!failure) failure = std::current_exception();
+      }
+      busy.add(-1.0);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+    drain();  // the calling thread is worker 0
+    for (std::thread& worker : pool) worker.join();
+    if (failure) std::rethrow_exception(failure);
+  }
+
+  out.pings.insert(out.pings.end(), std::make_move_iterator(pings.begin()),
+                   std::make_move_iterator(pings.end()));
+  out.traces.insert(out.traces.end(), std::make_move_iterator(traces.begin()),
+                    std::make_move_iterator(traces.end()));
+}
+
+}  // namespace cloudrtt::measure

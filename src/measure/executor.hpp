@@ -1,0 +1,68 @@
+#pragma once
+// Parallel measurement execution.
+//
+// The campaign driver is split into two phases per simulated day. The
+// *schedule* phase runs sequentially and owns every piece of shared state —
+// the daily budget, the country cursor, connectivity draws, fault retries —
+// and emits a flat list of MeasurementTasks. The *execute* phase, this
+// module, runs those tasks: it shards the list into fixed-size chunks,
+// forks an independent RNG per chunk from a single execution root, and
+// merges results back in task order.
+//
+// Determinism across thread counts falls out of three choices:
+//  * the chunk size is a constant (not derived from the worker count), so
+//    the chunk decomposition is identical for --threads 1 and --threads N;
+//  * each task's RNG is forked from (execution root, chunk index, offset
+//    within chunk) — never from any other task's draws;
+//  * results land in preallocated slots indexed by task position and are
+//    appended to the dataset in that order, regardless of which worker
+//    finished first.
+// So core::dataset_hash is bit-identical for every worker-pool size.
+
+#include <cstdint>
+#include <span>
+
+#include "fault/plan.hpp"
+#include "measure/engine.hpp"
+#include "measure/records.hpp"
+#include "probes/fleet.hpp"
+#include "topology/world.hpp"
+#include "util/rng.hpp"
+
+namespace cloudrtt::measure {
+
+/// One scheduled <probe, target> measurement (ping + traceroute together).
+/// Fully resolved at schedule time: carries no RNG and touches no shared
+/// campaign state, so any worker may run it.
+struct MeasurementTask {
+  const probes::Probe* probe = nullptr;
+  const topology::CloudEndpoint* endpoint = nullptr;
+  std::uint32_t day = 0;
+  std::uint8_t slot = 0;
+  const fault::TraceFaults* trace_faults = nullptr;
+};
+
+class ParallelExecutor {
+ public:
+  /// Tasks per chunk. A constant (never a function of the worker count) so
+  /// the RNG forking tree is identical for any --threads value.
+  static constexpr std::size_t kChunkSize = 64;
+
+  explicit ParallelExecutor(unsigned threads = 1)
+      : threads_(threads == 0 ? 1 : threads) {}
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Run every task and append one PingRecord + one TraceRecord per task to
+  /// `out`, in task order. `chunk_root` seeds the per-chunk RNG tree; pass
+  /// the same value to get the same records at any thread count. With one
+  /// worker (or few tasks) this degenerates to an inline loop — no pool.
+  /// Worker exceptions are rethrown here after all workers have joined.
+  void execute(const Engine& engine, std::span<const MeasurementTask> tasks,
+               const util::Rng& chunk_root, Dataset& out) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace cloudrtt::measure

@@ -41,11 +41,11 @@ ProbeFleet::ProbeFleet(topology::World& world, const FleetConfig& config)
     if (rng.chance(exact - static_cast<double>(count))) ++count;
     if (count == 0) continue;
 
-    const auto cities = CityDirectory::instance().cities(country.code);
+    const auto cities = geo::CityDirectory::instance().cities(country.code);
     const auto isps = world.isps_in(country.code);
     std::vector<double> city_weights;
     city_weights.reserve(cities.size());
-    for (const City& city : cities) city_weights.push_back(city.weight);
+    for (const geo::City& city : cities) city_weights.push_back(city.weight);
     std::vector<double> isp_weights;
     isp_weights.reserve(isps.size());
     for (const topology::IspNetwork* isp : isps) isp_weights.push_back(isp->share);

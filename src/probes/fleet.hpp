@@ -12,10 +12,10 @@
 #include <string_view>
 #include <vector>
 
+#include "geo/cities.hpp"
 #include "geo/country.hpp"
 #include "lastmile/access.hpp"
 #include "net/ipv4.hpp"
-#include "probes/cities.hpp"
 #include "topology/isp.hpp"
 #include "topology/world.hpp"
 
@@ -32,7 +32,7 @@ struct Probe {
   Platform platform = Platform::Speedchecker;
   const geo::CountryInfo* country = nullptr;
   const topology::IspNetwork* isp = nullptr;
-  const City* city = nullptr;
+  const geo::City* city = nullptr;
   geo::GeoPoint location;
   lastmile::AccessTech access = lastmile::AccessTech::HomeWifi;
   lastmile::Profile lastmile;

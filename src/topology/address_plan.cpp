@@ -1,0 +1,74 @@
+#include "topology/address_plan.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cloudrtt::topology {
+
+void AddressPlan::assign(Asn asn, std::string site, net::Ipv4Address ip) {
+  CLOUDRTT_CHECK(!frozen_, "AddressPlan::assign after freeze (AS", asn, " site '",
+                 site, "')");
+  per_as_[asn].push_back(Entry{std::move(site), ip});
+  ++size_;
+}
+
+void AddressPlan::freeze() {
+  CLOUDRTT_CHECK(!frozen_, "AddressPlan::freeze called twice");
+  for (auto& [asn, entries] : per_as_) {  // lint:allow(unordered-iter): per-AS sort, no cross-AS order dependence
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.site < b.site; });
+    const auto dup = std::adjacent_find(
+        entries.begin(), entries.end(),
+        [](const Entry& a, const Entry& b) { return a.site == b.site; });
+    CLOUDRTT_CHECK(dup == entries.end(), "AddressPlan: site '",
+                   dup == entries.end() ? "" : dup->site,
+                   "' materialized twice for AS", asn);
+  }
+  frozen_ = true;
+}
+
+std::size_t AddressPlan::site_count(Asn asn) const {
+  const auto it = per_as_.find(asn);
+  return it == per_as_.end() ? 0 : it->second.size();
+}
+
+const net::Ipv4Address* AddressPlan::find(Asn asn, std::string_view site) const {
+  CLOUDRTT_DCHECK(frozen_, "AddressPlan::find before freeze");
+  const auto it = per_as_.find(asn);
+  if (it == per_as_.end()) return nullptr;
+  const std::vector<Entry>& entries = it->second;
+  const auto pos = std::lower_bound(
+      entries.begin(), entries.end(), site,
+      [](const Entry& e, std::string_view s) { return e.site < s; });
+  if (pos == entries.end() || pos->site != site) return nullptr;
+  return &pos->ip;
+}
+
+net::Ipv4Address AddressPlan::at(Asn asn, std::string_view site) const {
+  const net::Ipv4Address* ip = find(asn, site);
+  CLOUDRTT_CHECK(ip != nullptr, "AddressPlan: no planned router for AS", asn,
+                 " site '", site, "' — materialization pass missed it");
+  return *ip;
+}
+
+void PolicyTable::put(std::uint64_t key, const PairPolicy& policy) {
+  CLOUDRTT_CHECK(!frozen_, "PolicyTable::put after freeze (key ", key, ")");
+  const bool inserted = policies_.emplace(key, policy).second;
+  CLOUDRTT_CHECK(inserted, "PolicyTable: key ", key, " materialized twice");
+}
+
+void PolicyTable::freeze() {
+  CLOUDRTT_CHECK(!frozen_, "PolicyTable::freeze called twice");
+  frozen_ = true;
+}
+
+const PairPolicy& PolicyTable::at(std::uint64_t key) const {
+  CLOUDRTT_DCHECK(frozen_, "PolicyTable::at before freeze");
+  const auto it = policies_.find(key);
+  CLOUDRTT_CHECK(it != policies_.end(), "PolicyTable: no policy for key ", key,
+                 " — materialization pass missed it");
+  return it->second;
+}
+
+}  // namespace cloudrtt::topology

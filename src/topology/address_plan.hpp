@@ -1,0 +1,93 @@
+#pragma once
+// Pre-materialized router address plan and interconnect policy table.
+//
+// Historically the World handed out router addresses and pair policies
+// lazily, on first use, from mutable caches — so the concrete assignment
+// depended on *request order*, which is process state a checkpoint had to
+// capture and replay for resumes to be bit-identical, and which made the
+// read path thread-hostile. Instead, World construction now runs a
+// deterministic materialization pass that walks the AS/router space in
+// canonical order and pre-assigns every router IP and pair policy any
+// campaign could touch. After freeze() both tables are immutable: lookups
+// are const, allocation-free, and safe for concurrent readers, and resumes
+// need no replay because the plan is a pure function of the world config.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "topology/asn.hpp"
+#include "topology/interconnect.hpp"
+
+namespace cloudrtt::topology {
+
+/// Frozen map <ASN, site label> -> router interface address. Built once
+/// during world construction, then read-only (thread-safe by immutability).
+class AddressPlan {
+ public:
+  AddressPlan() = default;
+
+  /// Record one assignment (build phase only; site must be new for the AS).
+  void assign(Asn asn, std::string site, net::Ipv4Address ip);
+
+  /// Sort each AS's sites for binary search and seal the plan. Duplicate
+  /// sites are a materialization bug and abort.
+  void freeze();
+
+  [[nodiscard]] bool frozen() const { return frozen_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Sites planned for one AS (0 when the AS has no routers).
+  [[nodiscard]] std::size_t site_count(Asn asn) const;
+
+  /// Address of a planned site, or nullptr when the AS or site is unknown.
+  [[nodiscard]] const net::Ipv4Address* find(Asn asn, std::string_view site) const;
+
+  /// Address of a planned site; aborts when the materialization pass missed
+  /// it (an enumeration gap, not a runtime condition).
+  [[nodiscard]] net::Ipv4Address at(Asn asn, std::string_view site) const;
+
+ private:
+  struct Entry {
+    std::string site;
+    net::Ipv4Address ip;
+  };
+  /// Per-AS entries, sorted by site after freeze(). The outer map is only
+  /// ever point-queried, never iterated.
+  std::unordered_map<Asn, std::vector<Entry>> per_as_;
+  std::size_t size_ = 0;
+  bool frozen_ = false;
+};
+
+/// Frozen map of interconnect decisions per <ISP, provider, destination
+/// continent>, keyed exactly like the old lazy cache. References returned by
+/// at() are stable for the table's lifetime.
+class PolicyTable {
+ public:
+  PolicyTable() = default;
+
+  [[nodiscard]] static std::uint64_t key(Asn isp_asn, std::size_t provider_index,
+                                         std::size_t continent_index) {
+    return (static_cast<std::uint64_t>(isp_asn) << 16) |
+           (static_cast<std::uint64_t>(provider_index) << 8) |
+           static_cast<std::uint64_t>(continent_index);
+  }
+
+  /// Record one policy (build phase only; key must be new).
+  void put(std::uint64_t key, const PairPolicy& policy);
+  void freeze();
+
+  [[nodiscard]] bool frozen() const { return frozen_; }
+  [[nodiscard]] std::size_t size() const { return policies_.size(); }
+
+  /// Policy for a key; aborts when the materialization pass missed it.
+  [[nodiscard]] const PairPolicy& at(std::uint64_t key) const;
+
+ private:
+  std::unordered_map<std::uint64_t, PairPolicy> policies_;
+  bool frozen_ = false;
+};
+
+}  // namespace cloudrtt::topology

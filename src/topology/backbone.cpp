@@ -256,6 +256,19 @@ Backbone::Backbone(const geo::CountryTable& countries) : countries_(countries) {
       add_edge(nodes_[i]->code, nodes_[j]->code, km, quality);
     }
   }
+
+  precompute_nominal_routes();
+}
+
+void Backbone::precompute_nominal_routes() {
+  const std::size_t n = nodes_.size();
+  nominal_.resize(n * n);
+  for (std::size_t from = 0; from < n; ++from) {
+    const SearchState state = shortest_paths(from, std::nullopt);
+    for (std::size_t to = 0; to < n; ++to) {
+      nominal_[from * n + to] = extract_route(from, to, state);
+    }
+  }
 }
 
 std::optional<std::size_t> Backbone::node_index(std::string_view code) const {
@@ -275,6 +288,7 @@ void Backbone::add_edge(std::string_view a, std::string_view b, double km,
 
 void Backbone::set_outages(
     const std::vector<std::pair<std::string_view, std::string_view>>& cuts) const {
+  const std::scoped_lock lock{outage_mutex_};
   outage_keys_.clear();
   outage_cache_.clear();
   for (const auto& [a, b] : cuts) {
@@ -291,41 +305,41 @@ const BackboneRoute& Backbone::route(std::string_view from, std::string_view to)
   if (!ia || !ib) {
     throw std::out_of_range{"Backbone::route: unknown country code"};
   }
-  const std::uint64_t key = (static_cast<std::uint64_t>(*ia) << 32) | *ib;
-  if (!outage_keys_.empty()) {
-    const auto it = outage_cache_.find(key);
-    if (it != outage_cache_.end()) return it->second;
-    return outage_cache_.emplace(key, compute_route(*ia, *ib)).first->second;
+  if (outage_keys_.empty()) {
+    return nominal_[*ia * nodes_.size() + *ib];
   }
-  const auto it = route_cache_.find(key);
-  if (it != route_cache_.end()) return it->second;
-  return route_cache_.emplace(key, compute_route(*ia, *ib)).first->second;
+  // References into the node-based map stay valid across later inserts, and
+  // set_outages (the only eraser) never runs concurrently with readers.
+  const std::uint64_t key = (static_cast<std::uint64_t>(*ia) << 32) | *ib;
+  const std::scoped_lock lock{outage_mutex_};
+  const auto it = outage_cache_.find(key);
+  if (it != outage_cache_.end()) return it->second;
+  return outage_cache_.emplace(key, compute_route(*ia, *ib)).first->second;
 }
 
 BackboneRoute Backbone::compute_route(std::size_t from, std::size_t to) const {
-  BackboneRoute result;
-  if (from == to) {
-    result.countries = {nodes_[from]->code};
-    result.reachable = true;
-    return result;
-  }
+  return extract_route(from, to, shortest_paths(from, to));
+}
 
+Backbone::SearchState Backbone::shortest_paths(
+    std::size_t from, std::optional<std::size_t> stop_at) const {
   // Dijkstra over cost = km * detour(quality) + penalty expressed in km
   // (1 ms RTT == 100 km of fibre, so penalties are comparable).
   constexpr double kKmPerPenaltyMs = 100.0;
   const std::size_t n = nodes_.size();
-  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
-  std::vector<std::size_t> prev(n, n);
-  std::vector<std::size_t> prev_edge(n, static_cast<std::size_t>(-1));
+  SearchState state;
+  state.dist.assign(n, std::numeric_limits<double>::infinity());
+  state.prev.assign(n, n);
+  state.prev_edge.assign(n, static_cast<std::size_t>(-1));
   using Item = std::pair<double, std::size_t>;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
-  dist[from] = 0.0;
+  state.dist[from] = 0.0;
   queue.emplace(0.0, from);
   while (!queue.empty()) {
     const auto [d, u] = queue.top();
     queue.pop();
-    if (d > dist[u]) continue;
-    if (u == to) break;
+    if (d > state.dist[u]) continue;
+    if (stop_at && u == *stop_at) break;
     for (std::size_t e = 0; e < adjacency_[u].size(); ++e) {
       const Edge& edge = adjacency_[u][e];
       if (!outage_keys_.empty() && outage_keys_.contains(pair_key(u, edge.to))) {
@@ -333,19 +347,30 @@ BackboneRoute Backbone::compute_route(std::size_t from, std::size_t to) const {
       }
       const double cost = edge.km * detour_factor(edge.quality) +
                           crossing_penalty_ms(edge.quality) * kKmPerPenaltyMs;
-      if (dist[u] + cost < dist[edge.to]) {
-        dist[edge.to] = dist[u] + cost;
-        prev[edge.to] = u;
-        prev_edge[edge.to] = e;
-        queue.emplace(dist[edge.to], edge.to);
+      if (state.dist[u] + cost < state.dist[edge.to]) {
+        state.dist[edge.to] = state.dist[u] + cost;
+        state.prev[edge.to] = u;
+        state.prev_edge[edge.to] = e;
+        queue.emplace(state.dist[edge.to], edge.to);
       }
     }
   }
-  if (!std::isfinite(dist[to])) return result;  // unreachable
+  return state;
+}
+
+BackboneRoute Backbone::extract_route(std::size_t from, std::size_t to,
+                                      const SearchState& state) const {
+  BackboneRoute result;
+  if (from == to) {
+    result.countries = {nodes_[from]->code};
+    result.reachable = true;
+    return result;
+  }
+  if (!std::isfinite(state.dist[to])) return result;  // unreachable
 
   // Walk back to accumulate the route and its physical properties.
   std::vector<std::size_t> path;
-  for (std::size_t v = to; v != from; v = prev[v]) path.push_back(v);
+  for (std::size_t v = to; v != from; v = state.prev[v]) path.push_back(v);
   path.push_back(from);
   std::reverse(path.begin(), path.end());
 
@@ -355,7 +380,7 @@ BackboneRoute Backbone::compute_route(std::size_t from, std::size_t to) const {
     const std::size_t u = path[i];
     const std::size_t v = path[i + 1];
     // prev_edge was recorded at v for the edge (u -> v).
-    const Edge& edge = adjacency_[u][prev_edge[v]];
+    const Edge& edge = adjacency_[u][state.prev_edge[v]];
     result.km += edge.km;
     result.effective_km += edge.km * detour_factor(edge.quality);
     result.penalty_ms += crossing_penalty_ms(edge.quality);

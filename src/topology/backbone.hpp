@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -57,8 +58,11 @@ class Backbone {
  public:
   explicit Backbone(const geo::CountryTable& countries);
 
-  /// Cheapest route between two countries (cached). Same-country routes are
-  /// zero-length and always reachable.
+  /// Cheapest route between two countries. Same-country routes are
+  /// zero-length and always reachable. Nominal (outage-free) routes are
+  /// precomputed for every pair at construction, so this is a lock-free
+  /// table lookup safe for concurrent readers; only the outage overlay
+  /// consults a mutex-guarded cache.
   [[nodiscard]] const BackboneRoute& route(std::string_view from,
                                            std::string_view to) const;
 
@@ -93,10 +97,12 @@ class Backbone {
   // Severing a country pair removes every parallel edge between the two
   // nodes (explicit cables and auto-mesh alike): the world reroutes affected
   // paths for the episode's duration, exactly like a submarine-cable cut.
-  // Outage routes are cached separately so clearing the outage restores the
-  // nominal cache untouched. Const-qualified (like the route cache) because
-  // campaigns hold the world by const reference; not thread-safe, callers
-  // serialize campaign execution.
+  // Outage routes are cached separately so clearing the outage leaves the
+  // precomputed nominal table untouched. Const-qualified because campaigns
+  // hold the world by const reference. Threading contract: set_outages /
+  // clear_outages may only be called from the sequential schedule phase;
+  // concurrent route() readers then share the outage cache under a mutex,
+  // while nominal lookups stay lock-free.
   void set_outages(
       const std::vector<std::pair<std::string_view, std::string_view>>& cuts) const;
   void clear_outages() const { set_outages({}); }
@@ -118,8 +124,24 @@ class Backbone {
     double quality;
   };
 
+  /// Shortest-path tree out of `from` (dist/prev arrays). With `stop_at`
+  /// set the search exits early once that node settles; without it the full
+  /// tree is computed (the all-pairs precompute path).
+  struct SearchState {
+    std::vector<double> dist;
+    std::vector<std::size_t> prev;
+    std::vector<std::size_t> prev_edge;
+  };
+  [[nodiscard]] SearchState shortest_paths(std::size_t from,
+                                           std::optional<std::size_t> stop_at) const;
+  [[nodiscard]] BackboneRoute extract_route(std::size_t from, std::size_t to,
+                                            const SearchState& state) const;
+
   [[nodiscard]] std::optional<std::size_t> node_index(std::string_view code) const;
   void add_edge(std::string_view a, std::string_view b, double km, double quality);
+  /// Route every pair once, up front, so route() never writes shared state
+  /// on the nominal path.
+  void precompute_nominal_routes();
   [[nodiscard]] BackboneRoute compute_route(std::size_t from, std::size_t to) const;
   [[nodiscard]] static std::uint64_t pair_key(std::size_t a, std::size_t b) {
     return (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
@@ -132,9 +154,13 @@ class Backbone {
   std::vector<std::vector<Edge>> adjacency_;
   std::vector<BackboneLinkRef> catalog_;
   std::size_t edges_ = 0;
-  mutable std::unordered_map<std::uint64_t, BackboneRoute> route_cache_;
-  mutable std::unordered_set<std::uint64_t> outage_keys_;
-  mutable std::unordered_map<std::uint64_t, BackboneRoute> outage_cache_;
+  /// Immutable after construction: route for (from, to) at [from * n + to].
+  std::vector<BackboneRoute> nominal_;
+  // Outage overlay: rebuilt by set_outages (sequential phase only) and read
+  // under outage_mutex_ by concurrent route() callers during execution.
+  mutable std::mutex outage_mutex_;
+  mutable std::unordered_set<std::uint64_t> outage_keys_;     // lint:allow(mutable-member): guarded by outage_mutex_; written only in the sequential schedule phase
+  mutable std::unordered_map<std::uint64_t, BackboneRoute> outage_cache_;  // lint:allow(mutable-member): guarded by outage_mutex_
 };
 
 /// Forced egress waypoints for public-transit paths leaving `country`:

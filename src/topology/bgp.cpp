@@ -179,6 +179,9 @@ BgpGraph BgpGraph::from_world(const World& world) {
 }
 
 const std::unordered_map<Asn, BgpRoute>& BgpGraph::routes_to(Asn origin) const {
+  // Node-based map: the returned reference stays valid across later inserts,
+  // and nothing ever erases, so releasing the lock before use is safe.
+  const std::scoped_lock lock{cache_mutex_};
   const auto it = route_cache_.find(origin);
   if (it != route_cache_.end()) return it->second;
   return route_cache_.emplace(origin, compute_routes(origin)).first->second;

@@ -15,6 +15,7 @@
 // shortest AS path, then the lowest next-hop ASN (deterministic tiebreak).
 // All best routes under these preferences are valley-free by construction.
 
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +48,22 @@ struct BgpRoute {
 class BgpGraph {
  public:
   BgpGraph() = default;
+
+  // The route-cache mutex is not movable; moves only happen while the graph
+  // is being assembled (single-threaded), so a moved graph simply starts
+  // with a fresh mutex over the moved cache.
+  BgpGraph(BgpGraph&& other) noexcept
+      : nodes_{std::move(other.nodes_)},
+        edge_count_{other.edge_count_},
+        route_cache_{std::move(other.route_cache_)} {}
+  BgpGraph& operator=(BgpGraph&& other) noexcept {
+    nodes_ = std::move(other.nodes_);
+    edge_count_ = other.edge_count_;
+    route_cache_ = std::move(other.route_cache_);
+    return *this;
+  }
+  BgpGraph(const BgpGraph&) = delete;
+  BgpGraph& operator=(const BgpGraph&) = delete;
 
   /// Derive the AS-level business graph from an assembled world:
   ///  * tier-1 carriers form a full peer mesh;
@@ -88,7 +105,10 @@ class BgpGraph {
 
   std::unordered_map<Asn, Node> nodes_;
   std::size_t edge_count_ = 0;
-  mutable std::unordered_map<Asn, std::unordered_map<Asn, BgpRoute>> route_cache_;
+  mutable std::mutex cache_mutex_;
+  // lint:allow(mutable-member): guarded by cache_mutex_
+  mutable std::unordered_map<Asn, std::unordered_map<Asn, BgpRoute>>
+      route_cache_;
 };
 
 }  // namespace cloudrtt::topology

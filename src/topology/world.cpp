@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "geo/cities.hpp"
 #include "util/check.hpp"
 
 #include "obs/log.hpp"
@@ -65,15 +66,24 @@ World::World(const WorldConfig& config)
     obs::Span phase = obs::span("pops");
     build_pops();
   }
+  {
+    obs::Span phase = obs::span("materialize");
+    materialize_address_plan();
+    materialize_policies();
+  }
   obs::Registry& registry = obs::Registry::global();
   registry.gauge("world.ases").set(static_cast<double>(registry_.size()));
   registry.gauge("world.isps").set(static_cast<double>(isps_.size()));
   registry.gauge("world.endpoints").set(static_cast<double>(endpoints_.size()));
   registry.gauge("world.rib_prefixes").set(static_cast<double>(rib_.size()));
+  registry.gauge("world.router_sites").set(static_cast<double>(address_plan_.size()));
+  registry.gauge("world.policies").set(static_cast<double>(policies_.size()));
   CLOUDRTT_LOG_DEBUG("world.built", {"seed", config_.seed},
                      {"ases", registry_.size()}, {"isps", isps_.size()},
                      {"endpoints", endpoints_.size()},
-                     {"rib_prefixes", rib_.size()});
+                     {"rib_prefixes", rib_.size()},
+                     {"router_sites", address_plan_.size()},
+                     {"policies", policies_.size()});
 }
 
 net::Ipv4Prefix World::allocate_infra(Asn asn, std::uint8_t length, bool announced) {
@@ -301,84 +311,126 @@ Asn World::continental_transit(geo::Continent continent) const {
 
 net::Ipv4Address World::router_ip(Asn asn, std::string_view site) const {
   CLOUDRTT_DCHECK(!site.empty(), "router_ip needs a site label for AS", asn);
-  auto& per_as = router_cache_[asn];
-  const auto it = per_as.find(std::string{site});
-  if (it != per_as.end()) return it->second;
-  const auto alloc_it = infra_alloc_.find(asn);
-  if (alloc_it == infra_alloc_.end()) {
-    throw std::out_of_range{"World::router_ip: AS has no infrastructure prefix: " +
-                            std::to_string(asn)};
-  }
-  const net::Ipv4Address ip = alloc_it->second.allocate();
-  per_as.emplace(std::string{site}, ip);
-  return ip;
+  return address_plan_.at(asn, site);
 }
 
-std::vector<World::RouterAssignment> World::router_assignments() const {
-  std::vector<RouterAssignment> out;
-  for (const auto& [asn, sites] : router_cache_) {  // lint:allow(unordered-iter): flattened list is fully sorted below
-    for (const auto& [site, ip] : sites) {  // lint:allow(unordered-iter): flattened list is fully sorted below
-      out.push_back(RouterAssignment{asn, site, ip});
+void World::materialize_address_plan() {
+  // Canonical walk of the router space: tier-1 carriers (catalogue order),
+  // continental transit (continent order), IXPs, access ISPs (build order),
+  // cloud WANs (provider order). Each AS's sites draw sequentially from its
+  // infrastructure allocator, so this order *is* the address plan — it can
+  // change freely between versions (hashes only ever compare runs of one
+  // build), but within a build it is a pure function of the world config.
+  //
+  // The site lists are a superset of everything routing/path_builder.cpp can
+  // request: an unplanned site aborts at lookup, so enumeration gaps surface
+  // in the first test that walks the missing path.
+  const auto plan_site = [this](Asn asn, std::string site) {
+    const auto it = infra_alloc_.find(asn);
+    CLOUDRTT_CHECK(it != infra_alloc_.end(), "materialize: AS", asn,
+                   " has no infrastructure prefix (site '", site, "')");
+    address_plan_.assign(asn, std::move(site), it->second.allocate());
+  };
+
+  // Tier-1 carriers: hub ingress/egress interfaces plus the ECMP sibling the
+  // load-balanced segments expose.
+  for (const TransitCarrier& carrier : tier1_carriers()) {
+    for (const TransitHub& hub : carrier.hubs) {
+      const std::string city{hub.city};
+      plan_site(carrier.asn, "hub/" + city);
+      plan_site(carrier.asn, "hub/" + city + "/ecmp-b");
+      plan_site(carrier.asn, "hub-out/" + city);
     }
   }
-  std::sort(out.begin(), out.end(),
-            [](const RouterAssignment& a, const RouterAssignment& b) {
-              return a.asn != b.asn ? a.asn < b.asn
-                                    : a.ip.value() < b.ip.value();
-            });
-  return out;
-}
 
-std::string World::restore_router_assignments(
-    const std::vector<RouterAssignment>& assignments) const {
-  // Per AS the snapshot lists addresses in allocation order (they are
-  // sequential, so sorted-by-ip == allocation order). Walk each AS's list:
-  // entries already cached must match; the rest must be the allocator's next
-  // addresses, which re-allocating verifies.
-  std::vector<const RouterAssignment*> sorted;
-  sorted.reserve(assignments.size());
-  for (const RouterAssignment& a : assignments) sorted.push_back(&a);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const RouterAssignment* a, const RouterAssignment* b) {
-              return a->asn != b->asn ? a->asn < b->asn
-                                      : a->ip.value() < b->ip.value();
-            });
-  for (const RouterAssignment* a : sorted) {
-    auto& per_as = router_cache_[a->asn];
-    const auto it = per_as.find(a->site);
-    if (it != per_as.end()) {
-      if (it->second != a->ip) {
-        return "router snapshot conflicts with live assignment for AS" +
-               std::to_string(a->asn) + " site '" + a->site + "'";
+  // Continental transit: per-country upstream interfaces (with ECMP sibling)
+  // and gateway egress interfaces. Planned for every country — a superset of
+  // the continent's members and their gateways, but the /18 has room and a
+  // uniform walk keeps the enumeration obviously complete.
+  for (const geo::Continent c : geo::kAllContinents) {
+    const Asn asn = continental_transit_[geo::index_of(c)];
+    for (const geo::CountryInfo& country : countries().all()) {
+      const std::string cc{country.code};
+      plan_site(asn, "up/" + cc);
+      plan_site(asn, "up/" + cc + "/ecmp-b");
+      plan_site(asn, "gw/" + cc);
+    }
+  }
+
+  // IXP peering LANs.
+  for (const IxpInfo& ixp : known_ixps()) {
+    plan_site(ixp.asn, "lan/" + std::string{ixp.country});
+  }
+
+  // Access ISPs: one edge router per city of the home country, the national
+  // core, and the uplink-gateway egress routers (planned regardless of the
+  // gateway ablation knob — the knob gates path construction, not the plan).
+  for (const IspNetwork& isp : isps_) {
+    for (const geo::City& city : geo::CityDirectory::instance().cities(isp.country)) {
+      plan_site(isp.asn, "edge/" + city.name);
+    }
+    plan_site(isp.asn, "core/" + isp.country);
+    for (const std::string_view gw : uplink_gateways(isp.country)) {
+      plan_site(isp.asn, "gw/" + std::string{gw});
+    }
+  }
+
+  // Cloud WANs: one edge PoP interface per country (paths ingress either in
+  // the probe's country or the region's), one PNI interface per carrier hub
+  // city, and one mid-backbone router per <ingress label, region> long-haul
+  // pair, where the label is a country code (probe paths) or a source region
+  // name (inter-DC paths).
+  std::vector<std::string_view> hub_cities;
+  for (const TransitCarrier& carrier : tier1_carriers()) {
+    for (const TransitHub& hub : carrier.hubs) {
+      if (std::find(hub_cities.begin(), hub_cities.end(), hub.city) ==
+          hub_cities.end()) {
+        hub_cities.push_back(hub.city);
       }
-      continue;
     }
-    const auto alloc_it = infra_alloc_.find(a->asn);
-    if (alloc_it == infra_alloc_.end()) {
-      return "router snapshot names AS" + std::to_string(a->asn) +
-             ", which has no infrastructure prefix";
-    }
-    const net::Ipv4Address ip = alloc_it->second.allocate();
-    if (ip != a->ip) {
-      return "router snapshot out of sequence for AS" + std::to_string(a->asn) +
-             " site '" + a->site + "': expected " + ip.to_string() + ", got " +
-             a->ip.to_string();
-    }
-    per_as.emplace(a->site, ip);
   }
-  return {};
+  for (const cloud::ProviderId id : cloud::kAllProviders) {
+    const Asn asn = cloud::provider_info(id).asn;
+    for (const geo::CountryInfo& country : countries().all()) {
+      plan_site(asn, "pop/" + std::string{country.code});
+    }
+    for (const std::string_view city : hub_cities) {
+      plan_site(asn, "pop@" + std::string{city});
+    }
+    const auto regions = cloud::RegionCatalog::instance().of_provider(id);
+    // lint:allow(unordered-iter): of_provider returns a vector in catalog order
+    for (const cloud::RegionInfo* region : regions) {
+      const std::string suffix = "-" + std::string{region->region_name};
+      for (const geo::CountryInfo& country : countries().all()) {
+        plan_site(asn, "wan/" + std::string{country.code} + suffix);
+      }
+      // lint:allow(unordered-iter): of_provider returns a vector in catalog order
+      for (const cloud::RegionInfo* from : regions) {
+        plan_site(asn, "wan/" + std::string{from->region_name} + suffix);
+      }
+    }
+  }
+
+  address_plan_.freeze();
+}
+
+void World::materialize_policies() {
+  for (const IspNetwork& isp : isps_) {
+    for (const cloud::ProviderId provider : cloud::kAllProviders) {
+      for (const geo::Continent dst : geo::kAllContinents) {
+        policies_.put(PolicyTable::key(isp.asn, cloud::provider_index(provider),
+                                       geo::index_of(dst)),
+                      compute_policy(isp, provider, dst));
+      }
+    }
+  }
+  policies_.freeze();
 }
 
 const PairPolicy& World::interconnect(Asn isp_asn, cloud::ProviderId provider,
                                       geo::Continent dst) const {
-  const std::uint64_t key = (static_cast<std::uint64_t>(isp_asn) << 16) |
-                            (static_cast<std::uint64_t>(cloud::provider_index(provider))
-                             << 8) |
-                            geo::index_of(dst);
-  const auto it = policy_cache_.find(key);
-  if (it != policy_cache_.end()) return it->second;
-  const PairPolicy policy = compute_policy(isp(isp_asn), provider, dst);
-  return policy_cache_.emplace(key, policy).first->second;
+  return policies_.at(PolicyTable::key(isp_asn, cloud::provider_index(provider),
+                                       geo::index_of(dst)));
 }
 
 PairPolicy World::compute_policy(const IspNetwork& isp, cloud::ProviderId provider,

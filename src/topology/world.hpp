@@ -10,6 +10,14 @@
 //  * cloud edge PoP presence per <provider, country>,
 //  * the interconnection policy per <ISP, provider, destination continent>.
 //
+// Construction ends with a materialization pass that walks the AS/router
+// space in canonical order and pre-assigns every router address and pair
+// policy a campaign could touch (topology/address_plan.hpp). After that the
+// World is immutable on its read path: router_ip() and interconnect() are
+// pure lookups, safe for concurrent readers — the property the parallel
+// campaign executor relies on. Only the probe-generation allocators
+// (allocate_customer_ip / allocate_cgn_ip) mutate, and they are non-const.
+//
 // The analysis pipeline never touches this object's internals: it bootstraps
 // from rib_dump() / whois_entries() / ixp_prefixes(), the same way the paper
 // bootstraps from PyASN, Team Cymru and CAIDA data.
@@ -25,6 +33,7 @@
 #include "geo/country.hpp"
 #include "net/allocator.hpp"
 #include "net/ipv4.hpp"
+#include "topology/address_plan.hpp"
 #include "topology/as_registry.hpp"
 #include "topology/backbone.hpp"
 #include "topology/interconnect.hpp"
@@ -92,7 +101,8 @@ class World {
   [[nodiscard]] bool has_pop(cloud::ProviderId provider, std::string_view country) const;
 
   /// Interconnection decision for <ISP, provider, destination continent>;
-  /// deterministic, cached.
+  /// pre-materialized at construction, so this is a pure lookup with a
+  /// stable reference — safe for concurrent readers.
   [[nodiscard]] const PairPolicy& interconnect(Asn isp_asn, cloud::ProviderId provider,
                                                geo::Continent dst) const;
 
@@ -101,28 +111,15 @@ class World {
 
   // --- routers ----------------------------------------------------------------
   /// Deterministic router address for an AS's site (e.g. "core/DE",
-  /// "hub/Frankfurt"). Stable across calls so repeated traceroutes see the
-  /// same hops.
+  /// "hub/Frankfurt"). Every reachable site is pre-assigned by the
+  /// materialization pass, so this is a pure lookup (an unknown site is an
+  /// enumeration bug and aborts). Stable across calls and across resumes.
   [[nodiscard]] net::Ipv4Address router_ip(Asn asn, std::string_view site) const;
 
-  /// One lazily-allocated router interface (see router_ip). Addresses are
-  /// handed out first-come from each AS's sequential infrastructure
-  /// allocator, so the assignment depends on request order — process state a
-  /// campaign checkpoint must capture for a resume to be bit-identical.
-  struct RouterAssignment {
-    Asn asn = 0;
-    std::string site;
-    net::Ipv4Address ip;
-  };
-  /// Snapshot of every router address handed out so far, sorted by
-  /// (asn, ip) so the listing is deterministic.
-  [[nodiscard]] std::vector<RouterAssignment> router_assignments() const;
-  /// Replay a snapshot into the lazy router cache. Existing assignments must
-  /// agree with the snapshot and new ones must extend each AS's allocator
-  /// sequence exactly (both hold for a fresh world or a consistent resume).
-  /// Returns an empty string on success, else what conflicted.
-  [[nodiscard]] std::string restore_router_assignments(
-      const std::vector<RouterAssignment>& assignments) const;
+  /// The frozen router address plan (size/coverage introspection).
+  [[nodiscard]] const AddressPlan& address_plan() const { return address_plan_; }
+  /// The frozen interconnect policy table.
+  [[nodiscard]] const PolicyTable& policy_table() const { return policies_; }
 
   // --- analysis bootstrap data --------------------------------------------------
   /// Announced prefixes (the "RIB dump" PyASN would ingest).
@@ -143,6 +140,11 @@ class World {
   void build_isps();
   void build_clouds();
   void build_pops();
+  /// Walk the AS/router space in canonical order and pre-assign every router
+  /// interface address any path build could request.
+  void materialize_address_plan();
+  /// Pre-compute every <ISP, provider, continent> interconnect decision.
+  void materialize_policies();
 
   [[nodiscard]] net::Ipv4Prefix allocate_infra(Asn asn, std::uint8_t length,
                                                bool announced);
@@ -161,16 +163,17 @@ class World {
   std::unordered_map<Asn, std::size_t> isp_index_;
   std::unordered_map<Asn, net::HostAllocator> customer_alloc_;
   std::unordered_map<Asn, net::HostAllocator> cgn_alloc_;
-  mutable std::unordered_map<Asn, net::HostAllocator> infra_alloc_;
-  mutable std::unordered_map<Asn, std::unordered_map<std::string, net::Ipv4Address>>
-      router_cache_;
+  /// Build-phase only: drained by the materialization pass, untouched after.
+  std::unordered_map<Asn, net::HostAllocator> infra_alloc_;
 
   std::vector<CloudEndpoint> endpoints_;
   std::unordered_map<const cloud::RegionInfo*, std::size_t> endpoint_index_;
   std::unordered_set<std::string> pops_;  ///< "ticker/CC"
 
   std::array<Asn, geo::kContinentCount> continental_transit_{};
-  mutable std::unordered_map<std::uint64_t, PairPolicy> policy_cache_;
+
+  AddressPlan address_plan_;
+  PolicyTable policies_;
 
   std::vector<RibEntry> rib_;
   std::vector<RibEntry> whois_;

@@ -56,7 +56,7 @@ TEST_F(AnalysisTest, PrivateSpaceNeverResolves) {
 
 TEST_F(AnalysisTest, WhoisFallbackResolvesGttRouters) {
   // GTT keeps infrastructure out of the RIB; the resolver must fall back.
-  const net::Ipv4Address router = world_.router_ip(3257, "hub/testsite");
+  const net::Ipv4Address router = world_.router_ip(3257, "hub/Frankfurt");
   const auto res = resolver_.resolve(router);
   ASSERT_TRUE(res.has_value());
   EXPECT_EQ(res->asn, 3257u);

@@ -290,12 +290,12 @@ TEST_F(CoreRoundTrip, FullReportIsWellFormedJson) {
   }
 }
 
-TEST(StudyApi, ViewBeforeRunThrows) {
+TEST(StudyApi, ViewBeforeRunAbortsWithContractMessage) {
   core::StudyConfig config = core::StudyConfig::quick();
   config.sc_probes = 100;
   config.atlas_probes = 50;
   const core::Study study{config};
-  EXPECT_THROW((void)study.view(), std::logic_error);
+  EXPECT_DEATH((void)study.view(), "call run\\(\\) first");
 }
 
 TEST(StudyApi, AblationKnobsPropagate) {

@@ -82,10 +82,10 @@ TEST(DeterminismGate, KillAndResumeHashesLikeUninterruptedRun) {
   fs::remove_all(dir);
 }
 
-// Regression: both campaigns share the world's lazy router allocator, so the
-// study must never start Atlas while Speedchecker is incomplete — otherwise
-// a kill+resume cycle replays the allocations in a different order and the
-// Atlas checkpoint refuses to restore (or worse, hashes drift).
+// Regression: router addressing is pre-materialized at world construction
+// and each platform forks its own RNG stream, so a kill+resume cycle with
+// Atlas enabled must land on exactly the uninterrupted run's bits — no
+// allocation-order coupling between the campaigns is allowed to survive.
 TEST(DeterminismGate, KillAndResumeWithAtlasHashesIdentically) {
   const auto config = [] {
     core::StudyConfig c = gate_config(23);

@@ -369,7 +369,7 @@ class CheckpointCorruption : public ::testing::Test {
     meta.state = {1, 0};
     meta.seed = 33;
     meta.platform = "speedchecker";
-    ASSERT_EQ(core::save_checkpoint(dir_, meta, data_, world_), "");
+    ASSERT_EQ(core::save_checkpoint(dir_, meta, data_), "");
   }
 
   void TearDown() override { fs::remove_all(dir_); }
@@ -397,7 +397,7 @@ class CheckpointCorruption : public ::testing::Test {
 
 TEST_F(CheckpointCorruption, IntactCheckpointLoadsAndMatches) {
   const core::CheckpointLoad load =
-      core::load_checkpoint(dir_, "speedchecker", &fleet_, nullptr, nullptr);
+      core::load_checkpoint(dir_, "speedchecker", &fleet_, nullptr);
   ASSERT_TRUE(load.ok()) << load.error;
   EXPECT_EQ(load.meta.state.next_day, 1u);
   EXPECT_EQ(load.meta.seed, 33u);
@@ -411,7 +411,7 @@ TEST_F(CheckpointCorruption, MissingRowIsDetected) {
   lines.erase(lines.begin() + 2);  // lose one data row, keep the trailer
   write_lines(pings, lines);
   const core::CheckpointLoad load =
-      core::load_checkpoint(dir_, "speedchecker", &fleet_, nullptr, nullptr);
+      core::load_checkpoint(dir_, "speedchecker", &fleet_, nullptr);
   EXPECT_FALSE(load.ok());
   EXPECT_NE(load.error.find("mismatch"), std::string::npos) << load.error;
 }
@@ -423,34 +423,38 @@ TEST_F(CheckpointCorruption, TruncationLosesTheTrailerAndIsDetected) {
   lines.resize(lines.size() / 2);  // hard truncation: trailer gone
   write_lines(traces, lines);
   const core::CheckpointLoad load =
-      core::load_checkpoint(dir_, "speedchecker", &fleet_, nullptr, nullptr);
+      core::load_checkpoint(dir_, "speedchecker", &fleet_, nullptr);
   EXPECT_FALSE(load.ok());
   EXPECT_NE(load.error.find("trailer"), std::string::npos) << load.error;
 }
 
-TEST_F(CheckpointCorruption, TruncatedRouterSnapshotIsDetected) {
-  const fs::path routers = dir_ / "speedchecker.routers.csv";
-  auto lines = read_lines(routers);
-  ASSERT_GT(lines.size(), 2u);
-  lines.pop_back();
-  write_lines(routers, lines);
+TEST_F(CheckpointCorruption, LegacyFormatOneIsRejectedExplicitly) {
+  // Format=1 checkpoints carried a routers.csv replaying the old lazy
+  // allocator; addressing is now materialized at world construction, so the
+  // loader refuses them with a message that says why.
+  const fs::path manifest = dir_ / "speedchecker.manifest";
+  auto lines = read_lines(manifest);
+  for (std::string& line : lines) {
+    if (line.rfind("format=", 0) == 0) line = "format=1";
+  }
+  write_lines(manifest, lines);
   const core::CheckpointLoad load =
-      core::load_checkpoint(dir_, "speedchecker", &fleet_, nullptr, nullptr);
+      core::load_checkpoint(dir_, "speedchecker", &fleet_, nullptr);
   EXPECT_FALSE(load.ok());
-  EXPECT_NE(load.error.find("routers"), std::string::npos) << load.error;
+  EXPECT_NE(load.error.find("format=1"), std::string::npos) << load.error;
+  EXPECT_NE(load.error.find("pre-materialized"), std::string::npos)
+      << load.error;
 }
 
-TEST_F(CheckpointCorruption, RouterSnapshotReplaysIntoAFreshWorld) {
+TEST_F(CheckpointCorruption, AddressPlanIsIdenticalAcrossFreshWorlds) {
+  // Resume correctness no longer rides on snapshot replay: two worlds built
+  // from the same seed materialize the same plan, so records referencing
+  // router addresses stay valid across process restarts.
   const topology::World fresh{topology::WorldConfig{33}};
-  const core::CheckpointLoad load =
-      core::load_checkpoint(dir_, "speedchecker", &fleet_, nullptr, &fresh);
-  ASSERT_TRUE(load.ok()) << load.error;
-  EXPECT_EQ(fresh.router_assignments().size(),
-            world_.router_assignments().size());
-  // Replaying into the world that produced the snapshot is a no-op.
-  const core::CheckpointLoad again =
-      core::load_checkpoint(dir_, "speedchecker", &fleet_, nullptr, &world_);
-  EXPECT_TRUE(again.ok()) << again.error;
+  ASSERT_EQ(fresh.address_plan().size(), world_.address_plan().size());
+  EXPECT_EQ(fresh.router_ip(3257, "hub/Frankfurt"),
+            world_.router_ip(3257, "hub/Frankfurt"));
+  EXPECT_EQ(fresh.router_ip(3209, "core/DE"), world_.router_ip(3209, "core/DE"));
 }
 
 TEST_F(CheckpointCorruption, FlippedPayloadByteIsDetected) {
@@ -461,7 +465,7 @@ TEST_F(CheckpointCorruption, FlippedPayloadByteIsDetected) {
   row[row.size() / 2] = row[row.size() / 2] == '1' ? '2' : '1';
   write_lines(pings, lines);
   const core::CheckpointLoad load =
-      core::load_checkpoint(dir_, "speedchecker", &fleet_, nullptr, nullptr);
+      core::load_checkpoint(dir_, "speedchecker", &fleet_, nullptr);
   EXPECT_FALSE(load.ok());
 }
 

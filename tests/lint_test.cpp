@@ -259,6 +259,154 @@ TEST(LintHeaderHygiene, DoesNotApplyToSourceFiles) {
 }
 
 // ---------------------------------------------------------------------------
+// R5: mutable-member
+
+TEST(LintMutableMember, FlagsMutableCacheInHeader) {
+  const auto findings = lint_one("src/x.hpp", R"cpp(#pragma once
+#include <unordered_map>
+class Cache {
+ public:
+  int get(int key) const;
+ private:
+  mutable std::unordered_map<int, int> cache_;
+};
+)cpp");
+  ASSERT_EQ(count_rule(findings, Rule::MutableMember), 1u);
+  EXPECT_EQ(findings[0].line, 7u);
+  EXPECT_FALSE(findings[0].suppressed);
+}
+
+TEST(LintMutableMember, SynchronizationPrimitivesAreAllowed) {
+  const auto findings = lint_one("src/x.hpp", R"cpp(#pragma once
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+class Guarded {
+  mutable std::mutex mutex_;
+  mutable std::shared_mutex rw_mutex_;
+  mutable std::atomic<int> hits_{0};
+  mutable std::once_flag once_;
+  mutable std::condition_variable cv_;
+};
+)cpp");
+  EXPECT_EQ(count_rule(findings, Rule::MutableMember), 0u);
+}
+
+TEST(LintMutableMember, LambdaMutableQualifierIsNotAMember) {
+  const auto findings = lint_one("src/x.hpp", R"cpp(#pragma once
+inline int count_up() {
+  int n = 0;
+  auto tick = [n]() mutable { return ++n; };
+  auto typed = [n]() mutable -> int { return ++n; };
+  auto safe = [n]() mutable noexcept { return ++n; };
+  return tick() + typed() + safe();
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, Rule::MutableMember), 0u);
+}
+
+TEST(LintMutableMember, DoesNotApplyToSourceFilesOrTests) {
+  const std::string body = R"cpp(
+class Cache {
+  mutable int last_ = 0;
+};
+)cpp";
+  EXPECT_EQ(count_rule(lint_one("src/x.cpp", body), Rule::MutableMember), 0u);
+  EXPECT_EQ(count_rule(lint_one("tests/x.hpp", "#pragma once\n" + body),
+                       Rule::MutableMember),
+            0u);
+}
+
+TEST(LintMutableMember, JustifiedAllowSuppresses) {
+  const auto findings = lint_one("src/x.hpp", R"cpp(#pragma once
+#include <unordered_map>
+class Cache {
+  // lint:allow(mutable-member): guarded by cache_mutex_
+  mutable std::unordered_map<int, int> cache_;
+};
+)cpp");
+  ASSERT_EQ(count_rule(findings, Rule::MutableMember), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// R6: local-static
+
+TEST(LintLocalStatic, FlagsFunctionLocalStaticObject) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+#include <vector>
+const std::vector<int>& cached() {
+  static std::vector<int> values{1, 2, 3};
+  return values;
+}
+)cpp");
+  ASSERT_EQ(count_rule(findings, Rule::LocalStatic), 1u);
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(LintLocalStatic, ConstAndConstexprLocalsAreAllowed) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+#include <array>
+int pick(int i) {
+  static const std::array<int, 3> table{1, 2, 3};
+  static constexpr int kBase = 10;
+  return kBase + table[static_cast<std::size_t>(i) % table.size()];
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, Rule::LocalStatic), 0u);
+}
+
+TEST(LintLocalStatic, NamespaceAndClassScopeStaticsAreNotLocal) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+static int file_counter = 0;
+namespace detail {
+static double weight = 1.0;
+}
+class Thing {
+  static int instances_;
+  static int count() { return instances_; }
+};
+void touch() { (void)file_counter; }
+)cpp");
+  EXPECT_EQ(count_rule(findings, Rule::LocalStatic), 0u);
+}
+
+TEST(LintLocalStatic, FlagsStaticInsideControlFlowBlocks) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+int bump(bool grow) {
+  if (grow) {
+    static int counter = 0;
+    return ++counter;
+  }
+  return 0;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, Rule::LocalStatic), 1u);
+}
+
+TEST(LintLocalStatic, ExemptPathsAndSuppressionsApply) {
+  const std::string body = R"cpp(
+int serial() {
+  static int next = 0;
+  return ++next;
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint_one("tests/x.cpp", body), Rule::LocalStatic), 0u);
+  EXPECT_EQ(count_rule(lint_one("bench/x.cpp", body), Rule::LocalStatic), 0u);
+  EXPECT_EQ(count_rule(lint_one("tools/x.cpp", body), Rule::LocalStatic), 0u);
+  EXPECT_EQ(count_rule(lint_one("src/obs/x.cpp", body), Rule::LocalStatic), 0u);
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+int serial() {
+  // lint:allow(local-static): single-threaded tool path
+  static int next = 0;
+  return ++next;
+}
+)cpp");
+  ASSERT_EQ(count_rule(findings, Rule::LocalStatic), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
 // Summary and reports
 
 TEST(LintReport, SummaryCountsPerRule) {

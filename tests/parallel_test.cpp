@@ -1,0 +1,118 @@
+// Parallel determinism gate: `--threads N` is a pure wall-clock knob. For
+// every thread count the campaign must produce the same dataset, bit for
+// bit, as the inline sequential path — including across a kill+resume cycle
+// with both platforms enabled. The comparison is on core::dataset_hash, the
+// FNV-1a fold of the full canonical CSV export, i.e. exactly what CI's
+// determinism gate checks via `cloudrtt study --dataset-hash`.
+//
+// Why this holds (see measure/executor.hpp): the schedule phase is always
+// sequential, chunk decomposition uses a constant chunk size independent of
+// the worker count, every chunk forks its RNG from (day, chunk index) alone,
+// and results merge in schedule order. Threads only change which core runs a
+// chunk, never which random numbers it draws.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "core/export.hpp"
+#include "core/study.hpp"
+#include "fault/plan.hpp"
+
+namespace cloudrtt {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Small two-platform campaign with faults on — fault retries, mid-visit
+/// drops, and outage days all feed the schedule phase, so this exercises the
+/// hardest schedule/execute interleavings.
+[[nodiscard]] core::StudyConfig parallel_config(std::uint64_t seed,
+                                               unsigned threads) {
+  core::StudyConfig config;
+  config.seed = seed;
+  config.threads = threads;
+  config.sc_probes = 1200;
+  config.include_atlas = true;
+  config.atlas_probes = 400;
+  config.sc_campaign.days = 3;
+  config.sc_campaign.daily_budget = 2000;
+  config.sc_campaign.case_study_probes = 5;
+  config.atlas_campaign.days = 3;
+  config.atlas_campaign.daily_budget = 900;
+  config.fault_profile = fault::FaultProfile::Mild;
+  return config;
+}
+
+/// Combined hash over both platforms, mirroring the CLI's --dataset-hash
+/// line: any drift in either campaign flips the result.
+[[nodiscard]] std::string combined_hash(const core::Study& study) {
+  return core::format_dataset_hash(core::dataset_hash(study.sc_dataset())) +
+         "/" +
+         core::format_dataset_hash(core::dataset_hash(study.atlas_dataset()));
+}
+
+/// Sequential baselines, computed once per seed and shared across cases (the
+/// suite runs as one ctest entry, like the determinism gate).
+[[nodiscard]] const std::string& baseline(std::uint64_t seed) {
+  static const std::string seed23 = [] {
+    core::Study study{parallel_config(23, 1)};
+    study.run();
+    return combined_hash(study);
+  }();
+  static const std::string seed57 = [] {
+    core::Study study{parallel_config(57, 1)};
+    study.run();
+    return combined_hash(study);
+  }();
+  return seed == 23 ? seed23 : seed57;
+}
+
+TEST(ParallelGate, FourThreadsHashLikeOneThreadSeed23) {
+  core::Study study{parallel_config(23, 4)};
+  study.run();
+  EXPECT_EQ(baseline(23), combined_hash(study));
+}
+
+TEST(ParallelGate, FourThreadsHashLikeOneThreadSeed57) {
+  core::Study study{parallel_config(57, 4)};
+  study.run();
+  EXPECT_EQ(baseline(57), combined_hash(study));
+}
+
+TEST(ParallelGate, OddThreadCountHashesIdenticallyToo) {
+  // Three workers split the fixed-size chunks unevenly — the merge order,
+  // not the worker count, must decide the output.
+  core::Study study{parallel_config(23, 3)};
+  study.run();
+  EXPECT_EQ(baseline(23), combined_hash(study));
+}
+
+TEST(ParallelGate, KillAndResumeWithAtlasAtFourThreads) {
+  const fs::path dir = fs::path{::testing::TempDir()} / "cloudrtt_par_resume";
+  fs::remove_all(dir);
+
+  core::Study killed{parallel_config(23, 4)};
+  core::RunControl first;
+  first.checkpoint_dir = dir.string();
+  first.stop_after_day = 2;
+  killed.run(first);
+  EXPECT_FALSE(killed.completed());
+  ASSERT_TRUE(core::checkpoint_exists(dir, "speedchecker"));
+
+  core::Study resumed{parallel_config(23, 4)};
+  core::RunControl second;
+  second.checkpoint_dir = dir.string();
+  second.resume = true;
+  resumed.run(second);
+  ASSERT_TRUE(resumed.completed());
+
+  EXPECT_EQ(baseline(23), combined_hash(resumed));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cloudrtt

@@ -4,7 +4,7 @@
 
 #include <map>
 
-#include "probes/cities.hpp"
+#include "geo/cities.hpp"
 #include "probes/fleet.hpp"
 
 namespace cloudrtt::probes {
@@ -12,17 +12,17 @@ namespace {
 
 TEST(CityDirectory, EveryCountryHasCities) {
   for (const geo::CountryInfo& country : geo::CountryTable::instance().all()) {
-    const auto cities = CityDirectory::instance().cities(country.code);
+    const auto cities = geo::CityDirectory::instance().cities(country.code);
     EXPECT_GE(cities.size(), 2u) << country.code;
     EXPECT_LE(cities.size(), 12u) << country.code;
   }
-  EXPECT_TRUE(CityDirectory::instance().cities("XX").empty());
+  EXPECT_TRUE(geo::CityDirectory::instance().cities("XX").empty());
 }
 
 TEST(CityDirectory, CitiesStayWithinCountrySpread) {
   for (const char* code : {"DE", "US", "SG", "BR"}) {
     const geo::CountryInfo& country = geo::CountryTable::instance().at(code);
-    for (const City& city : CityDirectory::instance().cities(code)) {
+    for (const geo::City& city : geo::CityDirectory::instance().cities(code)) {
       EXPECT_LE(geo::haversine_km(country.centroid, city.location),
                 country.spread_km * 1.3)
           << city.name;
@@ -32,7 +32,7 @@ TEST(CityDirectory, CitiesStayWithinCountrySpread) {
 
 TEST(CityDirectory, FirstCityIsTheCapitalAnchor) {
   const geo::CountryInfo& de = geo::CountryTable::instance().at("DE");
-  const auto cities = CityDirectory::instance().cities("DE");
+  const auto cities = geo::CityDirectory::instance().cities("DE");
   EXPECT_LE(geo::haversine_km(de.centroid, cities.front().location),
             de.spread_km * 0.2);
   EXPECT_GT(cities.front().weight, cities.back().weight);

@@ -25,7 +25,7 @@ class PathBuilderTest : public ::testing::Test {
     probe.id = next_id_++;
     probe.country = &info;
     probe.isp = world_.isps_in(country).front();
-    probe.city = &probes::CityDirectory::instance().cities(country).front();
+    probe.city = &geo::CityDirectory::instance().cities(country).front();
     probe.location = probe.city->location;
     probe.access = access;
     probe.behind_cgn = cgn;
@@ -295,7 +295,7 @@ TEST_P(PhysicsSweep, NoFasterThanLight) {
   probe.id = 1;
   probe.country = &src_info;
   probe.isp = world.isps_in(src).front();
-  probe.city = &probes::CityDirectory::instance().cities(src).front();
+  probe.city = &geo::CityDirectory::instance().cities(src).front();
   probe.location = probe.city->location;
   probe.access = lastmile::AccessTech::Cellular;
 

@@ -252,6 +252,8 @@ int cmd_study(int argc, const char* const* argv) {
   args.add_option("atlas-probes", "1500", "RIPE Atlas fleet size");
   args.add_option("days", "10", "campaign days");
   args.add_option("budget", "15000", "daily task budget");
+  args.add_option("threads", "1", "worker threads for campaign execution "
+                                  "(any value yields identical datasets)");
   args.add_option("out", "cloudrtt-out", "output directory");
   args.add_option("log-level", "", "trace|debug|info|warn|error|off "
                                    "(default: CLOUDRTT_LOG or info)");
@@ -281,6 +283,9 @@ int cmd_study(int argc, const char* const* argv) {
   config.include_atlas = !args.get_flag("no-atlas");
   config.sc_campaign.days = static_cast<std::uint32_t>(args.get_int("days"));
   config.sc_campaign.daily_budget = static_cast<std::size_t>(args.get_int("budget"));
+  if (const long threads = args.get_int("threads"); threads > 0) {
+    config.threads = static_cast<unsigned>(threads);
+  }
 
   const auto profile = fault::profile_from_string(args.get("fault-profile"));
   if (!profile) {
@@ -304,6 +309,9 @@ int cmd_study(int argc, const char* const* argv) {
 
   std::cout << "running study: " << config.sc_probes << " SC probes, "
             << config.sc_campaign.days << " days, seed " << config.seed;
+  if (config.threads > 1) {
+    std::cout << ", " << config.threads << " threads";
+  }
   if (config.fault_profile != fault::FaultProfile::None) {
     std::cout << ", fault profile " << to_string(config.fault_profile);
   }
@@ -316,7 +324,9 @@ int cmd_study(int argc, const char* const* argv) {
     return 1;
   }
   std::cout << "collected " << study.sc_dataset().pings.size() << " pings / "
-            << study.sc_dataset().traces.size() << " traceroutes\n";
+            << study.sc_dataset().traces.size() << " traceroutes ("
+            << config.threads << (config.threads == 1 ? " thread" : " threads")
+            << ")\n";
 
   if (args.get_flag("dataset-hash")) {
     // Two same-seed runs must print identical lines; the determinism CI gate

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   cloudrtt::util::ArgParser args{
       "cloudrtt-lint",
       "determinism & contract static analysis (rules: unordered-iter, "
-      "nondeterminism, raw-assert, header-hygiene)"};
+      "nondeterminism, raw-assert, header-hygiene, mutable-member, "
+      "local-static)"};
   args.add_option("root", ".", "repository root to scan");
   args.add_option("json", "", "also write the findings as JSON to this file");
   args.add_flag("show-suppressed", "list suppressed findings in the report");
