@@ -1,0 +1,277 @@
+// perf_trajectory — the performance-trajectory recorder behind the committed
+// BENCH_<n>.json files (see README "Performance trajectory").
+//
+// Runs the canonical suite with wall-clock sampled over --reps repetitions:
+//
+//   world_build        synthetic-Internet construction from the seed
+//   campaign_day_tN    one paper-scale campaign day at each --threads value;
+//                      every run's dataset hash must be bit-identical to the
+//                      first (the recorder refuses to time a wrong dataset)
+//   checkpoint_save    per-day snapshot of the collected dataset
+//   checkpoint_load    validated resume from that snapshot
+//   export_hash        FNV-1a over the full exported dataset
+//
+// and writes a schema-versioned obs::BenchReport. tools/bench_compare diffs
+// two reports and fails on wall-clock regression or dataset-hash drift.
+// Not a google-benchmark binary: sections need custom artefacts (hashes,
+// thread sweeps, the JSON report), and the suite is run by CI as a job, not
+// as a microbenchmark.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/export.hpp"
+#include "measure/campaign.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/process.hpp"
+#include "obs/trace_events.hpp"
+#include "probes/fleet.hpp"
+#include "topology/world.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/text.hpp"
+
+namespace {
+
+using namespace cloudrtt;
+
+/// CLOUDRTT_GIT_REV wins (CI sets it from the checkout), else ask git.
+[[nodiscard]] std::string detect_git_rev() {
+  if (const char* env = std::getenv("CLOUDRTT_GIT_REV")) return env;
+  std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buffer[64] = {};
+    const bool read = std::fgets(buffer, sizeof(buffer), pipe) != nullptr;
+    ::pclose(pipe);
+    if (read) {
+      std::string rev{buffer};
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+        rev.pop_back();
+      }
+      if (!rev.empty()) return rev;
+    }
+  }
+  return "unknown";
+}
+
+[[nodiscard]] std::vector<unsigned> parse_thread_list(const std::string& text) {
+  std::vector<unsigned> threads;
+  std::string token;
+  for (const char ch : text + ",") {
+    if (ch == ',') {
+      if (!token.empty()) {
+        const long value = std::atol(token.c_str());
+        CLOUDRTT_CHECK(value > 0, "--threads entries must be positive, got '",
+                       token, "'");
+        threads.push_back(static_cast<unsigned>(value));
+        token.clear();
+      }
+    } else if (ch != ' ') {
+      token.push_back(ch);
+    }
+  }
+  CLOUDRTT_CHECK(!threads.empty(), "--threads list is empty");
+  return threads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args{"perf_trajectory",
+                       "record the canonical performance-trajectory suite as "
+                       "a BENCH_<n>.json report"};
+  args.add_option("reps", "3", "wall-clock samples per section");
+  args.add_option("probes", "2000", "Speedchecker fleet size");
+  args.add_option("budget", "20000", "daily task budget");
+  args.add_option("days", "1", "campaign days per timed run");
+  args.add_option("seed", "7", "world/study seed");
+  args.add_option("threads", "1,4,8",
+                  "comma-separated worker counts for the campaign-day sweep");
+  args.add_option("bench-id", "6", "the <n> in BENCH_<n>.json");
+  args.add_option("out", "", "report path (default BENCH_<bench-id>.json)");
+  args.add_option("trace-out", "",
+                  "also write a Chrome-trace JSON of the suite");
+  args.add_flag("quick", "reduced-scale smoke run (500 probes, 4000 budget, "
+                         "2 reps) — hashes not comparable to full-scale "
+                         "reports");
+  if (!args.parse(argc, argv)) return 1;
+
+  const bool quick = args.get_flag("quick");
+  const auto reps =
+      static_cast<unsigned>(quick ? 2 : std::max(1L, args.get_int("reps")));
+  const auto probes =
+      static_cast<std::size_t>(quick ? 500 : args.get_int("probes"));
+  const auto budget =
+      static_cast<std::size_t>(quick ? 4000 : args.get_int("budget"));
+  const auto days = static_cast<std::uint32_t>(args.get_int("days"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const std::vector<unsigned> thread_list =
+      parse_thread_list(args.get("threads"));
+
+  if (!args.get("trace-out").empty()) {
+    obs::TraceRecorder::global().enable();
+    obs::TraceRecorder::global().name_this_thread("main");
+  }
+
+  obs::BenchReport report;
+  report.bench_id = static_cast<int>(args.get_int("bench-id"));
+  report.git_rev = detect_git_rev();
+  report.seed = seed;
+  report.probes = probes;
+  report.daily_budget = budget;
+  report.days = days;
+  report.repetitions = reps;
+
+  std::cout << "perf_trajectory: " << probes << " probes, budget " << budget
+            << ", " << days << " day(s), seed " << seed << ", " << reps
+            << " rep(s)\n";
+
+  // --- world_build ---------------------------------------------------------
+  {
+    obs::BenchSection section;
+    section.name = "world_build";
+    std::size_t sink = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      const obs::Stopwatch watch;
+      const topology::World world{topology::WorldConfig{seed}};
+      section.wall_ms.push_back(watch.elapsed_ms());
+      sink += world.endpoints().size();
+    }
+    CLOUDRTT_CHECK(sink > 0, "world build produced no cloud endpoints");
+    report.sections.push_back(std::move(section));
+  }
+
+  // Shared fixture for the campaign sections (construction untimed).
+  topology::World world{topology::WorldConfig{seed}};
+  const probes::ProbeFleet fleet{
+      world, probes::FleetConfig{probes::Platform::Speedchecker, probes}};
+  measure::CampaignConfig config;
+  config.days = days;
+  config.daily_budget = budget;
+  config.run_case_studies = false;
+
+  // --- campaign_day_tN sweep ----------------------------------------------
+  // The same seed must produce the same bits at every worker count; the
+  // recorder asserts that before it reports any time, so a regression in the
+  // executor's chunk/RNG discipline fails the bench instead of producing a
+  // fast wrong number.
+  std::uint64_t reference_hash = 0;
+  measure::Dataset reference_data;
+  for (const unsigned threads : thread_list) {
+    config.threads = threads;
+    const measure::Campaign campaign{world, fleet, config};
+    obs::BenchSection section;
+    section.name = "campaign_day_t" + std::to_string(threads);
+    section.threads = static_cast<int>(threads);
+    std::uint64_t hash = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      const obs::Stopwatch watch;
+      measure::Dataset data = campaign.run(world.fork_rng("bench/trajectory"));
+      section.wall_ms.push_back(watch.elapsed_ms());
+      hash = core::dataset_hash(data);
+      if (reference_hash == 0) {
+        reference_hash = hash;
+        reference_data = std::move(data);
+      }
+      CLOUDRTT_CHECK(hash == reference_hash, "dataset hash drifted at ",
+                     threads, " thread(s): ",
+                     core::format_dataset_hash(hash), " vs reference ",
+                     core::format_dataset_hash(reference_hash));
+    }
+    section.dataset_hash = core::format_dataset_hash(hash);
+    report.sections.push_back(std::move(section));
+    std::cout << "  campaign_day_t" << threads << ": p50 "
+              << util::format_double(report.sections.back().p50_ms(), 1)
+              << " ms, hash " << report.sections.back().dataset_hash << "\n";
+  }
+  report.dataset_hash = core::format_dataset_hash(reference_hash);
+
+  // --- checkpoint_save / checkpoint_load -----------------------------------
+  const std::filesystem::path ckpt_dir =
+      std::filesystem::temp_directory_path() / "cloudrtt-perf-trajectory";
+  core::CheckpointMeta meta;
+  meta.state.next_day = days;
+  meta.seed = seed;
+  meta.platform = "speedchecker";
+  {
+    obs::BenchSection section;
+    section.name = "checkpoint_save";
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      const obs::Stopwatch watch;
+      const std::string error =
+          core::save_checkpoint(ckpt_dir, meta, reference_data);
+      section.wall_ms.push_back(watch.elapsed_ms());
+      CLOUDRTT_CHECK(error.empty(), "checkpoint save failed: ", error);
+    }
+    report.sections.push_back(std::move(section));
+  }
+  {
+    obs::BenchSection section;
+    section.name = "checkpoint_load";
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      const obs::Stopwatch watch;
+      const core::CheckpointLoad load =
+          core::load_checkpoint(ckpt_dir, "speedchecker", &fleet, nullptr);
+      section.wall_ms.push_back(watch.elapsed_ms());
+      CLOUDRTT_CHECK(load.ok(), "checkpoint load failed: ", load.error);
+      CLOUDRTT_CHECK(core::dataset_hash(load.data) == reference_hash,
+                     "checkpoint round-trip changed the dataset hash");
+    }
+    report.sections.push_back(std::move(section));
+  }
+  std::error_code cleanup_error;
+  std::filesystem::remove_all(ckpt_dir, cleanup_error);
+
+  // --- export_hash ---------------------------------------------------------
+  {
+    obs::BenchSection section;
+    section.name = "export_hash";
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      const obs::Stopwatch watch;
+      const std::uint64_t hash = core::dataset_hash(reference_data);
+      section.wall_ms.push_back(watch.elapsed_ms());
+      CLOUDRTT_CHECK(hash == reference_hash, "export hash is not stable");
+    }
+    report.sections.push_back(std::move(section));
+  }
+
+  report.peak_rss_bytes = obs::peak_rss_bytes();
+
+  const std::string out_path =
+      args.get("out").empty()
+          ? "BENCH_" + std::to_string(report.bench_id) + ".json"
+          : args.get("out");
+  std::ofstream out{out_path};
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  report.write_json(out);
+
+  util::TextTable table;
+  table.set_header({"section", "p50", "min", "max"});
+  for (const obs::BenchSection& section : report.sections) {
+    table.add_row({section.name,
+                   util::format_double(section.p50_ms(), 1) + " ms",
+                   util::format_double(section.min_ms(), 1) + " ms",
+                   util::format_double(section.max_ms(), 1) + " ms"});
+  }
+  std::cout << table.render() << "dataset hash " << report.dataset_hash
+            << ", peak RSS " << report.peak_rss_bytes / (1024 * 1024)
+            << " MiB\nreport written to " << out_path << " (git "
+            << report.git_rev << ")\n";
+
+  if (const std::string& trace_path = args.get("trace-out");
+      !trace_path.empty()) {
+    std::ofstream trace{trace_path};
+    obs::TraceRecorder::global().write_json(trace);
+    std::cout << "trace written to " << trace_path << "\n";
+  }
+  return 0;
+}

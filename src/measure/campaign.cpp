@@ -8,7 +8,10 @@
 #include "measure/executor.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_events.hpp"
 #include "util/check.hpp"
 
 namespace cloudrtt::measure {
@@ -182,6 +185,15 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
       registry.counter("campaign.fault.outage_budget_lost_total");
   obs::Histogram& fault_backoff_ms =
       registry.histogram("campaign.fault.backoff_ms");
+  obs::Gauge& peak_rss_gauge = registry.gauge(
+      "process.peak_rss_bytes",
+      "Peak resident set size (VmHWM) in bytes, 0 where procfs is absent");
+  obs::Gauge& busy_fraction_gauge =
+      registry.gauge("measure.worker_busy_fraction");
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  obs::Progress& progress = obs::Progress::global();
+  progress.begin_campaign(to_string(fleet_.platform()),
+                          config_.days - start.next_day);
   CLOUDRTT_LOG_DEBUG("campaign.start", {"days", config_.days},
                      {"daily_budget", config_.daily_budget},
                      {"countries", plans_.size()},
@@ -306,8 +318,10 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
       return TaskOutcome::Ok;
     };
 
-    // Focused case-study measurements first (they are small and §6.2's
-    // statistics need them every day).
+    // Schedule phase: sequential, owns all shared state. Focused case-study
+    // measurements first (they are small and §6.2's statistics need them
+    // every day).
+    obs::Span schedule_span = obs::span("schedule");
     for (const CaseStudy& study : case_studies_) {
       std::vector<const probes::Probe*> connected;
       for (const probes::Probe* probe : study.probes) {
@@ -399,6 +413,8 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
       }
     }
 
+    schedule_span.end();
+
     // Execute phase: runs inside the day scope so backbone outages are still
     // in force for today's measurements. The "exec" fork happens after the
     // schedule pass, when day_rng's state is a deterministic function of
@@ -430,6 +446,16 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
                       {"connected_probes", day_connected},
                       {"countries_visited", day_countries},
                       {"degraded", faults != nullptr});
+    peak_rss_gauge.set(static_cast<double>(obs::peak_rss_bytes()));
+    if (recorder.enabled()) {
+      recorder.record_counter(
+          "rss_mb", static_cast<double>(obs::current_rss_bytes()) / 1e6);
+      recorder.record_counter("tasks_delivered",
+                              static_cast<double>(day_delivered));
+    }
+    progress.day_completed(day + 1 - start.next_day,
+                           config_.days - start.next_day, day_delivered,
+                           busy_fraction_gauge.value());
 
     if (hooks.after_day) {
       const CampaignState state{day + 1, cursor};

@@ -7,8 +7,29 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_events.hpp"
 
 namespace cloudrtt::measure {
+
+namespace {
+
+/// Wall-clock accounting one worker accumulates while draining chunks.
+/// Collected locally (no sharing while hot) and folded into metrics and the
+/// trace buffer after the pool joins.
+struct WorkerStats {
+  std::uint64_t busy_ns = 0;   ///< time inside run_chunk
+  std::uint64_t wait_ns = 0;   ///< gaps between chunks (queue contention)
+  std::uint64_t chunks = 0;
+  std::uint64_t start_ns = 0;  ///< when the worker began draining
+  std::uint64_t end_ns = 0;    ///< when the worker ran out of chunks
+};
+
+[[nodiscard]] double to_ms(std::uint64_t ns) {
+  return static_cast<double>(ns) / 1e6;
+}
+
+}  // namespace
 
 void ParallelExecutor::execute(const Engine& engine,
                                std::span<const MeasurementTask> tasks,
@@ -23,11 +44,19 @@ void ParallelExecutor::execute(const Engine& engine,
   std::vector<TraceRecord> traces(n);
 
   obs::Registry& registry = obs::Registry::global();
-  obs::Gauge& busy = registry.gauge("measure.worker_busy");
-  obs::Histogram& chunk_ms = registry.histogram("measure.chunk_ms");
+  obs::Histogram& chunk_ms = registry.histogram(
+      "measure.chunk_ms", "Wall-clock per executed chunk in milliseconds");
+  obs::Gauge& busy_fraction = registry.gauge(
+      "measure.worker_busy_fraction",
+      "Fraction of the last execute phase the worker pool spent inside "
+      "chunks (1.0 = no idle time)");
+  obs::Counter& busy_ms_total = registry.counter(
+      "measure.worker_busy_ms_total",
+      "Cumulative worker busy time across execute phases in milliseconds");
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
 
-  const auto run_chunk = [&](std::size_t chunk) {
-    const obs::ScopedTimer timer{chunk_ms};
+  const auto run_chunk = [&](std::size_t chunk, WorkerStats& stats) {
+    const std::uint64_t start_ns = obs::monotonic_ns();
     const util::Rng chunk_rng = chunk_root.fork(chunk);
     const std::size_t begin = chunk * kChunkSize;
     const std::size_t end = std::min(begin + kChunkSize, n);
@@ -40,41 +69,119 @@ void ParallelExecutor::execute(const Engine& engine,
                                     task_rng, Engine::TraceMethod::Classic,
                                     task.slot, task.trace_faults);
     }
+    const std::uint64_t end_ns = obs::monotonic_ns();
+    stats.busy_ns += end_ns - start_ns;
+    stats.chunks += 1;
+    chunk_ms.record(to_ms(end_ns - start_ns));
+    if (recorder.enabled()) {
+      recorder.record_complete("executor.chunk", "executor", start_ns,
+                               end_ns - start_ns,
+                               {{"chunk", static_cast<double>(chunk)},
+                                {"tasks", static_cast<double>(end - begin)}});
+    }
   };
 
-  const std::size_t workers =
-      std::min<std::size_t>(threads_, chunk_count);
+  const std::uint64_t phase_start_ns = obs::monotonic_ns();
+  const std::size_t workers = std::min<std::size_t>(threads_, chunk_count);
+  std::vector<WorkerStats> stats(workers);
+
+  // One worker drains the shared chunk counter until it runs dry. The gap
+  // between finishing one chunk and starting the next is queue wait — with a
+  // lock-free counter it should stay near zero; growth means the chunks are
+  // too small or the allocator is contended.
+  const auto drain = [&](WorkerStats& stats_entry,
+                         std::atomic<std::size_t>& next_chunk) {
+    stats_entry.start_ns = obs::monotonic_ns();
+    std::uint64_t idle_since = stats_entry.start_ns;
+    for (std::size_t chunk = next_chunk.fetch_add(1); chunk < chunk_count;
+         chunk = next_chunk.fetch_add(1)) {
+      const std::uint64_t pick_ns = obs::monotonic_ns();
+      stats_entry.wait_ns += pick_ns - idle_since;
+      run_chunk(chunk, stats_entry);
+      idle_since = obs::monotonic_ns();
+    }
+    stats_entry.end_ns = obs::monotonic_ns();
+  };
+
   if (workers <= 1) {
-    for (std::size_t chunk = 0; chunk < chunk_count; ++chunk) run_chunk(chunk);
+    stats[0].start_ns = phase_start_ns;
+    for (std::size_t chunk = 0; chunk < chunk_count; ++chunk) {
+      run_chunk(chunk, stats[0]);
+    }
+    stats[0].end_ns = obs::monotonic_ns();
   } else {
     std::atomic<std::size_t> next_chunk{0};
     std::mutex failure_mutex;
     std::exception_ptr failure;
-    const auto drain = [&] {
-      busy.add(1.0);
+    const auto guarded = [&](std::size_t worker) {
+      // Worker 0 is the calling thread — leave its name ("main") alone.
+      if (worker != 0 && recorder.enabled()) {
+        recorder.name_this_thread("worker " + std::to_string(worker));
+      }
       try {
-        for (std::size_t chunk = next_chunk.fetch_add(1);
-             chunk < chunk_count; chunk = next_chunk.fetch_add(1)) {
-          run_chunk(chunk);
-        }
+        drain(stats[worker], next_chunk);
       } catch (...) {
+        stats[worker].end_ns = obs::monotonic_ns();
         const std::scoped_lock lock{failure_mutex};
         if (!failure) failure = std::current_exception();
       }
-      busy.add(-1.0);
     };
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
-    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
-    drain();  // the calling thread is worker 0
+    for (std::size_t w = 1; w < workers; ++w) {
+      pool.emplace_back(guarded, w);
+    }
+    guarded(0);  // the calling thread is worker 0
     for (std::thread& worker : pool) worker.join();
     if (failure) std::rethrow_exception(failure);
   }
 
-  out.pings.insert(out.pings.end(), std::make_move_iterator(pings.begin()),
-                   std::make_move_iterator(pings.end()));
-  out.traces.insert(out.traces.end(), std::make_move_iterator(traces.begin()),
-                    std::make_move_iterator(traces.end()));
+  const std::uint64_t phase_end_ns = obs::monotonic_ns();
+
+  // Fold per-worker accounting into the registry: a busy-time counter that
+  // only ever grows plus a busy-fraction gauge for the phase just finished.
+  // (The old `measure.worker_busy` up/down gauge was last-write-wins across
+  // workers and therefore useless under contention.)
+  std::uint64_t total_busy_ns = 0;
+  for (const WorkerStats& entry : stats) total_busy_ns += entry.busy_ns;
+  const std::uint64_t wall_ns = phase_end_ns - phase_start_ns;
+  if (wall_ns > 0) {
+    busy_fraction.set(static_cast<double>(total_busy_ns) /
+                      (static_cast<double>(wall_ns) *
+                       static_cast<double>(workers)));
+  }
+  busy_ms_total.inc(static_cast<std::uint64_t>(to_ms(total_busy_ns)));
+
+  if (recorder.enabled()) {
+    for (std::size_t w = 0; w < stats.size(); ++w) {
+      const WorkerStats& entry = stats[w];
+      if (entry.end_ns <= entry.start_ns) continue;
+      recorder.record_complete(
+          "executor.worker", "executor", entry.start_ns,
+          entry.end_ns - entry.start_ns,
+          {{"worker", static_cast<double>(w)},
+           {"chunks", static_cast<double>(entry.chunks)},
+           {"busy_ms", to_ms(entry.busy_ns)},
+           {"queue_wait_ms", to_ms(entry.wait_ns)}});
+    }
+  }
+
+  {
+    // Canonical merge: schedule-order append, making the dataset identical
+    // for every worker-pool size.
+    const obs::Span merge_span{"merge"};
+    const std::uint64_t merge_start_ns = obs::monotonic_ns();
+    out.pings.insert(out.pings.end(), std::make_move_iterator(pings.begin()),
+                     std::make_move_iterator(pings.end()));
+    out.traces.insert(out.traces.end(),
+                      std::make_move_iterator(traces.begin()),
+                      std::make_move_iterator(traces.end()));
+    if (recorder.enabled()) {
+      recorder.record_complete("executor.merge", "executor", merge_start_ns,
+                               obs::monotonic_ns() - merge_start_ns,
+                               {{"tasks", static_cast<double>(n)}});
+    }
+  }
 }
 
 }  // namespace cloudrtt::measure

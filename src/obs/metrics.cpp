@@ -46,6 +46,19 @@ void atomic_max(std::atomic<double>& target, double candidate) {
   return out;
 }
 
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+/// Counters carry the conventional `_total` unit suffix in the exposition
+/// even when the in-process dotted name predates the convention.
+[[nodiscard]] std::string prometheus_counter_name(std::string_view name) {
+  std::string out = prometheus_name(name);
+  if (!ends_with(out, "_total")) out += "_total";
+  return out;
+}
+
 }  // namespace
 
 void Gauge::add(double delta) { atomic_add(value_, delta); }
@@ -121,6 +134,18 @@ struct Registry::Impl {
   std::deque<Counter> counter_storage;
   std::deque<Gauge> gauge_storage;
   std::deque<Histogram> histogram_storage;
+  // Optional `# HELP` text per metric name, set on first registration.
+  std::map<std::string, std::string, std::less<>> help;
+
+  void set_help(std::string_view name, std::string_view text) {
+    if (text.empty()) return;
+    help.emplace(std::string{name}, std::string{text});
+  }
+
+  [[nodiscard]] std::string_view help_for(std::string_view name) const {
+    const auto it = help.find(name);
+    return it == help.end() ? std::string_view{} : it->second;
+  }
 };
 
 Registry::Registry() : impl_(std::make_unique<Impl>()) {}
@@ -157,6 +182,27 @@ Histogram& Registry::histogram(std::string_view name) {
   if (it != impl_->histograms.end()) return *it->second;
   Histogram& created = impl_->histogram_storage.emplace_back();
   impl_->histograms.emplace(std::string{name}, &created);
+  return created;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  Counter& created = counter(name);
+  const std::scoped_lock lock{impl_->mutex};
+  impl_->set_help(name, help);
+  return created;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  Gauge& created = gauge(name);
+  const std::scoped_lock lock{impl_->mutex};
+  impl_->set_help(name, help);
+  return created;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help) {
+  Histogram& created = histogram(name);
+  const std::scoped_lock lock{impl_->mutex};
+  impl_->set_help(name, help);
   return created;
 }
 
@@ -213,18 +259,31 @@ void Registry::write_prometheus(std::ostream& out) const {
     std::snprintf(buffer, sizeof(buffer), "%.10g", value);
     return buffer;
   };
+  const auto help_line = [&](const std::string& prom, std::string_view name) {
+    const std::string_view help = impl_->help_for(name);
+    out << "# HELP " << prom << ' ';
+    if (help.empty()) {
+      out << "cloudrtt metric " << name;
+    } else {
+      out << help;
+    }
+    out << '\n';
+  };
   for (const auto& [name, counter] : impl_->counters) {
-    const std::string prom = prometheus_name(name);
+    const std::string prom = prometheus_counter_name(name);
+    help_line(prom, name);
     out << "# TYPE " << prom << " counter\n"
         << prom << ' ' << counter->value() << '\n';
   }
   for (const auto& [name, gauge] : impl_->gauges) {
     const std::string prom = prometheus_name(name);
+    help_line(prom, name);
     out << "# TYPE " << prom << " gauge\n"
         << prom << ' ' << number(gauge->value()) << '\n';
   }
   for (const auto& [name, histogram] : impl_->histograms) {
     const std::string prom = prometheus_name(name);
+    help_line(prom, name);
     out << "# TYPE " << prom << " summary\n";
     for (const double q : {0.5, 0.9, 0.99}) {
       out << prom << "{quantile=\"" << number(q) << "\"} ";

@@ -118,6 +118,14 @@ class Registry {
   [[nodiscard]] Gauge& gauge(std::string_view name);
   [[nodiscard]] Histogram& histogram(std::string_view name);
 
+  /// Find-or-create with a `# HELP` description for the Prometheus
+  /// exposition. The help text is set on first registration and never
+  /// overwritten, so hot-path callers can keep using the plain overloads.
+  [[nodiscard]] Counter& counter(std::string_view name, std::string_view help);
+  [[nodiscard]] Gauge& gauge(std::string_view name, std::string_view help);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::string_view help);
+
   /// Zero every metric value; registrations (and references) survive.
   void reset_values();
 
@@ -128,8 +136,12 @@ class Registry {
   /// Standalone JSON document wrapper around write_json_fields.
   void write_json(std::ostream& out) const;
 
-  /// Prometheus text exposition: counters/gauges verbatim, histograms as
-  /// summaries (quantile-labelled gauges plus _sum/_count).
+  /// Prometheus text exposition with `# HELP` / `# TYPE` headers per metric
+  /// family. Dotted names are sanitized (dots → underscores) under the
+  /// `cloudrtt_` prefix, and counters that do not already end in the
+  /// conventional `_total` unit suffix get it appended, so the output
+  /// scrapes cleanly. Histograms render as summaries (quantile-labelled
+  /// rows plus `_sum`/`_count`).
   void write_prometheus(std::ostream& out) const;
 
   struct Snapshot {

@@ -1,0 +1,35 @@
+#include "obs/process.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace cloudrtt::obs {
+
+namespace {
+
+/// Scan /proc/self/status for `key: <n> kB` and return n in bytes.
+[[nodiscard]] std::uint64_t status_kb(const char* key) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  char line[256];
+  std::uint64_t bytes = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':') continue;
+    unsigned long long kb = 0;  // NOLINT(google-runtime-int): sscanf %llu
+    if (std::sscanf(line + key_len + 1, "%llu", &kb) == 1) {
+      bytes = static_cast<std::uint64_t>(kb) * 1024;
+    }
+    break;
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() { return status_kb("VmRSS"); }
+
+std::uint64_t peak_rss_bytes() { return status_kb("VmHWM"); }
+
+}  // namespace cloudrtt::obs

@@ -1,0 +1,17 @@
+#pragma once
+// Process-level resource counters for the bench/trace exports: current and
+// peak resident-set size read from /proc/self/status. Returns 0 on platforms
+// without procfs — callers treat 0 as "unavailable", so the bench report and
+// trace counters simply omit memory data there.
+
+#include <cstdint>
+
+namespace cloudrtt::obs {
+
+/// VmRSS in bytes, or 0 when unavailable.
+[[nodiscard]] std::uint64_t current_rss_bytes();
+
+/// VmHWM (peak resident set) in bytes, or 0 when unavailable.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace cloudrtt::obs

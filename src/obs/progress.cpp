@@ -1,0 +1,80 @@
+#include "obs/progress.hpp"
+
+#include <iostream>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "obs/trace_events.hpp"
+#include "util/text.hpp"
+
+namespace cloudrtt::obs {
+
+struct Progress::Impl {
+  std::mutex mutex;
+  std::ostream* out = &std::cerr;
+  std::string label;
+  std::uint64_t campaign_start_ns = 0;
+  std::uint64_t tasks_so_far = 0;
+};
+
+Progress::Progress() : impl_(new Impl) {}
+
+Progress& Progress::global() {
+  static Progress* progress = new Progress;
+  return *progress;
+}
+
+void Progress::enable(std::ostream* out) {
+  const std::scoped_lock lock{impl_->mutex};
+  impl_->out = out != nullptr ? out : &std::cerr;
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Progress::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void Progress::begin_campaign(std::string_view label,
+                              std::uint32_t total_days) {
+  if (!enabled()) return;
+  const std::scoped_lock lock{impl_->mutex};
+  impl_->label = std::string{label};
+  impl_->campaign_start_ns = monotonic_ns();
+  impl_->tasks_so_far = 0;
+  *impl_->out << "[" << impl_->label << "] " << total_days
+              << " days scheduled\n";
+}
+
+void Progress::day_completed(std::uint32_t days_done, std::uint32_t total_days,
+                             std::size_t tasks, double busy_fraction) {
+  if (!enabled()) return;
+  const std::scoped_lock lock{impl_->mutex};
+  impl_->tasks_so_far += tasks;
+  const double elapsed_s =
+      static_cast<double>(monotonic_ns() - impl_->campaign_start_ns) / 1e9;
+  const double days_per_s =
+      elapsed_s > 0.0 ? static_cast<double>(days_done) / elapsed_s : 0.0;
+  const double tasks_per_s =
+      elapsed_s > 0.0 ? static_cast<double>(impl_->tasks_so_far) / elapsed_s
+                      : 0.0;
+  const std::uint32_t remaining =
+      total_days > days_done ? total_days - days_done : 0;
+  std::string line = "\r[" + impl_->label + "] day " +
+                     std::to_string(days_done) + "/" +
+                     std::to_string(total_days) + " · " +
+                     std::to_string(impl_->tasks_so_far) + " tasks · " +
+                     util::format_double(days_per_s, 1) + " days/s · " +
+                     util::format_double(tasks_per_s / 1000.0, 1) +
+                     "k tasks/s";
+  if (days_per_s > 0.0) {
+    const double eta_s = static_cast<double>(remaining) / days_per_s;
+    line += " · ETA " + util::format_double(eta_s, 1) + "s";
+  }
+  if (busy_fraction >= 0.0) {
+    line += " · busy " + util::format_double(busy_fraction * 100.0, 0) + "%";
+  }
+  *impl_->out << line << (remaining == 0 ? "\n" : "") << std::flush;
+}
+
+}  // namespace cloudrtt::obs

@@ -1,0 +1,51 @@
+#pragma once
+// Operator-facing progress reporting for long campaigns (CLI `--progress`):
+// one status line per completed day with throughput (days/sec, tasks/sec),
+// an ETA extrapolated from the days done so far, and the executor's
+// per-worker busy fraction. Driven off the same day boundaries the phase
+// spans mark, so the cost is one clock read and one stderr write per
+// simulated day — nothing on the task hot path.
+//
+// Disabled by default; while disabled every call is a relaxed atomic load.
+// The reporter is process-global like the rest of obs and prints with '\r'
+// so an interactive terminal shows a single updating line; the final day of
+// each campaign ends with '\n' to leave a permanent record.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace cloudrtt::obs {
+
+class Progress {
+ public:
+  [[nodiscard]] static Progress& global();
+
+  /// Route updates to `out` (defaults to std::cerr) and start reporting.
+  void enable(std::ostream* out = nullptr);
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Mark the start of a campaign: resets the rate window.
+  void begin_campaign(std::string_view label, std::uint32_t total_days);
+
+  /// Report one completed day. `days_done` counts from the campaign start
+  /// (resume-aware callers pass completed-this-run); `tasks` is the day's
+  /// delivered task count; `busy_fraction` in [0,1] (negative = unknown).
+  void day_completed(std::uint32_t days_done, std::uint32_t total_days,
+                     std::size_t tasks, double busy_fraction);
+
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+ private:
+  Progress();
+  std::atomic<bool> enabled_{false};
+  struct Impl;
+  Impl* impl_;  ///< leaked, like the other obs singletons
+};
+
+}  // namespace cloudrtt::obs

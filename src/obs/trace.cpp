@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_events.hpp"
 #include "util/text.hpp"
 
 namespace cloudrtt::obs {
@@ -80,6 +81,7 @@ void Span::end() {
   if (node_ == nullptr) return;
   auto* node = static_cast<PhaseNode*>(node_);
   node_ = nullptr;
+  const std::uint64_t end_ns = now_ns();
   SpanTracker::Impl& impl = *SpanTracker::global().impl_;
   const std::scoped_lock lock{impl.mutex};
   if (generation_ != impl.generation) {
@@ -87,9 +89,15 @@ void Span::end() {
     t_current = nullptr;
     return;
   }
-  node->total_ms += static_cast<double>(now_ns() - start_ns_) / 1e6;
+  node->total_ms += static_cast<double>(end_ns - start_ns_) / 1e6;
   node->count += 1;
   t_current = node->parent == &impl.root ? nullptr : node->parent;
+  // Mirror the span into the Chrome-trace buffer when --trace-out is live:
+  // one complete event per span instance, stamped with this thread's id.
+  if (TraceRecorder::global().enabled()) {
+    TraceRecorder::global().record_complete(node->name, "phase", start_ns_,
+                                            end_ns - start_ns_);
+  }
 }
 
 Span::~Span() { end(); }

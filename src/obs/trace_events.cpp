@@ -1,0 +1,198 @@
+#include "obs/trace_events.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace cloudrtt::obs {
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+std::atomic<std::uint32_t> g_next_thread_id{0};
+
+[[nodiscard]] std::uint32_t assign_thread_id() {
+  thread_local const std::uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+struct Event {
+  std::string name;
+  std::string cat;
+  std::uint64_t ts_ns = 0;   ///< relative to the enable() origin
+  std::uint64_t dur_ns = 0;  ///< X events only
+  std::uint32_t tid = 0;
+  char phase = 'X';  ///< 'X' complete, 'C' counter, 'M' metadata
+  double counter_value = 0.0;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+}  // namespace
+
+struct TraceRecorder::Impl {
+  mutable std::mutex mutex;
+  std::uint64_t origin_ns = 0;
+  std::vector<Event> events;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+};
+
+std::atomic<bool> TraceRecorder::enabled_flag_{false};
+
+TraceRecorder::TraceRecorder() : impl_(new Impl) {}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* recorder = new TraceRecorder;
+  return *recorder;
+}
+
+void TraceRecorder::enable() {
+  const std::scoped_lock lock{impl_->mutex};
+  impl_->events.clear();
+  impl_->thread_names.clear();
+  impl_->origin_ns = monotonic_ns();
+  enabled_flag_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::disable() {
+  enabled_flag_.store(false, std::memory_order_release);
+}
+
+std::uint32_t TraceRecorder::current_thread_id() { return assign_thread_id(); }
+
+void TraceRecorder::record_complete_slow(std::string_view name,
+                                         std::string_view category,
+                                         std::uint64_t start_ns,
+                                         std::uint64_t duration_ns,
+                                         std::initializer_list<Arg> args) {
+  Event event;
+  event.name = std::string{name};
+  event.cat = std::string{category};
+  event.dur_ns = duration_ns;
+  event.tid = assign_thread_id();
+  event.phase = 'X';
+  for (const Arg& arg : args) {
+    event.args.emplace_back(std::string{arg.key}, arg.value);
+  }
+  const std::scoped_lock lock{impl_->mutex};
+  // Spans already open when enable() ran get clamped to the origin.
+  event.ts_ns =
+      start_ns > impl_->origin_ns ? start_ns - impl_->origin_ns : 0;
+  impl_->events.push_back(std::move(event));
+}
+
+void TraceRecorder::record_counter_slow(std::string_view name, double value) {
+  Event event;
+  event.name = std::string{name};
+  event.cat = "counter";
+  event.tid = assign_thread_id();
+  event.phase = 'C';
+  event.counter_value = value;
+  const std::uint64_t now = monotonic_ns();
+  const std::scoped_lock lock{impl_->mutex};
+  event.ts_ns = now > impl_->origin_ns ? now - impl_->origin_ns : 0;
+  impl_->events.push_back(std::move(event));
+}
+
+void TraceRecorder::name_this_thread(std::string_view name) {
+  if (!enabled()) return;
+  const std::uint32_t tid = assign_thread_id();
+  const std::scoped_lock lock{impl_->mutex};
+  for (auto& [existing_tid, existing_name] : impl_->thread_names) {
+    if (existing_tid == tid) {
+      existing_name = std::string{name};
+      return;
+    }
+  }
+  impl_->thread_names.emplace_back(tid, std::string{name});
+}
+
+std::size_t TraceRecorder::size() const {
+  const std::scoped_lock lock{impl_->mutex};
+  return impl_->events.size();
+}
+
+void TraceRecorder::reset() {
+  const std::scoped_lock lock{impl_->mutex};
+  impl_->events.clear();
+  impl_->thread_names.clear();
+}
+
+void TraceRecorder::write_json(std::ostream& out) const {
+  std::vector<Event> events;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+  {
+    const std::scoped_lock lock{impl_->mutex};
+    events = impl_->events;
+    thread_names = impl_->thread_names;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+
+  util::JsonWriter json{out};
+  json.begin_object();
+  json.key("traceEvents");
+  json.begin_array();
+  // Metadata first: process name plus any named threads.
+  const auto write_meta = [&](std::string_view name, std::uint32_t tid,
+                              std::string_view value) {
+    json.begin_object();
+    json.field("name", name);
+    json.field("ph", "M");
+    json.field("pid", 1);
+    json.field("tid", static_cast<std::uint64_t>(tid));
+    json.key("args");
+    json.begin_object();
+    json.field("name", value);
+    json.end_object();
+    json.end_object();
+  };
+  write_meta("process_name", 0, "cloudrtt");
+  for (const auto& [tid, name] : thread_names) {
+    write_meta("thread_name", tid, name);
+  }
+  for (const Event& event : events) {
+    json.begin_object();
+    json.field("name", event.name);
+    json.field("cat", event.cat);
+    json.field("ph", std::string_view{&event.phase, 1});
+    json.field("ts", static_cast<double>(event.ts_ns) / 1e3);
+    if (event.phase == 'X') {
+      json.field("dur", static_cast<double>(event.dur_ns) / 1e3);
+    }
+    json.field("pid", 1);
+    json.field("tid", static_cast<std::uint64_t>(event.tid));
+    if (event.phase == 'C') {
+      json.key("args");
+      json.begin_object();
+      json.field("value", event.counter_value);
+      json.end_object();
+    } else if (!event.args.empty()) {
+      json.key("args");
+      json.begin_object();
+      for (const auto& [key, value] : event.args) {
+        json.field(key, value);
+      }
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.field("displayTimeUnit", "ms");
+  json.end_object();
+  out << '\n';
+}
+
+}  // namespace cloudrtt::obs

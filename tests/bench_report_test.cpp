@@ -1,0 +1,167 @@
+// BenchReport: schema round-trip through write_json/parse, the regression
+// threshold and dataset-hash drift semantics behind tools/bench_compare, and
+// the comparability rule (hashes only mean something at identical scale).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/bench_report.hpp"
+
+namespace cloudrtt::obs {
+namespace {
+
+[[nodiscard]] BenchReport sample_report() {
+  BenchReport report;
+  report.bench_id = 6;
+  report.git_rev = "abc1234";
+  report.seed = 7;
+  report.probes = 2000;
+  report.daily_budget = 20000;
+  report.days = 1;
+  report.repetitions = 3;
+  report.dataset_hash = "8ac2f515077f025c";
+  report.peak_rss_bytes = 123456789;
+
+  BenchSection world;
+  world.name = "world_build";
+  world.wall_ms = {120.0, 100.0, 110.0};
+  report.sections.push_back(world);
+
+  BenchSection day;
+  day.name = "campaign_day_t4";
+  day.threads = 4;
+  day.wall_ms = {50.0, 52.0};
+  day.dataset_hash = "8ac2f515077f025c";
+  report.sections.push_back(day);
+  return report;
+}
+
+TEST(BenchReportTest, SectionPercentiles) {
+  BenchSection section;
+  section.wall_ms = {30.0, 10.0, 20.0};
+  EXPECT_DOUBLE_EQ(section.p50_ms(), 20.0);  // odd count: middle sample
+  EXPECT_DOUBLE_EQ(section.min_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(section.max_ms(), 30.0);
+  EXPECT_DOUBLE_EQ(section.mean_ms(), 20.0);
+  section.wall_ms = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(section.p50_ms(), 15.0);  // even count: midpoint
+  EXPECT_DOUBLE_EQ(BenchSection{}.p50_ms(), 0.0);
+}
+
+TEST(BenchReportTest, JsonRoundTripPreservesEveryField) {
+  const BenchReport original = sample_report();
+  std::ostringstream out;
+  original.write_json(out);
+
+  std::string error;
+  const auto parsed = BenchReport::parse(out.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->schema_version, BenchReport::kSchemaVersion);
+  EXPECT_EQ(parsed->bench_id, 6);
+  EXPECT_EQ(parsed->git_rev, "abc1234");
+  EXPECT_EQ(parsed->seed, 7u);
+  EXPECT_EQ(parsed->probes, 2000u);
+  EXPECT_EQ(parsed->daily_budget, 20000u);
+  EXPECT_EQ(parsed->days, 1u);
+  EXPECT_EQ(parsed->repetitions, 3u);
+  EXPECT_EQ(parsed->dataset_hash, "8ac2f515077f025c");
+  EXPECT_EQ(parsed->peak_rss_bytes, 123456789u);
+  ASSERT_EQ(parsed->sections.size(), 2u);
+  EXPECT_EQ(parsed->sections[0].name, "world_build");
+  EXPECT_EQ(parsed->sections[0].threads, 0);
+  EXPECT_EQ(parsed->sections[0].wall_ms,
+            (std::vector<double>{120.0, 100.0, 110.0}));
+  const BenchSection* day = parsed->section("campaign_day_t4");
+  ASSERT_NE(day, nullptr);
+  EXPECT_EQ(day->threads, 4);
+  EXPECT_EQ(day->dataset_hash, "8ac2f515077f025c");
+}
+
+TEST(BenchReportTest, ParseRejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(BenchReport::parse("not json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  // Wrong schema name.
+  EXPECT_FALSE(
+      BenchReport::parse(R"({"schema": "other/1", "sections": []})", &error)
+          .has_value());
+  EXPECT_NE(error.find("schema"), std::string::npos);
+
+  // Newer major version than this build understands.
+  EXPECT_FALSE(BenchReport::parse(
+                   R"({"schema": "cloudrtt-bench/99",
+                       "scale": {}, "sections": []})",
+                   &error)
+                   .has_value());
+
+  // Structurally valid JSON but missing the sections array.
+  EXPECT_FALSE(BenchReport::parse(
+                   R"({"schema": "cloudrtt-bench/1", "scale": {}})", &error)
+                   .has_value());
+  EXPECT_NE(error.find("sections"), std::string::npos);
+
+  // A section without samples is not a measurement.
+  EXPECT_FALSE(BenchReport::parse(
+                   R"({"schema": "cloudrtt-bench/1", "scale": {},
+                       "sections": [{"name": "world_build"}]})",
+                   &error)
+                   .has_value());
+}
+
+TEST(BenchCompareTest, FlagsOnlyRegressionsBeyondThreshold) {
+  const BenchReport baseline = sample_report();
+  BenchReport candidate = sample_report();
+  candidate.sections[0].wall_ms = {115.0, 115.0, 115.0};  // +4.5% — within
+  candidate.sections[1].wall_ms = {60.0, 60.0};           // +17.6% — beyond
+
+  CompareOptions options;
+  options.max_regress_pct = 10.0;
+  const CompareResult result = compare_reports(baseline, candidate, options);
+  ASSERT_EQ(result.lines.size(), 2u);
+  EXPECT_FALSE(result.lines[0].regression);
+  EXPECT_TRUE(result.lines[1].regression);
+  EXPECT_TRUE(result.wall_clock_regressed());
+  EXPECT_FALSE(result.hash_drift);
+  EXPECT_TRUE(result.scales_comparable);
+
+  // A faster candidate never regresses.
+  candidate.sections[1].wall_ms = {40.0, 40.0};
+  EXPECT_FALSE(
+      compare_reports(baseline, candidate, options).wall_clock_regressed());
+}
+
+TEST(BenchCompareTest, HashDriftOnlyComparedAtIdenticalScale) {
+  const BenchReport baseline = sample_report();
+
+  // Same scale, different bits: drift — the one unforgivable diff.
+  BenchReport drifted = sample_report();
+  drifted.dataset_hash = "deadbeefdeadbeef";
+  drifted.sections[1].dataset_hash = "deadbeefdeadbeef";
+  EXPECT_TRUE(compare_reports(baseline, drifted).hash_drift);
+
+  // Different scale: hashes are expected to differ, so no drift verdict.
+  BenchReport rescaled = drifted;
+  rescaled.probes = 500;
+  const CompareResult result = compare_reports(baseline, rescaled);
+  EXPECT_FALSE(result.scales_comparable);
+  EXPECT_FALSE(result.hash_drift);
+}
+
+TEST(BenchCompareTest, RenamedSectionsAreReportedNotMatched) {
+  const BenchReport baseline = sample_report();
+  BenchReport candidate = sample_report();
+  candidate.sections[1].name = "campaign_day_t8";
+
+  const CompareResult result = compare_reports(baseline, candidate);
+  ASSERT_EQ(result.lines.size(), 1u);  // only world_build matched
+  ASSERT_EQ(result.missing_in_candidate.size(), 1u);
+  EXPECT_EQ(result.missing_in_candidate[0], "campaign_day_t4");
+  ASSERT_EQ(result.new_in_candidate.size(), 1u);
+  EXPECT_EQ(result.new_in_candidate[0], "campaign_day_t8");
+}
+
+}  // namespace
+}  // namespace cloudrtt::obs

@@ -262,6 +262,51 @@ TEST(RegistryTest, PrometheusExportRoundTripsTheSameMetrics) {
   EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
 }
 
+TEST(RegistryTest, PrometheusExportCarriesHelpAndTotalSuffix) {
+  Registry registry;
+  registry
+      .counter("engine.traceroute.ecmp_detours",
+               "Flows that took an ECMP detour")
+      .inc(3);
+  registry.counter("campaign.tasks_total").inc(9);
+  registry.gauge("measure.worker_busy_fraction", "Executor busy fraction")
+      .set(0.75);
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  const std::string prom = out.str();
+
+  // Counters lacking the conventional unit suffix get `_total` appended in
+  // the exposition; names that already carry it are left alone.
+  EXPECT_NE(
+      prom.find("# TYPE cloudrtt_engine_traceroute_ecmp_detours_total counter"),
+      std::string::npos);
+  EXPECT_NE(prom.find("cloudrtt_engine_traceroute_ecmp_detours_total 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("cloudrtt_campaign_tasks_total 9"), std::string::npos);
+  EXPECT_EQ(prom.find("_total_total"), std::string::npos);
+
+  // Registered help text lands in # HELP; unregistered metrics still get a
+  // header naming the dotted in-process metric.
+  EXPECT_NE(
+      prom.find("# HELP cloudrtt_engine_traceroute_ecmp_detours_total "
+                "Flows that took an ECMP detour"),
+      std::string::npos);
+  EXPECT_NE(prom.find("# HELP cloudrtt_measure_worker_busy_fraction "
+                      "Executor busy fraction"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# HELP cloudrtt_campaign_tasks_total cloudrtt metric "
+                      "campaign.tasks_total"),
+            std::string::npos);
+
+  // Help is set on first registration and never overwritten, so hot-path
+  // re-lookups cannot clobber it.
+  registry.gauge("measure.worker_busy_fraction", "a different text").set(0.5);
+  std::ostringstream again;
+  registry.write_prometheus(again);
+  EXPECT_NE(again.str().find("Executor busy fraction"), std::string::npos);
+  EXPECT_EQ(again.str().find("a different text"), std::string::npos);
+}
+
 TEST(RegistryTest, ResetValuesKeepsRegistrations) {
   Registry registry;
   Counter& counter = registry.counter("c");

@@ -21,6 +21,7 @@
 #include "core/export.hpp"
 #include "core/study.hpp"
 #include "fault/plan.hpp"
+#include "obs/metrics.hpp"
 
 namespace cloudrtt {
 namespace {
@@ -112,6 +113,34 @@ TEST(ParallelGate, KillAndResumeWithAtlasAtFourThreads) {
 
   EXPECT_EQ(baseline(23), combined_hash(resumed));
   fs::remove_all(dir);
+}
+
+TEST(ParallelGate, BusyAccountingIsPublishedAtDayEnd) {
+  baseline(23);  // guarantees at least one campaign execute phase has run
+  const obs::Registry::Snapshot snap = obs::Registry::global().snapshot();
+
+  // The executor publishes a busy fraction in (0, 1] and a monotonically
+  // growing busy-time counter; the old last-write-wins `measure.worker_busy`
+  // up/down gauge is gone.
+  bool found_fraction = false;
+  for (const auto& gauge : snap.gauges) {
+    if (gauge.name == "measure.worker_busy_fraction") {
+      found_fraction = true;
+      EXPECT_GT(gauge.value, 0.0);
+      EXPECT_LE(gauge.value, 1.0);
+    }
+    EXPECT_NE(gauge.name, "measure.worker_busy");
+  }
+  EXPECT_TRUE(found_fraction);
+
+  bool found_busy_ms = false;
+  for (const auto& counter : snap.counters) {
+    if (counter.name == "measure.worker_busy_ms_total") {
+      found_busy_ms = true;
+      EXPECT_GT(counter.value, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_busy_ms);
 }
 
 }  // namespace

@@ -1,0 +1,196 @@
+// Chrome-trace recorder: disabled no-op contract, event capture across
+// threads, and a golden-format check that write_json emits valid Trace Event
+// Format JSON — the exact invariants chrome://tracing and Perfetto rely on:
+// a traceEvents array, complete ("X") events carrying name/ph/ts/dur/pid/tid
+// with non-negative microsecond timestamps in sorted order, counter ("C")
+// events carrying args.value, and "M" thread_name metadata.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "obs/trace_events.hpp"
+#include "util/json_value.hpp"
+
+namespace cloudrtt::obs {
+namespace {
+
+/// RAII guard: every test leaves the process-global recorder disabled and
+/// empty for whoever runs next.
+struct RecorderGuard {
+  ~RecorderGuard() {
+    TraceRecorder::global().disable();
+    TraceRecorder::global().reset();
+  }
+};
+
+[[nodiscard]] std::string export_json() {
+  std::ostringstream out;
+  TraceRecorder::global().write_json(out);
+  return out.str();
+}
+
+/// Parse and structurally validate a Chrome-trace document; returns the
+/// traceEvents array. Fails the current test on any format violation.
+[[nodiscard]] std::vector<util::JsonValue> validated_events(
+    const std::string& text) {
+  std::string error;
+  const auto root = util::JsonValue::parse(text, &error);
+  EXPECT_TRUE(root.has_value()) << error;
+  if (!root) return {};
+  EXPECT_TRUE(root->is_object());
+  EXPECT_EQ(root->string_at("displayTimeUnit"), "ms");
+  const util::JsonValue* events = root->find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  if (events == nullptr) return {};
+  EXPECT_TRUE(events->is_array());
+  double last_ts = -1.0;
+  for (const util::JsonValue& event : events->items()) {
+    EXPECT_TRUE(event.is_object());
+    const std::string phase = event.string_at("ph");
+    EXPECT_FALSE(event.string_at("name").empty());
+    EXPECT_EQ(event.number_at("pid", -1), 1.0);
+    EXPECT_GE(event.number_at("tid", -1), 0.0);
+    if (phase == "M") continue;  // metadata carries no timestamp
+    const double ts = event.number_at("ts", -1.0);
+    EXPECT_GE(ts, 0.0);
+    EXPECT_GE(ts, last_ts) << "events not sorted by timestamp";
+    last_ts = ts;
+    if (phase == "X") {
+      EXPECT_GE(event.number_at("dur", -1.0), 0.0);
+    } else if (phase == "C") {
+      const util::JsonValue* args = event.find("args");
+      EXPECT_NE(args, nullptr);
+      if (args != nullptr) EXPECT_NE(args->find("value"), nullptr);
+    } else {
+      ADD_FAILURE() << "unexpected phase '" << phase << "'";
+    }
+  }
+  return events->items();
+}
+
+TEST(TraceRecorderTest, DisabledRecordingIsANoOp) {
+  const RecorderGuard guard;
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.disable();
+  recorder.reset();
+  recorder.record_complete("ignored", "test", monotonic_ns(), 10);
+  recorder.record_counter("ignored", 1.0);
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(TraceRecorderTest, EnableClearsEarlierEvents) {
+  const RecorderGuard guard;
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.enable();
+  recorder.record_complete("stale", "test", monotonic_ns(), 10);
+  EXPECT_EQ(recorder.size(), 1u);
+  recorder.enable();  // re-enable = fresh buffer + fresh origin
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(TraceRecorderTest, GoldenChromeTraceFormat) {
+  const RecorderGuard guard;
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.enable();
+  recorder.name_this_thread("main");
+  const std::uint64_t start = monotonic_ns();
+  recorder.record_complete("phase.alpha", "phase", start, 2'000'000);
+  recorder.record_complete("executor.chunk", "executor", start + 500'000,
+                           1'000'000,
+                           {{"chunk", 3.0}, {"queue_wait_ms", 0.25}});
+  recorder.record_counter("rss_mb", 42.5);
+
+  const std::vector<util::JsonValue> events = validated_events(export_json());
+  ASSERT_GE(events.size(), 5u);  // process_name + thread_name + 3 events
+
+  bool saw_process = false, saw_thread = false, saw_chunk = false,
+       saw_counter = false;
+  for (const util::JsonValue& event : events) {
+    const std::string name = event.string_at("name");
+    if (name == "process_name") {
+      saw_process = true;
+      EXPECT_EQ(event.find("args")->string_at("name"), "cloudrtt");
+    }
+    if (name == "thread_name") {
+      saw_thread = true;
+      EXPECT_EQ(event.find("args")->string_at("name"), "main");
+    }
+    if (name == "executor.chunk") {
+      saw_chunk = true;
+      EXPECT_EQ(event.string_at("cat"), "executor");
+      // ts/dur are microseconds: 1 ms duration = 1000 us.
+      EXPECT_DOUBLE_EQ(event.number_at("dur", 0.0), 1000.0);
+      const util::JsonValue* args = event.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_DOUBLE_EQ(args->number_at("chunk", -1.0), 3.0);
+      EXPECT_DOUBLE_EQ(args->number_at("queue_wait_ms", -1.0), 0.25);
+    }
+    if (name == "rss_mb") {
+      saw_counter = true;
+      EXPECT_EQ(event.string_at("ph"), "C");
+      EXPECT_DOUBLE_EQ(event.find("args")->number_at("value", 0.0), 42.5);
+    }
+  }
+  EXPECT_TRUE(saw_process);
+  EXPECT_TRUE(saw_thread);
+  EXPECT_TRUE(saw_chunk);
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(TraceRecorderTest, ThreadsGetDistinctDenseIds) {
+  const RecorderGuard guard;
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.enable();
+  const std::uint64_t start = monotonic_ns();
+  recorder.record_complete("main.event", "test", start, 10);
+  std::thread worker{[&] {
+    recorder.name_this_thread("worker 1");
+    recorder.record_complete("worker.event", "test", monotonic_ns(), 10);
+  }};
+  worker.join();
+
+  const std::vector<util::JsonValue> events = validated_events(export_json());
+  double main_tid = -1.0, worker_tid = -1.0;
+  for (const util::JsonValue& event : events) {
+    if (event.string_at("name") == "main.event") {
+      main_tid = event.number_at("tid", -1.0);
+    }
+    if (event.string_at("name") == "worker.event") {
+      worker_tid = event.number_at("tid", -1.0);
+    }
+  }
+  EXPECT_GE(main_tid, 0.0);
+  EXPECT_GE(worker_tid, 0.0);
+  EXPECT_NE(main_tid, worker_tid);
+}
+
+TEST(TraceRecorderTest, PhaseSpansMirrorIntoTheTraceWhenEnabled) {
+  const RecorderGuard guard;
+  SpanTracker::global().reset();
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.enable();
+  {
+    Span span = obs::span("golden.phase");
+    span.end();
+  }
+  EXPECT_EQ(recorder.size(), 1u);
+  const std::vector<util::JsonValue> events = validated_events(export_json());
+  bool found = false;
+  for (const util::JsonValue& event : events) {
+    if (event.string_at("name") == "golden.phase") {
+      found = true;
+      EXPECT_EQ(event.string_at("ph"), "X");
+      EXPECT_EQ(event.string_at("cat"), "phase");
+    }
+  }
+  EXPECT_TRUE(found);
+  SpanTracker::global().reset();
+}
+
+}  // namespace
+}  // namespace cloudrtt::obs

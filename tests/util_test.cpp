@@ -7,6 +7,8 @@
 #include <cmath>
 #include <set>
 
+#include "util/json.hpp"
+#include "util/json_value.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/text.hpp"
@@ -232,6 +234,64 @@ TEST_P(QuantileMonotone, MonotoneInQ) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(JsonValue, ParsesScalarsContainersAndEscapes) {
+  std::string error;
+  const auto doc = JsonValue::parse(
+      R"({"name": "a\"b\nA", "n": -2.5e2, "ok": true,
+          "none": null, "list": [1, 2, 3]})",
+      &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->string_at("name"), "a\"b\nA");
+  EXPECT_DOUBLE_EQ(doc->number_at("n", 0.0), -250.0);
+  EXPECT_TRUE(doc->find("ok")->as_bool());
+  EXPECT_TRUE(doc->find("none")->is_null());
+  ASSERT_EQ(doc->find("list")->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc->find("list")->items()[1].as_number(), 2.0);
+  EXPECT_EQ(doc->find("absent"), nullptr);
+}
+
+TEST(JsonValue, PreservesMemberOrder) {
+  const auto doc = JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->members().size(), 3u);
+  EXPECT_EQ(doc->members()[0].first, "z");
+  EXPECT_EQ(doc->members()[1].first, "a");
+  EXPECT_EQ(doc->members()[2].first, "m");
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse("", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("{", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("[1, 2", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse(R"({"a": 1} trailing)", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse(R"("bad \x escape")", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\" 1}", &error).has_value());
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(JsonValue, RoundTripsJsonWriterOutput) {
+  std::ostringstream out;
+  {
+    JsonWriter json{out};
+    json.begin_object();
+    json.field("pi", 3.25);
+    json.field("label", "with \"quotes\" and\nnewline");
+    json.key("nested");
+    json.begin_array();
+    json.value(1.0);
+    json.value(2.0);
+    json.end_array();
+    json.end_object();
+  }
+  std::string error;
+  const auto doc = JsonValue::parse(out.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_DOUBLE_EQ(doc->number_at("pi", 0.0), 3.25);
+  EXPECT_EQ(doc->string_at("label"), "with \"quotes\" and\nnewline");
+  EXPECT_EQ(doc->find("nested")->items().size(), 2u);
+}
 
 }  // namespace
 }  // namespace cloudrtt::util

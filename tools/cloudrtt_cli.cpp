@@ -20,7 +20,9 @@
 #include "measure/engine.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_events.hpp"
 #include "probes/fleet.hpp"
 #include "topology/world.hpp"
 #include "util/cli.hpp"
@@ -259,6 +261,11 @@ int cmd_study(int argc, const char* const* argv) {
                                    "(default: CLOUDRTT_LOG or info)");
   args.add_option("metrics-out", "", "write the metrics registry + phase "
                                      "timings as JSON to this file");
+  args.add_option("trace-out", "", "write a Chrome-trace JSON (open in "
+                                   "chrome://tracing or Perfetto) of phase "
+                                   "and executor spans to this file");
+  args.add_flag("progress", "print a per-day progress line (days/sec, "
+                            "tasks/sec, ETA, worker busy %) to stderr");
   args.add_option("fault-profile", "none",
                   "fault-injection intensity: none | mild | harsh");
   args.add_option("fault-seed", "1337", "fault-schedule seed");
@@ -307,6 +314,43 @@ int cmd_study(int argc, const char* const* argv) {
     control.stop_after_day = static_cast<std::uint32_t>(stop);
   }
 
+  if (!args.get("trace-out").empty()) {
+    obs::TraceRecorder::global().enable();
+    obs::TraceRecorder::global().name_this_thread("main");
+  }
+  if (args.get_flag("progress")) obs::Progress::global().enable();
+
+  // Writes --metrics-out and --trace-out if requested. Shared between the
+  // success path and the abort path: a failed campaign still leaves a story
+  // in the metrics registry and the phase tree, so flush it either way.
+  const auto flush_observability = [&args]() -> bool {
+    bool ok = true;
+    if (const std::string& metrics_path = args.get("metrics-out");
+        !metrics_path.empty()) {
+      std::ofstream metrics{metrics_path};
+      if (metrics) {
+        obs::write_observability_json(metrics);
+        std::cout << "metrics written to " << metrics_path << "\n";
+      } else {
+        std::cerr << "cannot write metrics to " << metrics_path << "\n";
+        ok = false;
+      }
+    }
+    if (const std::string& trace_path = args.get("trace-out");
+        !trace_path.empty()) {
+      std::ofstream trace{trace_path};
+      if (trace) {
+        obs::TraceRecorder::global().write_json(trace);
+        std::cout << "trace written to " << trace_path
+                  << " (load in chrome://tracing)\n";
+      } else {
+        std::cerr << "cannot write trace to " << trace_path << "\n";
+        ok = false;
+      }
+    }
+    return ok;
+  };
+
   std::cout << "running study: " << config.sc_probes << " SC probes, "
             << config.sc_campaign.days << " days, seed " << config.seed;
   if (config.threads > 1) {
@@ -321,6 +365,11 @@ int cmd_study(int argc, const char* const* argv) {
     study.run(control);
   } catch (const std::runtime_error& error) {
     std::cerr << "study failed: " << error.what() << "\n";
+    flush_observability();
+    if (config.fault_profile != fault::FaultProfile::None) {
+      print_fault_summary();
+    }
+    if (!args.get_flag("quiet")) print_observability_summary();
     return 1;
   }
   std::cout << "collected " << study.sc_dataset().pings.size() << " pings / "
@@ -347,6 +396,7 @@ int cmd_study(int argc, const char* const* argv) {
     // to report on. The checkpoint (if any) is the artefact.
     std::cout << "study stopped early; resume from --checkpoint-dir to "
                  "finish\n";
+    flush_observability();
     return 0;
   }
 
@@ -370,16 +420,7 @@ int cmd_study(int argc, const char* const* argv) {
   }
   std::cout << "artefacts written to " << out_dir.string() << "/\n";
 
-  if (const std::string& metrics_path = args.get("metrics-out");
-      !metrics_path.empty()) {
-    std::ofstream metrics{metrics_path};
-    if (!metrics) {
-      std::cerr << "cannot write metrics to " << metrics_path << "\n";
-      return 1;
-    }
-    obs::write_observability_json(metrics);
-    std::cout << "metrics written to " << metrics_path << "\n";
-  }
+  if (!flush_observability()) return 1;
   if (config.fault_profile != fault::FaultProfile::None) print_fault_summary();
   if (!args.get_flag("quiet")) print_observability_summary();
   return 0;
