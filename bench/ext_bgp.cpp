@@ -13,6 +13,7 @@
 #include "analysis/trace_analysis.hpp"
 #include "common.hpp"
 #include "topology/bgp.hpp"
+#include "topology/route_table.hpp"
 
 int main() {
   using namespace cloudrtt;
@@ -23,9 +24,12 @@ int main() {
       "traceroute AS-path lengths must agree");
 
   const core::Study& study = bench::shared_study();
-  const topology::BgpGraph graph = topology::BgpGraph::from_world(study.world());
+  const topology::BgpGraph& graph = study.world().bgp();
+  const topology::BgpRouteTable& routes = study.world().bgp_routes();
   std::cout << "\nAS graph: " << graph.as_count() << " ASes, "
-            << graph.edge_count() << " relationships\n\n";
+            << graph.edge_count() << " relationships ("
+            << routes.route_count() << " best routes flattened at world "
+            << "construction)\n\n";
 
   // True global tier-1s only: the regional wholesale carriers (Liquid,
   // Telxius, Telstra) don't count for the flattening metric.
@@ -47,7 +51,7 @@ int main() {
     std::size_t direct = 0;
     std::size_t tier1_free = 0;
     for (const topology::IspNetwork& isp : study.world().isps()) {
-      const auto route = graph.route(isp.asn, info.asn);
+      const auto route = routes.route(isp.asn, info.asn);
       if (!route) continue;
       ++reachable;
       length_sum += static_cast<double>(route->length());

@@ -204,7 +204,7 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
   dataset.reserve(config_.days * config_.daily_budget,
                   config_.days * config_.daily_budget);
 
-  const ParallelExecutor executor{config_.threads};
+  ParallelExecutor executor{config_.threads};
   std::vector<MeasurementTask> day_tasks;
   day_tasks.reserve(config_.daily_budget);
 

@@ -85,11 +85,14 @@ double Engine::diurnal_factor(const probes::Probe& probe, std::uint8_t slot) {
 
 Engine::PathDraw Engine::draw_path(const probes::Probe& probe,
                                    const topology::CloudEndpoint& endpoint,
-                                   util::Rng& rng, std::uint8_t slot) const {
+                                   util::Rng& rng, std::uint8_t slot,
+                                   MeasurementScratch& scratch) const {
   PathDraw draw;
   const topology::InterconnectMode mode =
       roll_mode(probe, *endpoint.region, rng);
-  draw.path = builder_.build(probe, endpoint, mode);
+  // The skeleton lookup consumes no RNG, so cache hits and misses leave the
+  // visit's random stream — and therefore the dataset bits — unchanged.
+  draw.path = cache_.lookup(probe, endpoint, mode, scratch.path);
   draw.last_mile = lastmile::draw(probe.lastmile, rng);
 
   const double base = draw.path.base_rtt_ms();
@@ -119,8 +122,11 @@ double Engine::icmp_penalty_ms(const probes::Probe& probe, util::Rng& rng) const
 PingRecord Engine::ping(const probes::Probe& probe,
                         const topology::CloudEndpoint& endpoint,
                         Protocol protocol, std::uint32_t day,
-                        util::Rng& rng, std::uint8_t slot) const {
-  const PathDraw draw = draw_path(probe, endpoint, rng, slot);
+                        util::Rng& rng, std::uint8_t slot,
+                        MeasurementScratch* scratch) const {
+  MeasurementScratch local;
+  const PathDraw draw =
+      draw_path(probe, endpoint, rng, slot, scratch != nullptr ? *scratch : local);
   PingRecord record;
   record.probe = &probe;
   record.region = endpoint.region;
@@ -141,7 +147,8 @@ PingRecord Engine::ping(const probes::Probe& probe,
 Engine::HttpRecord Engine::http_get(const probes::Probe& probe,
                                     const topology::CloudEndpoint& endpoint,
                                     util::Rng& rng) const {
-  const PathDraw draw = draw_path(probe, endpoint, rng, 0);
+  MeasurementScratch local;
+  const PathDraw draw = draw_path(probe, endpoint, rng, 0, local);
   // Each round trip of the exchange rides the same congestion state with
   // independent per-packet noise.
   const auto round_trip = [&] {
@@ -177,10 +184,13 @@ TraceRecord Engine::traceroute(const probes::Probe& probe,
                                const topology::CloudEndpoint& endpoint,
                                std::uint32_t day, util::Rng& rng,
                                TraceMethod method, std::uint8_t slot,
-                               const fault::TraceFaults* faults) const {
+                               const fault::TraceFaults* faults,
+                               MeasurementScratch* scratch) const {
   EngineMetrics& metrics = EngineMetrics::instance();
   metrics.traceroutes.inc();
-  const PathDraw draw = draw_path(probe, endpoint, rng, slot);
+  MeasurementScratch local;
+  const PathDraw draw =
+      draw_path(probe, endpoint, rng, slot, scratch != nullptr ? *scratch : local);
   TraceRecord record;
   record.probe = &probe;
   record.region = endpoint.region;

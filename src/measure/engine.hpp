@@ -8,20 +8,33 @@
 #include "fault/plan.hpp"
 #include "measure/records.hpp"
 #include "routing/path_builder.hpp"
+#include "routing/path_cache.hpp"
 #include "topology/world.hpp"
 #include "util/rng.hpp"
 
 namespace cloudrtt::measure {
 
+/// Caller-owned scratch for one measurement stream. The executor keeps one
+/// per worker so cache misses/bypasses rebuild into the same hop vector day
+/// after day instead of churning the heap; single-shot callers can omit it
+/// (a per-call local is used). Holds no RNG and never affects results.
+struct MeasurementScratch {
+  routing::ForwardingPath path;
+};
+
 class Engine {
  public:
   explicit Engine(const topology::World& world)
-      : world_(world), builder_(world) {}
+      : world_(world), builder_(world), cache_(world, builder_) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   [[nodiscard]] PingRecord ping(const probes::Probe& probe,
                                 const topology::CloudEndpoint& endpoint,
                                 Protocol protocol, std::uint32_t day,
-                                util::Rng& rng, std::uint8_t slot = 0) const;
+                                util::Rng& rng, std::uint8_t slot = 0,
+                                MeasurementScratch* scratch = nullptr) const;
 
   /// Traceroute flavour: Classic sends per-TTL probes whose flow identifiers
   /// vary, so ECMP segments answer from either sibling interface and inflate
@@ -37,7 +50,8 @@ class Engine {
                                        std::uint32_t day, util::Rng& rng,
                                        TraceMethod method = TraceMethod::Classic,
                                        std::uint8_t slot = 0,
-                                       const fault::TraceFaults* faults = nullptr) const;
+                                       const fault::TraceFaults* faults = nullptr,
+                                       MeasurementScratch* scratch = nullptr) const;
 
   /// Inter-datacenter ("horizontal") RTT between two regions — private WAN
   /// when the provider serves both, public carriers otherwise.
@@ -65,6 +79,7 @@ class Engine {
                                     util::Rng& rng) const;
 
   [[nodiscard]] const routing::PathBuilder& path_builder() const { return builder_; }
+  [[nodiscard]] const routing::PathCache& path_cache() const { return cache_; }
 
   /// Per-measurement interconnect-mode roll (pair policy + adherence).
   [[nodiscard]] topology::InterconnectMode roll_mode(
@@ -73,19 +88,23 @@ class Engine {
 
  private:
   struct PathDraw {
-    routing::ForwardingPath path;
+    /// Aliases either the cache's immutable block or the scratch build;
+    /// consumed within the measurement, before the scratch is reused.
+    routing::PathView path;
     lastmile::Sample last_mile;
     double congestion = 1.0;  ///< shared multiplicative factor this measurement
     double spike_ms = 0.0;    ///< transient congestion event
   };
   [[nodiscard]] PathDraw draw_path(const probes::Probe& probe,
                                    const topology::CloudEndpoint& endpoint,
-                                   util::Rng& rng, std::uint8_t slot) const;
+                                   util::Rng& rng, std::uint8_t slot,
+                                   MeasurementScratch& scratch) const;
   [[nodiscard]] double icmp_penalty_ms(const probes::Probe& probe,
                                        util::Rng& rng) const;
 
   const topology::World& world_;
   routing::PathBuilder builder_;
+  routing::PathCache cache_;
 };
 
 }  // namespace cloudrtt::measure

@@ -33,15 +33,20 @@ struct WorkerStats {
 
 void ParallelExecutor::execute(const Engine& engine,
                                std::span<const MeasurementTask> tasks,
-                               const util::Rng& chunk_root, Dataset& out) const {
+                               const util::Rng& chunk_root, Dataset& out) {
   const std::size_t n = tasks.size();
   if (n == 0) return;
   const std::size_t chunk_count = (n + kChunkSize - 1) / kChunkSize;
 
   // Results land in slots indexed by task position so the merge order is the
-  // schedule order no matter which worker ran which chunk.
-  std::vector<PingRecord> pings(n);
-  std::vector<TraceRecord> traces(n);
+  // schedule order no matter which worker ran which chunk. The slot vectors
+  // draw from the recycled staging arena: after the first day of a campaign
+  // these two allocations cost nothing.
+  staging_.reset();
+  std::vector<PingRecord, util::ArenaAllocator<PingRecord>> pings(
+      n, util::ArenaAllocator<PingRecord>{staging_});
+  std::vector<TraceRecord, util::ArenaAllocator<TraceRecord>> traces(
+      n, util::ArenaAllocator<TraceRecord>{staging_});
 
   obs::Registry& registry = obs::Registry::global();
   obs::Histogram& chunk_ms = registry.histogram(
@@ -53,9 +58,13 @@ void ParallelExecutor::execute(const Engine& engine,
   obs::Counter& busy_ms_total = registry.counter(
       "measure.worker_busy_ms_total",
       "Cumulative worker busy time across execute phases in milliseconds");
+  obs::Gauge& staging_high_water = registry.gauge(
+      "measure.staging_arena_high_water_bytes",
+      "High-water mark of the executor's per-day staging arena");
   obs::TraceRecorder& recorder = obs::TraceRecorder::global();
 
-  const auto run_chunk = [&](std::size_t chunk, WorkerStats& stats) {
+  const auto run_chunk = [&](std::size_t chunk, WorkerStats& stats,
+                             MeasurementScratch& scratch) {
     const std::uint64_t start_ns = obs::monotonic_ns();
     const util::Rng chunk_rng = chunk_root.fork(chunk);
     const std::size_t begin = chunk * kChunkSize;
@@ -64,10 +73,10 @@ void ParallelExecutor::execute(const Engine& engine,
       const MeasurementTask& task = tasks[i];
       util::Rng task_rng = chunk_rng.fork(i - begin);
       pings[i] = engine.ping(*task.probe, *task.endpoint, Protocol::Tcp,
-                             task.day, task_rng, task.slot);
+                             task.day, task_rng, task.slot, &scratch);
       traces[i] = engine.traceroute(*task.probe, *task.endpoint, task.day,
                                     task_rng, Engine::TraceMethod::Classic,
-                                    task.slot, task.trace_faults);
+                                    task.slot, task.trace_faults, &scratch);
     }
     const std::uint64_t end_ns = obs::monotonic_ns();
     stats.busy_ns += end_ns - start_ns;
@@ -84,12 +93,13 @@ void ParallelExecutor::execute(const Engine& engine,
   const std::uint64_t phase_start_ns = obs::monotonic_ns();
   const std::size_t workers = std::min<std::size_t>(threads_, chunk_count);
   std::vector<WorkerStats> stats(workers);
+  if (worker_scratch_.size() < workers) worker_scratch_.resize(workers);
 
   // One worker drains the shared chunk counter until it runs dry. The gap
   // between finishing one chunk and starting the next is queue wait — with a
   // lock-free counter it should stay near zero; growth means the chunks are
   // too small or the allocator is contended.
-  const auto drain = [&](WorkerStats& stats_entry,
+  const auto drain = [&](WorkerStats& stats_entry, MeasurementScratch& scratch,
                          std::atomic<std::size_t>& next_chunk) {
     stats_entry.start_ns = obs::monotonic_ns();
     std::uint64_t idle_since = stats_entry.start_ns;
@@ -97,7 +107,7 @@ void ParallelExecutor::execute(const Engine& engine,
          chunk = next_chunk.fetch_add(1)) {
       const std::uint64_t pick_ns = obs::monotonic_ns();
       stats_entry.wait_ns += pick_ns - idle_since;
-      run_chunk(chunk, stats_entry);
+      run_chunk(chunk, stats_entry, scratch);
       idle_since = obs::monotonic_ns();
     }
     stats_entry.end_ns = obs::monotonic_ns();
@@ -106,7 +116,7 @@ void ParallelExecutor::execute(const Engine& engine,
   if (workers <= 1) {
     stats[0].start_ns = phase_start_ns;
     for (std::size_t chunk = 0; chunk < chunk_count; ++chunk) {
-      run_chunk(chunk, stats[0]);
+      run_chunk(chunk, stats[0], worker_scratch_[0]);
     }
     stats[0].end_ns = obs::monotonic_ns();
   } else {
@@ -119,7 +129,7 @@ void ParallelExecutor::execute(const Engine& engine,
         recorder.name_this_thread("worker " + std::to_string(worker));
       }
       try {
-        drain(stats[worker], next_chunk);
+        drain(stats[worker], worker_scratch_[worker], next_chunk);
       } catch (...) {
         stats[worker].end_ns = obs::monotonic_ns();
         const std::scoped_lock lock{failure_mutex};
@@ -182,6 +192,7 @@ void ParallelExecutor::execute(const Engine& engine,
                                {{"tasks", static_cast<double>(n)}});
     }
   }
+  staging_high_water.set(static_cast<double>(staging_.high_water_bytes()));
 }
 
 }  // namespace cloudrtt::measure

@@ -21,12 +21,14 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "fault/plan.hpp"
 #include "measure/engine.hpp"
 #include "measure/records.hpp"
 #include "probes/fleet.hpp"
 #include "topology/world.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace cloudrtt::measure {
@@ -58,11 +60,20 @@ class ParallelExecutor {
   /// the same value to get the same records at any thread count. With one
   /// worker (or few tasks) this degenerates to an inline loop — no pool.
   /// Worker exceptions are rethrown here after all workers have joined.
+  /// Non-const: the executor owns per-day scratch (the staging arena and
+  /// per-worker path scratch) that it recycles between calls — state that
+  /// never influences the records, only the allocation count.
   void execute(const Engine& engine, std::span<const MeasurementTask> tasks,
-               const util::Rng& chunk_root, Dataset& out) const;
+               const util::Rng& chunk_root, Dataset& out);
 
  private:
   unsigned threads_;
+  /// Result-slot staging for the current day; reset (not freed) per call so
+  /// steady-state days allocate nothing.
+  util::Arena staging_;
+  /// One per worker, indexed by worker id; each is touched by exactly one
+  /// thread during execute().
+  std::vector<MeasurementScratch> worker_scratch_;
 };
 
 }  // namespace cloudrtt::measure

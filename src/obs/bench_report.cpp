@@ -196,6 +196,14 @@ CompareResult compare_reports(const BenchReport& baseline,
   for (const BenchSection& cand : candidate.sections) {
     if (baseline.section(cand.name) == nullptr) {
       result.new_in_candidate.push_back(cand.name);
+      // Candidate-only sections still get a table line — newly added
+      // benchmarks must show up in the comparison, not vanish — but with no
+      // baseline there is nothing to regress against.
+      CompareResult::Line line;
+      line.section = cand.name;
+      line.candidate_ms = cand.p50_ms();
+      line.is_new = true;
+      result.lines.push_back(line);
     }
   }
   if (result.scales_comparable && !baseline.dataset_hash.empty() &&
@@ -211,6 +219,12 @@ void write_compare_text(std::ostream& out, const CompareResult& result,
   util::TextTable table;
   table.set_header({"section", "baseline p50", "candidate p50", "delta"});
   for (const CompareResult::Line& line : result.lines) {
+    if (line.is_new) {
+      table.add_row({line.section, "-",
+                     util::format_double(line.candidate_ms, 2) + " ms",
+                     "new"});
+      continue;
+    }
     table.add_row({line.section,
                    util::format_double(line.baseline_ms, 2) + " ms",
                    util::format_double(line.candidate_ms, 2) + " ms",
@@ -221,9 +235,6 @@ void write_compare_text(std::ostream& out, const CompareResult& result,
   out << table.render();
   for (const std::string& name : result.missing_in_candidate) {
     out << "missing in candidate: " << name << "\n";
-  }
-  for (const std::string& name : result.new_in_candidate) {
-    out << "new in candidate: " << name << "\n";
   }
   if (!result.scales_comparable) {
     out << "note: scale knobs differ, dataset hashes not compared\n";

@@ -80,6 +80,9 @@ struct CompareResult {
     double candidate_ms = 0.0;
     double delta_pct = 0.0;
     bool regression = false;
+    /// Candidate-only section (a newly added benchmark): rendered with an
+    /// empty baseline column and never counted as a regression.
+    bool is_new = false;
   };
   std::vector<Line> lines;
   /// Sections present in only one report (renamed suite = not comparable).

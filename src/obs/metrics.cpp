@@ -86,6 +86,10 @@ void Histogram::record(double value) {
 double Histogram::quantile(double q) const {
   const std::uint64_t total = count();
   if (total == 0) return 0.0;
+  // With one sample every quantile IS that sample; the bucket interpolation
+  // below would report the bucket's geometric midpoint, up to ~9% under the
+  // recorded value.
+  if (total == 1) return max();
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total);
   std::uint64_t seen = 0;

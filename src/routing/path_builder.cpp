@@ -203,6 +203,15 @@ ForwardingPath PathBuilder::build(const probes::Probe& probe,
                                   const topology::CloudEndpoint& endpoint,
                                   topology::InterconnectMode mode) const {
   ForwardingPath path;
+  build_into(probe, endpoint, mode, path);
+  return path;
+}
+
+void PathBuilder::build_into(const probes::Probe& probe,
+                             const topology::CloudEndpoint& endpoint,
+                             topology::InterconnectMode mode,
+                             ForwardingPath& path) const {
+  path.hops.clear();
   path.mode = mode;
   Builder b{world_, path};
 
@@ -348,7 +357,6 @@ ForwardingPath PathBuilder::build(const probes::Probe& probe,
   // --- datacenter -------------------------------------------------------------
   b.push(endpoint.dc_router, cloud_asn, region.location, false, true, 0.35);
   b.push(endpoint.vm_ip, cloud_asn, region.location, false, true, 0.25);
-  return path;
 }
 
 ForwardingPath PathBuilder::build_interdc(const topology::CloudEndpoint& src,

@@ -30,6 +30,14 @@ class PathBuilder {
                                      const topology::CloudEndpoint& endpoint,
                                      topology::InterconnectMode mode) const;
 
+  /// build() into caller-owned storage: `out` is cleared but keeps its hop
+  /// capacity, so a reused scratch path allocates only on its deepest build.
+  /// This is the PathCache miss/bypass entry point — the allocation-free
+  /// variant the per-visit hot loop calls.
+  void build_into(const probes::Probe& probe,
+                  const topology::CloudEndpoint& endpoint,
+                  topology::InterconnectMode mode, ForwardingPath& out) const;
+
   /// "Horizontal" inter-datacenter path (§3.1): providers with a WAN serving
   /// both regions ride their private backbone; everyone else hauls between
   /// the DC metros over carriers and the public Internet — which is exactly

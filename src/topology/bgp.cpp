@@ -76,7 +76,6 @@ void BgpGraph::add_customer_provider(Asn customer, Asn provider) {
   node(customer).providers.push_back(provider);
   node(provider).customers.push_back(customer);
   ++edge_count_;
-  route_cache_.clear();
 }
 
 void BgpGraph::add_peering(Asn a, Asn b) {
@@ -84,7 +83,6 @@ void BgpGraph::add_peering(Asn a, Asn b) {
   node(a).peers.push_back(b);
   node(b).peers.push_back(a);
   ++edge_count_;
-  route_cache_.clear();
 }
 
 bool BgpGraph::has_edge(Asn a, Asn b) const {
@@ -178,17 +176,12 @@ BgpGraph BgpGraph::from_world(const World& world) {
   return graph;
 }
 
-const std::unordered_map<Asn, BgpRoute>& BgpGraph::routes_to(Asn origin) const {
-  // Node-based map: the returned reference stays valid across later inserts,
-  // and nothing ever erases, so releasing the lock before use is safe.
-  const std::scoped_lock lock{cache_mutex_};
-  const auto it = route_cache_.find(origin);
-  if (it != route_cache_.end()) return it->second;
-  return route_cache_.emplace(origin, compute_routes(origin)).first->second;
+std::unordered_map<Asn, BgpRoute> BgpGraph::routes_to(Asn origin) const {
+  return compute_routes(origin);
 }
 
 std::optional<BgpRoute> BgpGraph::route(Asn from, Asn origin) const {
-  const auto& routes = routes_to(origin);
+  const auto routes = compute_routes(origin);
   const auto it = routes.find(from);
   if (it == routes.end()) return std::nullopt;
   return it->second;
@@ -284,7 +277,7 @@ std::unordered_map<Asn, BgpRoute> BgpGraph::compute_routes(Asn origin) const {
   return best;
 }
 
-bool BgpGraph::is_valley_free(const std::vector<Asn>& as_path) const {
+bool BgpGraph::is_valley_free(std::span<const Asn> as_path) const {
   // Classify each step and check the up*-peer?-down* shape.
   enum class Step { Up, Peer, Down };
   bool seen_peer_or_down = false;

@@ -15,8 +15,9 @@
 // shortest AS path, then the lowest next-hop ASN (deterministic tiebreak).
 // All best routes under these preferences are valley-free by construction.
 
-#include <mutex>
+#include <initializer_list>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -49,22 +50,6 @@ class BgpGraph {
  public:
   BgpGraph() = default;
 
-  // The route-cache mutex is not movable; moves only happen while the graph
-  // is being assembled (single-threaded), so a moved graph simply starts
-  // with a fresh mutex over the moved cache.
-  BgpGraph(BgpGraph&& other) noexcept
-      : nodes_{std::move(other.nodes_)},
-        edge_count_{other.edge_count_},
-        route_cache_{std::move(other.route_cache_)} {}
-  BgpGraph& operator=(BgpGraph&& other) noexcept {
-    nodes_ = std::move(other.nodes_);
-    edge_count_ = other.edge_count_;
-    route_cache_ = std::move(other.route_cache_);
-    return *this;
-  }
-  BgpGraph(const BgpGraph&) = delete;
-  BgpGraph& operator=(const BgpGraph&) = delete;
-
   /// Derive the AS-level business graph from an assembled world:
   ///  * tier-1 carriers form a full peer mesh;
   ///  * continental transit ASes buy from nearby tier-1s;
@@ -82,15 +67,22 @@ class BgpGraph {
   [[nodiscard]] std::size_t as_count() const { return nodes_.size(); }
   [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
 
-  /// Best routes from every AS towards `origin` (cached per origin).
-  [[nodiscard]] const std::unordered_map<Asn, BgpRoute>& routes_to(Asn origin) const;
+  /// Best routes from every AS towards `origin`, computed on demand. The
+  /// graph holds no cache (and therefore no mutex): campaigns query the
+  /// flattened BgpRouteTable the world materializes at construction; this
+  /// entry point exists for analyses and tests that mutate the graph.
+  [[nodiscard]] std::unordered_map<Asn, BgpRoute> routes_to(Asn origin) const;
 
   /// Best route from one AS towards an origin; nullopt when policy hides it.
   [[nodiscard]] std::optional<BgpRoute> route(Asn from, Asn origin) const;
 
   /// Valley-free check for an AS path (each edge classified against the
   /// graph; a path may step "down" at most once and never up after down).
-  [[nodiscard]] bool is_valley_free(const std::vector<Asn>& as_path) const;
+  /// Accepts owned vectors and the flattened table's path views alike.
+  [[nodiscard]] bool is_valley_free(std::span<const Asn> as_path) const;
+  [[nodiscard]] bool is_valley_free(std::initializer_list<Asn> as_path) const {
+    return is_valley_free(std::span<const Asn>{as_path.begin(), as_path.size()});
+  }
 
  private:
   struct Node {
@@ -105,10 +97,6 @@ class BgpGraph {
 
   std::unordered_map<Asn, Node> nodes_;
   std::size_t edge_count_ = 0;
-  mutable std::mutex cache_mutex_;
-  // lint:allow(mutable-member): guarded by cache_mutex_
-  mutable std::unordered_map<Asn, std::unordered_map<Asn, BgpRoute>>
-      route_cache_;
 };
 
 }  // namespace cloudrtt::topology

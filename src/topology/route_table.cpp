@@ -1,0 +1,82 @@
+#include "topology/route_table.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cloudrtt::topology {
+
+BgpRouteTable BgpRouteTable::materialize(const BgpGraph& graph,
+                                         std::span<const Asn> origins) {
+  std::vector<Asn> sorted{origins.begin(), origins.end()};
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  BgpRouteTable table;
+  table.blocks_.reserve(sorted.size());
+  for (const Asn origin : sorted) {
+    const std::unordered_map<Asn, BgpRoute> routes = graph.routes_to(origin);
+    std::vector<std::pair<Asn, const BgpRoute*>> ordered;
+    ordered.reserve(routes.size());
+    for (const auto& [from, route] : routes) {  // lint:allow(unordered-iter): sorted by source ASN immediately below
+      ordered.emplace_back(from, &route);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    OriginBlock block;
+    block.origin = origin;
+    block.entries.reserve(ordered.size());
+    for (const auto& [from, route] : ordered) {
+      CLOUDRTT_CHECK(route->as_path.size() <= 0xffff, "AS path towards ",
+                     origin, " exceeds the flattened length field");
+      Entry entry;
+      entry.from = from;
+      entry.offset = static_cast<std::uint32_t>(table.path_pool_.size());
+      entry.length = static_cast<std::uint16_t>(route->as_path.size());
+      entry.type = route->type;
+      table.path_pool_.insert(table.path_pool_.end(), route->as_path.begin(),
+                              route->as_path.end());
+      block.entries.push_back(entry);
+    }
+    table.blocks_.push_back(std::move(block));
+  }
+  return table;
+}
+
+const BgpRouteTable::OriginBlock* BgpRouteTable::block(Asn origin) const {
+  const auto it = std::lower_bound(
+      blocks_.begin(), blocks_.end(), origin,
+      [](const OriginBlock& entry, Asn value) { return entry.origin < value; });
+  if (it == blocks_.end() || it->origin != origin) return nullptr;
+  return &*it;
+}
+
+std::optional<BgpRouteTable::Route> BgpRouteTable::route(Asn from,
+                                                         Asn origin) const {
+  const OriginBlock* origin_block = block(origin);
+  if (origin_block == nullptr) return std::nullopt;
+  const auto it = std::lower_bound(
+      origin_block->entries.begin(), origin_block->entries.end(), from,
+      [](const Entry& entry, Asn value) { return entry.from < value; });
+  if (it == origin_block->entries.end() || it->from != from) {
+    return std::nullopt;
+  }
+  Route route;
+  route.as_path = std::span<const Asn>{path_pool_}.subspan(it->offset,
+                                                           it->length);
+  route.type = it->type;
+  return route;
+}
+
+bool BgpRouteTable::has_origin(Asn origin) const {
+  return block(origin) != nullptr;
+}
+
+std::size_t BgpRouteTable::route_count() const {
+  std::size_t total = 0;
+  for (const OriginBlock& entry : blocks_) total += entry.entries.size();
+  return total;
+}
+
+}  // namespace cloudrtt::topology

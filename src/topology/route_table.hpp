@@ -1,0 +1,72 @@
+#pragma once
+// BgpRouteTable: the Gao-Rexford decision process flattened into a lookup
+// table, the way AddressPlan flattened router addressing.
+//
+// BgpGraph::routes_to() runs a three-phase propagation (customer BFS up, one
+// peering hop across, provider fixed-point down) every time it is asked —
+// fine for a one-off analysis, wasteful when campaigns and benches query the
+// same handful of cloud origins over and over. The world runs the decision
+// process once per cloud-provider ASN at construction time and freezes the
+// result here: per-origin entry blocks sorted by source ASN (binary search,
+// no hashing) over one shared AS-path pool. After construction the table is
+// immutable — lock-free and safe for concurrent readers, like every other
+// materialized world structure.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "topology/asn.hpp"
+#include "topology/bgp.hpp"
+
+namespace cloudrtt::topology {
+
+class BgpRouteTable {
+ public:
+  /// A flattened best route; the path view aliases the table's pool and
+  /// stays valid for the table's lifetime.
+  struct Route {
+    std::span<const Asn> as_path;  ///< from the route holder to the origin
+    RouteType type = RouteType::Origin;
+
+    [[nodiscard]] std::size_t length() const { return as_path.size(); }
+  };
+
+  BgpRouteTable() = default;
+
+  /// Run the decision process for each origin and freeze the results.
+  /// Origins are deduplicated; entry order inside a block is sorted by
+  /// source ASN, so the table layout is deterministic regardless of the
+  /// graph's internal hash order.
+  [[nodiscard]] static BgpRouteTable materialize(const BgpGraph& graph,
+                                                 std::span<const Asn> origins);
+
+  /// Best route from `from` towards `origin`; nullopt when policy hides the
+  /// origin from that AS or the origin was never materialized.
+  [[nodiscard]] std::optional<Route> route(Asn from, Asn origin) const;
+
+  [[nodiscard]] bool has_origin(Asn origin) const;
+  [[nodiscard]] std::size_t origin_count() const { return blocks_.size(); }
+  /// Total flattened (from, origin) entries across all origins.
+  [[nodiscard]] std::size_t route_count() const;
+
+ private:
+  struct Entry {
+    Asn from = 0;
+    std::uint32_t offset = 0;  ///< into path_pool_
+    std::uint16_t length = 0;
+    RouteType type = RouteType::Origin;
+  };
+  struct OriginBlock {
+    Asn origin = 0;
+    std::vector<Entry> entries;  ///< sorted by `from`
+  };
+
+  [[nodiscard]] const OriginBlock* block(Asn origin) const;
+
+  std::vector<OriginBlock> blocks_;  ///< sorted by `origin`
+  std::vector<Asn> path_pool_;
+};
+
+}  // namespace cloudrtt::topology

@@ -70,6 +70,7 @@ World::World(const WorldConfig& config)
     obs::Span phase = obs::span("materialize");
     materialize_address_plan();
     materialize_policies();
+    materialize_bgp();
   }
   obs::Registry& registry = obs::Registry::global();
   registry.gauge("world.ases").set(static_cast<double>(registry_.size()));
@@ -77,6 +78,8 @@ World::World(const WorldConfig& config)
   registry.gauge("world.endpoints").set(static_cast<double>(endpoints_.size()));
   registry.gauge("world.rib_prefixes").set(static_cast<double>(rib_.size()));
   registry.gauge("world.router_sites").set(static_cast<double>(address_plan_.size()));
+  registry.gauge("world.bgp_routes")
+      .set(static_cast<double>(bgp_routes_.route_count()));
   registry.gauge("world.policies").set(static_cast<double>(policies_.size()));
   CLOUDRTT_LOG_DEBUG("world.built", {"seed", config_.seed},
                      {"ases", registry_.size()}, {"isps", isps_.size()},
@@ -425,6 +428,20 @@ void World::materialize_policies() {
     }
   }
   policies_.freeze();
+}
+
+void World::materialize_bgp() {
+  // Derive the business graph last: it reads the interconnect policies and
+  // the continental-transit assignments, both frozen above. Campaigns only
+  // ever ask for routes towards cloud origins, so those are the blocks the
+  // flattened table carries; analyses needing other origins run the decision
+  // process on bgp() directly.
+  bgp_ = BgpGraph::from_world(*this);
+  std::array<Asn, cloud::kProviderCount> origins{};
+  for (std::size_t i = 0; i < cloud::kAllProviders.size(); ++i) {
+    origins[i] = cloud::provider_info(cloud::kAllProviders[i]).asn;
+  }
+  bgp_routes_ = BgpRouteTable::materialize(bgp_, origins);
 }
 
 const PairPolicy& World::interconnect(Asn isp_asn, cloud::ProviderId provider,

@@ -36,8 +36,10 @@
 #include "topology/address_plan.hpp"
 #include "topology/as_registry.hpp"
 #include "topology/backbone.hpp"
+#include "topology/bgp.hpp"
 #include "topology/interconnect.hpp"
 #include "topology/isp.hpp"
+#include "topology/route_table.hpp"
 #include "util/rng.hpp"
 
 namespace cloudrtt::topology {
@@ -121,6 +123,13 @@ class World {
   /// The frozen interconnect policy table.
   [[nodiscard]] const PolicyTable& policy_table() const { return policies_; }
 
+  /// The AS-level business graph derived from this world (for analyses that
+  /// re-run the decision process or mutate a copy of the graph).
+  [[nodiscard]] const BgpGraph& bgp() const { return bgp_; }
+  /// The flattened best-route table towards every cloud-provider origin,
+  /// materialized at construction — a pure lock-free lookup.
+  [[nodiscard]] const BgpRouteTable& bgp_routes() const { return bgp_routes_; }
+
   // --- analysis bootstrap data --------------------------------------------------
   /// Announced prefixes (the "RIB dump" PyASN would ingest).
   [[nodiscard]] const std::vector<RibEntry>& rib_dump() const { return rib_; }
@@ -145,6 +154,8 @@ class World {
   void materialize_address_plan();
   /// Pre-compute every <ISP, provider, continent> interconnect decision.
   void materialize_policies();
+  /// Derive the AS graph and flatten best routes towards every cloud origin.
+  void materialize_bgp();
 
   [[nodiscard]] net::Ipv4Prefix allocate_infra(Asn asn, std::uint8_t length,
                                                bool announced);
@@ -174,6 +185,8 @@ class World {
 
   AddressPlan address_plan_;
   PolicyTable policies_;
+  BgpGraph bgp_;
+  BgpRouteTable bgp_routes_;
 
   std::vector<RibEntry> rib_;
   std::vector<RibEntry> whois_;

@@ -1,0 +1,142 @@
+#pragma once
+// Bump-pointer arena for hot-loop scratch.
+//
+// The campaign executor allocates the same shapes every simulated day —
+// result staging slots, hop vectors, trace rows — then throws them all away
+// at once. A chained-block bump allocator turns that churn into pointer
+// arithmetic: allocation is an add, deallocation is free (reset() rewinds
+// every block in one step and keeps the memory for the next day). Blocks are
+// retained across reset() so a steady-state day performs zero heap calls.
+//
+// Not thread-safe: one Arena per owner (per worker, per cache shard). The
+// owner is responsible for external synchronisation, exactly like any other
+// non-atomic member.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cloudrtt::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = std::size_t{64} * 1024;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Raw storage, aligned to `align` (a power of two no larger than
+  /// alignof(std::max_align_t) — blocks come from operator new[]).
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
+    CLOUDRTT_DCHECK(align != 0 && (align & (align - 1)) == 0,
+                    "arena alignment ", align, " is not a power of two");
+    CLOUDRTT_DCHECK(align <= alignof(std::max_align_t), "arena alignment ",
+                    align, " exceeds the block alignment");
+    if (bytes == 0) bytes = 1;
+    while (true) {
+      if (active_ < blocks_.size()) {
+        Block& block = blocks_[active_];
+        const std::size_t aligned = align_up(block.used, align);
+        if (aligned <= block.capacity && bytes <= block.capacity - aligned) {
+          live_ += (aligned - block.used) + bytes;
+          if (live_ > high_water_) high_water_ = live_;
+          block.used = aligned + bytes;
+          return block.data.get() + aligned;
+        }
+        ++active_;  // bump semantics: never revisit a filled block
+        continue;
+      }
+      // Oversized requests get a dedicated block; everything else shares
+      // uniform blocks so reset() can recycle them for any workload.
+      const std::size_t capacity =
+          bytes + align > block_bytes_ ? bytes + align : block_bytes_;
+      blocks_.push_back(
+          Block{std::make_unique<std::byte[]>(capacity), capacity, 0});
+      reserved_ += capacity;
+    }
+  }
+
+  template <typename T>
+  [[nodiscard]] T* allocate_array(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Invalidate every allocation and rewind; blocks are retained, so the
+  /// next fill of the same shape performs no heap calls.
+  void reset() {
+    for (Block& block : blocks_) block.used = 0;
+    active_ = 0;
+    live_ = 0;
+  }
+
+  /// Bytes handed out (including alignment padding) since the last reset().
+  [[nodiscard]] std::size_t live_bytes() const { return live_; }
+  /// Largest live_bytes() ever observed — the gauge the metrics export.
+  [[nodiscard]] std::size_t high_water_bytes() const { return high_water_; }
+  /// Bytes held from the system across resets.
+  [[nodiscard]] std::size_t reserved_bytes() const { return reserved_; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] static std::size_t align_up(std::size_t offset,
+                                            std::size_t align) {
+    return (offset + align - 1) & ~(align - 1);
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  ///< blocks_[active_] is the current bump target
+  std::size_t block_bytes_;
+  std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+/// std::allocator-compatible handle so standard containers (the executor's
+/// per-day staging vectors) can draw from an Arena. deallocate() is a no-op:
+/// memory comes back only via Arena::reset(), which the container's owner
+/// calls after the container is gone.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) noexcept : arena_(&arena) {}
+
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept  // NOLINT(google-explicit-constructor): rebind requires converting construction
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t count) {
+    return arena_->allocate_array<T>(count);
+  }
+  void deallocate(T* /*ptr*/, std::size_t /*count*/) noexcept {}
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  [[nodiscard]] bool operator!=(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace cloudrtt::util

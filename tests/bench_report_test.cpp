@@ -1,6 +1,8 @@
 // BenchReport: schema round-trip through write_json/parse, the regression
-// threshold and dataset-hash drift semantics behind tools/bench_compare, and
-// the comparability rule (hashes only mean something at identical scale).
+// threshold and dataset-hash drift semantics behind tools/bench_compare, the
+// comparability rule (hashes only mean something at identical scale), and
+// the pinned small-sample percentile semantics (single-sample and even-count
+// p50, Histogram::quantile at one sample).
 
 #include <gtest/gtest.h>
 
@@ -8,6 +10,7 @@
 #include <string>
 
 #include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
 
 namespace cloudrtt::obs {
 namespace {
@@ -48,6 +51,46 @@ TEST(BenchReportTest, SectionPercentiles) {
   section.wall_ms = {10.0, 20.0};
   EXPECT_DOUBLE_EQ(section.p50_ms(), 15.0);  // even count: midpoint
   EXPECT_DOUBLE_EQ(BenchSection{}.p50_ms(), 0.0);
+}
+
+TEST(BenchReportTest, SingleSampleIsItsOwnMedian) {
+  // One repetition (the CI bench-smoke --reps edge): every percentile is
+  // the sample itself, exactly — no interpolation artifacts.
+  BenchSection section;
+  section.wall_ms = {7.5};
+  EXPECT_DOUBLE_EQ(section.p50_ms(), 7.5);
+  EXPECT_DOUBLE_EQ(section.min_ms(), 7.5);
+  EXPECT_DOUBLE_EQ(section.max_ms(), 7.5);
+  EXPECT_DOUBLE_EQ(section.mean_ms(), 7.5);
+  // Four samples: midpoint of the two middle ones.
+  section.wall_ms = {40.0, 10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(section.p50_ms(), 25.0);
+}
+
+TEST(HistogramQuantileTest, SingleSampleIsExact) {
+  Histogram histogram;
+  histogram.record(42.0);
+  // The log-bucketed histogram cannot invent precision it doesn't have, but
+  // with one sample every quantile IS that sample (previously the geometric
+  // bucket midpoint under-reported it by up to ~9%).
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 42.0);
+}
+
+TEST(HistogramQuantileTest, SmallCountsStayInsideTheSampleRange) {
+  Histogram histogram;
+  histogram.record(10.0);
+  histogram.record(1000.0);
+  // Two samples: p50 resolves inside the lower sample's bucket (log buckets
+  // are ~19% wide, so the bound is loose but must bracket the sample)...
+  EXPECT_GE(histogram.quantile(0.5), 10.0 * 0.99);
+  EXPECT_LE(histogram.quantile(0.5), 10.0 * 1.20);
+  // ...and the extreme quantiles never escape the recorded range.
+  EXPECT_LE(histogram.quantile(1.0), 1000.0);
+  EXPECT_GE(histogram.quantile(0.0), 10.0 * 0.80);
+  // Empty histogram: a defined zero, not NaN.
+  EXPECT_DOUBLE_EQ(Histogram{}.quantile(0.5), 0.0);
 }
 
 TEST(BenchReportTest, JsonRoundTripPreservesEveryField) {
@@ -150,17 +193,57 @@ TEST(BenchCompareTest, HashDriftOnlyComparedAtIdenticalScale) {
   EXPECT_FALSE(result.hash_drift);
 }
 
+TEST(BenchCompareTest, ZeroThresholdFailsOnAnyRegression) {
+  // --max-regress-pct 0 means "any slowdown fails", not "use the default".
+  const BenchReport baseline = sample_report();
+  BenchReport candidate = sample_report();
+  candidate.sections[1].wall_ms = {51.5, 51.5};  // +0.98% over the 51.0 p50
+
+  CompareOptions options;
+  options.max_regress_pct = 0.0;
+  const CompareResult slower = compare_reports(baseline, candidate, options);
+  ASSERT_EQ(slower.lines.size(), 2u);
+  EXPECT_FALSE(slower.lines[0].regression);
+  EXPECT_TRUE(slower.lines[1].regression);
+  EXPECT_TRUE(slower.wall_clock_regressed());
+
+  // Bit-identical timings are not a regression even at zero tolerance...
+  candidate.sections[1].wall_ms = baseline.sections[1].wall_ms;
+  EXPECT_FALSE(
+      compare_reports(baseline, candidate, options).wall_clock_regressed());
+
+  // ...and neither is a speedup.
+  candidate.sections[1].wall_ms = {40.0, 40.0};
+  EXPECT_FALSE(
+      compare_reports(baseline, candidate, options).wall_clock_regressed());
+}
+
 TEST(BenchCompareTest, RenamedSectionsAreReportedNotMatched) {
   const BenchReport baseline = sample_report();
   BenchReport candidate = sample_report();
   candidate.sections[1].name = "campaign_day_t8";
 
   const CompareResult result = compare_reports(baseline, candidate);
-  ASSERT_EQ(result.lines.size(), 1u);  // only world_build matched
+  // world_build matched; campaign_day_t8 appears as a candidate-only line so
+  // newly added benchmarks surface in the table instead of vanishing.
+  ASSERT_EQ(result.lines.size(), 2u);
+  EXPECT_EQ(result.lines[0].section, "world_build");
+  EXPECT_FALSE(result.lines[0].is_new);
+  EXPECT_EQ(result.lines[1].section, "campaign_day_t8");
+  EXPECT_TRUE(result.lines[1].is_new);
+  EXPECT_FALSE(result.lines[1].regression);
+  EXPECT_DOUBLE_EQ(result.lines[1].candidate_ms, 51.0);
+  EXPECT_FALSE(result.wall_clock_regressed());
   ASSERT_EQ(result.missing_in_candidate.size(), 1u);
   EXPECT_EQ(result.missing_in_candidate[0], "campaign_day_t4");
   ASSERT_EQ(result.new_in_candidate.size(), 1u);
   EXPECT_EQ(result.new_in_candidate[0], "campaign_day_t8");
+
+  // The rendered table carries the new row with an empty baseline column.
+  std::ostringstream rendered;
+  write_compare_text(rendered, result, CompareOptions{});
+  EXPECT_NE(rendered.str().find("campaign_day_t8"), std::string::npos);
+  EXPECT_NE(rendered.str().find("new"), std::string::npos);
 }
 
 }  // namespace

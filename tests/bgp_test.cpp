@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "topology/bgp.hpp"
+#include "topology/route_table.hpp"
 #include "topology/world.hpp"
 
 namespace cloudrtt::topology {
@@ -127,18 +130,51 @@ TEST_F(SmallGraph, UnknownOriginHasNoRoutes) {
 class WorldBgp : public ::testing::Test {
  protected:
   World world_{WorldConfig{77}};
-  BgpGraph graph_ = BgpGraph::from_world(world_);
+  const BgpGraph& graph_ = world_.bgp();
+  const BgpRouteTable& table_ = world_.bgp_routes();
 };
 
 TEST_F(WorldBgp, EveryIspReachesEveryCloud) {
   for (const cloud::ProviderId provider : cloud::kAllProviders) {
     const Asn cloud_asn = cloud::provider_info(provider).asn;
-    const auto& routes = graph_.routes_to(cloud_asn);
+    ASSERT_TRUE(table_.has_origin(cloud_asn));
     for (const IspNetwork& isp : world_.isps()) {
-      EXPECT_TRUE(routes.contains(isp.asn))
+      EXPECT_TRUE(table_.route(isp.asn, cloud_asn).has_value())
           << isp.name << " cannot reach " << cloud::provider_info(provider).ticker;
     }
   }
+}
+
+TEST_F(WorldBgp, FlattenedTableMatchesDecisionProcess) {
+  // The materialized table must agree with a fresh run of the decision
+  // process, path for path and type for type, at every (ISP, cloud) pair.
+  for (const cloud::ProviderId provider : cloud::kAllProviders) {
+    const Asn cloud_asn = cloud::provider_info(provider).asn;
+    const auto routes = graph_.routes_to(cloud_asn);
+    std::size_t checked = 0;
+    for (const IspNetwork& isp : world_.isps()) {
+      const auto flat = table_.route(isp.asn, cloud_asn);
+      const auto it = routes.find(isp.asn);
+      ASSERT_EQ(flat.has_value(), it != routes.end()) << isp.name;
+      if (!flat) continue;
+      EXPECT_EQ(flat->type, it->second.type) << isp.name;
+      ASSERT_EQ(flat->length(), it->second.length()) << isp.name;
+      EXPECT_TRUE(std::equal(flat->as_path.begin(), flat->as_path.end(),
+                             it->second.as_path.begin()))
+          << isp.name;
+      ++checked;
+    }
+    EXPECT_GT(checked, 0u);
+  }
+}
+
+TEST_F(WorldBgp, TableDoesNotCarryUnmaterializedOrigins) {
+  // Only cloud origins are flattened; a random ISP ASN is not a block.
+  const Asn isp_asn = world_.isps().front().asn;
+  EXPECT_FALSE(table_.has_origin(isp_asn));
+  EXPECT_FALSE(table_.route(42, isp_asn).has_value());
+  EXPECT_EQ(table_.origin_count(), cloud::kAllProviders.size());
+  EXPECT_GT(table_.route_count(), 0u);
 }
 
 TEST_F(WorldBgp, AllIspToCloudRoutesAreValleyFree) {
@@ -147,7 +183,7 @@ TEST_F(WorldBgp, AllIspToCloudRoutesAreValleyFree) {
         cloud::ProviderId::Ibm}) {
     const Asn cloud_asn = cloud::provider_info(provider).asn;
     for (const IspNetwork& isp : world_.isps()) {
-      const auto route = graph_.route(isp.asn, cloud_asn);
+      const auto route = table_.route(isp.asn, cloud_asn);
       ASSERT_TRUE(route.has_value());
       EXPECT_TRUE(graph_.is_valley_free(route->as_path)) << isp.name;
     }
@@ -160,7 +196,7 @@ TEST_F(WorldBgp, HypergiantsAreFlatterThanSmallClouds) {
     double sum = 0.0;
     std::size_t n = 0;
     for (const IspNetwork& isp : world_.isps()) {
-      if (const auto route = graph_.route(isp.asn, cloud_asn)) {
+      if (const auto route = table_.route(isp.asn, cloud_asn)) {
         sum += static_cast<double>(route->length());
         ++n;
       }
@@ -182,7 +218,7 @@ TEST_F(WorldBgp, HypergiantsAreFlatterThanSmallClouds) {
 TEST_F(WorldBgp, DirectPeeringShowsUpAsTwoAsPaths) {
   // Vodafone -> Microsoft is a direct peering in the paper's Fig. 12a.
   const auto route =
-      graph_.route(3209, cloud::provider_info(cloud::ProviderId::Microsoft).asn);
+      table_.route(3209, cloud::provider_info(cloud::ProviderId::Microsoft).asn);
   ASSERT_TRUE(route.has_value());
   EXPECT_EQ(route->length(), 2u);
   EXPECT_EQ(route->type, RouteType::Peer);
@@ -196,7 +232,7 @@ TEST_F(WorldBgp, BgpAgreesWithTracerouteModelOnPathLengthOrdering) {
     double sum = 0.0;
     std::size_t n = 0;
     for (const IspNetwork& isp : world_.isps()) {
-      if (const auto route = graph_.route(isp.asn, cloud_asn)) {
+      if (const auto route = table_.route(isp.asn, cloud_asn)) {
         sum += static_cast<double>(route->length());
         ++n;
       }

@@ -116,7 +116,7 @@ TEST(ParallelGate, KillAndResumeWithAtlasAtFourThreads) {
 }
 
 TEST(ParallelGate, BusyAccountingIsPublishedAtDayEnd) {
-  baseline(23);  // guarantees at least one campaign execute phase has run
+  (void)baseline(23);  // guarantees at least one campaign execute phase has run
   const obs::Registry::Snapshot snap = obs::Registry::global().snapshot();
 
   // The executor publishes a busy fraction in (0, 1] and a monotonically

@@ -65,7 +65,9 @@ struct RecorderGuard {
     } else if (phase == "C") {
       const util::JsonValue* args = event.find("args");
       EXPECT_NE(args, nullptr);
-      if (args != nullptr) EXPECT_NE(args->find("value"), nullptr);
+      if (args != nullptr) {
+        EXPECT_NE(args->find("value"), nullptr);
+      }
     } else {
       ADD_FAILURE() << "unexpected phase '" << phase << "'";
     }

@@ -59,9 +59,16 @@ int main(int argc, char** argv) {
   if (!baseline || !candidate) return 3;
 
   obs::CompareOptions options;
-  if (const long pct = args.get_int("max-regress-pct"); pct > 0) {
-    options.max_regress_pct = static_cast<double>(pct);
+  // 0 is a meaningful threshold — "any regression fails" — so only reject
+  // negatives; everything else overrides the default.
+  const long pct = args.get_int("max-regress-pct");
+  if (pct < 0) {
+    std::cerr << "bench_compare: --max-regress-pct must be >= 0 (0 = fail on "
+                 "any regression), got "
+              << pct << "\n";
+    return 3;
   }
+  options.max_regress_pct = static_cast<double>(pct);
   const obs::CompareResult result =
       obs::compare_reports(*baseline, *candidate, options);
 
