@@ -7,8 +7,11 @@
 //   campaign_day_tN    one paper-scale campaign day at each --threads value;
 //                      every run's dataset hash must be bit-identical to the
 //                      first (the recorder refuses to time a wrong dataset)
-//   checkpoint_save    per-day snapshot of the collected dataset
+//   checkpoint_save    legacy (format=2) full-CSV snapshot of the dataset
 //   checkpoint_load    validated resume from that snapshot
+//   spill_day          streaming store: frame + checksum + append + commit
+//                      the same day through store::ShardWriter, then prove
+//                      the spilled store reloads to the same bits
 //   export_hash        FNV-1a over the full exported dataset
 //
 // and writes a schema-versioned obs::BenchReport. tools/bench_compare diffs
@@ -32,6 +35,9 @@
 #include "obs/process.hpp"
 #include "obs/trace_events.hpp"
 #include "probes/fleet.hpp"
+#include "store/io_env.hpp"
+#include "store/salvage.hpp"
+#include "store/shard_writer.hpp"
 #include "topology/world.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -93,7 +99,7 @@ int main(int argc, char** argv) {
   args.add_option("seed", "7", "world/study seed");
   args.add_option("threads", "1,4,8",
                   "comma-separated worker counts for the campaign-day sweep");
-  args.add_option("bench-id", "7", "the <n> in BENCH_<n>.json");
+  args.add_option("bench-id", "8", "the <n> in BENCH_<n>.json");
   args.add_option("out", "", "report path (default BENCH_<bench-id>.json)");
   args.add_option("trace-out", "",
                   "also write a Chrome-trace JSON of the suite");
@@ -227,6 +233,39 @@ int main(int argc, char** argv) {
   }
   std::error_code cleanup_error;
   std::filesystem::remove_all(ckpt_dir, cleanup_error);
+
+  // --- spill_day -----------------------------------------------------------
+  // Streaming-store throughput: the per-day work the day_rows hook adds to
+  // a campaign (framing, checksumming, fsynced appends, manifest commit).
+  {
+    const std::filesystem::path spill_dir =
+        std::filesystem::temp_directory_path() / "cloudrtt-perf-spill";
+    store::IoEnv io;
+    measure::CampaignState done;
+    done.next_day = days;
+    obs::BenchSection section;
+    section.name = "spill_day";
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      const obs::Stopwatch watch;
+      store::ShardWriter writer{spill_dir,
+                                store::StoreMeta{"speedchecker", seed}, 1, io,
+                                /*fresh=*/true};
+      CLOUDRTT_CHECK(writer.adopt(reference_data, done),
+                     "spill was not durable");
+      section.wall_ms.push_back(watch.elapsed_ms());
+    }
+    // One salvage-validated reopen: the spilled store must reload to the
+    // exact bits the campaign collected.
+    const store::OpenResult opened = store::open_store(
+        spill_dir, "speedchecker", io, &fleet, nullptr, /*repair=*/false);
+    CLOUDRTT_CHECK(opened.ok(), "spilled store failed to open: ",
+                   opened.error);
+    CLOUDRTT_CHECK(core::dataset_hash(opened.data) == reference_hash,
+                   "spill round-trip changed the dataset hash");
+    report.sections.push_back(std::move(section));
+    std::error_code spill_cleanup;
+    std::filesystem::remove_all(spill_dir, spill_cleanup);
+  }
 
   // --- export_hash ---------------------------------------------------------
   {

@@ -5,9 +5,12 @@
 #include <sstream>
 #include <system_error>
 #include <unordered_map>
+#include <utility>
 
 #include "core/export.hpp"
 #include "core/import.hpp"
+#include "store/io_env.hpp"
+#include "store/salvage.hpp"
 #include "util/check.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -45,12 +48,6 @@ namespace fs = std::filesystem;
   fs::rename(tmp, target, ec);
   if (ec) return "rename to " + target.string() + " failed: " + ec.message();
   return {};
-}
-
-[[nodiscard]] std::string first_error(const ImportStats& stats) {
-  if (stats.errors.empty()) return "no detail";
-  return "line " + std::to_string(stats.errors.front().line) + ": " +
-         stats.errors.front().message;
 }
 
 }  // namespace
@@ -145,6 +142,29 @@ CheckpointLoad load_checkpoint(const fs::path& dir, std::string_view platform,
                std::errc{} &&
            !text.empty();
   };
+  if (kv["format"] == "3") {
+    // Streaming-store checkpoint: the dataset lives in per-lane shard files,
+    // not CSVs — delegate to the store layer. Read-only: a plain load never
+    // truncates torn tails (Study's resume path opens with repair).
+    store::IoEnv io;
+    store::OpenResult opened = store::open_store(
+        dir, platform, io, sc_fleet, atlas_fleet, /*repair=*/false);
+    if (!opened.ok()) {
+      result.error = opened.error;
+      return result;
+    }
+    result.meta.state = opened.state;
+    result.meta.seed = opened.meta.seed;
+    result.meta.fault_profile = opened.meta.fault_profile;
+    result.data = std::move(opened.data);
+    obs::Registry::global().counter("checkpoint.loads_total").inc();
+    CLOUDRTT_LOG_INFO("checkpoint.loaded", {"platform", result.meta.platform},
+                      {"format", 3},
+                      {"next_day", result.meta.state.next_day},
+                      {"pings", result.data.pings.size()},
+                      {"traces", result.data.traces.size()});
+    return result;
+  }
   if (kv["format"] == "1") {
     result.error =
         "checkpoint uses legacy format=1 (router-replay quartets); router "
@@ -182,7 +202,7 @@ CheckpointLoad load_checkpoint(const fs::path& dir, std::string_view platform,
     return result;
   }
   if (!ping_stats.clean()) {
-    result.error = "pings checkpoint corrupt: " + first_error(ping_stats);
+    result.error = "pings checkpoint corrupt: " + ping_stats.error_summary();
     return result;
   }
   if (result.data.pings.size() != expect_pings) {
@@ -204,7 +224,7 @@ CheckpointLoad load_checkpoint(const fs::path& dir, std::string_view platform,
     return result;
   }
   if (!trace_stats.clean()) {
-    result.error = "traces checkpoint corrupt: " + first_error(trace_stats);
+    result.error = "traces checkpoint corrupt: " + trace_stats.error_summary();
     return result;
   }
   if (result.data.traces.size() != expect_traces) {

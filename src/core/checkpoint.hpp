@@ -18,6 +18,12 @@
 // topology/address_plan.hpp), so a fresh world with the same seed already
 // agrees with any snapshot; format=2 drops the file, and loaders reject
 // format=1 explicitly rather than silently ignoring its allocator state.
+// format=3 replaces the per-day full CSV rewrite with the streaming store
+// (store/shard_writer.hpp): rows spill incrementally to per-lane shard
+// files and the manifest commit is O(lanes), not O(dataset).
+// load_checkpoint transparently reads both 2 and 3; save_checkpoint remains
+// the legacy format=2 writer (Study migrates such checkpoints to format=3
+// on first resume).
 //
 // All writes go to a .tmp sibling first and are renamed into place, so a
 // crash mid-save leaves the previous checkpoint intact; import-side trailer

@@ -8,23 +8,15 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/rng.hpp"
 #include "util/text.hpp"
 
 namespace cloudrtt::core {
 
 namespace {
 
-/// Continue an FNV-1a hash over more bytes (util::fnv1a seeds it).
-[[nodiscard]] std::uint64_t fnv1a_accum(std::uint64_t hash,
-                                        std::string_view text) {
-  for (const char ch : text) {
-    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+using util::fnv1a_accum;
+constexpr std::uint64_t kFnvBasis = util::kFnv1aBasis;
 
 /// Row writer that optionally hashes every data row (header excluded) so the
 /// integrity trailer covers exactly what import will re-hash.

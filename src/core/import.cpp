@@ -8,6 +8,8 @@
 #include <unordered_map>
 
 #include "cloud/region.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
 #include "util/text.hpp"
 
 namespace cloudrtt::core {
@@ -75,20 +77,27 @@ void record_error(ImportStats& stats, std::size_t line_no, std::string message) 
   }
 }
 
+/// Export the *total* rejected-row count — `errors` retains only the first
+/// kMaxErrors, but the metric (and error_summary) must not under-report a
+/// wholly corrupt file.
+void count_row_errors(const ImportStats& stats) {
+  if (stats.skipped == 0) return;
+  obs::Registry::global()
+      .counter("import.row_errors_total",
+               "input rows rejected during dataset import (all of them, "
+               "including those past the retained-error cap)")
+      .inc(stats.skipped);
+}
+
 constexpr std::string_view kTrailerPrefix = "#cloudrtt-integrity ";
-constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
 
 /// Streaming FNV-1a over the data rows, mirrored by core/export's RowSink.
 struct IntegrityTracker {
-  std::uint64_t hash = kFnvBasis;
+  std::uint64_t hash = util::kFnv1aBasis;
 
   void add_line(const std::string& line) {
-    for (const char ch : line) {
-      hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
-      hash *= 0x100000001b3ULL;
-    }
-    hash ^= static_cast<std::uint64_t>('\n');
-    hash *= 0x100000001b3ULL;
+    hash = util::fnv1a_accum(hash, line);
+    hash = util::fnv1a_accum(hash, "\n");
   }
 
   /// Validate a trailer line against the rows hashed so far; records the
@@ -137,6 +146,20 @@ struct IntegrityTracker {
 };
 
 }  // namespace
+
+std::string ImportStats::error_summary() const {
+  if (errors.empty()) return "no detail";
+  std::string summary = "line " + std::to_string(errors.front().line) + ": " +
+                        errors.front().message;
+  if (skipped > errors.size()) {
+    summary += " (and " + std::to_string(skipped - errors.size()) +
+               " more suppressed; " + std::to_string(skipped) +
+               " errors total)";
+  } else if (skipped > 1) {
+    summary += " (" + std::to_string(skipped) + " errors total)";
+  }
+  return summary;
+}
 
 ImportStats import_pings_csv(std::istream& in, const probes::ProbeFleet* sc_fleet,
                              const probes::ProbeFleet* atlas_fleet,
@@ -217,6 +240,7 @@ ImportStats import_pings_csv(std::istream& in, const probes::ProbeFleet* sc_flee
     out.pings.push_back(record);
     ++stats.imported;
   }
+  count_row_errors(stats);
   return stats;
 }
 
@@ -340,6 +364,7 @@ ImportStats import_traces_csv(std::istream& in, const probes::ProbeFleet* sc_fle
     current.hops.push_back(hop);
   }
   flush();
+  count_row_errors(stats);
   return stats;
 }
 

@@ -40,6 +40,12 @@ struct ImportStats {
   bool trailer_ok = true;
 
   [[nodiscard]] bool clean() const { return skipped == 0 && trailer_ok; }
+
+  /// Human-readable digest of the failures: the first retained error plus —
+  /// because `errors` is capped at kMaxErrors while `skipped` counts them
+  /// all — how many further errors were suppressed. Every skipped row is
+  /// also counted in the `import.row_errors_total` metric.
+  [[nodiscard]] std::string error_summary() const;
 };
 
 /// Parse a pings CSV (as written by export_pings_csv). Probe ids are

@@ -1,11 +1,17 @@
 #include "core/study.hpp"
 
+#include <filesystem>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "core/checkpoint.hpp"
 #include "obs/log.hpp"
 #include "obs/trace.hpp"
+#include "store/io_env.hpp"
+#include "store/salvage.hpp"
+#include "store/shard_writer.hpp"
 #include "util/check.hpp"
 
 namespace cloudrtt::core {
@@ -35,51 +41,144 @@ Study::Study(StudyConfig config) : config_(config) {
 
 void Study::run() { run(RunControl{}); }
 
+namespace {
+
+[[noreturn]] void throw_seed_mismatch(std::string_view platform,
+                                      const std::filesystem::path& manifest,
+                                      std::uint64_t found,
+                                      std::uint64_t expected) {
+  throw std::runtime_error{
+      "Study::run: checkpoint for '" + std::string{platform} + "' at " +
+      manifest.string() + " was written by seed " + std::to_string(found) +
+      ", this study uses seed " + std::to_string(expected) +
+      " — rerun with the original seed or point --checkpoint-dir elsewhere"};
+}
+
+}  // namespace
+
 bool Study::run_campaign(std::string_view platform,
                          const measure::Campaign& campaign, util::Rng rng,
                          const fault::FaultPlan* plan,
                          const RunControl& control, measure::Dataset& out) {
   measure::CampaignState start;
   measure::Dataset dataset;
-  if (control.resume && !control.checkpoint_dir.empty() &&
-      checkpoint_exists(control.checkpoint_dir, platform)) {
-    CheckpointLoad load = load_checkpoint(control.checkpoint_dir, platform,
-                                          sc_fleet_.get(), atlas_fleet_.get());
-    if (!load.ok()) {
-      throw std::runtime_error{"Study::run: cannot resume '" +
-                               std::string{platform} + "': " + load.error};
+
+  const bool persist = !control.checkpoint_dir.empty();
+  const std::filesystem::path store_dir =
+      control.spill_dir.empty() ? std::filesystem::path{control.checkpoint_dir}
+                                : std::filesystem::path{control.spill_dir};
+
+  // The store's filesystem seam: plain POSIX, or the fault-injecting
+  // decorator when the study is configured to stress its own durability.
+  store::IoEnv plain_io;
+  std::optional<store::FaultyIoEnv> faulty_io;
+  store::IoEnv* io = &plain_io;
+  if (config_.io_fault_profile != fault::FaultProfile::None) {
+    faulty_io.emplace(fault::IoFaults::for_profile(config_.io_fault_profile),
+                      config_.fault_seed ^ util::fnv1a(platform));
+    io = &*faulty_io;
+  }
+
+  std::unique_ptr<store::ShardWriter> writer;
+  if (persist) {
+    store::StoreMeta meta;
+    meta.platform = std::string{platform};
+    meta.seed = config_.seed;
+    meta.fault_profile = std::string{to_string(config_.fault_profile)};
+    const int format =
+        control.resume ? store::manifest_format(store_dir, platform, *io) : 0;
+    if (format == 3) {
+      store::OpenResult opened = store::open_store(
+          store_dir, platform, *io, sc_fleet_.get(), atlas_fleet_.get(),
+          /*repair=*/true);
+      if (!opened.ok()) {
+        throw std::runtime_error{"Study::run: cannot resume '" +
+                                 std::string{platform} + "': " + opened.error};
+      }
+      if (opened.meta.seed != config_.seed) {
+        throw_seed_mismatch(platform,
+                            store::store_manifest_path(store_dir, platform),
+                            opened.meta.seed, config_.seed);
+      }
+      start = opened.state;
+      dataset = std::move(opened.data);
+      writer = std::make_unique<store::ShardWriter>(
+          store_dir, meta, opened.lane_states.size(), *io, /*fresh=*/false);
+      writer->restore(opened.lane_states, dataset.pings.size(),
+                      dataset.traces.size());
+      if (!opened.salvage.clean()) {
+        CLOUDRTT_LOG_WARN("study.salvaged", {"platform", platform},
+                          {"blocks", opened.salvage.salvaged_blocks},
+                          {"rows", opened.salvage.salvaged_rows},
+                          {"dropped", opened.salvage.dropped_blocks},
+                          {"truncated_bytes", opened.salvage.truncated_bytes});
+        // Journal the salvage right away: the repaired lanes + a manifest
+        // carrying day_tasks_done are the new commit point, so a crash
+        // during the resumed run never re-salvages the same tail. Drain so
+        // the journal is durable before any resumed day enqueues rows.
+        (void)writer->commit(start);
+        writer->drain();
+      }
+      CLOUDRTT_LOG_INFO("study.resume", {"platform", platform},
+                        {"next_day", start.next_day},
+                        {"day_tasks_done", start.day_tasks_done},
+                        {"pings", dataset.pings.size()});
+    } else if (control.resume && (format == 2 || format == 1)) {
+      CheckpointLoad load = load_checkpoint(
+          control.checkpoint_dir, platform, sc_fleet_.get(), atlas_fleet_.get());
+      if (!load.ok()) {
+        throw std::runtime_error{"Study::run: cannot resume '" +
+                                 std::string{platform} + "': " + load.error};
+      }
+      if (load.meta.seed != config_.seed) {
+        throw_seed_mismatch(
+            platform,
+            std::filesystem::path{control.checkpoint_dir} /
+                (std::string{platform} + ".manifest"),
+            load.meta.seed, config_.seed);
+      }
+      start = load.meta.state;
+      dataset = std::move(load.data);
+      // One-way migration: rewrite the legacy CSV checkpoint as a streaming
+      // store so every later day spills flat-cost. The writer wipes the old
+      // artefact set (same manifest path) before adopting the rows.
+      writer = std::make_unique<store::ShardWriter>(
+          store_dir, meta, std::max(1u, config_.threads), *io, /*fresh=*/true);
+      if (!writer->adopt(dataset, start)) {
+        CLOUDRTT_LOG_WARN("study.migrate_degraded", {"platform", platform});
+      }
+      CLOUDRTT_LOG_INFO("study.migrated_checkpoint", {"platform", platform},
+                        {"next_day", start.next_day},
+                        {"pings", dataset.pings.size()});
+    } else {
+      writer = std::make_unique<store::ShardWriter>(
+          store_dir, meta, std::max(1u, config_.threads), *io, /*fresh=*/true);
     }
-    if (load.meta.seed != config_.seed) {
-      throw std::runtime_error{
-          "Study::run: checkpoint for '" + std::string{platform} +
-          "' was written by seed " + std::to_string(load.meta.seed) +
-          ", this study uses " + std::to_string(config_.seed)};
-    }
-    start = load.meta.state;
-    dataset = std::move(load.data);
-    CLOUDRTT_LOG_INFO("study.resume", {"platform", platform},
-                      {"next_day", start.next_day},
-                      {"pings", dataset.pings.size()});
   }
 
   measure::RunHooks hooks;
   hooks.faults = plan;
   bool stopped = false;
-  if (!control.checkpoint_dir.empty() || control.stop_after_day) {
+  if (writer != nullptr) {
+    hooks.day_rows = [&writer](std::uint32_t day, std::size_t day_start_cursor,
+                               std::uint32_t first_task,
+                               std::span<const measure::PingRecord> pings,
+                               std::span<const measure::TraceRecord> traces) {
+      // Failures degrade, never abort: the writer queues the blocks and
+      // retries on later days (degrade-don't-die).
+      (void)writer->append_day(day, day_start_cursor, first_task, pings,
+                               traces);
+    };
+  }
+  if (writer != nullptr || control.stop_after_day) {
     hooks.after_day = [&](const measure::CampaignState& state,
                           const measure::Dataset& data) {
-      if (!control.checkpoint_dir.empty()) {
-        CheckpointMeta meta;
-        meta.state = state;
-        meta.seed = config_.seed;
-        meta.platform = std::string{platform};
-        meta.fault_profile = std::string{to_string(config_.fault_profile)};
-        if (const std::string err =
-                save_checkpoint(control.checkpoint_dir, meta, data);
-            !err.empty()) {
-          CLOUDRTT_LOG_WARN("study.checkpoint_failed", {"platform", platform},
-                            {"error", err});
-        }
+      (void)data;
+      // commit() is advisory (the worker retires it asynchronously): false
+      // means the store was already degraded, so surface the backlog.
+      if (writer != nullptr && !writer->commit(state)) {
+        CLOUDRTT_LOG_WARN("study.checkpoint_failed", {"platform", platform},
+                          {"pending_blocks", writer->pending_blocks()});
       }
       if (control.stop_after_day && state.next_day >= *control.stop_after_day) {
         stopped = true;
@@ -89,6 +188,13 @@ bool Study::run_campaign(std::string_view platform,
     };
   }
   out = campaign.run(rng, start, hooks, std::move(dataset));
+  if (writer != nullptr) {
+    // The spill worker ran behind the campaign; wait out whatever tail is
+    // left so "run_campaign returned" means "the store is quiescent". The
+    // span makes a too-slow spill pipeline visible in --trace-out.
+    obs::Span drain_span = obs::span("store.drain");
+    writer->drain();
+  }
   return !stopped;
 }
 

@@ -50,6 +50,11 @@ struct StudyConfig {
   /// Fault-episode intensity applied to both campaigns; None (default) runs
   /// the campaigns bit-identically to a build without the fault subsystem.
   fault::FaultProfile fault_profile = fault::FaultProfile::None;
+  /// Disk-fault intensity for the streaming store's I/O layer (EIO, torn
+  /// appends, lying fsyncs — see store::FaultyIoEnv). Independent of
+  /// `fault_profile`: I/O faults decide what is durable, never what the
+  /// dataset contains, so any value leaves the dataset bits unchanged.
+  fault::FaultProfile io_fault_profile = fault::FaultProfile::None;
   /// Seed of the fault schedule, independent of the study seed so the same
   /// world can be stressed with different failure histories.
   std::uint64_t fault_seed = 1337;
@@ -85,9 +90,18 @@ struct StudyConfig {
 /// How one run() invocation interacts with persistence and early stopping.
 struct RunControl {
   /// Directory for per-day checkpoints; empty disables checkpointing.
+  /// Checkpoints are written as a format=3 streaming store: rows spill to
+  /// per-lane shard files at the end of every day and an atomically-renamed
+  /// manifest is the commit point (see store/shard_writer.hpp).
   std::string checkpoint_dir;
+  /// Where shard files spill; empty = alongside the checkpoints in
+  /// `checkpoint_dir`. Lets a campaign stream to scratch storage while the
+  /// (tiny) manifest lives with the rest of the run's artefacts.
+  std::string spill_dir;
   /// Resume from `checkpoint_dir` when a committed checkpoint exists there
-  /// (resuming replays the remaining days bit-identically). Throws
+  /// (resuming replays the remaining days bit-identically, salvaging any
+  /// uncommitted shard tail a crash left behind; a legacy format=2 CSV
+  /// checkpoint is migrated to the streaming store first). Throws
   /// std::runtime_error when the checkpoint is corrupt or from another seed.
   bool resume = false;
   /// Stop each campaign once this many days have completed (campaign days

@@ -41,6 +41,29 @@ FaultIntensity FaultIntensity::for_profile(FaultProfile profile) {
   return intensity;
 }
 
+IoFaults IoFaults::for_profile(FaultProfile profile) {
+  IoFaults faults;
+  switch (profile) {
+    case FaultProfile::None:
+      break;
+    case FaultProfile::Mild:
+      // Occasional write hiccups: the store should ride through them with a
+      // handful of retried blocks and no degraded episodes longer than a day.
+      faults.append_error_rate = 0.02;
+      faults.short_write_rate = 0.01;
+      faults.fsync_failure_rate = 0.01;
+      break;
+    case FaultProfile::Harsh:
+      // Roughly one in five block appends fails some way; the crash-loop CI
+      // gate runs kill -9 on top of this and still demands bit-identity.
+      faults.append_error_rate = 0.10;
+      faults.short_write_rate = 0.05;
+      faults.fsync_failure_rate = 0.05;
+      break;
+  }
+  return faults;
+}
+
 double RetryPolicy::backoff_ms(std::size_t attempt, util::Rng& rng) const {
   const double exponent = attempt == 0 ? 0.0 : static_cast<double>(attempt - 1);
   const double nominal = base_backoff_ms * std::pow(2.0, exponent);

@@ -62,6 +62,25 @@ struct FaultIntensity {
   [[nodiscard]] static FaultIntensity for_profile(FaultProfile profile);
 };
 
+/// Disk-fault intensities for the streaming store (store::FaultyIoEnv).
+/// Probabilities are per I/O operation. Unlike the measurement fault classes
+/// above, I/O faults shape *durability*, never the dataset bits — salvage +
+/// deterministic replay reconstruct the same rows whatever the disk did — so
+/// their draws carry no cross-resume determinism contract.
+struct IoFaults {
+  double append_error_rate = 0.0;   ///< P[an append fails outright (EIO)]
+  double short_write_rate = 0.0;    ///< P[an append tears: prefix lands, then EIO]
+  double fsync_failure_rate = 0.0;  ///< P[data lands but fsync reports failure]
+  std::uint64_t disk_capacity_bytes = 0;  ///< 0 = unlimited; ENOSPC beyond
+
+  [[nodiscard]] bool any() const {
+    return append_error_rate > 0.0 || short_write_rate > 0.0 ||
+           fsync_failure_rate > 0.0 || disk_capacity_bytes > 0;
+  }
+  /// Documented presets behind the CLI's --io-fault-profile values.
+  [[nodiscard]] static IoFaults for_profile(FaultProfile profile);
+};
+
 /// Capped exponential backoff for failed task submissions. Delays are
 /// virtual (simulated) milliseconds: the simulator has no wall clock, but
 /// the histogram of produced delays documents the schedule and the cap.

@@ -226,6 +226,9 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
     std::size_t day_case_tasks = 0;
     std::size_t day_delivered = 0;
     std::size_t budget = config_.daily_budget;
+    // The cursor value the day *started* with: persisted with every spilled
+    // block so a mid-day salvage can replay the day's schedule phase.
+    const std::size_t day_start_cursor = cursor;
     util::Rng day_rng = rng.fork(day);
 
     // Today's fault episode, if any. Fault decisions draw from a forked
@@ -421,8 +424,25 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
     // (base rng, day) alone — never of thread timing.
     {
       obs::Span exec_span = obs::span("execute");
+      // On a mid-day resume the schedule phase above replayed the whole day
+      // (its draws are what keep cursor/budget evolution identical); the
+      // already-persisted prefix is skipped here, at execution time.
+      const std::size_t skip =
+          day == start.next_day ? start.day_tasks_done : 0;
+      CLOUDRTT_CHECK(skip <= day_tasks.size(), "resume says ", skip,
+                     " tasks of day ", day, " are done but the schedule ",
+                     "produced only ", day_tasks.size(),
+                     " (checkpoint from another configuration?)");
+      const std::size_t base_pings = dataset.pings.size();
+      const std::size_t base_traces = dataset.traces.size();
       const util::Rng exec_rng = day_rng.fork("exec");
-      executor.execute(engine_, day_tasks, exec_rng, dataset);
+      executor.execute(engine_, day_tasks, exec_rng, dataset, skip);
+      if (hooks.day_rows) {
+        hooks.day_rows(
+            day, day_start_cursor, static_cast<std::uint32_t>(skip),
+            std::span<const PingRecord>{dataset.pings}.subspan(base_pings),
+            std::span<const TraceRecord>{dataset.traces}.subspan(base_traces));
+      }
       day_tasks.clear();
     }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -63,6 +64,12 @@ struct CampaignConfig {
 struct CampaignState {
   std::uint32_t next_day = 0;
   std::size_t cursor = 0;
+  /// Tasks of `next_day` already executed and persisted. Nonzero only when
+  /// resuming mid-day from a salvaged streaming store: the schedule phase
+  /// replays the whole day deterministically, the execute phase skips the
+  /// first `day_tasks_done` tasks, and `cursor` still refers to the *start*
+  /// of `next_day` (the day's schedule must be re-derivable).
+  std::uint32_t day_tasks_done = 0;
 };
 
 /// Optional extension points for a campaign run. All default-inactive: a
@@ -70,6 +77,16 @@ struct CampaignState {
 struct RunHooks {
   /// Fault schedule; null = clean run (no fault RNG draws at all).
   const fault::FaultPlan* faults = nullptr;
+  /// Called after each executed day with the rows that day appended, before
+  /// after_day: `day_start_cursor` is the country cursor at the day's start
+  /// and `first_task` the day-relative index of the first new row (nonzero
+  /// on a mid-day resume). The streaming store hooks in here; measure itself
+  /// never depends on the store layer.
+  std::function<void(std::uint32_t day, std::size_t day_start_cursor,
+                     std::uint32_t first_task,
+                     std::span<const PingRecord> pings,
+                     std::span<const TraceRecord> traces)>
+      day_rows;
   /// Called after each completed day with the advanced state and the dataset
   /// so far (checkpointing). Return false to stop before the next day.
   std::function<bool(const CampaignState&, const Dataset&)> after_day;

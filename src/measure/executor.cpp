@@ -1,5 +1,6 @@
 #include "measure/executor.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -33,10 +34,14 @@ struct WorkerStats {
 
 void ParallelExecutor::execute(const Engine& engine,
                                std::span<const MeasurementTask> tasks,
-                               const util::Rng& chunk_root, Dataset& out) {
+                               const util::Rng& chunk_root, Dataset& out,
+                               std::size_t skip_tasks) {
   const std::size_t n = tasks.size();
-  if (n == 0) return;
+  if (n == 0 || skip_tasks >= n) return;
   const std::size_t chunk_count = (n + kChunkSize - 1) / kChunkSize;
+  // Chunks wholly inside the skipped prefix never run; the chunk indices of
+  // the rest are unchanged, so their RNG forks match a full run exactly.
+  const std::size_t first_chunk = skip_tasks / kChunkSize;
 
   // Results land in slots indexed by task position so the merge order is the
   // schedule order no matter which worker ran which chunk. The slot vectors
@@ -69,7 +74,7 @@ void ParallelExecutor::execute(const Engine& engine,
     const util::Rng chunk_rng = chunk_root.fork(chunk);
     const std::size_t begin = chunk * kChunkSize;
     const std::size_t end = std::min(begin + kChunkSize, n);
-    for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t i = std::max(begin, skip_tasks); i < end; ++i) {
       const MeasurementTask& task = tasks[i];
       util::Rng task_rng = chunk_rng.fork(i - begin);
       pings[i] = engine.ping(*task.probe, *task.endpoint, Protocol::Tcp,
@@ -91,7 +96,8 @@ void ParallelExecutor::execute(const Engine& engine,
   };
 
   const std::uint64_t phase_start_ns = obs::monotonic_ns();
-  const std::size_t workers = std::min<std::size_t>(threads_, chunk_count);
+  const std::size_t workers =
+      std::min<std::size_t>(threads_, chunk_count - first_chunk);
   std::vector<WorkerStats> stats(workers);
   if (worker_scratch_.size() < workers) worker_scratch_.resize(workers);
 
@@ -115,12 +121,12 @@ void ParallelExecutor::execute(const Engine& engine,
 
   if (workers <= 1) {
     stats[0].start_ns = phase_start_ns;
-    for (std::size_t chunk = 0; chunk < chunk_count; ++chunk) {
+    for (std::size_t chunk = first_chunk; chunk < chunk_count; ++chunk) {
       run_chunk(chunk, stats[0], worker_scratch_[0]);
     }
     stats[0].end_ns = obs::monotonic_ns();
   } else {
-    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> next_chunk{first_chunk};
     std::mutex failure_mutex;
     std::exception_ptr failure;
     const auto guarded = [&](std::size_t worker) {
@@ -181,15 +187,19 @@ void ParallelExecutor::execute(const Engine& engine,
     // for every worker-pool size.
     const obs::Span merge_span{"merge"};
     const std::uint64_t merge_start_ns = obs::monotonic_ns();
-    out.pings.insert(out.pings.end(), std::make_move_iterator(pings.begin()),
+    const auto skip =
+        static_cast<std::ptrdiff_t>(skip_tasks);  // slots [0, skip) never ran
+    out.pings.insert(out.pings.end(),
+                     std::make_move_iterator(pings.begin() + skip),
                      std::make_move_iterator(pings.end()));
     out.traces.insert(out.traces.end(),
-                      std::make_move_iterator(traces.begin()),
+                      std::make_move_iterator(traces.begin() + skip),
                       std::make_move_iterator(traces.end()));
     if (recorder.enabled()) {
-      recorder.record_complete("executor.merge", "executor", merge_start_ns,
-                               obs::monotonic_ns() - merge_start_ns,
-                               {{"tasks", static_cast<double>(n)}});
+      recorder.record_complete(
+          "executor.merge", "executor", merge_start_ns,
+          obs::monotonic_ns() - merge_start_ns,
+          {{"tasks", static_cast<double>(n - skip_tasks)}});
     }
   }
   staging_high_water.set(static_cast<double>(staging_.high_water_bytes()));

@@ -60,11 +60,18 @@ class ParallelExecutor {
   /// the same value to get the same records at any thread count. With one
   /// worker (or few tasks) this degenerates to an inline loop — no pool.
   /// Worker exceptions are rethrown here after all workers have joined.
+  /// `skip_tasks` elides execution (and appending) of the first tasks while
+  /// keeping the chunk decomposition and RNG forks of the remainder
+  /// identical to a full run — a mid-day resume executes tasks
+  /// [skip_tasks, n) with exactly the records a full run would have given
+  /// them, because each task's RNG is forked per (chunk, offset), never
+  /// advanced by its neighbours.
   /// Non-const: the executor owns per-day scratch (the staging arena and
   /// per-worker path scratch) that it recycles between calls — state that
   /// never influences the records, only the allocation count.
   void execute(const Engine& engine, std::span<const MeasurementTask> tasks,
-               const util::Rng& chunk_root, Dataset& out);
+               const util::Rng& chunk_root, Dataset& out,
+               std::size_t skip_tasks = 0);
 
  private:
   unsigned threads_;

@@ -1,0 +1,305 @@
+#include "store/codec.hpp"
+
+#include <bit>
+#include <charconv>
+#include <cstring>
+
+#include "net/ipv4.hpp"
+#include "topology/interconnect.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cloudrtt::store {
+
+namespace {
+
+// The payload is raw little-endian bytes; a big-endian port would need
+// byte-swapping in put_raw/get_raw before its stores interoperate.
+static_assert(std::endian::native == std::endian::little,
+              "store payload codec assumes a little-endian host");
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
+  CLOUDRTT_DCHECK(ec == std::errc{}, "u64 to_chars cannot fail");
+  out.append(buffer, ptr);
+}
+
+void append_hex16(std::string& out, std::uint64_t value) {
+  char buffer[17] = {};
+  std::to_chars(buffer, buffer + 16, value, 16);
+  out.append(16 - std::string_view{buffer}.size(), '0');
+  out += buffer;
+}
+
+template <typename T>
+[[nodiscard]] bool parse_number(std::string_view text, T& out, int base = 10) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out, base);
+  return ec == std::errc{} && ptr == text.data() + text.size() &&
+         !text.empty();
+}
+
+/// `key=value` scanner for the header line; returns false when `key` is not
+/// the next token.
+[[nodiscard]] bool take_field(std::string_view& rest, std::string_view key,
+                              std::string_view& value) {
+  if (!rest.starts_with(key) || rest.size() <= key.size() ||
+      rest[key.size()] != '=') {
+    return false;
+  }
+  rest.remove_prefix(key.size() + 1);
+  const std::size_t space = rest.find(' ');
+  value = rest.substr(0, space);
+  rest.remove_prefix(space == std::string_view::npos ? rest.size()
+                                                     : space + 1);
+  return true;
+}
+
+// -- fixed-layout payload primitives ----------------------------------------
+// One memcpy per field: the serializer runs on the spill worker, whose CPU
+// bill is the streaming mode's wall-clock overhead on single-core machines.
+
+template <typename T>
+void put_raw(char*& cursor, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(cursor, &value, sizeof(T));
+  cursor += sizeof(T);
+}
+
+void put_f64(char*& cursor, double value) {
+  put_raw(cursor, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Largest serialised task: 16 B ping + 22 B trace core + 255 * 14 B hops.
+inline constexpr std::size_t kMaxTaskBytes = 16 + 22 + 255 * 14;
+
+/// Reading cursor over a payload; get_raw advances it and fails instead of
+/// reading past the end (a checksum-valid block can still be logically
+/// malformed — e.g. written by a different build — so every read is bounded).
+struct Reader {
+  const char* cursor;
+  const char* end;
+
+  template <typename T>
+  [[nodiscard]] bool get_raw(T& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (static_cast<std::size_t>(end - cursor) < sizeof(T)) return false;
+    std::memcpy(&out, cursor, sizeof(T));
+    cursor += sizeof(T);
+    return true;
+  }
+
+  [[nodiscard]] bool get_f64(double& out) {
+    std::uint64_t bits = 0;
+    if (!get_raw(bits)) return false;
+    out = std::bit_cast<double>(bits);
+    return true;
+  }
+};
+
+/// Records carry pointers into the static RegionCatalog (world construction
+/// aliases its entries), so a catalog index is the exact, O(1) encoding.
+[[nodiscard]] std::uint16_t region_index(const cloud::RegionInfo* region) {
+  const std::span<const cloud::RegionInfo> all =
+      cloud::RegionCatalog::instance().all();
+  const auto index = static_cast<std::size_t>(region - all.data());
+  CLOUDRTT_CHECK(index < all.size(),
+                 "serialized record's region must come from the catalog");
+  return static_cast<std::uint16_t>(index);
+}
+
+}  // namespace
+
+std::string format_block_header(const BlockHeader& header) {
+  std::string line{kBlockMagic};
+  line += "seq=";
+  append_u64(line, header.seq);
+  line += " day=";
+  append_u64(line, header.day);
+  line += " start=";
+  append_u64(line, header.start);
+  line += " tasks=";
+  append_u64(line, header.tasks);
+  line += " cursor=";
+  append_u64(line, header.cursor);
+  line += " bytes=";
+  append_u64(line, header.bytes);
+  line += " fnv1a=";
+  append_hex16(line, header.fnv1a);
+  line += '\n';
+  return line;
+}
+
+bool parse_block_header(std::string_view line, BlockHeader& out) {
+  if (!line.starts_with(kBlockMagic)) return false;
+  std::string_view rest = line.substr(kBlockMagic.size());
+  std::string_view value;
+  return take_field(rest, "seq", value) && parse_number(value, out.seq) &&
+         take_field(rest, "day", value) && parse_number(value, out.day) &&
+         take_field(rest, "start", value) && parse_number(value, out.start) &&
+         take_field(rest, "tasks", value) && parse_number(value, out.tasks) &&
+         take_field(rest, "cursor", value) &&
+         parse_number(value, out.cursor) &&
+         take_field(rest, "bytes", value) && parse_number(value, out.bytes) &&
+         take_field(rest, "fnv1a", value) &&
+         parse_number(value, out.fnv1a, 16) && rest.empty();
+}
+
+void serialize_task(std::string& out, const measure::PingRecord& ping,
+                    const measure::TraceRecord& trace) {
+  serialize_task(out, ping, trace, std::span{trace.hops});
+}
+
+void serialize_task(std::string& out, const measure::PingRecord& ping,
+                    const measure::TraceRecord& trace,
+                    std::span<const measure::HopRecord> hops) {
+  // Assembled in a stack buffer and appended once: the serializer runs per
+  // task on the spill worker, so one bounds-checked string append beats
+  // ~46 field-sized ones.
+  char buffer[kMaxTaskBytes];
+  char* cursor = buffer;
+
+  // Ping: u32 probe | u16 region | u8 protocol | u8 slot | f64 rtt (16 B).
+  put_raw(cursor, ping.probe->id);
+  put_raw(cursor, region_index(ping.region));
+  put_raw(cursor, static_cast<std::uint8_t>(ping.protocol));
+  put_raw(cursor, ping.slot);
+  put_f64(cursor, ping.rtt_ms);
+
+  // Trace core: u32 probe | u16 region | u8 completed | u8 slot |
+  // u32 target | f64 end-to-end | u8 mode | u8 hop count (22 B).
+  CLOUDRTT_CHECK(hops.size() <= 255,
+                 "trace hop list exceeds the codec's u8 hop count");
+  put_raw(cursor, trace.probe->id);
+  put_raw(cursor, region_index(trace.region));
+  put_raw(cursor, static_cast<std::uint8_t>(trace.completed ? 1 : 0));
+  put_raw(cursor, trace.slot);
+  put_raw(cursor, trace.target_ip.value());
+  put_f64(cursor, trace.end_to_end_ms);
+  put_raw(cursor, static_cast<std::uint8_t>(trace.true_mode));
+  put_raw(cursor, static_cast<std::uint8_t>(hops.size()));
+
+  // Hops: u8 ttl | u8 responded | u32 ip | f64 rtt (14 B each). Silent
+  // hops keep their (zero) ip/rtt bytes: fixed layout beats the few bytes
+  // a conditional encoding would save.
+  for (const measure::HopRecord& hop : hops) {
+    put_raw(cursor, hop.ttl);
+    put_raw(cursor, static_cast<std::uint8_t>(hop.responded ? 1 : 0));
+    put_raw(cursor, hop.ip.value());
+    put_f64(cursor, hop.rtt_ms);
+  }
+  out.append(buffer, cursor);
+}
+
+RowBinder::RowBinder(const probes::ProbeFleet* sc_fleet,
+                     const probes::ProbeFleet* atlas_fleet) {
+  for (const probes::ProbeFleet* fleet : {sc_fleet, atlas_fleet}) {
+    if (fleet == nullptr) continue;
+    for (const probes::Probe& probe : fleet->probes()) {
+      probe_by_id_.emplace(probe.id, &probe);
+    }
+  }
+}
+
+std::string RowBinder::parse_block(std::string_view payload,
+                                   const BlockHeader& header,
+                                   measure::Dataset& out) const {
+  const std::span<const cloud::RegionInfo> regions =
+      cloud::RegionCatalog::instance().all();
+  Reader in{payload.data(), payload.data() + payload.size()};
+  const auto fail = [&](std::uint32_t task, std::string_view what) {
+    return "task " + std::to_string(header.start + task) + " of day " +
+           std::to_string(header.day) + ": " + std::string{what};
+  };
+  const auto bind_probe = [&](std::uint32_t id) {
+    const auto it = probe_by_id_.find(id);
+    return it == probe_by_id_.end() ? nullptr : it->second;
+  };
+
+  for (std::uint32_t task = 0; task < header.tasks; ++task) {
+    // -- ping record --------------------------------------------------------
+    measure::PingRecord ping;
+    std::uint32_t probe_id = 0;
+    std::uint16_t region = 0;
+    std::uint8_t protocol = 0;
+    if (!in.get_raw(probe_id) || !in.get_raw(region) ||
+        !in.get_raw(protocol) || !in.get_raw(ping.slot) ||
+        !in.get_f64(ping.rtt_ms)) {
+      return fail(task, "payload ends inside the ping record");
+    }
+    if (protocol > 1 || ping.slot > 5 || region >= regions.size()) {
+      return fail(task, "bad ping fields");
+    }
+    ping.probe = bind_probe(probe_id);
+    if (ping.probe == nullptr) {
+      return fail(task, "unknown probe id " + std::to_string(probe_id));
+    }
+    ping.region = &regions[region];
+    ping.protocol = static_cast<measure::Protocol>(protocol);
+    ping.day = header.day;
+
+    // -- trace record -------------------------------------------------------
+    measure::TraceRecord trace;
+    std::uint8_t completed = 0;
+    std::uint32_t target = 0;
+    std::uint8_t mode = 0;
+    std::uint8_t hop_count = 0;
+    if (!in.get_raw(probe_id) || !in.get_raw(region) ||
+        !in.get_raw(completed) || !in.get_raw(trace.slot) ||
+        !in.get_raw(target) || !in.get_f64(trace.end_to_end_ms) ||
+        !in.get_raw(mode) || !in.get_raw(hop_count)) {
+      return fail(task, "payload ends inside the trace record");
+    }
+    if (completed > 1 || trace.slot > 5 || mode > 3 ||
+        region >= regions.size()) {
+      return fail(task, "bad trace fields");
+    }
+    trace.probe = bind_probe(probe_id);
+    if (trace.probe == nullptr) {
+      return fail(task, "unknown probe id " + std::to_string(probe_id));
+    }
+    trace.region = &regions[region];
+    trace.target_ip = net::Ipv4Address{target};
+    trace.completed = completed == 1;
+    trace.true_mode = static_cast<topology::InterconnectMode>(mode);
+    trace.day = header.day;
+    trace.hops.resize(hop_count);
+
+    for (measure::HopRecord& hop : trace.hops) {
+      std::uint8_t responded = 0;
+      std::uint32_t ip = 0;
+      if (!in.get_raw(hop.ttl) || !in.get_raw(responded) ||
+          !in.get_raw(ip) || !in.get_f64(hop.rtt_ms)) {
+        return fail(task, "payload ends inside the hop list");
+      }
+      if (hop.ttl == 0 || responded > 1) {
+        return fail(task, "bad hop fields");
+      }
+      hop.responded = responded == 1;
+      hop.ip = net::Ipv4Address{ip};
+    }
+    out.pings.push_back(ping);
+    out.traces.push_back(std::move(trace));
+  }
+  if (in.cursor != in.end) {
+    return "payload has " + std::to_string(in.end - in.cursor) +
+           " trailing bytes after task " +
+           std::to_string(header.start + header.tasks - 1);
+  }
+  return {};
+}
+
+std::filesystem::path store_manifest_path(const std::filesystem::path& dir,
+                                          std::string_view platform) {
+  return dir / (std::string{platform} + ".manifest");
+}
+
+std::filesystem::path store_lane_path(const std::filesystem::path& dir,
+                                      std::string_view platform,
+                                      std::size_t lane) {
+  return dir / (std::string{platform} + ".s" + std::to_string(lane) +
+                ".shard");
+}
+
+}  // namespace cloudrtt::store

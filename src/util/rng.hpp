@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 #include <vector>
 
@@ -24,15 +25,49 @@ namespace cloudrtt::util {
   return z ^ (z >> 31);
 }
 
-/// FNV-1a 64-bit hash of a string; used to derive per-entity substreams
-/// (e.g. fork("probe/DE/1234")) without global coordination.
-[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view text) noexcept {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
+/// FNV-1a 64-bit offset basis: fnv1a_accum(kFnv1aBasis, text) == fnv1a(text).
+inline constexpr std::uint64_t kFnv1aBasis = 0xcbf29ce484222325ULL;
+
+/// Streaming FNV-1a: continue `hash` over more bytes. One shared definition
+/// so the export trailer, the import validator and the store block codec can
+/// never drift apart.
+[[nodiscard]] constexpr std::uint64_t fnv1a_accum(std::uint64_t hash,
+                                                  std::string_view text) noexcept {
   for (const char ch : text) {
     hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
     hash *= 0x100000001b3ULL;
   }
   return hash;
+}
+
+/// FNV-1a 64-bit hash of a string; used to derive per-entity substreams
+/// (e.g. fork("probe/DE/1234")) without global coordination.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view text) noexcept {
+  return fnv1a_accum(kFnv1aBasis, text);
+}
+
+/// FNV-1a folded over 64-bit host-order words (the zero-padded tail and the
+/// byte count fold in last). Byte-wise FNV-1a is one dependent multiply per
+/// byte — a ~5 cycle/byte serial chain — which made it the single biggest
+/// CPU item of the store's spill worker; folding words cuts the chain 8x
+/// while keeping the same mixing algebra. NOT interchangeable with fnv1a():
+/// both sides of an artefact must agree on which variant covers it.
+[[nodiscard]] inline std::uint64_t fnv1a_words(std::string_view bytes) noexcept {
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t hash = kFnv1aBasis;
+  const char* cursor = bytes.data();
+  std::size_t left = bytes.size();
+  for (; left >= 8; left -= 8, cursor += 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, cursor, 8);
+    hash = (hash ^ word) * kPrime;
+  }
+  if (left > 0) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, cursor, left);
+    hash = (hash ^ word) * kPrime;
+  }
+  return (hash ^ bytes.size()) * kPrime;
 }
 
 /// xoshiro256++ generator with convenience distributions.

@@ -1,0 +1,476 @@
+// Durability gate for the streaming store (store/): the crash-safety
+// contract is that a campaign killed anywhere — mid-day, mid-block, even
+// mid-manifest — resumes to the exact bits an uninterrupted run produces
+// (core::dataset_hash is the oracle), that damage inside the *committed*
+// region refuses loudly instead of guessing, and that a misbehaving disk
+// degrades the store without touching the dataset.
+//
+// The corruption matrix fabricates the states a real crash leaves behind:
+// a torn trailer (partial final block), a bit-flipped committed block, a
+// zero-length shard under a non-empty manifest, and a duplicated tail
+// block (a replayed append). Tail damage must salvage; committed damage
+// must refuse.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/export.hpp"
+#include "core/import.hpp"
+#include "core/study.hpp"
+#include "fault/plan.hpp"
+#include "store/codec.hpp"
+#include "store/io_env.hpp"
+#include "store/salvage.hpp"
+#include "store/shard_writer.hpp"
+
+namespace cloudrtt {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kSeed = 23;
+constexpr std::string_view kPlatform = "speedchecker";
+
+/// Small single-platform campaign: 3 days of ~1800 tasks is enough for
+/// several 512-task blocks per day without slowing the suite down.
+[[nodiscard]] core::StudyConfig store_config(std::uint64_t seed = kSeed) {
+  core::StudyConfig config;
+  config.seed = seed;
+  config.sc_probes = 1000;
+  config.include_atlas = false;
+  config.sc_campaign.days = 3;
+  config.sc_campaign.daily_budget = 1800;
+  config.sc_campaign.case_study_probes = 5;
+  return config;
+}
+
+/// Uninterrupted checkpointed run, shared across cases (the suite runs as
+/// one ctest entry). The Study stays alive: datasets loaded from the store
+/// re-bind probe references against its fleet.
+struct Baseline {
+  std::unique_ptr<core::Study> study;
+  fs::path dir;
+  std::uint64_t hash = 0;
+};
+
+[[nodiscard]] const Baseline& baseline() {
+  static const Baseline value = [] {
+    Baseline b;
+    b.dir = fs::path{::testing::TempDir()} / "cloudrtt_store_baseline";
+    fs::remove_all(b.dir);
+    b.study = std::make_unique<core::Study>(store_config());
+    core::RunControl control;
+    control.checkpoint_dir = b.dir.string();
+    b.study->run(control);
+    b.hash = core::dataset_hash(b.study->sc_dataset());
+    return b;
+  }();
+  return value;
+}
+
+[[nodiscard]] const probes::ProbeFleet* fleet() {
+  return &baseline().study->sc_fleet();
+}
+
+/// Copy the baseline store into a scratch directory a test may damage.
+[[nodiscard]] fs::path copy_store(const std::string& name) {
+  const fs::path dst = fs::path{::testing::TempDir()} / name;
+  fs::remove_all(dst);
+  fs::create_directories(dst);
+  for (const fs::directory_entry& entry : fs::directory_iterator(baseline().dir)) {
+    fs::copy_file(entry.path(), dst / entry.path().filename());
+  }
+  return dst;
+}
+
+struct BlockSpan {
+  store::BlockHeader header;
+  std::size_t offset = 0;  ///< where the framed block starts in the file
+  std::size_t size = 0;    ///< header line + payload
+};
+
+[[nodiscard]] std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string{std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>()};
+}
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+/// Parse every framed block of a lane file (the baseline store is healthy,
+/// so the walk is expected to consume the whole file).
+[[nodiscard]] std::vector<BlockSpan> index_blocks(const fs::path& lane_file) {
+  const std::string text = read_file(lane_file);
+  std::vector<BlockSpan> blocks;
+  std::size_t offset = 0;
+  while (offset < text.size()) {
+    const std::size_t header_end = text.find('\n', offset);
+    EXPECT_NE(header_end, std::string::npos);
+    BlockSpan span;
+    span.offset = offset;
+    EXPECT_TRUE(store::parse_block_header(
+        std::string_view{text}.substr(offset, header_end - offset),
+        span.header));
+    span.size = (header_end + 1 - offset) + span.header.bytes;
+    offset += span.size;
+    blocks.push_back(span);
+  }
+  return blocks;
+}
+
+[[nodiscard]] fs::path lane0(const fs::path& dir) {
+  return store::store_lane_path(dir, kPlatform, 0);
+}
+
+/// Rewrite the manifest so only blocks of days < `upto_day` are committed,
+/// leaving the later blocks on disk as an uncommitted tail — exactly what a
+/// crash between the day's appends and its manifest commit leaves behind.
+void rewind_manifest(const fs::path& dir, std::uint32_t upto_day) {
+  std::uint64_t bytes = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t cursor = 0;
+  for (const BlockSpan& block : index_blocks(lane0(dir))) {
+    if (block.header.day >= upto_day) {
+      cursor = block.header.cursor;  // day-start cursor of the next day
+      break;
+    }
+    bytes += block.size;
+    rows += block.header.tasks;
+    ++seq;
+  }
+  std::string manifest;
+  manifest += "format=3\n";
+  manifest += "platform=" + std::string{kPlatform} + '\n';
+  manifest += "seed=" + std::to_string(kSeed) + '\n';
+  manifest += "fault_profile=none\n";
+  manifest += "lanes=1\n";
+  manifest += "next_day=" + std::to_string(upto_day) + '\n';
+  manifest += "cursor=" + std::to_string(cursor) + '\n';
+  manifest += "day_tasks_done=0\n";
+  manifest += "pings=" + std::to_string(rows) + '\n';
+  manifest += "traces=" + std::to_string(rows) + '\n';
+  manifest += "lane0=" + std::to_string(bytes) + ':' + std::to_string(seq) + '\n';
+  write_file(store::store_manifest_path(dir, kPlatform), manifest);
+}
+
+/// Resume a campaign off `dir` and hash what it collects.
+[[nodiscard]] std::uint64_t resume_hash(const fs::path& dir) {
+  core::Study resumed{store_config()};
+  core::RunControl control;
+  control.checkpoint_dir = dir.string();
+  control.resume = true;
+  resumed.run(control);
+  EXPECT_TRUE(resumed.completed());
+  return core::dataset_hash(resumed.sc_dataset());
+}
+
+TEST(StoreRoundTrip, CompletedStoreReproducesTheDatasetBitExactly) {
+  store::IoEnv io;
+  const store::OpenResult opened = store::open_store(
+      baseline().dir, kPlatform, io, fleet(), nullptr, /*repair=*/false);
+  ASSERT_TRUE(opened.ok()) << opened.error;
+  EXPECT_TRUE(opened.salvage.clean());
+  EXPECT_EQ(opened.meta.seed, kSeed);
+  EXPECT_EQ(opened.state.next_day, 3u);
+  EXPECT_EQ(opened.state.day_tasks_done, 0u);
+  EXPECT_EQ(core::format_dataset_hash(core::dataset_hash(opened.data)),
+            core::format_dataset_hash(baseline().hash));
+}
+
+TEST(StoreRoundTrip, LoadCheckpointReadsFormat3Transparently) {
+  const core::CheckpointLoad load =
+      core::load_checkpoint(baseline().dir, kPlatform, fleet(), nullptr);
+  ASSERT_TRUE(load.ok()) << load.error;
+  EXPECT_EQ(load.meta.seed, kSeed);
+  EXPECT_EQ(load.meta.state.next_day, 3u);
+  EXPECT_EQ(core::dataset_hash(load.data), baseline().hash);
+}
+
+TEST(StoreRoundTrip, FsckReportsAHealthyStore) {
+  store::IoEnv io;
+  const store::FsckReport report = store::fsck(baseline().dir, kPlatform, io);
+  EXPECT_TRUE(report.healthy()) << report.error;
+  EXPECT_EQ(report.format, 3);
+  EXPECT_GT(report.committed_blocks, 0u);
+  EXPECT_GT(report.committed_rows, 0u);
+  EXPECT_EQ(report.torn_bytes, 0u);
+  EXPECT_NE(report.render(kPlatform).find("HEALTHY"), std::string::npos);
+}
+
+// Corruption matrix case 1 — truncated trailer: the crash tore the disk
+// mid-append, leaving one whole tail block and half of another. Salvage
+// must adopt the whole block, cut the torn half away, and the resume must
+// replay the remainder of the interrupted day from the RNG bit-exactly.
+TEST(StoreCorruption, TornTrailerSalvagesWholeBlocksAndReplaysTheRest) {
+  const fs::path dir = copy_store("cloudrtt_store_torn");
+  rewind_manifest(dir, 1);
+  const std::vector<BlockSpan> blocks = index_blocks(lane0(dir));
+  std::size_t first_tail = blocks.size();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].header.day >= 1) {
+      first_tail = i;
+      break;
+    }
+  }
+  ASSERT_LT(first_tail + 1, blocks.size());
+  const BlockSpan& whole = blocks[first_tail];
+  const BlockSpan& torn = blocks[first_tail + 1];
+  fs::resize_file(lane0(dir), torn.offset + torn.size / 2);
+
+  store::IoEnv io;
+  const store::OpenResult opened =
+      store::open_store(dir, kPlatform, io, fleet(), nullptr, /*repair=*/false);
+  ASSERT_TRUE(opened.ok()) << opened.error;
+  EXPECT_EQ(opened.salvage.salvaged_blocks, 1u);
+  EXPECT_EQ(opened.salvage.salvaged_rows, whole.header.tasks);
+  EXPECT_GT(opened.salvage.truncated_bytes, 0u);
+  EXPECT_EQ(opened.state.next_day, 1u);
+  EXPECT_EQ(opened.state.day_tasks_done, whole.header.tasks);
+
+  // fsck sees the same picture without binding rows.
+  const store::FsckReport report = store::fsck(dir, kPlatform, io);
+  EXPECT_TRUE(report.healthy()) << report.error;
+  EXPECT_EQ(report.tail_blocks, 1u);
+  EXPECT_GT(report.torn_bytes, 0u);
+
+  EXPECT_EQ(core::format_dataset_hash(resume_hash(dir)),
+            core::format_dataset_hash(baseline().hash));
+}
+
+// Corruption matrix case 2 — a bit flip inside the committed region: the
+// manifest vouched for these bytes, so the open must refuse (checksum),
+// not return a silently different dataset.
+TEST(StoreCorruption, BitFlippedCommittedBlockRefusesLoudly) {
+  const fs::path dir = copy_store("cloudrtt_store_bitflip");
+  std::string text = read_file(lane0(dir));
+  const std::size_t payload_start = text.find('\n') + 1;
+  ASSERT_LT(payload_start + 8, text.size());
+  text[payload_start + 8] = static_cast<char>(text[payload_start + 8] ^ 0x20);
+  write_file(lane0(dir), text);
+
+  store::IoEnv io;
+  const store::OpenResult opened =
+      store::open_store(dir, kPlatform, io, fleet(), nullptr, /*repair=*/false);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_NE(opened.error.find("checksum"), std::string::npos) << opened.error;
+  EXPECT_FALSE(store::fsck(dir, kPlatform, io).healthy());
+}
+
+// Corruption matrix case 3 — zero-length shard file under a manifest that
+// commits bytes: the commit point itself lied, refuse.
+TEST(StoreCorruption, ZeroLengthShardUnderNonEmptyManifestRefuses) {
+  const fs::path dir = copy_store("cloudrtt_store_zero");
+  fs::resize_file(lane0(dir), 0);
+
+  store::IoEnv io;
+  const store::OpenResult opened =
+      store::open_store(dir, kPlatform, io, fleet(), nullptr, /*repair=*/false);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_NE(opened.error.find("manifest commits"), std::string::npos)
+      << opened.error;
+}
+
+// Corruption matrix case 4 — duplicated tail block (a replayed append):
+// structurally a perfect frame, but its sequence number repeats, so salvage
+// must drop it — and everything after it — rather than double-count rows.
+TEST(StoreCorruption, DuplicatedTailBlockIsDroppedNotDoubleCounted) {
+  const fs::path dir = copy_store("cloudrtt_store_dup");
+  rewind_manifest(dir, 2);
+  const std::vector<BlockSpan> blocks = index_blocks(lane0(dir));
+  std::size_t first_tail = blocks.size();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].header.day >= 2) {
+      first_tail = i;
+      break;
+    }
+  }
+  ASSERT_LT(first_tail, blocks.size());
+  const std::string text = read_file(lane0(dir));
+  const std::string duplicate =
+      text.substr(blocks[first_tail].offset, blocks[first_tail].size);
+  write_file(lane0(dir), text + duplicate);
+
+  store::IoEnv io;
+  const store::OpenResult opened =
+      store::open_store(dir, kPlatform, io, fleet(), nullptr, /*repair=*/false);
+  ASSERT_TRUE(opened.ok()) << opened.error;
+  EXPECT_GE(opened.salvage.dropped_blocks, 1u);
+  EXPECT_EQ(opened.salvage.salvaged_blocks, blocks.size() - first_tail);
+  EXPECT_GT(opened.salvage.truncated_bytes, 0u);
+
+  EXPECT_EQ(core::format_dataset_hash(resume_hash(dir)),
+            core::format_dataset_hash(baseline().hash));
+}
+
+// Degrade-don't-die: a disk that refuses half its appends must not lose a
+// single row — blocks queue in memory, and once the disk heals, one commit
+// catches the store up to a state indistinguishable from a healthy run.
+TEST(StoreFaults, DegradedWriterCatchesUpAfterTheDiskHeals) {
+  fault::IoFaults faults;
+  faults.append_error_rate = 0.5;
+  faults.short_write_rate = 0.25;
+  faults.fsync_failure_rate = 0.25;
+  store::FaultyIoEnv io{faults, /*seed=*/99};
+
+  const fs::path dir = fs::path{::testing::TempDir()} / "cloudrtt_store_degraded";
+  fs::remove_all(dir);
+  store::StoreMeta meta;
+  meta.platform = std::string{kPlatform};
+  meta.seed = kSeed;
+  store::ShardWriter writer{dir, meta, /*lanes=*/2, io, /*fresh=*/true};
+
+  measure::CampaignState done;
+  done.next_day = 3;
+  const bool durable = writer.adopt(baseline().study->sc_dataset(), done);
+  EXPECT_GT(io.faults_injected(), 0u);
+  if (!durable) {
+    EXPECT_TRUE(writer.degraded() || writer.pending_blocks() > 0);
+  }
+
+  io.heal();
+  // commit() is advisory-async: enqueue the catch-up, then drain for the
+  // ground truth — the healed disk must have taken everything.
+  (void)writer.commit(done);
+  writer.drain();
+  EXPECT_FALSE(writer.degraded());
+  EXPECT_EQ(writer.pending_blocks(), 0u);
+
+  store::IoEnv plain;
+  const store::OpenResult opened =
+      store::open_store(dir, kPlatform, plain, fleet(), nullptr, /*repair=*/false);
+  ASSERT_TRUE(opened.ok()) << opened.error;
+  EXPECT_TRUE(opened.salvage.clean());
+  EXPECT_EQ(core::format_dataset_hash(core::dataset_hash(opened.data)),
+            core::format_dataset_hash(baseline().hash));
+}
+
+// I/O faults decide what is durable, never what the dataset contains: a
+// whole campaign under the harsh disk-fault profile must still collect
+// exactly the baseline bits.
+TEST(StoreFaults, HarshIoFaultsLeaveDatasetBitsUnchanged) {
+  core::StudyConfig config = store_config();
+  config.io_fault_profile = fault::FaultProfile::Harsh;
+  const fs::path dir = fs::path{::testing::TempDir()} / "cloudrtt_store_harsh";
+  fs::remove_all(dir);
+  core::Study study{config};
+  core::RunControl control;
+  control.checkpoint_dir = dir.string();
+  study.run(control);
+  ASSERT_TRUE(study.completed());
+  EXPECT_EQ(core::format_dataset_hash(core::dataset_hash(study.sc_dataset())),
+            core::format_dataset_hash(baseline().hash));
+}
+
+// Legacy path: a format=2 CSV checkpoint resumes transparently — the study
+// migrates it to a format=3 store and continues to the baseline bits.
+TEST(StoreMigration, Format2CheckpointMigratesOnResume) {
+  const fs::path stopped_dir =
+      fs::path{::testing::TempDir()} / "cloudrtt_store_stopped";
+  fs::remove_all(stopped_dir);
+  core::Study stopped{store_config()};
+  core::RunControl first;
+  first.checkpoint_dir = stopped_dir.string();
+  first.stop_after_day = 2;
+  stopped.run(first);
+  EXPECT_FALSE(stopped.completed());
+
+  store::IoEnv io;
+  const store::OpenResult opened = store::open_store(
+      stopped_dir, kPlatform, io, &stopped.sc_fleet(), nullptr, /*repair=*/false);
+  ASSERT_TRUE(opened.ok()) << opened.error;
+
+  const fs::path legacy_dir =
+      fs::path{::testing::TempDir()} / "cloudrtt_store_legacy";
+  fs::remove_all(legacy_dir);
+  core::CheckpointMeta meta;
+  meta.state = opened.state;
+  meta.seed = kSeed;
+  meta.platform = std::string{kPlatform};
+  ASSERT_EQ(core::save_checkpoint(legacy_dir, meta, opened.data), "");
+  EXPECT_EQ(store::manifest_format(legacy_dir, kPlatform, io), 2);
+
+  EXPECT_EQ(core::format_dataset_hash(resume_hash(legacy_dir)),
+            core::format_dataset_hash(baseline().hash));
+  EXPECT_EQ(store::manifest_format(legacy_dir, kPlatform, io), 3);
+}
+
+// Satellite regression: the refusal must name both seeds and the manifest
+// path, so an operator can tell at a glance which artefact disagrees.
+TEST(StoreResume, SeedMismatchRefusalNamesBothSeedsAndThePath) {
+  const fs::path dir = copy_store("cloudrtt_store_seed");
+  core::Study other{store_config(kSeed + 1)};
+  core::RunControl control;
+  control.checkpoint_dir = dir.string();
+  control.resume = true;
+  try {
+    other.run(control);
+    FAIL() << "resume with a mismatched seed must throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("seed " + std::to_string(kSeed)), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("seed " + std::to_string(kSeed + 1)), std::string::npos)
+        << what;
+    EXPECT_NE(
+        what.find(store::store_manifest_path(dir, kPlatform).string()),
+        std::string::npos)
+        << what;
+  }
+}
+
+// --spill-dir: shards and manifest land in scratch storage, and a resume
+// off that directory round-trips.
+TEST(StoreSpill, SpillDirHoldsTheStoreAndResumes) {
+  const fs::path ck = fs::path{::testing::TempDir()} / "cloudrtt_store_ck";
+  const fs::path spill = fs::path{::testing::TempDir()} / "cloudrtt_store_spill";
+  fs::remove_all(ck);
+  fs::remove_all(spill);
+  core::Study study{store_config()};
+  core::RunControl control;
+  control.checkpoint_dir = ck.string();
+  control.spill_dir = spill.string();
+  study.run(control);
+  ASSERT_TRUE(study.completed());
+
+  store::IoEnv io;
+  EXPECT_EQ(store::manifest_format(spill, kPlatform, io), 3);
+  EXPECT_TRUE(store::fsck(spill, kPlatform, io).healthy());
+
+  core::Study resumed{store_config()};
+  core::RunControl again;
+  again.checkpoint_dir = ck.string();
+  again.spill_dir = spill.string();
+  again.resume = true;
+  resumed.run(again);
+  ASSERT_TRUE(resumed.completed());
+  EXPECT_EQ(core::dataset_hash(resumed.sc_dataset()), baseline().hash);
+}
+
+// Satellite regression: the import error digest must disclose how many
+// errors the kMaxErrors cap suppressed.
+TEST(StoreImports, ErrorSummaryCountsSuppressedErrors) {
+  core::ImportStats stats;
+  stats.skipped = 40;
+  for (std::size_t line = 0; line < core::ImportStats::kMaxErrors; ++line) {
+    stats.errors.push_back({line + 2, "bad row"});
+  }
+  const std::string summary = stats.error_summary();
+  EXPECT_NE(summary.find("bad row"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("8 more suppressed"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("40 errors total"), std::string::npos) << summary;
+}
+
+}  // namespace
+}  // namespace cloudrtt

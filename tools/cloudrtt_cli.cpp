@@ -24,6 +24,8 @@
 #include "obs/trace.hpp"
 #include "obs/trace_events.hpp"
 #include "probes/fleet.hpp"
+#include "store/io_env.hpp"
+#include "store/salvage.hpp"
 #include "topology/world.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -268,10 +270,20 @@ int cmd_study(int argc, const char* const* argv) {
                             "tasks/sec, ETA, worker busy %) to stderr");
   args.add_option("fault-profile", "none",
                   "fault-injection intensity: none | mild | harsh");
+  args.add_option("io-fault-profile", "none",
+                  "disk-fault intensity for the streaming store (EIO, torn "
+                  "appends, lying fsyncs): none | mild | harsh; never "
+                  "changes the dataset bits");
   args.add_option("fault-seed", "1337", "fault-schedule seed");
   args.add_option("checkpoint-dir", "", "snapshot the campaign after every "
-                                        "day into this directory");
-  args.add_flag("resume", "resume from --checkpoint-dir if a checkpoint exists");
+                                        "day into this directory (format=3 "
+                                        "streaming store)");
+  args.add_option("spill-dir", "", "stream shard files into this directory "
+                                   "instead of --checkpoint-dir");
+  args.add_flag("resume", "resume from --checkpoint-dir if a checkpoint "
+                          "exists, salvaging any crash-torn shard tail");
+  args.add_flag("fsck", "validate the checkpoint store in --checkpoint-dir "
+                        "and exit (0 = healthy)");
   args.add_option("stop-after-day", "0", "abandon each campaign once this many "
                                          "days completed (0 = run to the end); "
                                          "simulates a killed driver");
@@ -301,14 +313,51 @@ int cmd_study(int argc, const char* const* argv) {
     return 1;
   }
   config.fault_profile = *profile;
+  const auto io_profile =
+      fault::profile_from_string(args.get("io-fault-profile"));
+  if (!io_profile) {
+    std::cerr << "unknown io fault profile '" << args.get("io-fault-profile")
+              << "' (expected none | mild | harsh)\n";
+    return 1;
+  }
+  config.io_fault_profile = *io_profile;
   config.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
 
   core::RunControl control;
   control.checkpoint_dir = args.get("checkpoint-dir");
+  control.spill_dir = args.get("spill-dir");
   control.resume = args.get_flag("resume");
   if (control.resume && control.checkpoint_dir.empty()) {
     std::cerr << "--resume needs --checkpoint-dir\n";
     return 1;
+  }
+
+  if (args.get_flag("fsck")) {
+    // Offline integrity check: no world build, no campaign — read the store
+    // artefacts for both platforms and report. Exit 0 only when every store
+    // present is healthy and at least one was found.
+    if (control.checkpoint_dir.empty()) {
+      std::cerr << "--fsck needs --checkpoint-dir\n";
+      return 1;
+    }
+    const std::filesystem::path store_dir =
+        control.spill_dir.empty() ? control.checkpoint_dir : control.spill_dir;
+    store::IoEnv io;
+    bool found = false;
+    bool healthy = true;
+    for (const std::string_view platform : {"speedchecker", "atlas"}) {
+      if (store::manifest_format(store_dir, platform, io) == 0) continue;
+      found = true;
+      const store::FsckReport report = store::fsck(store_dir, platform, io);
+      std::cout << report.render(platform) << "\n";
+      healthy &= report.healthy();
+    }
+    if (!found) {
+      std::cerr << "no checkpoint store found in " << store_dir.string()
+                << "\n";
+      return 1;
+    }
+    return healthy ? 0 : 1;
   }
   if (const long stop = args.get_int("stop-after-day"); stop > 0) {
     control.stop_after_day = static_cast<std::uint32_t>(stop);
