@@ -24,7 +24,7 @@ const cloud::RegionInfo* NearestIndex::nearest(
   // The map is keyed by region pointer, so iteration order varies with the
   // heap layout of the run; the strict tie-break on region_name below makes
   // the selected minimum independent of that order.
-  for (const auto& [region, cell] : it->second) {  // lint:allow(unordered-iter): min-selection with total-order tie-break
+  for (const auto& [region, cell] : it->second) {
     if (within && region->continent != *within) continue;
     const double mean = cell.mean();
     if (mean < best_mean ||

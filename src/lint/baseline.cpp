@@ -1,0 +1,105 @@
+#include "lint/baseline.hpp"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/json_value.hpp"
+#include "util/rng.hpp"
+
+namespace cloudrtt::lint {
+
+namespace {
+
+[[nodiscard]] std::string entry_key(std::string_view file,
+                                    std::string_view rule,
+                                    std::string_view snippet) {
+  std::string key{file};
+  key.push_back('|');
+  key.append(rule);
+  key.push_back('|');
+  key.append(snippet);
+  return key;
+}
+
+}  // namespace
+
+std::string finding_fingerprint(const Finding& finding) {
+  const std::uint64_t hash =
+      util::fnv1a(entry_key(finding.file, rule_key(finding.rule),
+                            finding.snippet));
+  char buffer[17] = {};
+  std::to_chars(buffer, buffer + 16, hash, 16);
+  return std::string{buffer};
+}
+
+std::string write_baseline_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  util::JsonWriter json{out};
+  json.begin_object();
+  json.field("schema", "cloudrtt-lint-baseline/1");
+  json.key("entries");
+  json.begin_array();
+  for (const Finding& finding : findings) {
+    if (finding.suppressed) continue;
+    json.begin_object();
+    json.field("id", finding_fingerprint(finding));
+    json.field("file", finding.file);
+    json.field("rule", rule_key(finding.rule));
+    json.field("snippet", finding.snippet);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << '\n';
+  return out.str();
+}
+
+bool parse_baseline_json(std::string_view text, Baseline& out) {
+  out.entries.clear();
+  const std::optional<util::JsonValue> doc = util::JsonValue::parse(text);
+  if (!doc || !doc->is_object() ||
+      doc->string_at("schema") != "cloudrtt-lint-baseline/1") {
+    return false;
+  }
+  const util::JsonValue* entries = doc->find("entries");
+  if (entries == nullptr || !entries->is_array()) return false;
+  for (const util::JsonValue& item : entries->items()) {
+    BaselineEntry entry;
+    entry.file = item.string_at("file");
+    entry.rule = item.string_at("rule");
+    entry.snippet = item.string_at("snippet");
+    if (entry.file.empty() || entry.rule.empty()) return false;
+    out.entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+std::vector<std::string> apply_baseline(const Baseline& baseline,
+                                        std::vector<Finding>& findings) {
+  // Count-based multiset: one line can legitimately carry several identical
+  // findings (e.g. three std::string temporaries in one statement), so each
+  // baseline entry absorbs exactly one match.
+  std::map<std::string, std::size_t> budget;
+  for (const BaselineEntry& entry : baseline.entries) {
+    ++budget[entry_key(entry.file, entry.rule, entry.snippet)];
+  }
+  for (Finding& finding : findings) {
+    if (finding.suppressed) continue;
+    const auto it = budget.find(
+        entry_key(finding.file, rule_key(finding.rule), finding.snippet));
+    if (it == budget.end() || it->second == 0) continue;
+    --it->second;
+    finding.baselined = true;
+  }
+  std::vector<std::string> stale;
+  for (const auto& [key, left] : budget) {
+    for (std::size_t i = 0; i < left; ++i) {
+      stale.push_back("stale baseline entry (no matching finding): " + key);
+    }
+  }
+  return stale;
+}
+
+}  // namespace cloudrtt::lint

@@ -1,0 +1,46 @@
+#pragma once
+// Checked-in finding baseline: pre-existing findings are parked in
+// lint-baseline.json so the debt burns down incrementally while anything new
+// hard-fails. An entry matches on (file, rule, snippet text) — line numbers
+// would churn on every unrelated edit — and matching is count-based, so a
+// line repeated N times in the baseline absorbs at most N identical
+// findings. Entries that no longer match anything are reported as stale so
+// the file shrinks as code improves.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace cloudrtt::lint {
+
+struct BaselineEntry {
+  std::string file;
+  std::string rule;     ///< stable rule key
+  std::string snippet;  ///< trimmed source line, as in Finding::snippet
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Stable fingerprint of a finding: fnv1a hex over file|rule|snippet. Used
+/// as the SARIF partialFingerprint and the baseline entry id.
+[[nodiscard]] std::string finding_fingerprint(const Finding& finding);
+
+/// Serialize the unsuppressed findings as a baseline document
+/// (--write-baseline).
+[[nodiscard]] std::string write_baseline_json(
+    const std::vector<Finding>& findings);
+
+/// Parse a baseline document. Returns false on malformed input.
+[[nodiscard]] bool parse_baseline_json(std::string_view text, Baseline& out);
+
+/// Mark findings matched by the baseline (`Finding::baselined`); suppressed
+/// findings never consume an entry. Returns a description per stale entry —
+/// baseline lines that matched nothing and should be deleted.
+[[nodiscard]] std::vector<std::string> apply_baseline(
+    const Baseline& baseline, std::vector<Finding>& findings);
+
+}  // namespace cloudrtt::lint

@@ -1,0 +1,406 @@
+#include "lint/index.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/json_value.hpp"
+
+namespace cloudrtt::lint {
+
+namespace {
+
+/// Module directory of a src/ file ("src/routing/x.cpp" -> "routing");
+/// "" for files outside src/ or directly under it.
+[[nodiscard]] std::string_view module_of(std::string_view path) {
+  std::size_t at = 0;
+  for (;; ++at) {
+    at = path.find("src/", at);
+    if (at == std::string_view::npos) return {};
+    if (at == 0 || path[at - 1] == '/') break;
+  }
+  const std::size_t begin = at + 4;
+  const std::size_t slash = path.find('/', begin);
+  if (slash == std::string_view::npos) return {};
+  return path.substr(begin, slash - begin);
+}
+
+/// The content of 0-based line `index` in `code`.
+[[nodiscard]] std::string_view line_text(std::string_view code,
+                                         std::size_t index) {
+  const std::size_t begin = offset_of_line(code, index + 1);
+  if (begin == std::string_view::npos) return {};
+  std::size_t end = code.find('\n', begin);
+  if (end == std::string_view::npos) end = code.size();
+  return code.substr(begin, end - begin);
+}
+
+/// The declaration a field annotation binds to: the same line when it holds
+/// code, otherwise the next line with code. Returns the 0-based line, or
+/// npos when the file ends first.
+[[nodiscard]] std::size_t binding_line(std::string_view code,
+                                       std::size_t comment_line) {
+  const std::size_t total = 1 + static_cast<std::size_t>(std::count(
+                                    code.begin(), code.end(), '\n'));
+  for (std::size_t at = comment_line; at < total; ++at) {
+    if (!trim(line_text(code, at)).empty()) return at;
+  }
+  return std::string_view::npos;
+}
+
+/// Field name of a member declaration line: the trailing identifier of the
+/// text before the first ';', '=', or '{'.
+[[nodiscard]] std::string field_name_of(std::string_view decl) {
+  const std::size_t cut = decl.find_first_of(";={");
+  std::string_view head = trim(decl.substr(0, cut));
+  std::size_t end = head.size();
+  while (end > 0 && !is_ident_char(head[end - 1])) --end;
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(head[begin - 1])) --begin;
+  return std::string{head.substr(begin, end - begin)};
+}
+
+/// Innermost enclosing Type brace's name at `pos` ("" at namespace scope).
+[[nodiscard]] std::string owner_at(const FileShape& shape, std::size_t pos) {
+  for (int i = shape.innermost(pos); i >= 0;
+       i = shape.braces[static_cast<std::size_t>(i)].parent) {
+    const BraceInfo& info = shape.braces[static_cast<std::size_t>(i)];
+    if (info.kind == BraceKind::Type) return info.name;
+  }
+  return {};
+}
+
+/// First brace of `kind` opening at or after `from`; -1 when none.
+[[nodiscard]] int next_brace(const FileShape& shape, BraceKind kind,
+                             std::size_t from) {
+  int best = -1;
+  for (std::size_t i = 0; i < shape.braces.size(); ++i) {
+    if (shape.braces[i].kind != kind || shape.braces[i].open < from) continue;
+    if (best < 0 ||
+        shape.braces[i].open < shape.braces[static_cast<std::size_t>(best)].open) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+[[nodiscard]] std::string hex64(std::uint64_t value) {
+  char buffer[17] = {};
+  std::to_chars(buffer, buffer + 16, value, 16);
+  return std::string{buffer};
+}
+
+[[nodiscard]] bool parse_hex64(std::string_view text, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out, 16);
+  return ec == std::errc{} && ptr == text.data() + text.size() &&
+         !text.empty();
+}
+
+void write_string_array(util::JsonWriter& json, std::string_view name,
+                        const std::vector<std::string>& values) {
+  json.key(name);
+  json.begin_array();
+  for (const std::string& value : values) json.value(value);
+  json.end_array();
+}
+
+void parse_string_array(const util::JsonValue* node,
+                        std::vector<std::string>& out) {
+  if (node == nullptr) return;
+  for (const util::JsonValue& item : node->items()) {
+    out.push_back(item.as_string());
+  }
+}
+
+[[nodiscard]] std::size_t size_at(const util::JsonValue& node,
+                                  std::string_view key) {
+  return static_cast<std::size_t>(node.number_at(key, 0.0));
+}
+
+}  // namespace
+
+void index_annotations(const std::string& path, std::string_view original,
+                       const Scrubbed& scrubbed, const FileShape& shape,
+                       bool harvest_markers, FileIndex& out) {
+  const std::string_view code = scrubbed.code;
+  const std::string stem{path_stem(path)};
+  const std::string_view from_module = module_of(path);
+
+  for (std::size_t i = 0; harvest_markers && i < scrubbed.comments.size();
+       ++i) {
+    const std::string& comment = scrubbed.comments[i];
+    if (comment.find("lint:") == std::string::npos) continue;
+
+    std::size_t at = comment.find("lint:guarded_by(");
+    if (at != std::string::npos) {
+      const std::size_t open = at + 16;
+      const std::size_t close = comment.find(')', open);
+      const std::string guard{
+          trim(comment.substr(open, close == std::string::npos
+                                        ? std::string::npos
+                                        : close - open))};
+      const std::size_t decl_line = binding_line(code, i);
+      if (!guard.empty() && decl_line != std::string_view::npos) {
+        const std::size_t pos = offset_of_line(code, decl_line + 1);
+        GuardedField field;
+        field.owner = owner_at(shape, pos);
+        field.field = field_name_of(line_text(code, decl_line));
+        field.guard = guard;
+        field.file = path;
+        field.stem = stem;
+        field.line = decl_line + 1;
+        if (!field.field.empty()) out.guarded.push_back(std::move(field));
+      }
+    }
+
+    at = comment.find("lint:frozen");
+    if (at != std::string::npos &&
+        comment.compare(at, 12, "lint:frozen(") != 0) {
+      const std::size_t pos = offset_of_line(code, i + 1);
+      const int brace = next_brace(shape, BraceKind::Type, pos);
+      if (brace >= 0) {
+        const BraceInfo& info =
+            shape.braces[static_cast<std::size_t>(brace)];
+        if (!info.name.empty()) {
+          FrozenType frozen;
+          frozen.name = info.name;
+          frozen.file = path;
+          frozen.stem = stem;
+          frozen.line = line_of(code, info.open);
+          out.frozen.push_back(std::move(frozen));
+        }
+      }
+    }
+
+    at = comment.find("lint:hot");
+    if (at != std::string::npos &&
+        comment.compare(at, 9, "lint:hot(") != 0) {
+      const std::size_t pos = offset_of_line(code, i + 1);
+      const int brace = next_brace(shape, BraceKind::Function, pos);
+      if (brace >= 0) {
+        const BraceInfo& info =
+            shape.braces[static_cast<std::size_t>(brace)];
+        HotRegion region;
+        region.file = path;
+        region.begin = info.open;
+        region.end = info.close;
+        region.label = info.name;
+        region.line = i + 1;
+        out.hot.push_back(std::move(region));
+      }
+    } else if (comment.find("lint:hot(file)") != std::string::npos) {
+      HotRegion region;
+      region.file = path;
+      region.begin = 0;
+      region.end = original.size();
+      region.label = "file";
+      region.line = i + 1;
+      out.hot.push_back(std::move(region));
+    }
+
+    for (at = comment.find("lint:allow("); at != std::string::npos;
+         at = comment.find("lint:allow(", at + 1)) {
+      const std::size_t open = at + 11;
+      const std::size_t close = comment.find(')', open);
+      if (close == std::string::npos) continue;
+      AllowUse allow;
+      allow.rule = std::string{trim(comment.substr(open, close - open))};
+      allow.line = i + 1;
+      const std::string_view rest =
+          trim(std::string_view{comment}.substr(close + 1));
+      allow.has_justification =
+          rest.starts_with(':') && !trim(rest.substr(1)).empty();
+      out.allows.push_back(std::move(allow));
+    }
+  }
+
+  // Include edges come from the original text (the scrubber blanks string
+  // contents), gated on the scrubbed line so commented-out includes don't
+  // register. Only src/<module>/ files contribute to the layering DAG.
+  if (from_module.empty()) return;
+  for (std::size_t i = 0;; ++i) {
+    const std::string_view scrubbed_line = line_text(code, i);
+    const std::size_t begin = offset_of_line(code, i + 1);
+    if (begin == std::string_view::npos) break;
+    if (!trim(scrubbed_line).starts_with("#include")) continue;
+    const std::string_view raw = original.substr(begin, scrubbed_line.size());
+    const std::size_t quote = raw.find('"');
+    if (quote == std::string_view::npos) continue;
+    const std::size_t close = raw.find('"', quote + 1);
+    if (close == std::string_view::npos) continue;
+    const std::string_view header = raw.substr(quote + 1, close - quote - 1);
+    const std::size_t slash = header.find('/');
+    if (slash == std::string_view::npos) continue;
+    IncludeEdge edge;
+    edge.from_module = std::string{from_module};
+    edge.to_module = std::string{header.substr(0, slash)};
+    edge.header = std::string{header};
+    edge.line = i + 1;
+    out.edges.push_back(std::move(edge));
+  }
+}
+
+std::string write_index_cache_json(
+    const std::map<std::string, FileIndex>& files) {
+  std::ostringstream out;
+  util::JsonWriter json{out};
+  json.begin_object();
+  json.field("schema", "cloudrtt-lint-index/1");
+  json.key("files");
+  json.begin_object();
+  for (const auto& [path, index] : files) {
+    json.key(path);
+    json.begin_object();
+    json.field("hash", hex64(index.hash));
+    write_string_array(json, "unordered_vars", index.unordered_vars);
+    write_string_array(json, "unordered_fns", index.unordered_fns);
+    write_string_array(json, "unordered_aliases", index.unordered_aliases);
+    write_string_array(json, "map_like", index.map_like);
+    json.key("guarded");
+    json.begin_array();
+    for (const GuardedField& field : index.guarded) {
+      json.begin_object();
+      json.field("owner", field.owner);
+      json.field("field", field.field);
+      json.field("guard", field.guard);
+      json.field("file", field.file);
+      json.field("stem", field.stem);
+      json.field("line", static_cast<std::uint64_t>(field.line));
+      json.end_object();
+    }
+    json.end_array();
+    json.key("frozen");
+    json.begin_array();
+    for (const FrozenType& frozen : index.frozen) {
+      json.begin_object();
+      json.field("name", frozen.name);
+      json.field("file", frozen.file);
+      json.field("stem", frozen.stem);
+      json.field("line", static_cast<std::uint64_t>(frozen.line));
+      json.end_object();
+    }
+    json.end_array();
+    json.key("hot");
+    json.begin_array();
+    for (const HotRegion& region : index.hot) {
+      json.begin_object();
+      json.field("file", region.file);
+      json.field("begin", static_cast<std::uint64_t>(region.begin));
+      json.field("end", static_cast<std::uint64_t>(region.end));
+      json.field("label", region.label);
+      json.field("line", static_cast<std::uint64_t>(region.line));
+      json.end_object();
+    }
+    json.end_array();
+    json.key("edges");
+    json.begin_array();
+    for (const IncludeEdge& edge : index.edges) {
+      json.begin_object();
+      json.field("from", edge.from_module);
+      json.field("to", edge.to_module);
+      json.field("header", edge.header);
+      json.field("line", static_cast<std::uint64_t>(edge.line));
+      json.end_object();
+    }
+    json.end_array();
+    json.key("allows");
+    json.begin_array();
+    for (const AllowUse& allow : index.allows) {
+      json.begin_object();
+      json.field("rule", allow.rule);
+      json.field("line", static_cast<std::uint64_t>(allow.line));
+      json.field("justified", allow.has_justification);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  out << '\n';
+  return out.str();
+}
+
+bool parse_index_cache_json(std::string_view text,
+                            std::map<std::string, FileIndex>& out) {
+  out.clear();
+  const std::optional<util::JsonValue> doc = util::JsonValue::parse(text);
+  if (!doc || !doc->is_object() ||
+      doc->string_at("schema") != "cloudrtt-lint-index/1") {
+    return false;
+  }
+  const util::JsonValue* files = doc->find("files");
+  if (files == nullptr || !files->is_object()) return false;
+  for (const auto& [path, node] : files->members()) {
+    FileIndex index;
+    if (!parse_hex64(node.string_at("hash"), index.hash)) {
+      out.clear();
+      return false;
+    }
+    parse_string_array(node.find("unordered_vars"), index.unordered_vars);
+    parse_string_array(node.find("unordered_fns"), index.unordered_fns);
+    parse_string_array(node.find("unordered_aliases"),
+                       index.unordered_aliases);
+    parse_string_array(node.find("map_like"), index.map_like);
+    if (const util::JsonValue* list = node.find("guarded")) {
+      for (const util::JsonValue& item : list->items()) {
+        GuardedField field;
+        field.owner = item.string_at("owner");
+        field.field = item.string_at("field");
+        field.guard = item.string_at("guard");
+        field.file = item.string_at("file");
+        field.stem = item.string_at("stem");
+        field.line = size_at(item, "line");
+        index.guarded.push_back(std::move(field));
+      }
+    }
+    if (const util::JsonValue* list = node.find("frozen")) {
+      for (const util::JsonValue& item : list->items()) {
+        FrozenType frozen;
+        frozen.name = item.string_at("name");
+        frozen.file = item.string_at("file");
+        frozen.stem = item.string_at("stem");
+        frozen.line = size_at(item, "line");
+        index.frozen.push_back(std::move(frozen));
+      }
+    }
+    if (const util::JsonValue* list = node.find("hot")) {
+      for (const util::JsonValue& item : list->items()) {
+        HotRegion region;
+        region.file = item.string_at("file");
+        region.begin = size_at(item, "begin");
+        region.end = size_at(item, "end");
+        region.label = item.string_at("label");
+        region.line = size_at(item, "line");
+        index.hot.push_back(std::move(region));
+      }
+    }
+    if (const util::JsonValue* list = node.find("edges")) {
+      for (const util::JsonValue& item : list->items()) {
+        IncludeEdge edge;
+        edge.from_module = item.string_at("from");
+        edge.to_module = item.string_at("to");
+        edge.header = item.string_at("header");
+        edge.line = size_at(item, "line");
+        index.edges.push_back(std::move(edge));
+      }
+    }
+    if (const util::JsonValue* list = node.find("allows")) {
+      for (const util::JsonValue& item : list->items()) {
+        AllowUse allow;
+        allow.rule = item.string_at("rule");
+        allow.line = size_at(item, "line");
+        if (const util::JsonValue* flag = item.find("justified")) {
+          allow.has_justification = flag->as_bool();
+        }
+        index.allows.push_back(std::move(allow));
+      }
+    }
+    out.emplace(path, std::move(index));
+  }
+  return true;
+}
+
+}  // namespace cloudrtt::lint

@@ -1,0 +1,30 @@
+#pragma once
+// The layering DAG: the single place the module order under src/ is declared.
+// An `#include "module/..."` edge is legal only when it points from a
+// higher-ranked module to a strictly lower-ranked one; edges the other way
+// (or self-edges, which are always fine) are layering-dag findings.
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace cloudrtt::lint {
+
+/// src/ modules from foundation to application. Position is the rank; a
+/// module may include any module that appears *earlier* in this list.
+inline constexpr std::array<std::string_view, 15> kLayerOrder = {
+    "util",   "obs",      "net",   "geo",     "lastmile",
+    "cloud",  "lint",     "topology", "fault", "probes",
+    "routing", "measure", "store", "analysis", "core",
+};
+
+/// Rank of a module name, or -1 when the module is not part of the DAG
+/// (unknown directories are skipped, not flagged).
+[[nodiscard]] constexpr int layer_rank(std::string_view module) {
+  for (std::size_t i = 0; i < kLayerOrder.size(); ++i) {
+    if (kLayerOrder[i] == module) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace cloudrtt::lint

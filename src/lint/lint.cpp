@@ -1,255 +1,18 @@
 #include "lint/lint.hpp"
 
 #include <algorithm>
-#include <cctype>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "lint/audit.hpp"
+#include "lint/index.hpp"
+#include "lint/scrub.hpp"
+#include "util/rng.hpp"
+
 namespace cloudrtt::lint {
-
-namespace {
-
-[[nodiscard]] bool is_ident_char(char ch) {
-  return std::isalnum(static_cast<unsigned char>(ch)) != 0 || ch == '_';
-}
-
-[[nodiscard]] bool is_space(char ch) {
-  return std::isspace(static_cast<unsigned char>(ch)) != 0;
-}
-
-[[nodiscard]] std::string_view trim(std::string_view text) {
-  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
-  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
-  return text;
-}
-
-// ---------------------------------------------------------------------------
-// Scrubber: strip comments / string / char literals so the rule passes only
-// ever see real code, and collect per-line comment text for suppressions.
-
-struct Scrubbed {
-  std::string code;                   ///< same length/line layout as input
-  std::vector<std::string> comments;  ///< comment text per 0-based line
-};
-
-/// Replace comments and literal contents with spaces, preserving newlines so
-/// positions map 1:1 to the original text. Handles //, /*...*/, "...",
-/// '...', and raw strings R"delim(...)delim". Digit separators (1'000) are
-/// not treated as char literals.
-[[nodiscard]] Scrubbed scrub(std::string_view text) {
-  Scrubbed out;
-  out.code.reserve(text.size());
-  out.comments.emplace_back();
-  std::size_t line = 0;
-
-  const auto emit = [&](char ch) { out.code.push_back(ch); };
-  const auto blank = [&](char ch) { out.code.push_back(ch == '\n' ? '\n' : ' '); };
-  const auto newline = [&] {
-    ++line;
-    out.comments.emplace_back();
-  };
-
-  enum class State { Code, Line, Block, Str, Chr, Raw };
-  State state = State::Code;
-  std::string raw_delim;  // the ")delim" terminator of the active raw string
-  char prev_code = '\0';  // last significant char emitted in Code state
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char ch = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::Code:
-        if (ch == '/' && next == '/') {
-          state = State::Line;
-          blank(ch);
-        } else if (ch == '/' && next == '*') {
-          state = State::Block;
-          blank(ch);
-          blank(next);
-          ++i;
-        } else if (ch == '"') {
-          // Raw string when the preceding token ends in R (u8R, LR, ...).
-          if (prev_code == 'R' && !out.code.empty()) {
-            std::size_t open = text.find('(', i + 1);
-            if (open != std::string_view::npos && open - i <= 18) {
-              raw_delim = ")";
-              raw_delim.append(text.substr(i + 1, open - i - 1));
-              raw_delim.push_back('"');
-              state = State::Raw;
-              emit(ch);
-              break;
-            }
-          }
-          state = State::Str;
-          emit(ch);
-        } else if (ch == '\'' && !is_ident_char(prev_code)) {
-          state = State::Chr;
-          emit(ch);
-        } else {
-          emit(ch);
-          if (!is_space(ch)) prev_code = ch;
-          if (ch == '\n') newline();
-        }
-        break;
-      case State::Line:
-        if (ch == '\n') {
-          state = State::Code;
-          blank(ch);
-          newline();
-        } else {
-          out.comments[line].push_back(ch);
-          blank(ch);
-        }
-        break;
-      case State::Block:
-        if (ch == '*' && next == '/') {
-          state = State::Code;
-          blank(ch);
-          blank(next);
-          ++i;
-        } else {
-          if (ch != '\n') out.comments[line].push_back(ch);
-          blank(ch);
-          if (ch == '\n') newline();
-        }
-        break;
-      case State::Str:
-        if (ch == '\\' && next != '\0') {
-          blank(ch);
-          blank(next);
-          ++i;
-        } else if (ch == '"') {
-          state = State::Code;
-          emit(ch);
-          prev_code = ch;
-        } else {
-          blank(ch);
-          if (ch == '\n') newline();
-        }
-        break;
-      case State::Chr:
-        if (ch == '\\' && next != '\0') {
-          blank(ch);
-          blank(next);
-          ++i;
-        } else if (ch == '\'') {
-          state = State::Code;
-          emit(ch);
-          prev_code = ch;
-        } else {
-          blank(ch);
-          if (ch == '\n') newline();
-        }
-        break;
-      case State::Raw:
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t k = 0; k < raw_delim.size(); ++k) blank(text[i + k]);
-          i += raw_delim.size() - 1;
-          state = State::Code;
-          prev_code = '"';
-        } else {
-          blank(ch);
-          if (ch == '\n') newline();
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-/// 1-based line number of a position in the scrubbed code.
-[[nodiscard]] std::size_t line_of(std::string_view code, std::size_t pos) {
-  return 1 + static_cast<std::size_t>(
-                 std::count(code.begin(), code.begin() + static_cast<long>(pos), '\n'));
-}
-
-/// The trimmed source line containing `pos` (for finding snippets).
-[[nodiscard]] std::string snippet_at(std::string_view original, std::string_view code,
-                                     std::size_t pos) {
-  std::size_t begin = code.rfind('\n', pos);
-  begin = begin == std::string_view::npos ? 0 : begin + 1;
-  std::size_t end = code.find('\n', pos);
-  if (end == std::string_view::npos) end = code.size();
-  return std::string{trim(original.substr(begin, end - begin))};
-}
-
-/// Next occurrence of `token` at or after `from` with identifier boundaries
-/// on both sides; npos when absent.
-[[nodiscard]] std::size_t find_token(std::string_view code, std::string_view token,
-                                     std::size_t from) {
-  for (std::size_t pos = code.find(token, from); pos != std::string_view::npos;
-       pos = code.find(token, pos + 1)) {
-    const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
-    const std::size_t after = pos + token.size();
-    const bool right_ok = after >= code.size() || !is_ident_char(code[after]);
-    if (left_ok && right_ok) return pos;
-  }
-  return std::string_view::npos;
-}
-
-[[nodiscard]] std::size_t skip_spaces(std::string_view code, std::size_t pos) {
-  while (pos < code.size() && is_space(code[pos])) ++pos;
-  return pos;
-}
-
-/// Read an identifier (possibly qualified, A::b::c) starting at `pos`;
-/// returns the last component and advances `pos` past the whole name.
-[[nodiscard]] std::string read_qualified_ident(std::string_view code,
-                                               std::size_t& pos) {
-  std::string last;
-  while (pos < code.size()) {
-    if (!is_ident_char(code[pos])) break;
-    std::size_t start = pos;
-    while (pos < code.size() && is_ident_char(code[pos])) ++pos;
-    last.assign(code.substr(start, pos - start));
-    if (pos + 1 < code.size() && code[pos] == ':' && code[pos + 1] == ':') {
-      pos += 2;
-      continue;
-    }
-    break;
-  }
-  return last;
-}
-
-/// With `pos` at the '<' opening a template argument list, return the
-/// position just past the matching '>'; npos if unbalanced.
-[[nodiscard]] std::size_t skip_template_args(std::string_view code,
-                                             std::size_t pos) {
-  int depth = 0;
-  for (; pos < code.size(); ++pos) {
-    if (code[pos] == '<') ++depth;
-    if (code[pos] == '>' && --depth == 0) return pos + 1;
-  }
-  return std::string_view::npos;
-}
-
-// ---------------------------------------------------------------------------
-// Path scoping
-
-/// Normalise for suffix matching: backslashes to slashes.
-[[nodiscard]] std::string normalise(std::string_view path) {
-  std::string out{path};
-  std::replace(out.begin(), out.end(), '\\', '/');
-  return out;
-}
-
-[[nodiscard]] bool path_matches(std::string_view path, std::string_view prefix) {
-  // Exempt prefixes are repo-relative; accept them anywhere in the path so
-  // absolute invocations ("/repo/src/obs/log.cpp") scope identically.
-  for (std::size_t pos = 0;; ++pos) {
-    pos = path.find(prefix, pos);
-    if (pos == std::string_view::npos) return false;
-    if (pos == 0 || path[pos - 1] == '/') return true;
-  }
-}
-
-[[nodiscard]] bool is_header(std::string_view path) {
-  return path.ends_with(".hpp") || path.ends_with(".h");
-}
-
-}  // namespace
 
 std::string_view rule_key(Rule rule) {
   switch (rule) {
@@ -259,6 +22,11 @@ std::string_view rule_key(Rule rule) {
     case Rule::HeaderHygiene: return "header-hygiene";
     case Rule::MutableMember: return "mutable-member";
     case Rule::LocalStatic: return "local-static";
+    case Rule::GuardedBy: return "guarded-by";
+    case Rule::Frozen: return "frozen";
+    case Rule::HotPathAlloc: return "hot-path-alloc";
+    case Rule::LayeringDag: return "layering-dag";
+    case Rule::AllowHygiene: return "allow-hygiene";
   }
   return "?";
 }
@@ -277,8 +45,32 @@ std::string_view rule_summary(Rule rule) {
       return "mutable member in a header (hidden shared state, thread-hostile)";
     case Rule::LocalStatic:
       return "function-local static non-const object in library code";
+    case Rule::GuardedBy:
+      return "lint:guarded_by field accessed outside a scope locking its "
+             "mutex";
+    case Rule::Frozen:
+      return "lint:frozen type with a public non-const member function or "
+             "const_cast";
+    case Rule::HotPathAlloc:
+      return "allocation or temporary in a lint:hot function (use "
+             "util::Arena / caller scratch)";
+    case Rule::LayeringDag:
+      return "include edge against the src/ layer order (lint/layers.hpp)";
+    case Rule::AllowHygiene:
+      return "lint:allow without justification, with an unknown rule, or "
+             "orphaned";
   }
   return "?";
+}
+
+bool rule_from_key(std::string_view key, Rule& out) {
+  for (const Rule rule : kAllRules) {
+    if (rule_key(rule) == key) {
+      out = rule;
+      return true;
+    }
+  }
+  return false;
 }
 
 bool LintOptions::applies(Rule rule, std::string_view path) const {
@@ -287,8 +79,17 @@ bool LintOptions::applies(Rule rule, std::string_view path) const {
   if (rule == Rule::RawAssert) exempt = &raw_assert_exempt;
   if (rule == Rule::MutableMember) exempt = &mutable_member_exempt;
   if (rule == Rule::LocalStatic) exempt = &local_static_exempt;
+  if (rule == Rule::HotPathAlloc) exempt = &hot_alloc_exempt;
+  if (rule == Rule::AllowHygiene) exempt = &annotation_exempt;
   if (exempt == nullptr) return true;
   for (const std::string& prefix : *exempt) {
+    if (path_matches(path, prefix)) return false;
+  }
+  return true;
+}
+
+bool LintOptions::harvest_markers(std::string_view path) const {
+  for (const std::string& prefix : annotation_exempt) {
     if (path_matches(path, prefix)) return false;
   }
   return true;
@@ -302,17 +103,22 @@ struct Linter::Impl {
     std::string path;
     std::string original;
     Scrubbed scrubbed;
+    FileShape shape;
+    FileIndex index;
+    bool index_cached = false;  ///< index reused from --index-cache
   };
 
   LintOptions options;
   std::vector<File> files;
+  std::map<std::string, FileIndex> cache;
   // std::set: the symbol tables themselves must never introduce iteration-
   // order nondeterminism into reports.
   std::set<std::string> unordered_vars;
   std::set<std::string> unordered_fns;
   std::set<std::string> unordered_aliases;
+  std::set<std::string> map_like;
 
-  void harvest(const File& file);
+  void harvest(File& file);
   void harvest_alias_uses(const File& file);
   void check_file(const File& file, std::vector<Finding>& findings) const;
   void apply_suppressions(const File& file, Finding& finding) const;
@@ -324,21 +130,49 @@ Linter::Linter(LintOptions options) : impl_(new Impl) {
 
 Linter::~Linter() { delete impl_; }
 
+bool Linter::load_index_cache(std::string_view json) {
+  return parse_index_cache_json(json, impl_->cache);
+}
+
+std::string Linter::write_index_cache() const {
+  std::map<std::string, FileIndex> files;
+  for (const Impl::File& file : impl_->files) {
+    files.emplace(file.path, file.index);
+  }
+  return write_index_cache_json(files);
+}
+
 void Linter::add(std::string path, std::string content) {
   Impl::File file;
   file.path = normalise(path);
   file.scrubbed = scrub(content);
+  file.shape = analyze_braces(file.scrubbed.code);
   file.original = std::move(content);
+  file.index.hash = util::fnv1a(file.original);
+  const auto cached = impl_->cache.find(file.path);
+  if (cached != impl_->cache.end() && cached->second.hash == file.index.hash) {
+    // Same bytes, same index: skip pass 1 for this file. Byte offsets in
+    // the cached hot regions stay valid because the content is identical.
+    file.index = cached->second;
+    file.index_cached = true;
+  } else {
+    index_annotations(file.path, file.original, file.scrubbed, file.shape,
+                      impl_->options.harvest_markers(file.path), file.index);
+    impl_->harvest(file);
+  }
   impl_->files.push_back(std::move(file));
 }
 
-// Pass 1a+1b: record every name declared with an unordered type — variables
-// and members (`std::unordered_map<K,V> index_;`), functions returning one
-// (`std::unordered_map<K,V> compute() const;`), and aliases
-// (`using Index = std::unordered_map<...>;`).
-void Linter::Impl::harvest(const File& file) {
+// Pass 1a+1b: record every name declared with an unordered or map type —
+// variables and members (`std::unordered_map<K,V> index_;`), functions
+// returning one (`std::unordered_map<K,V> compute() const;`), and aliases
+// (`using Index = std::unordered_map<...>;`). Map-typed variables
+// additionally feed the hot-path operator[] check.
+void Linter::Impl::harvest(File& file) {
   const std::string& code = file.scrubbed.code;
-  for (const std::string_view kind : {"unordered_map", "unordered_set"}) {
+  for (const std::string_view kind : {"unordered_map", "unordered_set", "map"}) {
+    const bool unordered = kind != "map";
+    const bool maplike = kind != "unordered_set";
     for (std::size_t pos = find_token(code, kind, 0);
          pos != std::string::npos; pos = find_token(code, kind, pos + 1)) {
       std::size_t cursor = skip_spaces(code, pos + kind.size());
@@ -355,7 +189,9 @@ void Linter::Impl::harvest(const File& file) {
             before.find('=', using_pos) != std::string_view::npos) {
           std::size_t name_pos = skip_spaces(before, using_pos + 5);
           const std::string alias = read_qualified_ident(before, name_pos);
-          if (!alias.empty()) unordered_aliases.insert(alias);
+          if (unordered && !alias.empty()) {
+            file.index.unordered_aliases.push_back(alias);
+          }
           continue;
         }
       }
@@ -370,16 +206,26 @@ void Linter::Impl::harvest(const File& file) {
       if (name.empty() || name == "const") continue;
       cursor = skip_spaces(code, cursor);
       if (cursor < code.size() && code[cursor] == '(') {
-        unordered_fns.insert(name);
+        if (unordered) file.index.unordered_fns.push_back(name);
       } else {
-        unordered_vars.insert(name);
+        if (unordered) file.index.unordered_vars.push_back(name);
+        if (maplike) file.index.map_like.push_back(name);
       }
     }
+  }
+  // lint:allow(unordered-iter): iterating a braced list of vectors, not a map
+  for (std::vector<std::string>* list :
+       {&file.index.unordered_vars, &file.index.unordered_fns,
+        &file.index.unordered_aliases, &file.index.map_like}) {
+    std::sort(list->begin(), list->end());
+    list->erase(std::unique(list->begin(), list->end()), list->end());
   }
 }
 
 // Pass 1c: `IndexAlias name` declares an unordered variable too, and
 // `auto name = unordered_fn(...)` binds the function's unordered result.
+// Runs live every time (it depends on the merged alias set, so it is not
+// part of the per-file cache).
 void Linter::Impl::harvest_alias_uses(const File& file) {
   const std::string& code = file.scrubbed.code;
   // lint:allow(unordered-iter): std::set of names; iteration is ordered
@@ -460,79 +306,6 @@ constexpr BannedToken kNondeterminismTokens[] = {
 /// std::atomic<...>, std::once_flag etc. all qualify.
 constexpr std::string_view kMutableAllowedTypes[] = {
     "mutex", "atomic", "once_flag", "condition_variable"};
-
-/// What an opening brace belongs to, decided by the statement text before it.
-enum class BraceKind : unsigned char {
-  Function,   ///< function/lambda body or a control-flow block inside one
-  Type,       ///< class/struct/union/enum body
-  Namespace,  ///< namespace body
-  Other,      ///< initializer lists etc. — transparent, inherits the parent
-};
-
-/// Remove template-argument text between balanced <...> so keywords inside
-/// parameter lists (`template <class T>`) don't confuse classification.
-[[nodiscard]] std::string strip_angle_brackets(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  int depth = 0;
-  for (const char ch : text) {
-    if (ch == '<') {
-      ++depth;
-      continue;
-    }
-    if (ch == '>') {
-      if (depth > 0) --depth;
-      continue;
-    }
-    if (depth == 0) out.push_back(ch);
-  }
-  return out;
-}
-
-[[nodiscard]] BraceKind classify_brace(std::string_view code, std::size_t open) {
-  // The statement introducing this brace: back to the previous ';', '{', '}'.
-  std::size_t begin = open;
-  while (begin > 0) {
-    const char ch = code[begin - 1];
-    if (ch == ';' || ch == '{' || ch == '}') break;
-    --begin;
-  }
-  const std::string intro = strip_angle_brackets(code.substr(begin, open - begin));
-  for (const std::string_view keyword : {"class", "struct", "union", "enum"}) {
-    if (find_token(intro, keyword, 0) != std::string::npos) return BraceKind::Type;
-  }
-  if (find_token(intro, "namespace", 0) != std::string::npos) {
-    return BraceKind::Namespace;
-  }
-  // A parameter list (or trailing function qualifiers after one) marks a
-  // function body; `) {`, `] {` (lambda), `} {` (after brace-init members)
-  // and the block keywords cover control flow.
-  if (intro.find('(') != std::string::npos) return BraceKind::Function;
-  std::size_t j = open;
-  while (j > begin && is_space(code[j - 1])) --j;
-  if (j == begin) return BraceKind::Other;
-  const char prev = code[j - 1];
-  if (prev == ')' || prev == ']' || prev == '}') return BraceKind::Function;
-  if (is_ident_char(prev)) {
-    std::size_t start = j;
-    while (start > begin && is_ident_char(code[start - 1])) --start;
-    const std::string_view word = code.substr(start, j - start);
-    if (word == "else" || word == "do" || word == "try") {
-      return BraceKind::Function;
-    }
-  }
-  return BraceKind::Other;
-}
-
-/// True when the innermost non-transparent scope enclosing `stack` is a
-/// function body (Other braces inherit their parent's classification).
-[[nodiscard]] bool in_function_body(const std::vector<BraceKind>& stack) {
-  for (std::size_t i = stack.size(); i-- > 0;) {
-    if (stack[i] == BraceKind::Other) continue;
-    return stack[i] == BraceKind::Function;
-  }
-  return false;
-}
 
 }  // namespace
 
@@ -769,12 +542,52 @@ void Linter::Impl::apply_suppressions(const File& file, Finding& finding) const 
 }
 
 std::vector<Finding> Linter::run() {
-  for (const Impl::File& file : impl_->files) impl_->harvest(file);
-  for (const Impl::File& file : impl_->files) impl_->harvest_alias_uses(file);
+  // Merge every per-file index (fresh or cached) into the global tables.
+  for (const Impl::File& file : impl_->files) {
+    impl_->unordered_vars.insert(file.index.unordered_vars.begin(),
+                                 file.index.unordered_vars.end());
+    impl_->unordered_fns.insert(file.index.unordered_fns.begin(),
+                                file.index.unordered_fns.end());
+    impl_->unordered_aliases.insert(file.index.unordered_aliases.begin(),
+                                    file.index.unordered_aliases.end());
+    impl_->map_like.insert(file.index.map_like.begin(),
+                           file.index.map_like.end());
+  }
+  for (const Impl::File& file : impl_->files) {
+    impl_->harvest_alias_uses(file);
+  }
+
   std::vector<Finding> findings;
   for (const Impl::File& file : impl_->files) {
     impl_->check_file(file, findings);
   }
+
+  std::vector<AuditFile> views;
+  views.reserve(impl_->files.size());
+  for (const Impl::File& file : impl_->files) {
+    views.push_back(AuditFile{file.path, file.original, &file.scrubbed,
+                              &file.shape, &file.index});
+  }
+  const auto report = [&](std::size_t file_index, Rule rule, std::size_t line,
+                          std::string message) {
+    const Impl::File& file = impl_->files[file_index];
+    Finding finding;
+    finding.file = file.path;
+    finding.line = line;
+    finding.rule = rule;
+    finding.message = std::move(message);
+    const std::size_t pos = offset_of_line(file.scrubbed.code, line);
+    if (pos != std::string::npos) {
+      finding.snippet = snippet_at(file.original, file.scrubbed.code, pos);
+    }
+    impl_->apply_suppressions(file, finding);
+    findings.push_back(std::move(finding));
+  };
+  run_audit(views, impl_->map_like, impl_->options, report);
+  // Allow-hygiene last: orphan detection needs every other family's
+  // findings, suppressed included.
+  run_allow_hygiene(views, impl_->options, findings, report);
+
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;
@@ -799,20 +612,39 @@ std::vector<std::string> Linter::unordered_symbols() const {
   return out;
 }
 
-Summary summarize(const std::vector<Finding>& findings, std::size_t files) {
+std::array<std::size_t, kRuleCount> Linter::allow_uses() const {
+  std::array<std::size_t, kRuleCount> counts{};
+  for (const Impl::File& file : impl_->files) {
+    for (const AllowUse& allow : file.index.allows) {
+      Rule rule = Rule::AllowHygiene;  // unknown keys tally here
+      (void)rule_from_key(allow.rule, rule);
+      ++counts[static_cast<std::size_t>(rule)];
+    }
+  }
+  return counts;
+}
+
+Summary summarize(const std::vector<Finding>& findings, std::size_t files,
+                  const std::array<std::size_t, kRuleCount>& allow_uses) {
   Summary summary;
   summary.files = files;
   for (const Finding& finding : findings) {
     Summary::PerRule& row = summary.rules[static_cast<std::size_t>(finding.rule)];
     ++row.total;
     if (finding.suppressed) ++row.suppressed;
+    if (finding.baselined) ++row.baselined;
+  }
+  for (std::size_t i = 0; i < kRuleCount; ++i) {
+    summary.rules[i].allow_uses = allow_uses[i];
   }
   return summary;
 }
 
 std::size_t Summary::unsuppressed_total() const {
   std::size_t total = 0;
-  for (const PerRule& row : rules) total += row.total - row.suppressed;
+  for (const PerRule& row : rules) {
+    total += row.total - row.suppressed - row.baselined;
+  }
   return total;
 }
 

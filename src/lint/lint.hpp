@@ -1,12 +1,16 @@
 #pragma once
-// cloudrtt-lint: project-specific static analysis for determinism and
-// contract hygiene (see README "Static analysis & determinism").
+// cloudrtt-lint: project-specific static analysis for determinism, contract
+// hygiene, and concurrency/hot-path discipline (see README "Static analysis
+// & determinism").
 //
 // The simulator's headline guarantees — same seed => bit-identical dataset,
 // checkpoint resume == uninterrupted run — only hold while no code path lets
 // incidental runtime state (hash-map iteration order, wall clocks, libc
-// rand()) leak into exported output. This library enforces that as machine
-// checks instead of review folklore:
+// rand()) leak into exported output. The parallel executor adds a second
+// family of invariants: the world is frozen after construction, shared
+// mutable state hides behind named mutexes, and the per-visit path allocates
+// nothing. This library enforces both families as machine checks instead of
+// review folklore:
 //
 //   unordered-iter   range-for over a std::unordered_{map,set} (declared in
 //                    the scanned tree, including via alias or auto-bound
@@ -33,19 +37,49 @@
 //                    code: initialization order and lifetime are process
 //                    state, and mutable singletons are thread-hostile.
 //                    `static const`/`constexpr`/`constinit` are fine.
+//   guarded-by       a field annotated `// lint:guarded_by(mu)` accessed in
+//                    a function body (header + sibling .cpp) outside a
+//                    scope that locks `mu` (lock_guard/unique_lock/
+//                    shared_lock/scoped_lock over it, or mu.lock()).
+//                    Constructors/destructors of the owning type are exempt
+//                    — no concurrent access can exist yet/any more.
+//   frozen           a type annotated `// lint:frozen` (deeply immutable
+//                    after construction) declaring a public non-const member
+//                    function, or a const_cast anywhere in its header/.cpp
+//                    pair.
+//   hot-path-alloc   inside a `// lint:hot` function (or `lint:hot(file)`
+//                    file): `new`, make_unique/make_shared, std::function,
+//                    to_string, ostringstream, std::string/std::vector
+//                    value declarations or temporaries, and operator[] on a
+//                    map-typed symbol. Steer toward util::Arena, caller
+//                    scratch, and string_view.
+//   layering-dag     an `#include "module/..."` edge between src/ modules
+//                    that points against the declared layer order
+//                    (src/lint/layers.hpp) — the cycle class PR 5 broke by
+//                    hand with cities.*.
+//   allow-hygiene    a lint:allow with an empty justification, an unknown
+//                    rule key, or no finding of that rule on its line or the
+//                    line below (an orphan — the code it excused is gone).
 //
 // Findings are suppressed line-by-line with a justified annotation:
 //
 //   for (const auto& [asn, sites] : cache_) {  // lint:allow(unordered-iter): sorted below
 //
 // or, when the line is too long, a comment-only line directly above. A
-// suppression without a `: justification` does NOT suppress.
+// suppression without a `: justification` does NOT suppress — and is itself
+// an allow-hygiene finding.
+//
+// Pre-existing findings can be parked in a checked-in baseline
+// (baseline.hpp): baselined findings don't fail the run but stay visible in
+// the reports, so the debt burns down instead of growing.
 //
 // The scanner is token-aware, not a parser: comments, string literals
 // (including raw strings), and char literals never produce findings, and
-// type knowledge comes from a cross-file symbol harvest, so members declared
-// unordered in a header are recognised when iterated in a .cpp.
+// type knowledge comes from a cross-file symbol index (pass 1, cacheable on
+// content hashes), so members declared unordered or guarded in a header are
+// recognised when touched in a .cpp.
 
+#include <array>
 #include <cstddef>
 #include <iosfwd>
 #include <string>
@@ -61,13 +95,27 @@ enum class Rule {
   HeaderHygiene,
   MutableMember,
   LocalStatic,
+  GuardedBy,
+  Frozen,
+  HotPathAlloc,
+  LayeringDag,
+  AllowHygiene,
 };
 
-inline constexpr std::size_t kRuleCount = 6;
+inline constexpr std::size_t kRuleCount = 11;
 
-/// Stable key used in suppressions, JSON output and the summary table.
+/// Every rule in enum (and report) order; --list-rules and the report
+/// writers iterate this.
+inline constexpr std::array<Rule, kRuleCount> kAllRules = {
+    Rule::UnorderedIter, Rule::Nondeterminism, Rule::RawAssert,
+    Rule::HeaderHygiene, Rule::MutableMember,  Rule::LocalStatic,
+    Rule::GuardedBy,     Rule::Frozen,         Rule::HotPathAlloc,
+    Rule::LayeringDag,   Rule::AllowHygiene,
+};
+
+/// Stable key used in suppressions, JSON/SARIF output and the summary table.
 [[nodiscard]] std::string_view rule_key(Rule rule);
-/// One-line human description for the summary table.
+/// One-line human description for the summary table and --list-rules.
 [[nodiscard]] std::string_view rule_summary(Rule rule);
 
 struct Finding {
@@ -77,6 +125,7 @@ struct Finding {
   std::string message;
   std::string snippet;  ///< trimmed offending source line
   bool suppressed = false;
+  bool baselined = false;  ///< matched a checked-in baseline entry
   std::string justification;  ///< text after "lint:allow(<rule>):"
 };
 
@@ -99,12 +148,23 @@ struct LintOptions {
   /// module owns the one sanctioned entropy source.
   std::vector<std::string> local_static_exempt{
       "tests/", "bench/", "examples/", "tools/", "src/obs/", "src/util/rng."};
+  /// Prefixes where `hot-path-alloc` does not apply even to lint:hot-marked
+  /// code: figure generators and examples trade allocations for clarity.
+  std::vector<std::string> hot_alloc_exempt{"bench/", "examples/"};
+  /// Prefixes whose comments are NOT mined for annotation markers and that
+  /// `allow-hygiene` skips: the linter's own sources document the
+  /// annotation grammar, which would otherwise register as orphan allows.
+  std::vector<std::string> annotation_exempt{"src/lint/"};
 
   [[nodiscard]] bool applies(Rule rule, std::string_view path) const;
+  /// True when `path`'s annotation markers should be harvested.
+  [[nodiscard]] bool harvest_markers(std::string_view path) const;
 };
 
-/// Two-pass linter: add() every file first (pass 1 harvests unordered
-/// symbols across the whole tree), then run() scans and returns findings.
+/// Two-pass linter: add() every file first (pass 1 builds the project-wide
+/// symbol index — unordered symbols, guarded fields, frozen types, hot
+/// regions, include edges, allow uses), then run() scans and returns
+/// findings from every rule family.
 class Linter {
  public:
   explicit Linter(LintOptions options = {});
@@ -116,6 +176,15 @@ class Linter {
   /// `content` is the full file text.
   void add(std::string path, std::string content);
 
+  /// Seed pass 1 from a cache document (write_index_cache()): files whose
+  /// content hash matches reuse the cached index instead of re-scanning.
+  /// Call before the first add(). Returns false on a malformed document
+  /// (the cache is ignored, not an error).
+  bool load_index_cache(std::string_view json);
+
+  /// Serialize the post-run index of every added file for --index-cache.
+  [[nodiscard]] std::string write_index_cache() const;
+
   /// Scan every added file. Findings are ordered by (file, line, rule).
   [[nodiscard]] std::vector<Finding> run();
 
@@ -123,6 +192,11 @@ class Linter {
   /// members, aliases, and functions returning unordered types). Exposed for
   /// tests and --dump-symbols.
   [[nodiscard]] std::vector<std::string> unordered_symbols() const;
+
+  /// Per-rule count of lint:allow uses across the scanned tree (justified
+  /// or not; unknown rule keys count under allow-hygiene). Valid after
+  /// run().
+  [[nodiscard]] std::array<std::size_t, kRuleCount> allow_uses() const;
 
  private:
   struct Impl;
@@ -134,26 +208,36 @@ struct Summary {
   struct PerRule {
     std::size_t total = 0;       ///< all findings, suppressed included
     std::size_t suppressed = 0;  ///< carried a justified lint:allow
+    std::size_t baselined = 0;   ///< parked in the checked-in baseline
+    std::size_t allow_uses = 0;  ///< lint:allow(<rule>) uses in the tree
   };
   PerRule rules[kRuleCount];
   std::size_t files = 0;
 
+  /// Findings neither suppressed nor baselined — what fails the run.
   [[nodiscard]] std::size_t unsuppressed_total() const;
-  /// True when every finding is suppressed (lint exit code 0).
+  /// True when every finding is suppressed or baselined (lint exit code 0).
   [[nodiscard]] bool clean() const { return unsuppressed_total() == 0; }
 };
 
-[[nodiscard]] Summary summarize(const std::vector<Finding>& findings,
-                                std::size_t files);
+[[nodiscard]] Summary summarize(
+    const std::vector<Finding>& findings, std::size_t files,
+    const std::array<std::size_t, kRuleCount>& allow_uses = {});
 
 /// Human-readable report: one line per unsuppressed finding, then the
 /// per-rule count table.
 void write_text_report(std::ostream& out, const std::vector<Finding>& findings,
                        const Summary& summary, bool show_suppressed = false);
 
-/// Machine-readable report (findings array + per-rule summary), built with
-/// util::JsonWriter.
+/// Machine-readable report (findings array + per-rule summary incl. allow
+/// uses), built with util::JsonWriter.
 void write_json_report(std::ostream& out, const std::vector<Finding>& findings,
                        const Summary& summary);
+
+/// SARIF 2.1.0 report: one run, one result per unsuppressed finding
+/// (baselined findings carry baselineState "unchanged", fresh ones "new"),
+/// for github/codeql-action/upload-sarif PR annotations.
+void write_sarif_report(std::ostream& out,
+                        const std::vector<Finding>& findings);
 
 }  // namespace cloudrtt::lint

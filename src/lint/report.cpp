@@ -8,19 +8,24 @@ namespace cloudrtt::lint {
 
 namespace {
 
-constexpr Rule kAllRules[] = {Rule::UnorderedIter,  Rule::Nondeterminism,
-                              Rule::RawAssert,      Rule::HeaderHygiene,
-                              Rule::MutableMember,  Rule::LocalStatic};
+[[nodiscard]] std::size_t active_of(const Summary::PerRule& row) {
+  return row.total - row.suppressed - row.baselined;
+}
 
 }  // namespace
 
 void write_text_report(std::ostream& out, const std::vector<Finding>& findings,
                        const Summary& summary, bool show_suppressed) {
   for (const Finding& finding : findings) {
-    if (finding.suppressed && !show_suppressed) continue;
+    if ((finding.suppressed || finding.baselined) && !show_suppressed) {
+      continue;
+    }
     out << finding.file << ':' << finding.line << ": ["
         << rule_key(finding.rule) << "] "
-        << (finding.suppressed ? "(suppressed) " : "") << finding.message << '\n';
+        << (finding.suppressed
+                ? "(suppressed) "
+                : finding.baselined ? "(baselined) " : "")
+        << finding.message << '\n';
     if (!finding.snippet.empty()) out << "    " << finding.snippet << '\n';
     if (finding.suppressed) {
       out << "    justification: " << finding.justification << '\n';
@@ -28,12 +33,15 @@ void write_text_report(std::ostream& out, const std::vector<Finding>& findings,
   }
 
   util::TextTable table;
-  table.set_header({"rule", "findings", "suppressed", "active"});
+  table.set_header(
+      {"rule", "findings", "suppressed", "baselined", "allows", "active"});
   for (const Rule rule : kAllRules) {
     const Summary::PerRule& row = summary.rules[static_cast<std::size_t>(rule)];
     table.add_row({std::string{rule_key(rule)}, std::to_string(row.total),
                    std::to_string(row.suppressed),
-                   std::to_string(row.total - row.suppressed)});
+                   std::to_string(row.baselined),
+                   std::to_string(row.allow_uses),
+                   std::to_string(active_of(row))});
   }
   out << '\n' << table.render();
   out << summary.files << " files scanned, " << summary.unsuppressed_total()
@@ -54,6 +62,7 @@ void write_json_report(std::ostream& out, const std::vector<Finding>& findings,
     json.field("message", finding.message);
     json.field("snippet", finding.snippet);
     json.field("suppressed", finding.suppressed);
+    json.field("baselined", finding.baselined);
     if (finding.suppressed) json.field("justification", finding.justification);
     json.end_object();
   }
@@ -69,7 +78,9 @@ void write_json_report(std::ostream& out, const std::vector<Finding>& findings,
     json.begin_object();
     json.field("total", static_cast<std::uint64_t>(row.total));
     json.field("suppressed", static_cast<std::uint64_t>(row.suppressed));
-    json.field("active", static_cast<std::uint64_t>(row.total - row.suppressed));
+    json.field("baselined", static_cast<std::uint64_t>(row.baselined));
+    json.field("allow_uses", static_cast<std::uint64_t>(row.allow_uses));
+    json.field("active", static_cast<std::uint64_t>(active_of(row)));
     json.end_object();
   }
   json.end_object();

@@ -1,0 +1,90 @@
+// SARIF 2.1.0 export: one run, one reportingDescriptor per rule, one result
+// per unsuppressed finding. Baselined findings carry baselineState
+// "unchanged" (GitHub code scanning hides them from PR annotations), fresh
+// ones "new". The fingerprint matches the baseline file's entry id so the
+// two artefacts cross-reference.
+
+#include <ostream>
+
+#include "lint/baseline.hpp"
+#include "lint/lint.hpp"
+#include "util/json.hpp"
+
+namespace cloudrtt::lint {
+
+void write_sarif_report(std::ostream& out,
+                        const std::vector<Finding>& findings) {
+  util::JsonWriter json{out};
+  json.begin_object();
+  json.field("version", "2.1.0");
+  json.field("$schema",
+             "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+             "Schemata/sarif-schema-2.1.0.json");
+  json.key("runs");
+  json.begin_array();
+  json.begin_object();
+  json.key("tool");
+  json.begin_object();
+  json.key("driver");
+  json.begin_object();
+  json.field("name", "cloudrtt-lint");
+  json.field("informationUri",
+             "https://github.com/cloudrtt/cloudrtt#static-analysis--determinism");
+  json.key("rules");
+  json.begin_array();
+  for (const Rule rule : kAllRules) {
+    json.begin_object();
+    json.field("id", rule_key(rule));
+    json.key("shortDescription");
+    json.begin_object();
+    json.field("text", rule_summary(rule));
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.end_object();
+  json.key("results");
+  json.begin_array();
+  for (const Finding& finding : findings) {
+    if (finding.suppressed) continue;
+    json.begin_object();
+    json.field("ruleId", rule_key(finding.rule));
+    json.field("level", "error");
+    json.key("message");
+    json.begin_object();
+    json.field("text", finding.message);
+    json.end_object();
+    json.key("locations");
+    json.begin_array();
+    json.begin_object();
+    json.key("physicalLocation");
+    json.begin_object();
+    json.key("artifactLocation");
+    json.begin_object();
+    json.field("uri", finding.file);
+    json.end_object();
+    json.key("region");
+    json.begin_object();
+    json.field("startLine",
+               static_cast<std::uint64_t>(
+                   finding.line == 0 ? std::size_t{1} : finding.line));
+    json.end_object();
+    json.end_object();
+    json.end_object();
+    json.end_array();
+    json.field("baselineState", finding.baselined ? "unchanged" : "new");
+    json.key("partialFingerprints");
+    json.begin_object();
+    json.field("cloudrttLint/v1", finding_fingerprint(finding));
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  out << '\n';
+}
+
+}  // namespace cloudrtt::lint

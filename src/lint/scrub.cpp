@@ -1,0 +1,456 @@
+#include "lint/scrub.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cloudrtt::lint {
+
+bool is_ident_char(char ch) {
+  return std::isalnum(static_cast<unsigned char>(ch)) != 0 || ch == '_';
+}
+
+bool is_space(char ch) {
+  return std::isspace(static_cast<unsigned char>(ch)) != 0;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+Scrubbed scrub(std::string_view text) {
+  Scrubbed out;
+  out.code.reserve(text.size());
+  out.comments.emplace_back();
+  std::size_t line = 0;
+
+  const auto emit = [&](char ch) { out.code.push_back(ch); };
+  const auto blank = [&](char ch) {
+    out.code.push_back(ch == '\n' ? '\n' : ' ');
+  };
+  const auto newline = [&] {
+    ++line;
+    out.comments.emplace_back();
+  };
+
+  enum class State { Code, Line, Block, Str, Chr, Raw };
+  State state = State::Code;
+  std::string raw_delim;  // the ")delim" terminator of the active raw string
+  char prev_code = '\0';  // last significant char emitted in Code state
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (ch == '/' && next == '/') {
+          state = State::Line;
+          blank(ch);
+        } else if (ch == '/' && next == '*') {
+          state = State::Block;
+          blank(ch);
+          blank(next);
+          ++i;
+        } else if (ch == '"') {
+          // Raw string when the preceding token ends in R (u8R, LR, ...).
+          if (prev_code == 'R' && !out.code.empty()) {
+            std::size_t open = text.find('(', i + 1);
+            if (open != std::string_view::npos && open - i <= 18) {
+              raw_delim = ")";
+              raw_delim.append(text.substr(i + 1, open - i - 1));
+              raw_delim.push_back('"');
+              state = State::Raw;
+              emit(ch);
+              break;
+            }
+          }
+          state = State::Str;
+          emit(ch);
+        } else if (ch == '\'' && !is_ident_char(prev_code)) {
+          state = State::Chr;
+          emit(ch);
+        } else {
+          emit(ch);
+          if (!is_space(ch)) prev_code = ch;
+          if (ch == '\n') newline();
+        }
+        break;
+      case State::Line:
+        if (ch == '\n') {
+          state = State::Code;
+          blank(ch);
+          newline();
+        } else {
+          out.comments[line].push_back(ch);
+          blank(ch);
+        }
+        break;
+      case State::Block:
+        if (ch == '*' && next == '/') {
+          state = State::Code;
+          blank(ch);
+          blank(next);
+          ++i;
+        } else {
+          if (ch != '\n') out.comments[line].push_back(ch);
+          blank(ch);
+          if (ch == '\n') newline();
+        }
+        break;
+      case State::Str:
+        if (ch == '\\' && next != '\0') {
+          blank(ch);
+          blank(next);
+          ++i;
+        } else if (ch == '"') {
+          state = State::Code;
+          emit(ch);
+          prev_code = ch;
+        } else {
+          blank(ch);
+          if (ch == '\n') newline();
+        }
+        break;
+      case State::Chr:
+        if (ch == '\\' && next != '\0') {
+          blank(ch);
+          blank(next);
+          ++i;
+        } else if (ch == '\'') {
+          state = State::Code;
+          emit(ch);
+          prev_code = ch;
+        } else {
+          blank(ch);
+          if (ch == '\n') newline();
+        }
+        break;
+      case State::Raw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
+            blank(text[i + k]);
+          }
+          i += raw_delim.size() - 1;
+          state = State::Code;
+          prev_code = '"';
+        } else {
+          blank(ch);
+          if (ch == '\n') newline();
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(std::string_view code, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(std::count(
+                 code.begin(), code.begin() + static_cast<long>(pos), '\n'));
+}
+
+std::size_t offset_of_line(std::string_view code, std::size_t line) {
+  std::size_t current = 1;
+  std::size_t pos = 0;
+  while (current < line) {
+    pos = code.find('\n', pos);
+    if (pos == std::string_view::npos) return std::string_view::npos;
+    ++pos;
+    ++current;
+  }
+  return pos;
+}
+
+std::string snippet_at(std::string_view original, std::string_view code,
+                       std::size_t pos) {
+  std::size_t begin = code.rfind('\n', pos);
+  begin = begin == std::string_view::npos ? 0 : begin + 1;
+  std::size_t end = code.find('\n', pos);
+  if (end == std::string_view::npos) end = code.size();
+  return std::string{trim(original.substr(begin, end - begin))};
+}
+
+std::size_t find_token(std::string_view code, std::string_view token,
+                       std::size_t from) {
+  for (std::size_t pos = code.find(token, from); pos != std::string_view::npos;
+       pos = code.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+    const std::size_t after = pos + token.size();
+    const bool right_ok = after >= code.size() || !is_ident_char(code[after]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t skip_spaces(std::string_view code, std::size_t pos) {
+  while (pos < code.size() && is_space(code[pos])) ++pos;
+  return pos;
+}
+
+std::string read_qualified_ident(std::string_view code, std::size_t& pos) {
+  std::string last;
+  while (pos < code.size()) {
+    if (!is_ident_char(code[pos])) break;
+    std::size_t start = pos;
+    while (pos < code.size() && is_ident_char(code[pos])) ++pos;
+    last.assign(code.substr(start, pos - start));
+    if (pos + 1 < code.size() && code[pos] == ':' && code[pos + 1] == ':') {
+      pos += 2;
+      continue;
+    }
+    break;
+  }
+  return last;
+}
+
+std::size_t skip_template_args(std::string_view code, std::size_t pos) {
+  int depth = 0;
+  for (; pos < code.size(); ++pos) {
+    if (code[pos] == '<') ++depth;
+    if (code[pos] == '>' && --depth == 0) return pos + 1;
+  }
+  return std::string_view::npos;
+}
+
+std::string normalise(std::string_view path) {
+  std::string out{path};
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool path_matches(std::string_view path, std::string_view prefix) {
+  // Exempt prefixes are repo-relative; accept them anywhere in the path so
+  // absolute invocations ("/repo/src/obs/log.cpp") scope identically.
+  for (std::size_t pos = 0;; ++pos) {
+    pos = path.find(prefix, pos);
+    if (pos == std::string_view::npos) return false;
+    if (pos == 0 || path[pos - 1] == '/') return true;
+  }
+}
+
+bool is_header(std::string_view path) {
+  return path.ends_with(".hpp") || path.ends_with(".h");
+}
+
+std::string_view path_stem(std::string_view path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string_view::npos) return path;
+  const std::size_t slash = path.rfind('/');
+  if (slash != std::string_view::npos && slash > dot) return path;
+  return path.substr(0, dot);
+}
+
+std::string strip_angle_brackets(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  int depth = 0;
+  for (const char ch : text) {
+    if (ch == '<') {
+      ++depth;
+      continue;
+    }
+    if (ch == '>') {
+      if (depth > 0) --depth;
+      continue;
+    }
+    if (depth == 0) out.push_back(ch);
+  }
+  return out;
+}
+
+BraceKind classify_brace(std::string_view code, std::size_t open) {
+  // The statement introducing this brace: back to the previous ';', '{', '}'.
+  std::size_t begin = open;
+  while (begin > 0) {
+    const char ch = code[begin - 1];
+    if (ch == ';' || ch == '{' || ch == '}') break;
+    --begin;
+  }
+  const std::string intro =
+      strip_angle_brackets(code.substr(begin, open - begin));
+  for (const std::string_view keyword : {"class", "struct", "union", "enum"}) {
+    if (find_token(intro, keyword, 0) != std::string::npos) {
+      return BraceKind::Type;
+    }
+  }
+  if (find_token(intro, "namespace", 0) != std::string::npos) {
+    return BraceKind::Namespace;
+  }
+  // A parameter list (or trailing function qualifiers after one) marks a
+  // function body; `) {`, `] {` (lambda), `} {` (after brace-init members)
+  // and the block keywords cover control flow.
+  if (intro.find('(') != std::string::npos) return BraceKind::Function;
+  std::size_t j = open;
+  while (j > begin && is_space(code[j - 1])) --j;
+  if (j == begin) return BraceKind::Other;
+  const char prev = code[j - 1];
+  if (prev == ')' || prev == ']' || prev == '}') return BraceKind::Function;
+  if (is_ident_char(prev)) {
+    std::size_t start = j;
+    while (start > begin && is_ident_char(code[start - 1])) --start;
+    const std::string_view word = code.substr(start, j - start);
+    if (word == "else" || word == "do" || word == "try") {
+      return BraceKind::Function;
+    }
+  }
+  return BraceKind::Other;
+}
+
+bool in_function_body(const std::vector<BraceKind>& stack) {
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    if (stack[i] == BraceKind::Other) continue;
+    return stack[i] == BraceKind::Function;
+  }
+  return false;
+}
+
+namespace {
+
+/// With code[close] a ')' or '}', the position of the matching opener
+/// scanning backwards; npos when unbalanced.
+[[nodiscard]] std::size_t match_backwards(std::string_view code,
+                                          std::size_t close) {
+  const char shut = code[close];
+  const char open = shut == ')' ? '(' : '{';
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (code[i] == shut) ++depth;
+    if (code[i] == open && --depth == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
+[[nodiscard]] std::size_t skip_spaces_back(std::string_view code,
+                                           std::size_t pos) {
+  while (pos > 0 && is_space(code[pos - 1])) --pos;
+  return pos;
+}
+
+/// The class/struct/union/enum name introduced by the statement before the
+/// Type brace at `open`; "" when anonymous.
+[[nodiscard]] std::string type_name_at(std::string_view code, std::size_t open,
+                                       bool& is_class) {
+  std::size_t begin = open;
+  while (begin > 0) {
+    const char ch = code[begin - 1];
+    if (ch == ';' || ch == '{' || ch == '}') break;
+    --begin;
+  }
+  const std::string intro =
+      strip_angle_brackets(code.substr(begin, open - begin));
+  is_class = false;
+  std::size_t at = std::string::npos;
+  std::size_t keyword_len = 0;
+  for (const std::string_view keyword : {"class", "struct", "union"}) {
+    const std::size_t pos = find_token(intro, keyword, 0);
+    if (pos != std::string::npos && (at == std::string::npos || pos > at)) {
+      at = pos;  // `enum class X` / `template <...> class X`: last keyword
+      keyword_len = keyword.size();
+      is_class = keyword == "class";
+    }
+  }
+  if (at == std::string::npos) return {};
+  std::size_t cursor = skip_spaces(intro, at + keyword_len);
+  std::string name = read_qualified_ident(intro, cursor);
+  if (name == "final" || name == "alignas") return {};
+  return name;
+}
+
+}  // namespace
+
+std::string function_name_at(std::string_view code, std::size_t open) {
+  std::size_t j = skip_spaces_back(code, open);
+  // Trailing qualifiers between the parameter list and the body.
+  for (;;) {
+    std::size_t w = j;
+    while (w > 0 && is_ident_char(code[w - 1])) --w;
+    const std::string_view word = code.substr(w, j - w);
+    if (word == "const" || word == "noexcept" || word == "override" ||
+        word == "final" || word == "mutable") {
+      j = skip_spaces_back(code, w);
+      continue;
+    }
+    break;
+  }
+  // Walk backwards over `(...)`/`{...}` groups: constructor member-init
+  // items (separated by ',' after a ':') until the parameter list, whose
+  // preceding identifier is the function name.
+  for (;;) {
+    if (j == 0) return {};
+    const char ch = code[j - 1];
+    if (ch != ')' && ch != '}') return {};
+    const std::size_t opener = match_backwards(code, j - 1);
+    if (opener == std::string_view::npos || opener == 0) return {};
+    const std::size_t w = skip_spaces_back(code, opener);
+    std::size_t start = w;
+    while (start > 0 && is_ident_char(code[start - 1])) --start;
+    if (start == w) return {};  // lambda / operator / brace-init without name
+    std::string name{code.substr(start, w - start)};
+    const std::size_t k = skip_spaces_back(code, start);
+    if (k > 0 && code[k - 1] == ',') {
+      j = k - 1;  // a member-init item; keep walking left
+      continue;
+    }
+    if (k > 0 && code[k - 1] == ':' && (k < 2 || code[k - 2] != ':')) {
+      j = skip_spaces_back(code, k - 1);  // init-list ':'; param list next
+      continue;
+    }
+    if (k > 0 && code[k - 1] == '~') return "~" + name;
+    return name;
+  }
+}
+
+int FileShape::innermost(std::size_t pos) const {
+  int best = -1;
+  for (std::size_t i = 0; i < braces.size(); ++i) {
+    if (braces[i].open < pos && pos < braces[i].close) {
+      if (best < 0 || braces[i].open > braces[static_cast<std::size_t>(best)].open) {
+        best = static_cast<int>(i);
+      }
+    }
+  }
+  return best;
+}
+
+bool FileShape::in_function(std::size_t pos) const {
+  for (int i = innermost(pos); i >= 0;
+       i = braces[static_cast<std::size_t>(i)].parent) {
+    const BraceInfo& info = braces[static_cast<std::size_t>(i)];
+    if (info.kind == BraceKind::Other) continue;
+    return info.kind == BraceKind::Function;
+  }
+  return false;
+}
+
+std::size_t FileShape::enclosing_close(std::size_t pos,
+                                       std::size_t fallback) const {
+  const int i = innermost(pos);
+  return i < 0 ? fallback : braces[static_cast<std::size_t>(i)].close;
+}
+
+FileShape analyze_braces(std::string_view code) {
+  FileShape shape;
+  std::vector<int> stack;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '{') {
+      BraceInfo info;
+      info.open = i;
+      info.close = code.size();
+      info.kind = classify_brace(code, i);
+      info.parent = stack.empty() ? -1 : stack.back();
+      if (info.kind == BraceKind::Type) {
+        info.name = type_name_at(code, i, info.is_class);
+      } else if (info.kind == BraceKind::Function) {
+        info.name = function_name_at(code, i);
+      }
+      stack.push_back(static_cast<int>(shape.braces.size()));
+      shape.braces.push_back(std::move(info));
+    } else if (code[i] == '}' && !stack.empty()) {
+      shape.braces[static_cast<std::size_t>(stack.back())].close = i;
+      stack.pop_back();
+    }
+  }
+  return shape;
+}
+
+}  // namespace cloudrtt::lint

@@ -83,6 +83,7 @@ double Engine::diurnal_factor(const probes::Probe& probe, std::uint8_t slot) {
   return 1.0 + amplitude * peak;
 }
 
+// lint:hot
 Engine::PathDraw Engine::draw_path(const probes::Probe& probe,
                                    const topology::CloudEndpoint& endpoint,
                                    util::Rng& rng, std::uint8_t slot,
@@ -119,6 +120,7 @@ double Engine::icmp_penalty_ms(const probes::Probe& probe, util::Rng& rng) const
   return rng.exponential(3.0 + 16.0 * (1.0 - quality));
 }
 
+// lint:hot
 PingRecord Engine::ping(const probes::Probe& probe,
                         const topology::CloudEndpoint& endpoint,
                         Protocol protocol, std::uint32_t day,
@@ -180,6 +182,7 @@ double Engine::interdc_rtt(const topology::CloudEndpoint& src,
   return rtt;
 }
 
+// lint:hot
 TraceRecord Engine::traceroute(const probes::Probe& probe,
                                const topology::CloudEndpoint& endpoint,
                                std::uint32_t day, util::Rng& rng,

@@ -132,8 +132,11 @@ struct Registry::Impl {
   mutable std::mutex mutex;
   // std::map keeps exports sorted and deterministic; std::deque keeps the
   // metric objects' addresses stable as the registry grows.
+  // lint:guarded_by(mutex)
   std::map<std::string, Counter*, std::less<>> counters;
+  // lint:guarded_by(mutex)
   std::map<std::string, Gauge*, std::less<>> gauges;
+  // lint:guarded_by(mutex)
   std::map<std::string, Histogram*, std::less<>> histograms;
   std::deque<Counter> counter_storage;
   std::deque<Gauge> gauge_storage;

@@ -207,6 +207,7 @@ ForwardingPath PathBuilder::build(const probes::Probe& probe,
   return path;
 }
 
+// lint:hot
 void PathBuilder::build_into(const probes::Probe& probe,
                              const topology::CloudEndpoint& endpoint,
                              topology::InterconnectMode mode,

@@ -17,7 +17,7 @@ static_assert(std::is_trivially_copyable_v<RouterHop>,
               "RouterHop must be trivially copyable for arena caching");
 
 [[nodiscard]] bool cache_disabled_by_env() {
-  // lint:allow(nondeterminism): reading a configuration switch, not entropy
+  // Reading a configuration switch, not entropy; getenv is deterministic here.
   const char* value = std::getenv("CLOUDRTT_PATH_CACHE");
   if (value == nullptr) return false;
   return std::strcmp(value, "off") == 0 || std::strcmp(value, "0") == 0;
@@ -70,6 +70,7 @@ bool PathCache::key_for(const probes::Probe& probe,
   return true;
 }
 
+// lint:hot
 PathView PathCache::lookup(const probes::Probe& probe,
                            const topology::CloudEndpoint& endpoint,
                            topology::InterconnectMode mode,

@@ -151,6 +151,7 @@ void serialize_task(std::string& out, const measure::PingRecord& ping,
   serialize_task(out, ping, trace, std::span{trace.hops});
 }
 
+// lint:hot
 void serialize_task(std::string& out, const measure::PingRecord& ping,
                     const measure::TraceRecord& trace,
                     std::span<const measure::HopRecord> hops) {

@@ -189,9 +189,13 @@ class ShardWriter {
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
+  // lint:guarded_by(mutex_)
   std::deque<Job> jobs_;
+  // lint:guarded_by(mutex_)
   bool worker_busy_ = false;
+  // lint:guarded_by(mutex_)
   bool started_ = false;  ///< any job ever enqueued (restore() guard)
+  // lint:guarded_by(mutex_)
   bool stop_ = false;
   std::atomic<bool> degraded_{false};
   std::atomic<std::size_t> pending_count_{0};

@@ -26,15 +26,18 @@ namespace cloudrtt::topology {
 
 /// Frozen map <ASN, site label> -> router interface address. Built once
 /// during world construction, then read-only (thread-safe by immutability).
+// lint:frozen
 class AddressPlan {
  public:
   AddressPlan() = default;
 
   /// Record one assignment (build phase only; site must be new for the AS).
+  // lint:allow(frozen): build phase only; freeze() seals the plan before sharing
   void assign(Asn asn, std::string site, net::Ipv4Address ip);
 
   /// Sort each AS's sites for binary search and seal the plan. Duplicate
   /// sites are a materialization bug and abort.
+  // lint:allow(frozen): build phase only; freeze() seals the plan before sharing
   void freeze();
 
   [[nodiscard]] bool frozen() const { return frozen_; }
@@ -64,6 +67,7 @@ class AddressPlan {
 /// Frozen map of interconnect decisions per <ISP, provider, destination
 /// continent>, keyed exactly like the old lazy cache. References returned by
 /// at() are stable for the table's lifetime.
+// lint:frozen
 class PolicyTable {
  public:
   PolicyTable() = default;
@@ -76,7 +80,9 @@ class PolicyTable {
   }
 
   /// Record one policy (build phase only; key must be new).
+  // lint:allow(frozen): build phase only; freeze() seals the table before sharing
   void put(std::uint64_t key, const PairPolicy& policy);
+  // lint:allow(frozen): build phase only; freeze() seals the table before sharing
   void freeze();
 
   [[nodiscard]] bool frozen() const { return frozen_; }

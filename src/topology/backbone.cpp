@@ -305,6 +305,7 @@ const BackboneRoute& Backbone::route(std::string_view from, std::string_view to)
   if (!ia || !ib) {
     throw std::out_of_range{"Backbone::route: unknown country code"};
   }
+  // lint:allow(guarded-by): emptiness check only; set_outages never runs concurrently with readers
   if (outage_keys_.empty()) {
     return nominal_[*ia * nodes_.size() + *ib];
   }
@@ -342,6 +343,7 @@ Backbone::SearchState Backbone::shortest_paths(
     if (stop_at && u == *stop_at) break;
     for (std::size_t e = 0; e < adjacency_[u].size(); ++e) {
       const Edge& edge = adjacency_[u][e];
+      // lint:allow(guarded-by): Dijkstra rebuild runs only in the sequential schedule phase
       if (!outage_keys_.empty() && outage_keys_.contains(pair_key(u, edge.to))) {
         continue;  // severed link: every parallel edge of the pair is down
       }

@@ -106,6 +106,7 @@ class Backbone {
   void set_outages(
       const std::vector<std::pair<std::string_view, std::string_view>>& cuts) const;
   void clear_outages() const { set_outages({}); }
+  // lint:allow(guarded-by): racy-read probe by design; an empty set is stable during execution
   [[nodiscard]] bool outages_active() const { return !outage_keys_.empty(); }
 
   /// Detour multiplier applied to an edge of the given quality.
@@ -159,7 +160,9 @@ class Backbone {
   // Outage overlay: rebuilt by set_outages (sequential phase only) and read
   // under outage_mutex_ by concurrent route() callers during execution.
   mutable std::mutex outage_mutex_;
+  // lint:guarded_by(outage_mutex_)
   mutable std::unordered_set<std::uint64_t> outage_keys_;     // lint:allow(mutable-member): guarded by outage_mutex_; written only in the sequential schedule phase
+  // lint:guarded_by(outage_mutex_)
   mutable std::unordered_map<std::uint64_t, BackboneRoute> outage_cache_;  // lint:allow(mutable-member): guarded by outage_mutex_
 };
 

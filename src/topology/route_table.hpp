@@ -22,6 +22,7 @@
 
 namespace cloudrtt::topology {
 
+// lint:frozen
 class BgpRouteTable {
  public:
   /// A flattened best route; the path view aliases the table's pool and

@@ -72,6 +72,7 @@ struct RibEntry {
   Asn asn;
 };
 
+// lint:frozen
 class World {
  public:
   explicit World(const WorldConfig& config = {});
@@ -92,7 +93,9 @@ class World {
   [[nodiscard]] const IspNetwork& isp(Asn asn) const;
 
   /// Hand out subscriber addresses (called while generating probes).
+  // lint:allow(frozen): address allocators advance a deterministic counter during probe generation
   [[nodiscard]] net::Ipv4Address allocate_customer_ip(Asn isp_asn);
+  // lint:allow(frozen): address allocators advance a deterministic counter during probe generation
   [[nodiscard]] net::Ipv4Address allocate_cgn_ip(Asn isp_asn);
 
   // --- cloud side ------------------------------------------------------------

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/baseline.hpp"
 #include "lint/lint.hpp"
 #include "util/json.hpp"
 
@@ -149,7 +150,11 @@ TEST(LintSuppression, AllowWithoutJustificationDoesNotSuppress) {
       "  for (const auto& [k, v] : t) { (void)k; (void)v; }  "
       "// lint:allow(unordered-iter)\n"
       "}\n");
-  ASSERT_EQ(findings.size(), 1u);
+  // The unsuppressed finding plus an allow-hygiene finding for the bare
+  // allow itself.
+  ASSERT_EQ(findings.size(), 2u);
+  ASSERT_EQ(count_rule(findings, Rule::UnorderedIter), 1u);
+  EXPECT_EQ(count_rule(findings, Rule::AllowHygiene), 1u);
   EXPECT_FALSE(findings[0].suppressed);
   EXPECT_FALSE(summarize(findings, 1).clean());
   EXPECT_NE(findings[0].message.find("ignored"), std::string::npos);
@@ -163,7 +168,11 @@ TEST(LintSuppression, AllowForTheWrongRuleDoesNotSuppress) {
       "  for (const auto& [k, v] : t) { (void)k; (void)v; }  "
       "// lint:allow(raw-assert): wrong key\n"
       "}\n");
-  ASSERT_EQ(findings.size(), 1u);
+  // The unsuppressed finding plus an allow-hygiene orphan for the
+  // wrong-rule allow.
+  ASSERT_EQ(findings.size(), 2u);
+  ASSERT_EQ(count_rule(findings, Rule::UnorderedIter), 1u);
+  EXPECT_EQ(count_rule(findings, Rule::AllowHygiene), 1u);
   EXPECT_FALSE(findings[0].suppressed);
 }
 
@@ -465,6 +474,365 @@ TEST(LintOptionsTest, PathMatchingIsSuffixNormalised) {
   EXPECT_TRUE(options.applies(Rule::Nondeterminism, "src/core/study.cpp"));
   EXPECT_FALSE(options.applies(Rule::RawAssert, "tests/util_test.cpp"));
   EXPECT_TRUE(options.applies(Rule::RawAssert, "src/util/stats.cpp"));
+}
+
+// ---------------------------------------------------------------------------
+// R7: guarded-by
+
+namespace {
+
+constexpr std::string_view kGuardedHeader = R"cpp(#pragma once
+#include <mutex>
+struct Queue {
+  std::mutex mutex_;
+  // lint:guarded_by(mutex_)
+  int depth_ = 0;
+};
+)cpp";
+
+}  // namespace
+
+TEST(LintGuardedBy, FlagsUnlockedAccessInStemPair) {
+  Linter linter;
+  linter.add("src/store/q.hpp", std::string{kGuardedHeader});
+  linter.add("src/store/q.cpp", R"cpp(
+#include "q.hpp"
+void touch(Queue& q) {
+  q.depth_ = 1;
+}
+)cpp");
+  const auto findings = linter.run();
+  ASSERT_EQ(count_rule(findings, Rule::GuardedBy), 1u);
+  EXPECT_EQ(findings[0].file, "src/store/q.cpp");
+  EXPECT_NE(findings[0].message.find("mutex_"), std::string::npos);
+}
+
+TEST(LintGuardedBy, CleanWhenLockIsHeld) {
+  Linter linter;
+  linter.add("src/store/q.hpp", std::string{kGuardedHeader});
+  linter.add("src/store/q.cpp", R"cpp(
+#include "q.hpp"
+void touch(Queue& q) {
+  const std::lock_guard<std::mutex> lock{q.mutex_};
+  q.depth_ = 1;
+}
+int peek(Queue& q) {
+  std::unique_lock<std::mutex> lock(q.mutex_);
+  return q.depth_;
+}
+)cpp");
+  EXPECT_EQ(count_rule(linter.run(), Rule::GuardedBy), 0u);
+}
+
+TEST(LintGuardedBy, ConstructorsAndJustifiedAllowsAreExempt) {
+  Linter linter;
+  linter.add("src/store/q.hpp", R"cpp(#pragma once
+#include <mutex>
+struct Queue {
+  Queue() { depth_ = 0; }
+  ~Queue() { depth_ = -1; }
+  std::mutex mutex_;
+  // lint:guarded_by(mutex_)
+  int depth_ = 0;
+};
+)cpp");
+  linter.add("src/store/q.cpp", R"cpp(
+#include "q.hpp"
+int racy_peek(const Queue& q) {
+  // lint:allow(guarded-by): emptiness probe tolerates a stale read
+  return q.depth_;
+}
+)cpp");
+  const auto findings = linter.run();
+  ASSERT_EQ(count_rule(findings, Rule::GuardedBy), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// R8: frozen
+
+TEST(LintFrozen, FlagsPublicNonConstMemberOfFrozenType) {
+  const auto findings = lint_one("src/topology/t.hpp", R"cpp(#pragma once
+// lint:frozen
+class Table {
+ public:
+  Table() = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  void put(int key);
+  [[nodiscard]] static int version();
+  [[nodiscard]] int get(int key) const;
+ private:
+  void rebuild();
+};
+)cpp");
+  ASSERT_EQ(count_rule(findings, Rule::Frozen), 1u);
+  EXPECT_NE(findings[0].message.find("'put'"), std::string::npos);
+}
+
+TEST(LintFrozen, ConstMembersAndUnmarkedTypesAreClean) {
+  const auto findings = lint_one("src/topology/t.hpp", R"cpp(#pragma once
+// lint:frozen
+class Table {
+ public:
+  [[nodiscard]] int get(int key) const;
+};
+class Builder {
+ public:
+  void put(int key);
+};
+)cpp");
+  EXPECT_EQ(count_rule(findings, Rule::Frozen), 0u);
+}
+
+TEST(LintFrozen, ConstCastInStemPairDefeatsTheFreeze) {
+  Linter linter;
+  linter.add("src/topology/t.hpp", R"cpp(#pragma once
+// lint:frozen
+class Table {
+ public:
+  [[nodiscard]] int get(int key) const;
+};
+)cpp");
+  linter.add("src/topology/t.cpp", R"cpp(
+#include "t.hpp"
+int sneak(const Table& table) {
+  return const_cast<Table&>(table).get(0);
+}
+)cpp");
+  const auto findings = linter.run();
+  ASSERT_EQ(count_rule(findings, Rule::Frozen), 1u);
+  EXPECT_EQ(findings[0].file, "src/topology/t.cpp");
+  EXPECT_NE(findings[0].message.find("const_cast"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// R9: hot-path-alloc
+
+TEST(LintHotPathAlloc, FlagsAllocationsOnlyInsideMarkedFunction) {
+  const auto findings = lint_one("src/measure/h.cpp", R"cpp(
+#include <string>
+// lint:hot
+int* build(int n) {
+  std::string label = "hop";
+  return new int[n];
+}
+int* cold(int n) {
+  std::string label = "hop";
+  return new int[n];
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, Rule::HotPathAlloc), 2u);
+  for (const Finding& finding : findings) {
+    EXPECT_NE(finding.message.find("'build'"), std::string::npos);
+  }
+}
+
+TEST(LintHotPathAlloc, FileMarkerCoversEveryFunction) {
+  const auto findings = lint_one("src/measure/h.cpp", R"cpp(
+// lint:hot(file)
+#include <memory>
+std::unique_ptr<int> a() { return std::make_unique<int>(1); }
+std::unique_ptr<int> b() { return std::make_unique<int>(2); }
+)cpp");
+  EXPECT_EQ(count_rule(findings, Rule::HotPathAlloc), 2u);
+}
+
+TEST(LintHotPathAlloc, BenchIsExemptAndViewsAreClean) {
+  const std::string body = R"cpp(
+#include <string_view>
+#include <span>
+// lint:hot
+std::string_view name(std::span<const char> raw) {
+  std::string_view view{raw.data(), raw.size()};
+  return view;
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint_one("src/measure/h.cpp", body),
+                       Rule::HotPathAlloc),
+            0u);
+  const std::string alloc = R"cpp(
+// lint:hot
+int* build(int n) { return new int[n]; }
+)cpp";
+  EXPECT_EQ(count_rule(lint_one("bench/h.cpp", alloc), Rule::HotPathAlloc),
+            0u);
+  EXPECT_EQ(count_rule(lint_one("src/measure/h.cpp", alloc),
+                       Rule::HotPathAlloc),
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// R10: layering-dag
+
+TEST(LintLayeringDag, FlagsBackwardIncludeEdge) {
+  const auto findings = lint_one("src/util/helper.cpp", R"cpp(
+#include "measure/engine.hpp"
+)cpp");
+  ASSERT_EQ(count_rule(findings, Rule::LayeringDag), 1u);
+  EXPECT_NE(findings[0].message.find("'util'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("'measure'"), std::string::npos);
+}
+
+TEST(LintLayeringDag, ForwardAndSameModuleEdgesAreClean) {
+  Linter linter;
+  linter.add("src/measure/engine.cpp", R"cpp(
+#include "measure/engine.hpp"
+#include "util/rng.hpp"
+#include "routing/path_builder.hpp"
+#include <vector>
+)cpp");
+  linter.add("tools/cli.cpp", R"cpp(
+#include "util/rng.hpp"
+#include "measure/engine.hpp"
+)cpp");
+  EXPECT_EQ(count_rule(linter.run(), Rule::LayeringDag), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// R11: allow-hygiene
+
+TEST(LintAllowHygiene, FlagsUnjustifiedUnknownAndOrphanAllows) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+#include <unordered_map>
+void f() {
+  std::unordered_map<int, int> t;
+  for (const auto& [k, v] : t) { (void)k; (void)v; }  // lint:allow(unordered-iter)
+  int a = 0;  // lint:allow(made-up-rule): no such rule
+  int b = 0;  // lint:allow(local-static): nothing to excuse here
+  (void)a; (void)b;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, Rule::AllowHygiene), 3u);
+  // The bare allow did not suppress the real finding either.
+  EXPECT_EQ(count_rule(findings, Rule::UnorderedIter, false), 1u);
+}
+
+TEST(LintAllowHygiene, JustifiedAllowNextToItsFindingIsClean) {
+  const auto findings = lint_one("src/x.cpp", R"cpp(
+#include <unordered_map>
+void f() {
+  std::unordered_map<int, int> t;
+  // lint:allow(unordered-iter): accumulation is order-independent
+  for (const auto& [k, v] : t) { (void)k; (void)v; }
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, Rule::AllowHygiene), 0u);
+  ASSERT_EQ(count_rule(findings, Rule::UnorderedIter), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline round-trip
+
+TEST(LintBaseline, RoundTripBaselinesEveryFindingAndReportsStale) {
+  auto findings = lint_one("src/measure/h.cpp", R"cpp(
+// lint:hot
+int* build(int n) { return new int[n]; }
+)cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string json = write_baseline_json(findings);
+  Baseline baseline;
+  ASSERT_TRUE(parse_baseline_json(json, baseline));
+  ASSERT_EQ(baseline.entries.size(), 1u);
+  EXPECT_EQ(baseline.entries[0].rule, "hot-path-alloc");
+
+  EXPECT_TRUE(apply_baseline(baseline, findings).empty());
+  EXPECT_TRUE(findings[0].baselined);
+  EXPECT_TRUE(summarize(findings, 1).clean());
+
+  baseline.entries.push_back(
+      {"src/gone.cpp", "hot-path-alloc", "int* p = new int;"});
+  auto again = lint_one("src/measure/h.cpp",
+                        "// lint:hot\nint* build(int n) { return new int[n]; }\n");
+  const auto stale = apply_baseline(baseline, again);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_NE(stale[0].find("src/gone.cpp"), std::string::npos);
+}
+
+TEST(LintBaseline, RejectsForeignSchema) {
+  Baseline baseline;
+  EXPECT_FALSE(parse_baseline_json("{}", baseline));
+  EXPECT_FALSE(parse_baseline_json("not json", baseline));
+  EXPECT_TRUE(parse_baseline_json(
+      "{\"schema\": \"cloudrtt-lint-baseline/1\", \"entries\": []}",
+      baseline));
+}
+
+// ---------------------------------------------------------------------------
+// SARIF export
+
+TEST(LintSarif, EmitsRulesResultsAndBaselineState) {
+  auto findings = lint_one("src/measure/h.cpp", R"cpp(
+// lint:hot
+int* build(int n) { return new int[n]; }
+)cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  std::ostringstream out;
+  write_sarif_report(out, findings);
+  const std::string sarif = out.str();
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"hot-path-alloc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/measure/h.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"baselineState\": \"new\""), std::string::npos);
+  EXPECT_NE(sarif.find("cloudrttLint/v1"), std::string::npos);
+
+  findings[0].baselined = true;
+  std::ostringstream unchanged;
+  write_sarif_report(unchanged, findings);
+  EXPECT_NE(unchanged.str().find("\"baselineState\": \"unchanged\""),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Index cache + allow-use accounting
+
+TEST(LintIndexCache, RoundTripReproducesFindings) {
+  const std::string header{kGuardedHeader};
+  const std::string source = R"cpp(
+#include "q.hpp"
+void touch(Queue& q) {
+  q.depth_ = 1;
+}
+)cpp";
+  Linter first;
+  first.add("src/store/q.hpp", header);
+  first.add("src/store/q.cpp", source);
+  const auto fresh = first.run();
+  ASSERT_EQ(count_rule(fresh, Rule::GuardedBy), 1u);
+
+  Linter second;
+  ASSERT_TRUE(second.load_index_cache(first.write_index_cache()));
+  second.add("src/store/q.hpp", header);
+  second.add("src/store/q.cpp", source);
+  const auto cached = second.run();
+  ASSERT_EQ(cached.size(), fresh.size());
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i].file, fresh[i].file);
+    EXPECT_EQ(cached[i].line, fresh[i].line);
+    EXPECT_EQ(cached[i].rule, fresh[i].rule);
+  }
+  EXPECT_FALSE(second.load_index_cache("not json"));
+}
+
+TEST(LintAllowUses, SummaryCountsSuppressionsPerRule) {
+  Linter linter;
+  linter.add("src/x.cpp", R"cpp(
+#include <unordered_map>
+void f() {
+  std::unordered_map<int, int> t;
+  // lint:allow(unordered-iter): accumulation is order-independent
+  for (const auto& [k, v] : t) { (void)k; (void)v; }
+}
+)cpp");
+  const auto findings = linter.run();
+  const auto uses = linter.allow_uses();
+  EXPECT_EQ(uses[static_cast<std::size_t>(Rule::UnorderedIter)], 1u);
+  const Summary summary = summarize(findings, 1, uses);
+  EXPECT_EQ(
+      summary.rules[static_cast<std::size_t>(Rule::UnorderedIter)].allow_uses,
+      1u);
+  EXPECT_TRUE(summary.clean());
 }
 
 }  // namespace
