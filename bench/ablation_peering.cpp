@@ -63,7 +63,7 @@ Snapshot snapshot(bool edge_pops) {
   }
 
   std::vector<double> bh_in;
-  for (const measure::TraceRecord& trace : study.sc_dataset().traces) {
+  for (const measure::TraceRef& trace : study.sc_dataset().traces) {
     if (trace.completed && trace.probe->country->code == std::string_view{"BH"} &&
         trace.region->country == std::string_view{"IN"}) {
       bh_in.push_back(trace.end_to_end_ms);

@@ -49,7 +49,7 @@ Snapshot snapshot(bool uplinks) {
   }
 
   std::vector<double> bh_transit;
-  for (const measure::TraceRecord& trace : study.sc_dataset().traces) {
+  for (const measure::TraceRef& trace : study.sc_dataset().traces) {
     if (!trace.completed) continue;
     if (trace.probe->country->code != std::string_view{"BH"}) continue;
     if (trace.region->country != std::string_view{"IN"}) continue;

@@ -4,23 +4,29 @@
 #include <iostream>
 #include <string_view>
 
+#include "core/scale.hpp"
 #include "obs/trace.hpp"
 
 namespace cloudrtt::bench {
 
+std::string bench_scale_name() {
+  const core::ScaleSpec spec = core::resolve_scale("");
+  return spec.ok() ? spec.name : "default";
+}
+
 core::StudyConfig bench_config() {
-  double scale = 1.0;
-  if (const char* env = std::getenv("CLOUDRTT_SCALE")) {
-    scale = std::max(0.1, std::atof(env));
-  }
   core::StudyConfig config;
   if (const char* env = std::getenv("CLOUDRTT_SEED")) {
     config.seed = static_cast<std::uint64_t>(std::atoll(env));
   }
-  config.sc_probes = static_cast<std::size_t>(6000 * scale);
-  config.atlas_probes = static_cast<std::size_t>(1500 * scale);
-  config.sc_campaign.daily_budget = static_cast<std::size_t>(12000 * scale);
-  config.atlas_campaign.daily_budget = static_cast<std::size_t>(3500 * scale);
+  // Benches run a slightly lighter daily budget than the CLI default.
+  config.sc_campaign.daily_budget = 12000;
+  core::ScaleSpec spec = core::resolve_scale("");
+  if (!spec.ok()) {
+    std::cerr << spec.error << " — falling back to default scale\n";
+    spec = core::ScaleSpec{};
+  }
+  core::apply_scale(config, spec);
   return config;
 }
 
@@ -43,8 +49,9 @@ void print_header(const std::string& exhibit, const std::string& claim) {
   std::cout << exhibit << "\n";
   std::cout << "paper: " << claim << "\n";
   const core::StudyConfig config = bench_config();
-  std::cout << "scale: " << config.sc_probes << " SC probes / "
-            << config.atlas_probes << " Atlas probes, seed " << config.seed
+  std::cout << "scale: " << bench_scale_name() << " (" << config.sc_probes
+            << " SC probes / " << config.atlas_probes
+            << " Atlas probes), seed " << config.seed
             << " (set CLOUDRTT_SCALE / CLOUDRTT_SEED to change)\n";
   std::cout << "==============================================================\n";
 }

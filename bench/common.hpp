@@ -4,8 +4,8 @@
 // six months) and small printing helpers.
 //
 // Environment knobs:
-//   CLOUDRTT_SCALE  — float multiplier on probe counts and daily budget
-//                     (default 1.0; e.g. 4 approaches paper-like densities)
+//   CLOUDRTT_SCALE  — fleet scale: default | paper (115k/8.5k probes) |
+//                     NxM probe counts | float multiplier (see core/scale.hpp)
 //   CLOUDRTT_SEED   — study seed (default 42)
 
 #include <string>
@@ -18,6 +18,10 @@ namespace cloudrtt::bench {
 
 /// Study configuration for benches, after applying the environment knobs.
 [[nodiscard]] core::StudyConfig bench_config();
+
+/// Canonical name of the effective scale ("default", "paper", "NxM", or the
+/// multiplier spelling), for harness headers and bench reports.
+[[nodiscard]] std::string bench_scale_name();
 
 /// Build + run a study once per process.
 [[nodiscard]] const core::Study& shared_study();

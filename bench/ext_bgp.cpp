@@ -75,7 +75,7 @@ int main() {
   // waypoint simulator) vs the BGP model, per provider class.
   std::vector<double> trace_big3;
   std::vector<double> trace_small;
-  for (const measure::TraceRecord& trace : study.sc_dataset().traces) {
+  for (const measure::TraceRef& trace : study.sc_dataset().traces) {
     const auto obs = analysis::classify_interconnect(trace, study.resolver());
     if (!obs.valid) continue;
     const double length = 2.0 + obs.intermediate_as_count;

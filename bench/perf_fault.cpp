@@ -199,7 +199,7 @@ void BM_CampaignDayInMemory(benchmark::State& state) {
     const measure::Dataset data =
         campaign.run(f.world.fork_rng("bench/spill"));
     rows = data.pings.size();
-    benchmark::DoNotOptimize(data.pings.data());
+    benchmark::DoNotOptimize(data.pings.rtt_column().data());
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(rows));
@@ -224,9 +224,11 @@ void BM_CampaignDayStreaming(benchmark::State& state) {
     measure::RunHooks hooks;
     hooks.day_rows = [&writer](std::uint32_t day, std::size_t cursor,
                                std::uint32_t first_task,
-                               std::span<const measure::PingRecord> pings,
-                               std::span<const measure::TraceRecord> traces) {
-      (void)writer.append_day(day, cursor, first_task, pings, traces);
+                               const measure::Dataset& data,
+                               std::size_t ping_begin,
+                               std::size_t trace_begin) {
+      (void)writer.append_day(day, cursor, first_task, data, ping_begin,
+                              trace_begin);
     };
     hooks.after_day = [&writer](const measure::CampaignState& next,
                                 const measure::Dataset&) {
@@ -236,7 +238,7 @@ void BM_CampaignDayStreaming(benchmark::State& state) {
     const measure::Dataset data =
         campaign.run(f.world.fork_rng("bench/spill"), {}, hooks);
     rows = data.pings.size();
-    benchmark::DoNotOptimize(data.pings.data());
+    benchmark::DoNotOptimize(data.pings.rtt_column().data());
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(rows));
@@ -335,7 +337,7 @@ void BM_StoreOpen(benchmark::State& state) {
                                                  &f.fleet, nullptr,
                                                  /*repair=*/false);
     if (!opened.ok()) state.SkipWithError(opened.error.c_str());
-    benchmark::DoNotOptimize(opened.data.pings.data());
+    benchmark::DoNotOptimize(opened.data.pings.rtt_column().data());
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(data.pings.size()));

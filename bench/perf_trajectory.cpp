@@ -30,6 +30,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/export.hpp"
+#include "core/scale.hpp"
 #include "measure/campaign.hpp"
 #include "obs/bench_report.hpp"
 #include "obs/process.hpp"
@@ -99,13 +100,17 @@ int main(int argc, char** argv) {
   args.add_option("seed", "7", "world/study seed");
   args.add_option("threads", "1,4,8",
                   "comma-separated worker counts for the campaign-day sweep");
-  args.add_option("bench-id", "8", "the <n> in BENCH_<n>.json");
+  args.add_option("bench-id", "10", "the <n> in BENCH_<n>.json");
   args.add_option("out", "", "report path (default BENCH_<bench-id>.json)");
   args.add_option("trace-out", "",
                   "also write a Chrome-trace JSON of the suite");
   args.add_flag("quick", "reduced-scale smoke run (500 probes, 4000 budget, "
                          "2 reps) — hashes not comparable to full-scale "
                          "reports");
+  args.add_flag("paper", "also record the paper-scale streamed campaign day "
+                         "(115k-probe fleet, budget scaled to match, rows "
+                         "spilled through the shard store; section "
+                         "paper_day_stream)");
   if (!args.parse(argc, argv)) return 1;
 
   const bool quick = args.get_flag("quick");
@@ -278,6 +283,85 @@ int main(int argc, char** argv) {
       CLOUDRTT_CHECK(hash == reference_hash, "export hash is not stable");
     }
     report.sections.push_back(std::move(section));
+  }
+
+  // --- paper_day_stream (--paper) ------------------------------------------
+  // `--scale paper` as a first-class benchmarked configuration: a 115k-probe
+  // fleet runs one campaign day with every committed day's rows streamed
+  // through store::ShardWriter and dropped from RAM, exactly what
+  // `cloudrtt run --scale paper` does. The section hash is the streamed
+  // store hash (bit-identical to the in-memory hash by construction) and
+  // report.peak_rss_bytes — recorded after this leg — is the committed
+  // evidence that paper scale fits in O(one day) of memory (CI asserts a
+  // ceiling on it).
+  if (args.get_flag("paper")) {
+    const core::ScaleSpec paper = core::parse_scale("paper");
+    const probes::ProbeFleet paper_fleet{
+        world,
+        probes::FleetConfig{probes::Platform::Speedchecker, paper.sc_probes}};
+    measure::CampaignConfig paper_config;
+    paper_config.days = 1;
+    paper_config.daily_budget = static_cast<std::size_t>(
+        static_cast<double>(budget) * paper.sc_multiplier());
+    paper_config.run_case_studies = false;
+    paper_config.threads = thread_list.back();
+    const measure::Campaign campaign{world, paper_fleet, paper_config};
+    const std::filesystem::path spill_dir =
+        std::filesystem::temp_directory_path() / "cloudrtt-perf-paper";
+    store::IoEnv io;
+    obs::BenchSection section;
+    section.name = "paper_day_stream";
+    section.threads = static_cast<int>(paper_config.threads);
+    std::cout << "  paper_day_stream: " << paper_fleet.probes().size()
+              << " probes, budget " << paper_config.daily_budget << ", "
+              << paper_config.threads << " thread(s)\n";
+    std::uint64_t paper_hash = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      const obs::Stopwatch watch;
+      std::uint64_t rows = 0;
+      {
+        store::ShardWriter writer{
+            spill_dir, store::StoreMeta{"speedchecker", seed},
+            std::max(1u, paper_config.threads), io, /*fresh=*/true};
+        measure::RunHooks hooks;
+        hooks.day_rows = [&writer](std::uint32_t day, std::size_t cursor,
+                                   std::uint32_t first_task,
+                                   const measure::Dataset& data,
+                                   std::size_t ping_begin,
+                                   std::size_t trace_begin) {
+          (void)writer.append_day(day, cursor, first_task, data, ping_begin,
+                                  trace_begin);
+        };
+        hooks.after_day = [&writer](const measure::CampaignState& next,
+                                    const measure::Dataset&) {
+          (void)writer.commit(next);
+          return true;
+        };
+        hooks.drop_day_rows = true;
+        const measure::Dataset data =
+            campaign.run(world.fork_rng("bench/trajectory-paper"), {}, hooks);
+        CLOUDRTT_CHECK(data.pings.empty() && data.traces.empty(),
+                       "streamed paper day left rows in memory");
+      }  // writer drained: the store is the only copy of the rows
+      section.wall_ms.push_back(watch.elapsed_ms());
+      const core::StreamedHashResult hashed = core::streamed_dataset_hash(
+          spill_dir, "speedchecker", io, &paper_fleet, nullptr);
+      CLOUDRTT_CHECK(hashed.ok(), "paper store hash failed: ", hashed.error);
+      rows = hashed.rows;
+      CLOUDRTT_CHECK(rows > 0, "paper day streamed no rows");
+      if (paper_hash == 0) paper_hash = hashed.hash;
+      CLOUDRTT_CHECK(hashed.hash == paper_hash,
+                     "paper-scale dataset hash drifted across reps: ",
+                     core::format_dataset_hash(hashed.hash), " vs ",
+                     core::format_dataset_hash(paper_hash));
+    }
+    section.dataset_hash = core::format_dataset_hash(paper_hash);
+    report.sections.push_back(std::move(section));
+    std::cout << "  paper_day_stream: p50 "
+              << util::format_double(report.sections.back().p50_ms(), 1)
+              << " ms, hash " << report.sections.back().dataset_hash << "\n";
+    std::error_code paper_cleanup;
+    std::filesystem::remove_all(spill_dir, paper_cleanup);
   }
 
   report.peak_rss_bytes = obs::peak_rss_bytes();

@@ -17,9 +17,18 @@ MAX_KILLS=${MAX_KILLS:-60}
 # The gate is vacuous unless kills actually interrupt runs: completions that
 # arrive before MIN_KILLS landed restart the loop on a fresh checkpoint.
 MIN_KILLS=${MIN_KILLS:-3}
+# SCALE=paper (or NxM / a multiplier) swaps the small fixed fleets for a
+# --scale run: the full paper-scale fleet with a truncated campaign, so kills
+# land on 115k-probe day batches without the full paper task volume.
+SCALE=${SCALE:-}
 
+if [ -n "$SCALE" ]; then
+  FLEET_ARGS=(--scale "$SCALE" --no-atlas --days 2 --budget 1500)
+else
+  FLEET_ARGS=(--sc-probes 500 --atlas-probes 150 --days 3 --budget 1200)
+fi
 STUDY_ARGS=(study --seed "$SEED" --threads "$THREADS"
-  --sc-probes 500 --atlas-probes 150 --days 3 --budget 1200
+  "${FLEET_ARGS[@]}"
   --fault-profile mild --io-fault-profile mild
   --quiet --no-export --dataset-hash)
 

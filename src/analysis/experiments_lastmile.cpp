@@ -40,7 +40,7 @@ void accumulate_lastmile(const StudyView& view, const measure::Dataset& data,
     }
   }
 
-  for (const measure::TraceRecord& trace : data.traces) {
+  for (const measure::TraceRef& trace : data.traces) {
     if (!trace.completed || trace.end_to_end_ms <= 0.0) continue;
     if (nearest_only) {
       const auto it = nearest_of.find(trace.probe);
@@ -97,7 +97,7 @@ struct ProbeLastMile {
 std::vector<std::pair<const probes::Probe*, ProbeLastMile>> collect_per_probe(
     const StudyView& view) {
   std::unordered_map<const probes::Probe*, ProbeLastMile> accumulator;
-  for (const measure::TraceRecord& trace : view.sc_data->traces) {
+  for (const measure::TraceRef& trace : view.sc_data->traces) {
     const LastMileObservation obs = infer_last_mile(trace, *view.resolver);
     if (!obs.valid) continue;
     ProbeLastMile& entry = accumulator[trace.probe];

@@ -154,7 +154,7 @@ std::vector<ProtocolCompareRow> fig15_protocols(const StudyView& view) {
       tcp[geo::index_of(ping.probe->country->continent)].push_back(ping.rtt_ms);
     }
   }
-  for (const measure::TraceRecord& trace : view.sc_data->traces) {
+  for (const measure::TraceRef& trace : view.sc_data->traces) {
     if (trace.completed) {
       icmp[geo::index_of(trace.probe->country->continent)].push_back(
           trace.end_to_end_ms);
@@ -183,7 +183,7 @@ std::vector<util::Series> fig16_city_asn_diff(const StudyView& view) {
   const auto first_hop_asn =
       [&](const measure::Dataset& data) {
         std::unordered_map<const probes::Probe*, topology::Asn> out;
-        for (const measure::TraceRecord& trace : data.traces) {
+        for (const measure::TraceRef& trace : data.traces) {
           if (out.contains(trace.probe)) continue;
           for (const measure::HopRecord& hop : trace.hops) {
             if (!hop.responded || net::is_private(hop.ip)) continue;
@@ -252,7 +252,7 @@ MethodologyStats sec33_stats(const StudyView& view) {
   }
   std::size_t whois_hops = 0;
   std::size_t resolved_hops = 0;
-  for (const measure::TraceRecord& trace : view.sc_data->traces) {
+  for (const measure::TraceRef& trace : view.sc_data->traces) {
     if (trace.completed) icmp.push_back(trace.end_to_end_ms);
     for (const measure::HopRecord& hop : trace.hops) {
       if (!hop.responded) continue;

@@ -48,7 +48,7 @@ struct ModeCounts {
 
 std::vector<InterconnectShareRow> fig10_interconnect_share(const StudyView& view) {
   std::array<ModeCounts, cloud::kPeeringFigureProviders.size()> counts;
-  for (const measure::TraceRecord& trace : view.sc_data->traces) {
+  for (const measure::TraceRef& trace : view.sc_data->traces) {
     const InterconnectObservation obs =
         classify_interconnect(trace, *view.resolver);
     if (!obs.valid) continue;
@@ -90,7 +90,7 @@ std::vector<PervasivenessRow> fig11_pervasiveness(const StudyView& view) {
   std::array<std::array<std::vector<double>, geo::kContinentCount>,
              cloud::kPeeringFigureProviders.size()>
       values;
-  for (const measure::TraceRecord& trace : view.sc_data->traces) {
+  for (const measure::TraceRef& trace : view.sc_data->traces) {
     const auto ratio = pervasiveness(trace, *view.resolver);
     if (!ratio) continue;
     const std::size_t column = figure_column(trace.region->provider);
@@ -136,7 +136,7 @@ PeeringCaseStudy peering_case_study(const StudyView& view,
   std::array<std::vector<double>, 9> direct_latency;
   std::array<std::vector<double>, 9> intermediate_latency;
 
-  for (const measure::TraceRecord& trace : view.sc_data->traces) {
+  for (const measure::TraceRef& trace : view.sc_data->traces) {
     if (trace.probe->country->code != src_country) continue;
     if (trace.region->country != dst_country) continue;
     const InterconnectObservation obs =

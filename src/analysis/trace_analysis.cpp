@@ -4,7 +4,7 @@
 
 namespace cloudrtt::analysis {
 
-AsPath as_level_path(const measure::TraceRecord& trace, const IpToAsn& resolver) {
+AsPath as_level_path(const measure::TraceRef& trace, const IpToAsn& resolver) {
   AsPath path;
   for (const measure::HopRecord& hop : trace.hops) {
     if (!hop.responded) continue;
@@ -19,7 +19,7 @@ AsPath as_level_path(const measure::TraceRecord& trace, const IpToAsn& resolver)
   return path;
 }
 
-InterconnectObservation classify_interconnect(const measure::TraceRecord& trace,
+InterconnectObservation classify_interconnect(const measure::TraceRef& trace,
                                               const IpToAsn& resolver) {
   InterconnectObservation out;
   const auto target = resolver.resolve(trace.target_ip);
@@ -90,7 +90,7 @@ InterconnectObservation classify_interconnect(const measure::TraceRecord& trace,
   return out;
 }
 
-LastMileObservation infer_last_mile(const measure::TraceRecord& trace,
+LastMileObservation infer_last_mile(const measure::TraceRef& trace,
                                     const IpToAsn& resolver) {
   LastMileObservation out;
   bool saw_private = false;
@@ -125,7 +125,7 @@ LastMileObservation infer_last_mile(const measure::TraceRecord& trace,
   return out;  // nothing usable responded
 }
 
-std::optional<double> pervasiveness(const measure::TraceRecord& trace,
+std::optional<double> pervasiveness(const measure::TraceRef& trace,
                                     const IpToAsn& resolver) {
   const auto target = resolver.resolve(trace.target_ip);
   if (!target) return std::nullopt;

@@ -22,7 +22,7 @@ struct AsPath {
   bool used_whois = false;          ///< at least one hop needed the fallback
 };
 
-[[nodiscard]] AsPath as_level_path(const measure::TraceRecord& trace,
+[[nodiscard]] AsPath as_level_path(const measure::TraceRef& trace,
                                    const IpToAsn& resolver);
 
 /// Result of classifying the ISP->cloud interconnection of one trace.
@@ -38,7 +38,7 @@ struct InterconnectObservation {
 /// Classify per §6.1: resolve hops, tag-and-remove IXPs, count the distinct
 /// intermediate ASes between the serving ISP and the cloud WAN.
 [[nodiscard]] InterconnectObservation classify_interconnect(
-    const measure::TraceRecord& trace, const IpToAsn& resolver);
+    const measure::TraceRef& trace, const IpToAsn& resolver);
 
 /// The paper's home/cell inference (§5).
 enum class AccessClass : unsigned char { Home, Cell, Unknown };
@@ -52,12 +52,12 @@ struct LastMileObservation {
   std::optional<double> rtr_isp_ms;
 };
 
-[[nodiscard]] LastMileObservation infer_last_mile(const measure::TraceRecord& trace,
+[[nodiscard]] LastMileObservation infer_last_mile(const measure::TraceRef& trace,
                                                   const IpToAsn& resolver);
 
 /// Share of responded+resolved routers owned by the *target* cloud AS
 /// (Fig. 11); nullopt when the trace resolves too poorly to say.
-[[nodiscard]] std::optional<double> pervasiveness(const measure::TraceRecord& trace,
+[[nodiscard]] std::optional<double> pervasiveness(const measure::TraceRef& trace,
                                                   const IpToAsn& resolver);
 
 }  // namespace cloudrtt::analysis

@@ -1,13 +1,17 @@
 #include "core/export.hpp"
 
 #include <charconv>
+#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <streambuf>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "store/codec.hpp"
+#include "store/salvage.hpp"
 #include "util/rng.hpp"
 #include "util/text.hpp"
 
@@ -18,57 +22,108 @@ namespace {
 using util::fnv1a_accum;
 constexpr std::uint64_t kFnvBasis = util::kFnv1aBasis;
 
-/// Row writer that optionally hashes every data row (header excluded) so the
-/// integrity trailer covers exactly what import will re-hash.
-class RowSink {
- public:
-  RowSink(std::ostream& out, const ExportOptions& options)
-      : out_(out), options_(options) {}
-
-  void header(const std::vector<std::string>& cells) {
-    util::write_csv_row(out_, cells);
+/// Write one data row, folding its serialised bytes into `hash` when the
+/// integrity trailer is on (the trailer covers exactly what import re-hashes).
+void write_row(std::ostream& out, const ExportOptions& options,
+               std::uint64_t& hash, std::uint64_t& rows,
+               const std::vector<std::string>& cells) {
+  if (options.integrity_trailer) {
+    std::ostringstream buffer;
+    util::write_csv_row(buffer, cells);
+    const std::string serialized = buffer.str();
+    hash = fnv1a_accum(hash, serialized);
+    out << serialized;
+  } else {
+    util::write_csv_row(out, cells);
   }
+  ++rows;
+}
 
-  void row(const std::vector<std::string>& cells) {
-    if (options_.integrity_trailer) {
-      std::ostringstream buffer;
-      util::write_csv_row(buffer, cells);
-      const std::string serialized = buffer.str();
-      hash_ = fnv1a_accum(hash_, serialized);
-      out_ << serialized;
-    } else {
-      util::write_csv_row(out_, cells);
-    }
-    ++rows_;
-  }
+void write_trailer(std::ostream& out, const ExportOptions& options,
+                   std::uint64_t hash, std::uint64_t rows) {
+  if (!options.integrity_trailer) return;
+  char hex[17] = {};
+  std::to_chars(hex, hex + 16, hash, 16);
+  std::string padded(16 - std::string_view{hex}.size(), '0');
+  padded += hex;
+  out << "#cloudrtt-integrity rows=" << rows << " fnv1a=" << padded << '\n';
+}
 
-  void finish() {
-    if (!options_.integrity_trailer) return;
-    char hex[17] = {};
-    std::to_chars(hex, hex + 16, hash_, 16);
-    std::string padded(16 - std::string_view{hex}.size(), '0');
-    padded += hex;
-    out_ << "#cloudrtt-integrity rows=" << rows_ << " fnv1a=" << padded << '\n';
-  }
-
-  [[nodiscard]] std::string fmt(double value) const {
-    if (!options_.roundtrip_doubles) return util::format_double(value, 3);
-    char buffer[32];
-    const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
-    return ec == std::errc{} ? std::string(buffer, ptr)
-                             : util::format_double(value, 3);
-  }
-
-  [[nodiscard]] std::uint64_t rows() const { return rows_; }
-
- private:
-  std::ostream& out_;
-  const ExportOptions& options_;
-  std::uint64_t hash_ = kFnvBasis;
-  std::uint64_t rows_ = 0;
-};
+[[nodiscard]] std::string fmt_double(const ExportOptions& options,
+                                     double value) {
+  if (!options.roundtrip_doubles) return util::format_double(value, 3);
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
+  return ec == std::errc{} ? std::string(buffer, ptr)
+                           : util::format_double(value, 3);
+}
 
 }  // namespace
+
+PingCsvWriter::PingCsvWriter(std::ostream& out, const ExportOptions& options)
+    : out_(out), options_(options), hash_(kFnvBasis) {
+  util::write_csv_row(out_, {"probe_id", "platform", "country", "continent",
+                             "isp_asn", "provider", "region", "protocol",
+                             "rtt_ms", "day", "slot"});
+}
+
+void PingCsvWriter::write(const measure::Dataset& data) {
+  for (const measure::PingRecord& ping : data.pings) {
+    const probes::Probe& probe = *ping.probe;
+    write_row(
+        out_, options_, hash_, rows_,
+        {std::to_string(probe.id), std::string{to_string(probe.platform)},
+         std::string{probe.country->code},
+         std::string{geo::to_code(probe.country->continent)},
+         std::to_string(probe.isp->asn),
+         std::string{cloud::provider_info(ping.region->provider).ticker},
+         std::string{ping.region->region_name},
+         std::string{to_string(ping.protocol)}, fmt_double(options_, ping.rtt_ms),
+         std::to_string(ping.day), std::to_string(ping.slot)});
+  }
+}
+
+void PingCsvWriter::finish() {
+  write_trailer(out_, options_, hash_, rows_);
+  obs::Registry::global().counter("export.ping_rows_total").inc(rows_);
+}
+
+TraceCsvWriter::TraceCsvWriter(std::ostream& out, const ExportOptions& options)
+    : out_(out), options_(options), hash_(kFnvBasis) {
+  std::vector<std::string> header{"trace_id", "probe_id", "provider", "region",
+                                  "target_ip", "day", "slot", "completed",
+                                  "end_to_end_ms", "ttl", "responded", "hop_ip",
+                                  "hop_rtt_ms"};
+  if (options_.ground_truth) header.emplace_back("true_mode");
+  util::write_csv_row(out_, header);
+}
+
+void TraceCsvWriter::write(const measure::Dataset& data) {
+  for (const measure::TraceRef& trace : data.traces) {
+    for (const measure::HopRecord& hop : trace.hops) {
+      std::vector<std::string> cells{
+          std::to_string(trace_id_), std::to_string(trace.probe->id),
+          std::string{cloud::provider_info(trace.region->provider).ticker},
+          std::string{trace.region->region_name},
+          trace.target_ip.to_string(), std::to_string(trace.day),
+          std::to_string(trace.slot), trace.completed ? "1" : "0",
+          fmt_double(options_, trace.end_to_end_ms), std::to_string(hop.ttl),
+          hop.responded ? "1" : "0",
+          hop.responded ? hop.ip.to_string() : std::string{},
+          hop.responded ? fmt_double(options_, hop.rtt_ms) : std::string{}};
+      if (options_.ground_truth) {
+        cells.emplace_back(topology::to_string(trace.true_mode));
+      }
+      write_row(out_, options_, hash_, rows_, cells);
+    }
+    ++trace_id_;
+  }
+}
+
+void TraceCsvWriter::finish() {
+  write_trailer(out_, options_, hash_, rows_);
+  obs::Registry::global().counter("export.trace_rows_total").inc(rows_);
+}
 
 void export_pings_csv(std::ostream& out, const measure::Dataset& data) {
   export_pings_csv(out, data, ExportOptions{});
@@ -77,22 +132,9 @@ void export_pings_csv(std::ostream& out, const measure::Dataset& data) {
 void export_pings_csv(std::ostream& out, const measure::Dataset& data,
                       const ExportOptions& options) {
   obs::Span phase = obs::span("core.export.pings_csv");
-  RowSink sink(out, options);
-  sink.header({"probe_id", "platform", "country", "continent", "isp_asn",
-               "provider", "region", "protocol", "rtt_ms", "day", "slot"});
-  for (const measure::PingRecord& ping : data.pings) {
-    const probes::Probe& probe = *ping.probe;
-    sink.row({std::to_string(probe.id), std::string{to_string(probe.platform)},
-              std::string{probe.country->code},
-              std::string{geo::to_code(probe.country->continent)},
-              std::to_string(probe.isp->asn),
-              std::string{cloud::provider_info(ping.region->provider).ticker},
-              std::string{ping.region->region_name},
-              std::string{to_string(ping.protocol)}, sink.fmt(ping.rtt_ms),
-              std::to_string(ping.day), std::to_string(ping.slot)});
-  }
-  sink.finish();
-  obs::Registry::global().counter("export.ping_rows_total").inc(data.pings.size());
+  PingCsvWriter writer(out, options);
+  writer.write(data);
+  writer.finish();
 }
 
 void export_traces_csv(std::ostream& out, const measure::Dataset& data) {
@@ -102,35 +144,9 @@ void export_traces_csv(std::ostream& out, const measure::Dataset& data) {
 void export_traces_csv(std::ostream& out, const measure::Dataset& data,
                        const ExportOptions& options) {
   obs::Span phase = obs::span("core.export.traces_csv");
-  RowSink sink(out, options);
-  std::vector<std::string> header{"trace_id", "probe_id", "provider", "region",
-                                  "target_ip", "day", "slot", "completed",
-                                  "end_to_end_ms", "ttl", "responded", "hop_ip",
-                                  "hop_rtt_ms"};
-  if (options.ground_truth) header.emplace_back("true_mode");
-  sink.header(header);
-  std::size_t trace_id = 0;
-  for (const measure::TraceRecord& trace : data.traces) {
-    for (const measure::HopRecord& hop : trace.hops) {
-      std::vector<std::string> cells{
-          std::to_string(trace_id), std::to_string(trace.probe->id),
-          std::string{cloud::provider_info(trace.region->provider).ticker},
-          std::string{trace.region->region_name},
-          trace.target_ip.to_string(), std::to_string(trace.day),
-          std::to_string(trace.slot), trace.completed ? "1" : "0",
-          sink.fmt(trace.end_to_end_ms), std::to_string(hop.ttl),
-          hop.responded ? "1" : "0",
-          hop.responded ? hop.ip.to_string() : std::string{},
-          hop.responded ? sink.fmt(hop.rtt_ms) : std::string{}};
-      if (options.ground_truth) {
-        cells.emplace_back(topology::to_string(trace.true_mode));
-      }
-      sink.row(cells);
-    }
-    ++trace_id;
-  }
-  sink.finish();
-  obs::Registry::global().counter("export.trace_rows_total").inc(sink.rows());
+  TraceCsvWriter writer(out, options);
+  writer.write(data);
+  writer.finish();
 }
 
 namespace {
@@ -162,6 +178,102 @@ class HashingStreambuf final : public std::streambuf {
   std::uint64_t hash_ = kFnvBasis;
 };
 
+/// One lane of a day-ordered store scan: an ifstream over the lane file with
+/// the next block's header and payload buffered.
+struct LaneCursor {
+  std::ifstream in;
+  std::uint64_t remaining = 0;  ///< durable bytes not yet consumed
+  store::BlockHeader header;
+  std::string payload;
+  bool has_block = false;
+};
+
+/// Read the next framed block of `lane` into its buffer. Empty return on
+/// success (has_block says whether anything was read); error text otherwise.
+[[nodiscard]] std::string advance_lane(LaneCursor& lane, std::size_t index) {
+  lane.has_block = false;
+  if (lane.remaining == 0) return {};
+  const auto fail = [&](std::string_view what) {
+    return "lane " + std::to_string(index) + ": " + std::string{what};
+  };
+  std::string line;
+  if (!std::getline(lane.in, line)) {
+    return fail("committed region ends inside a block header");
+  }
+  const std::uint64_t header_bytes = line.size() + 1;
+  if (header_bytes > lane.remaining ||
+      !store::parse_block_header(line, lane.header)) {
+    return fail("malformed committed block header");
+  }
+  if (lane.header.bytes > lane.remaining - header_bytes) {
+    return fail("committed block straddles the manifest's byte mark");
+  }
+  lane.payload.resize(lane.header.bytes);
+  lane.in.read(lane.payload.data(),
+               static_cast<std::streamsize>(lane.header.bytes));
+  if (static_cast<std::uint64_t>(lane.in.gcount()) != lane.header.bytes) {
+    return fail("committed block payload truncated");
+  }
+  if (util::fnv1a_words(lane.payload) != lane.header.fnv1a) {
+    return fail("committed block checksum mismatch");
+  }
+  lane.remaining -= header_bytes + lane.header.bytes;
+  lane.has_block = true;
+  return {};
+}
+
+/// Drive `per_block` over every durable block in global (day, start) order.
+/// Day D lives in lane D % L and appends are globally FIFO, so the merge
+/// only ever compares the lanes' head blocks; one block's rows are resident
+/// at a time.
+template <typename PerBlock>
+[[nodiscard]] std::string scan_store_blocks(
+    const std::filesystem::path& dir, std::string_view platform,
+    const std::vector<store::LaneState>& lanes,
+    const store::RowBinder& binder, PerBlock&& per_block) {
+  std::vector<LaneCursor> cursors(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    cursors[i].remaining = lanes[i].durable_bytes;
+    if (cursors[i].remaining == 0) continue;
+    cursors[i].in.open(store::store_lane_path(dir, platform, i),
+                       std::ios::binary);
+    if (!cursors[i].in.is_open()) {
+      return "lane " + std::to_string(i) + ": shard file unreadable";
+    }
+    if (std::string err = advance_lane(cursors[i], i); !err.empty()) {
+      return err;
+    }
+  }
+
+  measure::Dataset block;
+  block.bind(binder.sc_fleet(), binder.atlas_fleet());
+  for (;;) {
+    std::size_t next = lanes.size();
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+      if (!cursors[i].has_block) continue;
+      if (next == lanes.size() ||
+          cursors[i].header.day < cursors[next].header.day ||
+          (cursors[i].header.day == cursors[next].header.day &&
+           cursors[i].header.start < cursors[next].header.start)) {
+        next = i;
+      }
+    }
+    if (next == lanes.size()) break;
+    LaneCursor& lane = cursors[next];
+    block.clear_rows();
+    if (std::string err =
+            binder.parse_block(lane.payload, lane.header, block);
+        !err.empty()) {
+      return "lane " + std::to_string(next) + ": " + err;
+    }
+    per_block(block);
+    if (std::string err = advance_lane(lane, next); !err.empty()) {
+      return err;
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 std::uint64_t dataset_hash(const measure::Dataset& data) {
@@ -173,6 +285,57 @@ std::uint64_t dataset_hash(const measure::Dataset& data) {
   export_pings_csv(out, data, options);
   export_traces_csv(out, data, options);
   return buffer.hash();
+}
+
+StreamedHashResult streamed_dataset_hash(const std::filesystem::path& dir,
+                                         std::string_view platform,
+                                         store::IoEnv& io,
+                                         const probes::ProbeFleet* sc_fleet,
+                                         const probes::ProbeFleet* atlas_fleet) {
+  obs::Span phase = obs::span("core.export.streamed_hash");
+  StreamedHashResult result;
+  // Structural open validates the committed region + salvage chain and hands
+  // back the per-lane durable byte marks — without materialising any rows.
+  const store::OpenResult opened =
+      store::open_store_structural(dir, platform, io, /*repair=*/false);
+  if (!opened.ok()) {
+    result.error = opened.error;
+    return result;
+  }
+  const store::RowBinder binder{sc_fleet, atlas_fleet};
+  HashingStreambuf buffer;
+  std::ostream out{&buffer};
+  ExportOptions options;
+  options.roundtrip_doubles = true;
+  options.ground_truth = true;
+  // The canonical serialisation is the full ping CSV then the full trace
+  // CSV, and FNV-1a is strictly sequential — so the store is scanned twice,
+  // once per CSV, with one block's rows resident at a time.
+  {
+    PingCsvWriter writer(out, options);
+    if (std::string err = scan_store_blocks(
+            dir, platform, opened.lane_states, binder,
+            [&](const measure::Dataset& block) { writer.write(block); });
+        !err.empty()) {
+      result.error = "streamed hash (ping pass): " + err;
+      return result;
+    }
+    writer.finish();
+  }
+  {
+    TraceCsvWriter writer(out, options);
+    if (std::string err = scan_store_blocks(
+            dir, platform, opened.lane_states, binder,
+            [&](const measure::Dataset& block) { writer.write(block); });
+        !err.empty()) {
+      result.error = "streamed hash (trace pass): " + err;
+      return result;
+    }
+    writer.finish();
+  }
+  result.hash = buffer.hash();
+  result.rows = opened.durable_rows;
+  return result;
 }
 
 std::string format_dataset_hash(std::uint64_t hash) {

@@ -5,12 +5,24 @@
 // detected on import, round-trip double formatting so a resumed campaign is
 // bit-identical to an uninterrupted one, and the ground-truth columns that
 // the human-facing CSVs deliberately omit.
+//
+// The writers are incremental: construct one against an output stream, feed
+// it datasets chunk by chunk (a streamed run feeds one store block at a
+// time), then finish(). The one-shot export_*_csv functions and the whole-
+// dataset hash are thin wrappers over a single write() call.
 
 #include <cstdint>
+#include <filesystem>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "measure/records.hpp"
+#include "probes/fleet.hpp"
+
+namespace cloudrtt::store {
+class IoEnv;
+}  // namespace cloudrtt::store
 
 namespace cloudrtt::core {
 
@@ -25,6 +37,42 @@ struct ExportOptions {
   /// dataset compares equal to the in-memory one (checkpoints need this; the
   /// published-dataset flavour keeps ground truth out of the CSV).
   bool ground_truth = false;
+};
+
+/// Incremental ping CSV writer: header on construction, one row per ping per
+/// write() call, integrity trailer (when enabled) on finish(). Feeding the
+/// same rows across several write() calls produces byte-identical output to
+/// one call — which is what makes the streamed dataset hash equal the
+/// in-memory one.
+class PingCsvWriter {
+ public:
+  PingCsvWriter(std::ostream& out, const ExportOptions& options);
+  void write(const measure::Dataset& data);
+  void finish();
+  [[nodiscard]] std::uint64_t rows() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  ExportOptions options_;
+  std::uint64_t hash_;
+  std::uint64_t rows_ = 0;
+};
+
+/// Incremental trace CSV writer (one row per hop); the running trace id
+/// numbers traces across every write() call.
+class TraceCsvWriter {
+ public:
+  TraceCsvWriter(std::ostream& out, const ExportOptions& options);
+  void write(const measure::Dataset& data);
+  void finish();
+  [[nodiscard]] std::uint64_t rows() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  ExportOptions options_;
+  std::uint64_t hash_;
+  std::uint64_t rows_ = 0;
+  std::uint64_t trace_id_ = 0;
 };
 
 /// One row per ping: probe id, platform, country, continent, ISP ASN,
@@ -46,6 +94,22 @@ void export_traces_csv(std::ostream& out, const measure::Dataset& data,
 /// and what the determinism CI gate compares. Streams through a hashing
 /// streambuf, so no serialized copy of the dataset is materialised.
 [[nodiscard]] std::uint64_t dataset_hash(const measure::Dataset& data);
+
+/// The same hash computed straight from a format=3 store, one block of rows
+/// resident at a time: two day-ordered scans over the lane files (FNV-1a is
+/// sequential, and the canonical serialisation is all pings then all
+/// traces). Bit-identical to dataset_hash() over the materialised dataset —
+/// the streamed study's determinism gate depends on it.
+struct StreamedHashResult {
+  std::uint64_t hash = 0;
+  std::uint64_t rows = 0;  ///< task rows hashed (ping+trace pairs)
+  std::string error;
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+[[nodiscard]] StreamedHashResult streamed_dataset_hash(
+    const std::filesystem::path& dir, std::string_view platform,
+    store::IoEnv& io, const probes::ProbeFleet* sc_fleet,
+    const probes::ProbeFleet* atlas_fleet);
 
 /// The hash as the canonical 16-digit zero-padded lower-case hex string.
 [[nodiscard]] std::string format_dataset_hash(std::uint64_t hash);

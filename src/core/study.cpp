@@ -64,6 +64,12 @@ bool Study::run_campaign(std::string_view platform,
   measure::Dataset dataset;
 
   const bool persist = !control.checkpoint_dir.empty();
+  if (control.stream && !persist) {
+    throw std::runtime_error{
+        "Study::run: RunControl::stream requires checkpoint_dir — a streamed "
+        "run keeps only one day's rows in memory, so the store is the only "
+        "copy of the data"};
+  }
   const std::filesystem::path store_dir =
       control.spill_dir.empty() ? std::filesystem::path{control.checkpoint_dir}
                                 : std::filesystem::path{control.spill_dir};
@@ -88,9 +94,16 @@ bool Study::run_campaign(std::string_view platform,
     const int format =
         control.resume ? store::manifest_format(store_dir, platform, *io) : 0;
     if (format == 3) {
-      store::OpenResult opened = store::open_store(
-          store_dir, platform, *io, sc_fleet_.get(), atlas_fleet_.get(),
-          /*repair=*/true);
+      // A streaming resume never materialises the committed rows: the
+      // structural open validates the store and yields the lane byte marks
+      // plus the on-disk row count, which is all restore() needs. RAM stays
+      // O(day) across kill+resume cycles.
+      store::OpenResult opened =
+          control.stream
+              ? store::open_store_structural(store_dir, platform, *io,
+                                             /*repair=*/true)
+              : store::open_store(store_dir, platform, *io, sc_fleet_.get(),
+                                  atlas_fleet_.get(), /*repair=*/true);
       if (!opened.ok()) {
         throw std::runtime_error{"Study::run: cannot resume '" +
                                  std::string{platform} + "': " + opened.error};
@@ -104,8 +117,9 @@ bool Study::run_campaign(std::string_view platform,
       dataset = std::move(opened.data);
       writer = std::make_unique<store::ShardWriter>(
           store_dir, meta, opened.lane_states.size(), *io, /*fresh=*/false);
-      writer->restore(opened.lane_states, dataset.pings.size(),
-                      dataset.traces.size());
+      writer->restore(opened.lane_states,
+                      static_cast<std::size_t>(opened.durable_rows),
+                      static_cast<std::size_t>(opened.durable_rows));
       if (!opened.salvage.clean()) {
         CLOUDRTT_LOG_WARN("study.salvaged", {"platform", platform},
                           {"blocks", opened.salvage.salvaged_blocks},
@@ -162,13 +176,17 @@ bool Study::run_campaign(std::string_view platform,
   if (writer != nullptr) {
     hooks.day_rows = [&writer](std::uint32_t day, std::size_t day_start_cursor,
                                std::uint32_t first_task,
-                               std::span<const measure::PingRecord> pings,
-                               std::span<const measure::TraceRecord> traces) {
+                               const measure::Dataset& data,
+                               std::size_t ping_begin,
+                               std::size_t trace_begin) {
       // Failures degrade, never abort: the writer queues the blocks and
       // retries on later days (degrade-don't-die).
-      (void)writer->append_day(day, day_start_cursor, first_task, pings,
-                               traces);
+      (void)writer->append_day(day, day_start_cursor, first_task, data,
+                               ping_begin, trace_begin);
     };
+    // Streaming: once append_day has copied the day's columns into its job,
+    // the campaign may drop them — the store is the only copy from here on.
+    hooks.drop_day_rows = control.stream;
   }
   if (writer != nullptr || control.stop_after_day) {
     hooks.after_day = [&](const measure::CampaignState& state,
@@ -200,6 +218,7 @@ bool Study::run_campaign(std::string_view platform,
 
 void Study::run(const RunControl& control) {
   obs::Span run_span = obs::span("study.run");
+  streamed_ = control.stream;
   const std::optional<fault::FaultPlan> sc_plan =
       fault::FaultPlan::make(*world_, config_.sc_campaign.days,
                              config_.fault_profile, config_.fault_seed);
@@ -247,13 +266,17 @@ void Study::run(const RunControl& control) {
     resolver_ = analysis::IpToAsn::from_world(*world_);
   }
   ran_ = true;
-  CLOUDRTT_LOG_INFO("study.done", {"pings", sc_data_.pings.size()},
+  CLOUDRTT_LOG_INFO("study.done", {"streamed", streamed_},
+                    {"pings", sc_data_.pings.size()},
                     {"traceroutes", sc_data_.traces.size()},
                     {"atlas_pings", atlas_data_.pings.size()});
 }
 
 analysis::StudyView Study::view() const {
   CLOUDRTT_CHECK(ran_, "Study::view: call run() first");
+  CLOUDRTT_CHECK(!streamed_,
+                 "Study::view: a streamed run keeps no rows in memory — "
+                 "analyse the store, or rerun without RunControl::stream");
   analysis::StudyView view;
   view.world = world_.get();
   view.sc_fleet = sc_fleet_.get();

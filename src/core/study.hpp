@@ -111,6 +111,14 @@ struct RunControl {
   /// construction and each platform forks its own RNG stream — so a stopped
   /// Speedchecker campaign no longer blocks Atlas from running its days.
   std::optional<std::uint32_t> stop_after_day;
+  /// Stream each day's rows to the store and drop them from memory once the
+  /// day commits: RAM high-water is O(one day's columns), not O(study).
+  /// Requires `checkpoint_dir` (throws otherwise). The in-memory datasets
+  /// and view() are unavailable after a streamed run; the dataset hash comes
+  /// from core::streamed_dataset_hash over the store instead, and is
+  /// bit-identical to the in-memory hash of a non-streamed run. This is what
+  /// makes `--scale paper` (115k probes) fit in a laptop's RAM.
+  bool stream = false;
 };
 
 class Study {
@@ -126,6 +134,11 @@ class Study {
   /// True once run() has finished every campaign day (an early-stopped run
   /// leaves the study incomplete and its view() unavailable).
   [[nodiscard]] bool completed() const { return ran_; }
+
+  /// True when the last run() streamed rows to the store (RunControl::stream):
+  /// the in-memory datasets are empty and view() is unavailable — analyse the
+  /// store (or recompute the hash with core::streamed_dataset_hash) instead.
+  [[nodiscard]] bool streamed() const { return streamed_; }
 
   [[nodiscard]] const topology::World& world() const { return *world_; }
   [[nodiscard]] topology::World& world() { return *world_; }
@@ -154,6 +167,7 @@ class Study {
   measure::Dataset atlas_data_;
   analysis::IpToAsn resolver_;
   bool ran_ = false;
+  bool streamed_ = false;
 };
 
 }  // namespace cloudrtt::core

@@ -201,8 +201,23 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
                      {"start_day", start.next_day},
                      {"faults", hooks.faults != nullptr});
 
-  dataset.reserve(config_.days * config_.daily_budget,
-                  config_.days * config_.daily_budget);
+  // Codes in the columnar dataset resolve through this campaign's fleet
+  // (resumed datasets re-bind; extras rows, if any, are untouched).
+  dataset.bind(&fleet_, nullptr);
+
+  // Reservation hints come from the schedule, not from AoS guesses: the
+  // daily budget bounds a day's rows exactly, and in streaming mode only one
+  // day is ever resident. The executor adds the exact per-day hop count at
+  // merge time; kHopsPerTaskHint pre-sizes the pool so steady-state days
+  // reallocate nothing.
+  constexpr std::size_t kHopsPerTaskHint = 12;
+  const std::size_t resident_days =
+      hooks.drop_day_rows ? std::min<std::uint32_t>(1, config_.days)
+                          : config_.days - start.next_day;
+  const std::size_t row_hint = resident_days * config_.daily_budget;
+  dataset.reserve(dataset.pings.size() + row_hint,
+                  dataset.traces.size() + row_hint);
+  dataset.reserve_hops(row_hint * kHopsPerTaskHint);
 
   ParallelExecutor executor{config_.threads};
   std::vector<MeasurementTask> day_tasks;
@@ -438,10 +453,8 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
       const util::Rng exec_rng = day_rng.fork("exec");
       executor.execute(engine_, day_tasks, exec_rng, dataset, skip);
       if (hooks.day_rows) {
-        hooks.day_rows(
-            day, day_start_cursor, static_cast<std::uint32_t>(skip),
-            std::span<const PingRecord>{dataset.pings}.subspan(base_pings),
-            std::span<const TraceRecord>{dataset.traces}.subspan(base_traces));
+        hooks.day_rows(day, day_start_cursor, static_cast<std::uint32_t>(skip),
+                       dataset, base_pings, base_traces);
       }
       day_tasks.clear();
     }
@@ -477,10 +490,13 @@ Dataset Campaign::run(util::Rng rng, const CampaignState& start,
                            config_.days - start.next_day, day_delivered,
                            busy_fraction_gauge.value());
 
+    bool stop = false;
     if (hooks.after_day) {
       const CampaignState state{day + 1, cursor};
-      if (!hooks.after_day(state, dataset)) break;
+      stop = !hooks.after_day(state, dataset);
     }
+    if (hooks.drop_day_rows) dataset.clear_rows();
+    if (stop) break;
   }
   return dataset;
 }

@@ -1,0 +1,257 @@
+#include "measure/columns.hpp"
+
+#include "cloud/region.hpp"
+#include "probes/fleet.hpp"
+
+namespace cloudrtt::measure {
+
+std::uint32_t RowBinding::probe_code(const probes::Probe* probe) {
+  if (probe == nullptr) return kNullProbeCode;
+  for (const probes::ProbeFleet* fleet : fleets_) {
+    if (fleet != nullptr && fleet->by_id(probe->id) == probe) return probe->id;
+  }
+  const auto [it, inserted] = extra_probe_index_.try_emplace(
+      probe, static_cast<std::uint32_t>(extra_probes_.size()));
+  if (inserted) extra_probes_.push_back(probe);
+  return kExtraProbeBit | it->second;
+}
+
+std::uint16_t RowBinding::region_code(const cloud::RegionInfo* region) {
+  if (region == nullptr) return kNullRegionCode;
+  const std::span<const cloud::RegionInfo> all =
+      cloud::RegionCatalog::instance().all();
+  const auto index = static_cast<std::size_t>(region - all.data());
+  if (index < all.size()) return static_cast<std::uint16_t>(index);
+  const auto [it, inserted] = extra_region_index_.try_emplace(
+      region, static_cast<std::uint16_t>(extra_regions_.size()));
+  if (inserted) extra_regions_.push_back(region);
+  CLOUDRTT_CHECK(it->second < 0x7FFF,
+                 "extras region table overflowed its 15-bit code space");
+  return static_cast<std::uint16_t>(kExtraRegionBit | it->second);
+}
+
+const probes::Probe* RowBinding::probe(std::uint32_t code) const {
+  if (code == kNullProbeCode) return nullptr;
+  if ((code & kExtraProbeBit) != 0) {
+    return extra_probes_[code & ~kExtraProbeBit];
+  }
+  for (const probes::ProbeFleet* fleet : fleets_) {
+    if (fleet == nullptr) continue;
+    if (const probes::Probe* found = fleet->by_id(code)) return found;
+  }
+  CLOUDRTT_CHECK(false, "probe code ", code,
+                 " does not resolve through the bound fleets");
+  return nullptr;
+}
+
+const cloud::RegionInfo* RowBinding::region(std::uint16_t code) const {
+  if (code == kNullRegionCode) return nullptr;
+  if ((code & kExtraRegionBit) != 0) {
+    return extra_regions_[code & static_cast<std::uint16_t>(~kExtraRegionBit)];
+  }
+  const std::span<const cloud::RegionInfo> all =
+      cloud::RegionCatalog::instance().all();
+  CLOUDRTT_CHECK(code < all.size(), "region code ", code,
+                 " outside the catalog");
+  return &all[code];
+}
+
+// -- PingColumn --------------------------------------------------------------
+
+void PingColumn::reserve(std::size_t rows) {
+  // Exact per-day hints arrive daily; grow geometrically past the current
+  // capacity so steady-state days never copy the columns.
+  if (rows <= rtt_.capacity()) return;
+  const std::size_t target =
+      std::max(rows, rtt_.capacity() + rtt_.capacity() / 2);
+  probe_.reserve(target);
+  region_.reserve(target);
+  protocol_.reserve(target);
+  rtt_.reserve(target);
+  day_.reserve(target);
+  slot_.reserve(target);
+}
+
+void PingColumn::clear() {
+  probe_.clear();
+  region_.clear();
+  protocol_.clear();
+  rtt_.clear();
+  day_.clear();
+  slot_.clear();
+}
+
+void PingColumn::append_row(std::uint32_t probe_code,
+                            std::uint16_t region_code, Protocol protocol,
+                            double rtt_ms, std::uint32_t day,
+                            std::uint8_t slot) {
+  probe_.push_back(probe_code);
+  region_.push_back(region_code);
+  protocol_.push_back(static_cast<std::uint8_t>(protocol));
+  rtt_.push_back(rtt_ms);
+  day_.push_back(day);
+  slot_.push_back(slot);
+}
+
+void PingColumn::splice(const PingColumn& other, std::size_t begin,
+                        std::size_t end) {
+  if (begin >= end) return;
+  const auto at = [&](const auto& column) {
+    return std::pair{column.begin() + static_cast<std::ptrdiff_t>(begin),
+                     column.begin() + static_cast<std::ptrdiff_t>(end)};
+  };
+  const auto [pb, pe] = at(other.probe_);
+  probe_.insert(probe_.end(), pb, pe);
+  const auto [rb, re] = at(other.region_);
+  region_.insert(region_.end(), rb, re);
+  const auto [cb, ce] = at(other.protocol_);
+  protocol_.insert(protocol_.end(), cb, ce);
+  const auto [tb, te] = at(other.rtt_);
+  rtt_.insert(rtt_.end(), tb, te);
+  const auto [db, de] = at(other.day_);
+  day_.insert(day_.end(), db, de);
+  const auto [sb, se] = at(other.slot_);
+  slot_.insert(slot_.end(), sb, se);
+}
+
+// -- TraceColumn -------------------------------------------------------------
+
+void TraceColumn::reserve(std::size_t rows) {
+  if (rows <= e2e_.capacity()) return;
+  const std::size_t target =
+      std::max(rows, e2e_.capacity() + e2e_.capacity() / 2);
+  probe_.reserve(target);
+  region_.reserve(target);
+  target_.reserve(target);
+  hop_offset_.reserve(target);
+  hop_count_.reserve(target);
+  completed_.reserve(target);
+  e2e_.reserve(target);
+  day_.reserve(target);
+  slot_.reserve(target);
+  mode_.reserve(target);
+}
+
+void TraceColumn::clear() {
+  probe_.clear();
+  region_.clear();
+  target_.clear();
+  hop_offset_.clear();
+  hop_count_.clear();
+  completed_.clear();
+  e2e_.clear();
+  day_.clear();
+  slot_.clear();
+  mode_.clear();
+  hop_pool_.clear();
+}
+
+void TraceColumn::push_back(const TraceCore& core,
+                            std::span<const HopRecord> hops) {
+  append_row(binding_->probe_code(core.probe),
+             binding_->region_code(core.region), core.target_ip.value(),
+             core.completed, core.end_to_end_ms, core.day, core.slot,
+             core.true_mode, hops);
+}
+
+void TraceColumn::append_row(std::uint32_t probe_code,
+                             std::uint16_t region_code,
+                             std::uint32_t target_ip, bool completed,
+                             double end_to_end_ms, std::uint32_t day,
+                             std::uint8_t slot,
+                             topology::InterconnectMode true_mode,
+                             std::span<const HopRecord> hops) {
+  probe_.push_back(probe_code);
+  region_.push_back(region_code);
+  target_.push_back(target_ip);
+  hop_offset_.push_back(hop_pool_.size());
+  hop_count_.push_back(static_cast<std::uint32_t>(hops.size()));
+  hop_pool_.insert(hop_pool_.end(), hops.begin(), hops.end());
+  completed_.push_back(completed ? 1 : 0);
+  e2e_.push_back(end_to_end_ms);
+  day_.push_back(day);
+  slot_.push_back(slot);
+  mode_.push_back(static_cast<std::uint8_t>(true_mode));
+}
+
+void TraceColumn::splice(const TraceColumn& other, std::size_t begin,
+                         std::size_t end) {
+  if (begin >= end) return;
+  const auto at = [&](const auto& column) {
+    return std::pair{column.begin() + static_cast<std::ptrdiff_t>(begin),
+                     column.begin() + static_cast<std::ptrdiff_t>(end)};
+  };
+  const auto [pb, pe] = at(other.probe_);
+  probe_.insert(probe_.end(), pb, pe);
+  const auto [rb, re] = at(other.region_);
+  region_.insert(region_.end(), rb, re);
+  const auto [tb, te] = at(other.target_);
+  target_.insert(target_.end(), tb, te);
+  const auto [cb, ce] = at(other.completed_);
+  completed_.insert(completed_.end(), cb, ce);
+  const auto [eb, ee] = at(other.e2e_);
+  e2e_.insert(e2e_.end(), eb, ee);
+  const auto [db, de] = at(other.day_);
+  day_.insert(day_.end(), db, de);
+  const auto [sb, se] = at(other.slot_);
+  slot_.insert(slot_.end(), sb, se);
+  const auto [mb, me] = at(other.mode_);
+  mode_.insert(mode_.end(), mb, me);
+  const auto [hb, he] = at(other.hop_count_);
+  hop_count_.insert(hop_count_.end(), hb, he);
+
+  // Hops of rows [begin, end) occupy one contiguous pool range (append-only
+  // pool, row order == append order); copy it and rebase the offsets.
+  const std::uint64_t src_base = other.hop_offset_[begin];
+  const std::uint64_t src_stop =
+      other.hop_offset_[end - 1] + other.hop_count_[end - 1];
+  const std::uint64_t pool_base = hop_pool_.size();
+  const std::size_t row0 = hop_offset_.size();
+  const auto [ob, oe] = at(other.hop_offset_);
+  hop_offset_.insert(hop_offset_.end(), ob, oe);
+  for (std::size_t row = row0; row < hop_offset_.size(); ++row) {
+    hop_offset_[row] = hop_offset_[row] - src_base + pool_base;
+  }
+  hop_pool_.insert(
+      hop_pool_.end(),
+      other.hop_pool_.begin() + static_cast<std::ptrdiff_t>(src_base),
+      other.hop_pool_.begin() + static_cast<std::ptrdiff_t>(src_stop));
+}
+
+// -- Dataset -----------------------------------------------------------------
+
+void Dataset::append_slice(const Dataset& other, std::size_t pb,
+                           std::size_t pe, std::size_t tb, std::size_t te) {
+  CLOUDRTT_CHECK(pb <= pe && pe <= other.pings.size() && tb <= te &&
+                     te <= other.traces.size(),
+                 "append_slice bounds out of range");
+  // A fresh, never-bound dataset adopts the source binding wholesale, which
+  // makes the raw column splice valid even when the source carries extras.
+  const bool fresh_adopt = pings.empty() && traces.empty() &&
+                           !binding_.bound() && binding_.pure();
+  if (fresh_adopt) binding_ = other.binding_;
+  if (fresh_adopt || binding_.accepts_raw(other.binding_)) {
+    pings.splice(other.pings, pb, pe);
+    traces.splice(other.traces, tb, te);
+    return;
+  }
+  // Incompatible bindings: re-encode row by row through this binding.
+  for (std::size_t row = pb; row < pe; ++row) {
+    pings.push_back(other.pings[row]);
+  }
+  for (std::size_t row = tb; row < te; ++row) {
+    const TraceRef ref = other.traces[row];
+    TraceCore core;
+    core.probe = ref.probe;
+    core.region = ref.region;
+    core.target_ip = ref.target_ip;
+    core.completed = ref.completed;
+    core.end_to_end_ms = ref.end_to_end_ms;
+    core.day = ref.day;
+    core.slot = ref.slot;
+    core.true_mode = ref.true_mode;
+    traces.push_back(core, ref.hops);
+  }
+}
+
+}  // namespace cloudrtt::measure

@@ -182,26 +182,55 @@ double Engine::interdc_rtt(const topology::CloudEndpoint& src,
   return rtt;
 }
 
-// lint:hot
 TraceRecord Engine::traceroute(const probes::Probe& probe,
                                const topology::CloudEndpoint& endpoint,
                                std::uint32_t day, util::Rng& rng,
                                TraceMethod method, std::uint8_t slot,
                                const fault::TraceFaults* faults,
                                MeasurementScratch* scratch) const {
+  TraceRecord record;
+  const TraceCore core = traceroute_into(probe, endpoint, day, rng,
+                                         record.hops, method, slot, faults,
+                                         scratch);
+  record.probe = core.probe;
+  record.region = core.region;
+  record.target_ip = core.target_ip;
+  record.completed = core.completed;
+  record.end_to_end_ms = core.end_to_end_ms;
+  record.day = core.day;
+  record.slot = core.slot;
+  record.true_mode = core.true_mode;
+  return record;
+}
+
+// lint:hot
+TraceCore Engine::traceroute_into(const probes::Probe& probe,
+                                  const topology::CloudEndpoint& endpoint,
+                                  std::uint32_t day, util::Rng& rng,
+                                  std::vector<HopRecord>& hops_out,
+                                  TraceMethod method, std::uint8_t slot,
+                                  const fault::TraceFaults* faults,
+                                  MeasurementScratch* scratch) const {
   EngineMetrics& metrics = EngineMetrics::instance();
   metrics.traceroutes.inc();
   MeasurementScratch local;
   const PathDraw draw =
       draw_path(probe, endpoint, rng, slot, scratch != nullptr ? *scratch : local);
-  TraceRecord record;
+  TraceCore record;
   record.probe = &probe;
   record.region = endpoint.region;
   record.target_ip = endpoint.vm_ip;
   record.day = day;
   record.slot = slot;
   record.true_mode = draw.path.mode;
-  record.hops.reserve(draw.path.hops.size());
+  // hops_out is a day-long arena: grow it geometrically or not at all. An
+  // exact `size + hops` reserve here would reallocate (and copy the whole
+  // arena) every few tasks once size reaches capacity — O(day²) in disguise.
+  if (const std::size_t want = hops_out.size() + draw.path.hops.size();
+      want > hops_out.capacity()) {
+    hops_out.reserve(
+        std::max(want, hops_out.capacity() + hops_out.capacity() / 2));
+  }
 
   const bool home = probe.access == lastmile::AccessTech::HomeWifi;
   const std::size_t hop_count = draw.path.hops.size();
@@ -267,7 +296,7 @@ TraceRecord Engine::traceroute(const probes::Probe& probe,
       }
       out.rtt_ms = std::max(0.1, rtt);
     }
-    record.hops.push_back(out);
+    hops_out.push_back(out);
     if (is_final && out.responded) {
       record.completed = true;
       record.end_to_end_ms = out.rtt_ms + icmp_penalty_ms(probe, rng);

@@ -20,6 +20,10 @@ namespace cloudrtt::measure {
 /// (a per-call local is used). Holds no RNG and never affects results.
 struct MeasurementScratch {
   routing::ForwardingPath path;
+  /// Worker-local flat hop arena: traceroute_into appends here and the
+  /// executor's merge copies the span into the dataset's hop pool. Cleared
+  /// per execute phase, capacity recycled across days.
+  std::vector<HopRecord> hops;
 };
 
 class Engine {
@@ -52,6 +56,17 @@ class Engine {
                                        std::uint8_t slot = 0,
                                        const fault::TraceFaults* faults = nullptr,
                                        MeasurementScratch* scratch = nullptr) const;
+
+  /// Columnar hot path: identical draws and hop bytes to traceroute(), but
+  /// the hops append to the caller-owned flat arena `hops_out` (never
+  /// cleared here — the executor packs a whole day of traces into one
+  /// per-worker arena) and the scalar fields return as a TraceCore.
+  [[nodiscard]] TraceCore traceroute_into(
+      const probes::Probe& probe, const topology::CloudEndpoint& endpoint,
+      std::uint32_t day, util::Rng& rng, std::vector<HopRecord>& hops_out,
+      TraceMethod method = TraceMethod::Classic, std::uint8_t slot = 0,
+      const fault::TraceFaults* faults = nullptr,
+      MeasurementScratch* scratch = nullptr) const;
 
   /// Inter-datacenter ("horizontal") RTT between two regions — private WAN
   /// when the provider serves both, public carriers otherwise.

@@ -30,6 +30,16 @@ struct WorkerStats {
   return static_cast<double>(ns) / 1e6;
 }
 
+/// Per-task trace staging: scalar core plus the hop range inside the worker
+/// arena that produced it. Trivially destructible, so the slots live in the
+/// recycled staging arena like the ping slots.
+struct TraceSlot {
+  TraceCore core;
+  std::uint32_t hop_begin = 0;
+  std::uint32_t hop_count = 0;
+  std::uint32_t worker = 0;
+};
+
 }  // namespace
 
 void ParallelExecutor::execute(const Engine& engine,
@@ -50,8 +60,8 @@ void ParallelExecutor::execute(const Engine& engine,
   staging_.reset();
   std::vector<PingRecord, util::ArenaAllocator<PingRecord>> pings(
       n, util::ArenaAllocator<PingRecord>{staging_});
-  std::vector<TraceRecord, util::ArenaAllocator<TraceRecord>> traces(
-      n, util::ArenaAllocator<TraceRecord>{staging_});
+  std::vector<TraceSlot, util::ArenaAllocator<TraceSlot>> traces(
+      n, util::ArenaAllocator<TraceSlot>{staging_});
 
   obs::Registry& registry = obs::Registry::global();
   obs::Histogram& chunk_ms = registry.histogram(
@@ -69,7 +79,8 @@ void ParallelExecutor::execute(const Engine& engine,
   obs::TraceRecorder& recorder = obs::TraceRecorder::global();
 
   const auto run_chunk = [&](std::size_t chunk, WorkerStats& stats,
-                             MeasurementScratch& scratch) {
+                             std::size_t worker) {
+    MeasurementScratch& scratch = worker_scratch_[worker];
     const std::uint64_t start_ns = obs::monotonic_ns();
     const util::Rng chunk_rng = chunk_root.fork(chunk);
     const std::size_t begin = chunk * kChunkSize;
@@ -79,9 +90,17 @@ void ParallelExecutor::execute(const Engine& engine,
       util::Rng task_rng = chunk_rng.fork(i - begin);
       pings[i] = engine.ping(*task.probe, *task.endpoint, Protocol::Tcp,
                              task.day, task_rng, task.slot, &scratch);
-      traces[i] = engine.traceroute(*task.probe, *task.endpoint, task.day,
-                                    task_rng, Engine::TraceMethod::Classic,
-                                    task.slot, task.trace_faults, &scratch);
+      // Hops pack into the worker's flat arena; the slot remembers the range
+      // so the canonical merge can copy it into the dataset's hop pool.
+      TraceSlot& slot = traces[i];
+      slot.hop_begin = static_cast<std::uint32_t>(scratch.hops.size());
+      slot.core = engine.traceroute_into(
+          *task.probe, *task.endpoint, task.day, task_rng, scratch.hops,
+          Engine::TraceMethod::Classic, task.slot, task.trace_faults,
+          &scratch);
+      slot.hop_count =
+          static_cast<std::uint32_t>(scratch.hops.size()) - slot.hop_begin;
+      slot.worker = static_cast<std::uint32_t>(worker);
     }
     const std::uint64_t end_ns = obs::monotonic_ns();
     stats.busy_ns += end_ns - start_ns;
@@ -100,12 +119,15 @@ void ParallelExecutor::execute(const Engine& engine,
       std::min<std::size_t>(threads_, chunk_count - first_chunk);
   std::vector<WorkerStats> stats(workers);
   if (worker_scratch_.size() < workers) worker_scratch_.resize(workers);
+  // Hop arenas restart empty each phase (capacity recycled): slot ranges are
+  // relative to this call's appends.
+  for (MeasurementScratch& scratch : worker_scratch_) scratch.hops.clear();
 
   // One worker drains the shared chunk counter until it runs dry. The gap
   // between finishing one chunk and starting the next is queue wait — with a
   // lock-free counter it should stay near zero; growth means the chunks are
   // too small or the allocator is contended.
-  const auto drain = [&](WorkerStats& stats_entry, MeasurementScratch& scratch,
+  const auto drain = [&](WorkerStats& stats_entry, std::size_t worker,
                          std::atomic<std::size_t>& next_chunk) {
     stats_entry.start_ns = obs::monotonic_ns();
     std::uint64_t idle_since = stats_entry.start_ns;
@@ -113,7 +135,7 @@ void ParallelExecutor::execute(const Engine& engine,
          chunk = next_chunk.fetch_add(1)) {
       const std::uint64_t pick_ns = obs::monotonic_ns();
       stats_entry.wait_ns += pick_ns - idle_since;
-      run_chunk(chunk, stats_entry, scratch);
+      run_chunk(chunk, stats_entry, worker);
       idle_since = obs::monotonic_ns();
     }
     stats_entry.end_ns = obs::monotonic_ns();
@@ -122,7 +144,7 @@ void ParallelExecutor::execute(const Engine& engine,
   if (workers <= 1) {
     stats[0].start_ns = phase_start_ns;
     for (std::size_t chunk = first_chunk; chunk < chunk_count; ++chunk) {
-      run_chunk(chunk, stats[0], worker_scratch_[0]);
+      run_chunk(chunk, stats[0], 0);
     }
     stats[0].end_ns = obs::monotonic_ns();
   } else {
@@ -135,7 +157,7 @@ void ParallelExecutor::execute(const Engine& engine,
         recorder.name_this_thread("worker " + std::to_string(worker));
       }
       try {
-        drain(stats[worker], worker_scratch_[worker], next_chunk);
+        drain(stats[worker], worker, next_chunk);
       } catch (...) {
         stats[worker].end_ns = obs::monotonic_ns();
         const std::scoped_lock lock{failure_mutex};
@@ -187,14 +209,22 @@ void ParallelExecutor::execute(const Engine& engine,
     // for every worker-pool size.
     const obs::Span merge_span{"merge"};
     const std::uint64_t merge_start_ns = obs::monotonic_ns();
-    const auto skip =
-        static_cast<std::ptrdiff_t>(skip_tasks);  // slots [0, skip) never ran
-    out.pings.insert(out.pings.end(),
-                     std::make_move_iterator(pings.begin() + skip),
-                     std::make_move_iterator(pings.end()));
-    out.traces.insert(out.traces.end(),
-                      std::make_move_iterator(traces.begin() + skip),
-                      std::make_move_iterator(traces.end()));
+    // Slots [0, skip_tasks) never ran. Reservation hints are exact: the
+    // schedule told us the row count and the workers counted the hops.
+    out.pings.reserve(out.pings.size() + (n - skip_tasks));
+    out.traces.reserve(out.traces.size() + (n - skip_tasks));
+    std::size_t hop_total = 0;
+    for (std::size_t i = skip_tasks; i < n; ++i) hop_total += traces[i].hop_count;
+    out.traces.reserve_hops(hop_total);
+    for (std::size_t i = skip_tasks; i < n; ++i) {
+      out.pings.push_back(pings[i]);
+    }
+    for (std::size_t i = skip_tasks; i < n; ++i) {
+      const TraceSlot& slot = traces[i];
+      out.traces.push_back(
+          slot.core, std::span{worker_scratch_[slot.worker].hops}.subspan(
+                         slot.hop_begin, slot.hop_count));
+    }
     if (recorder.enabled()) {
       recorder.record_complete(
           "executor.merge", "executor", merge_start_ns,

@@ -55,8 +55,9 @@ class ParallelExecutor {
 
   [[nodiscard]] unsigned threads() const { return threads_; }
 
-  /// Run every task and append one PingRecord + one TraceRecord per task to
-  /// `out`, in task order. `chunk_root` seeds the per-chunk RNG tree; pass
+  /// Run every task and append one ping row + one trace row (hops spliced
+  /// into the flat pool) per task to `out`'s columns, in task order.
+  /// `chunk_root` seeds the per-chunk RNG tree; pass
   /// the same value to get the same records at any thread count. With one
   /// worker (or few tasks) this degenerates to an inline loop — no pool.
   /// Worker exceptions are rethrown here after all workers have joined.

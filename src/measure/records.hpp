@@ -50,14 +50,24 @@ struct TraceRecord {
   topology::InterconnectMode true_mode = topology::InterconnectMode::Public;
 };
 
-struct Dataset {
-  std::vector<PingRecord> pings;
-  std::vector<TraceRecord> traces;
-
-  void reserve(std::size_t ping_count, std::size_t trace_count) {
-    pings.reserve(ping_count);
-    traces.reserve(trace_count);
-  }
+/// TraceRecord minus the owning hop vector: what Engine::traceroute_into
+/// returns while appending the hops to a caller-owned flat arena. The
+/// columnar hot path (executor staging, TraceColumn) never materialises a
+/// per-trace hop vector.
+struct TraceCore {
+  const probes::Probe* probe = nullptr;
+  const cloud::RegionInfo* region = nullptr;
+  net::Ipv4Address target_ip;
+  bool completed = false;
+  double end_to_end_ms = 0.0;
+  std::uint32_t day = 0;
+  std::uint8_t slot = 0;
+  topology::InterconnectMode true_mode = topology::InterconnectMode::Public;
 };
 
 }  // namespace cloudrtt::measure
+
+// Dataset (SoA columns over these record shapes) lives in columns.hpp; the
+// two headers are a guarded pair so either include order works and every
+// existing `#include "measure/records.hpp"` keeps seeing measure::Dataset.
+#include "measure/columns.hpp"  // IWYU pragma: export

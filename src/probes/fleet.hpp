@@ -66,6 +66,16 @@ class ProbeFleet {
   [[nodiscard]] std::size_t count_in_country(std::string_view code) const;
   [[nodiscard]] std::size_t size() const { return probes_.size(); }
 
+  /// O(1) id lookup: fleet ids are assigned densely (Speedchecker from 1,
+  /// Atlas from 1'000'000), so a probe's slot is `id - front().id`. Returns
+  /// nullptr for ids outside this fleet — the columnar dataset's row binding
+  /// probes both fleets and falls back to its extras table.
+  [[nodiscard]] const Probe* by_id(std::uint32_t id) const {
+    if (probes_.empty() || id < probes_.front().id) return nullptr;
+    const std::size_t index = id - probes_.front().id;
+    return index < probes_.size() ? &probes_[index] : nullptr;
+  }
+
   /// Per-day churn resampling: one Bernoulli draw deciding whether `probe`
   /// is connected at this scheduling instant. `churn_factor` scales the
   /// probe's nominal availability (fault injection: churn episodes push it

@@ -1,8 +1,11 @@
 #include "routing/path_builder.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <span>
 #include <string>
+#include <string_view>
 
 namespace cloudrtt::routing {
 
@@ -113,13 +116,32 @@ class Builder {
   /// `load_balanced` segments expose an ECMP sibling interface that classic
   /// per-TTL traceroute may hit instead (transit cores are ECMP-heavy;
   /// access and cloud segments are pinned).
-  void push_router(topology::Asn asn, std::string site, const geo::GeoPoint& loc,
-                   bool cloud_owned, double processing_ms = 0.2,
-                   bool load_balanced = false) {
+  void push_router(topology::Asn asn, std::string_view site,
+                   const geo::GeoPoint& loc, bool cloud_owned,
+                   double processing_ms = 0.2, bool load_balanced = false) {
     net::Ipv4Address alt;
-    if (load_balanced) alt = world_.router_ip(asn, site + "/ecmp-b");
+    if (load_balanced) {
+      alt_scratch_.assign(site);
+      alt_scratch_ += "/ecmp-b";
+      alt = world_.router_ip(asn, alt_scratch_);
+    }
     push(world_.router_ip(asn, site), asn, loc, false, cloud_owned, processing_ms,
          alt);
+  }
+
+  /// Compose a router site label in the reused scratch buffer: the returned
+  /// view is valid until the next site() call, which is exactly long enough
+  /// for the push_router it feeds. One path mints at most two heap buffers
+  /// (the scratches), not one string per visible router.
+  [[nodiscard]] std::string_view site(std::string_view a, std::string_view b,
+                                      std::string_view c = {},
+                                      std::string_view d = {}) {
+    site_scratch_.clear();
+    site_scratch_.append(a);
+    site_scratch_.append(b);
+    site_scratch_.append(c);
+    site_scratch_.append(d);
+    return site_scratch_;
   }
 
   /// Move over the public backbone between two concrete points.
@@ -177,6 +199,8 @@ class Builder {
   std::string_view cc_;
   double rtt_ = 0.0;
   double var_ = 0.0;
+  std::string site_scratch_;  ///< backs site(); reused across push_router calls
+  std::string alt_scratch_;   ///< ECMP sibling label (site() view stays valid)
 };
 
 }  // namespace
@@ -225,10 +249,15 @@ void PathBuilder::build_into(const probes::Probe& probe,
   b.set_origin(probe.location, isp.country);
 
   // Gateway hairpins only exist when the world models them (ablation knob).
-  const std::vector<std::string_view> gateways =
+  // Stack buffer, not a vector: no country funnels through more than a
+  // couple of gateways.
+  std::string_view gateway_buffer[4];
+  const std::size_t gateway_count =
       world_.config().enable_uplink_gateways
-          ? topology::uplink_gateways(isp.country)
-          : std::vector<std::string_view>{};
+          ? topology::uplink_gateways(isp.country, gateway_buffer)
+          : 0;
+  const std::span<const std::string_view> gateways{gateway_buffer,
+                                                   gateway_count};
 
   // --- last-mile hops (latency added by the engine, not here) --------------
   if (probe.access == lastmile::AccessTech::HomeWifi) {
@@ -241,11 +270,12 @@ void PathBuilder::build_into(const probes::Probe& probe,
   }
 
   // --- inside the serving ISP ------------------------------------------------
-  b.push_router(isp.asn, "edge/" + probe.city->name, probe.city->location, false,
-                0.7);
+  b.push_router(isp.asn, b.site("edge/", probe.city->name),
+                probe.city->location, false, 0.7);
   const geo::CountryInfo& home = world_.countries().at(isp.country);
   b.advance_public(home.centroid, isp.country, 0.05, 0.10);
-  b.push_router(isp.asn, "core/" + isp.country, home.centroid, false, 0.3);
+  b.push_router(isp.asn, b.site("core/", isp.country), home.centroid, false,
+                0.3);
 
   // --- interconnection-specific middle ---------------------------------------
   const auto wan_run = [&](std::string_view from_label) {
@@ -259,9 +289,9 @@ void PathBuilder::build_into(const probes::Probe& probe,
       const geo::GeoPoint mid{(b.location().lat_deg + region.location.lat_deg) / 2.0,
                               (b.location().lon_deg + region.location.lon_deg) / 2.0};
       b.advance_fixed(km * kWanDetour / 2.0, mid, region.country, 0.02);
-      b.push_router(cloud_asn, std::string{"wan/"} + std::string{from_label} + "-" +
-                                   std::string{region.region_name},
-                    mid, true, 0.25);
+      b.push_router(cloud_asn,
+                    b.site("wan/", from_label, "-", region.region_name), mid,
+                    true, 0.25);
       b.advance_fixed(km * kWanDetour / 2.0, region.location, region.country, 0.02);
     } else {
       b.advance_fixed(km * kWanDetour, region.location, region.country, 0.02);
@@ -272,7 +302,7 @@ void PathBuilder::build_into(const probes::Probe& probe,
     case InterconnectMode::DirectIxp: {
       if (const topology::IxpInfo* ixp = choose_ixp(isp.country, b.location())) {
         b.advance_public(ixp->location, ixp->country, 0.04, 0.08);
-        b.push_router(ixp->asn, "lan/" + std::string{ixp->country}, ixp->location,
+        b.push_router(ixp->asn, b.site("lan/", ixp->country), ixp->location,
                       false, 0.25);
       }
       [[fallthrough]];
@@ -283,7 +313,7 @@ void PathBuilder::build_into(const probes::Probe& probe,
                                               : std::string_view{region.country};
       const geo::CountryInfo& ingress = world_.countries().at(ingress_cc);
       b.advance_public(ingress.centroid, ingress_cc, 0.03, 0.06);
-      b.push_router(cloud_asn, "pop/" + std::string{ingress_cc}, ingress.centroid,
+      b.push_router(cloud_asn, b.site("pop/", ingress_cc), ingress.centroid,
                     true, 0.35);
       wan_run(ingress_cc);
       break;
@@ -293,23 +323,24 @@ void PathBuilder::build_into(const probes::Probe& probe,
       for (const std::string_view gw : gateways) {
         const geo::CountryInfo& info = world_.countries().at(gw);
         b.advance_public(info.centroid, gw, 0.06, 0.18);
-        b.push_router(isp.asn, "gw/" + std::string{gw}, info.centroid, false, 0.3);
+        b.push_router(isp.asn, b.site("gw/", gw), info.centroid, false, 0.3);
       }
       const geo::GeoPoint target_ref =
           wan ? region.location : region.location;  // PNI lands near the DC side
       const CarrierPlan plan = best_single_carrier(b.location(), target_ref);
       b.advance_public(plan.entry->location, plan.entry->country, 0.06, 0.16);
-      b.push_router(plan.carrier->asn, "hub/" + std::string{plan.entry->city},
+      b.push_router(plan.carrier->asn, b.site("hub/", plan.entry->city),
                     plan.entry->location, false, 0.3, /*load_balanced=*/true);
       if (plan.exit != plan.entry) {
         b.advance_managed(plan.exit->location, plan.exit->country, kCarrierDetour,
                           0.085);
-        b.push_router(plan.carrier->asn, "hub/" + std::string{plan.exit->city},
-                      plan.exit->location, false, 0.3, /*load_balanced=*/true);
+        b.push_router(plan.carrier->asn, b.site("hub/", plan.exit->city),
+                      plan.exit->location, false, 0.3,
+                      /*load_balanced=*/true);
       }
       if (wan) {
         // Cloud edge PoP hosted at the carrier facility (PNI).
-        b.push_router(cloud_asn, "pop@" + std::string{plan.exit->city},
+        b.push_router(cloud_asn, b.site("pop@", plan.exit->city),
                       plan.exit->location, true, 0.35);
         wan_run(plan.exit->country);
       } else {
@@ -320,20 +351,20 @@ void PathBuilder::build_into(const probes::Probe& probe,
     case InterconnectMode::Public: {
       // Continental upstream first (the extra AS of "2+").
       const topology::Asn upstream = world_.continental_transit(home.continent);
-      b.push_router(upstream, "up/" + std::string{isp.country}, b.location(), false,
+      b.push_router(upstream, b.site("up/", isp.country), b.location(), false,
                     0.3, /*load_balanced=*/true);
       for (const std::string_view gw : gateways) {
         const geo::CountryInfo& info = world_.countries().at(gw);
         b.advance_public(info.centroid, gw, 0.07, 0.22);
-        b.push_router(upstream, "gw/" + std::string{gw}, info.centroid, false, 0.3);
+        b.push_router(upstream, b.site("gw/", gw), info.centroid, false, 0.3);
       }
       const HubRef first = nearest_hub(b.location());
       b.advance_public(first.hub->location, first.hub->country, 0.07, 0.20);
-      b.push_router(first.carrier->asn, "hub/" + std::string{first.hub->city},
+      b.push_router(first.carrier->asn, b.site("hub/", first.hub->city),
                     first.hub->location, false, 0.3, /*load_balanced=*/true);
       // Carrier hubs expose separate ingress/egress interfaces in
       // traceroutes — public paths look longer at router level.
-      b.push_router(first.carrier->asn, "hub-out/" + std::string{first.hub->city},
+      b.push_router(first.carrier->asn, b.site("hub-out/", first.hub->city),
                     first.hub->location, false, 0.15);
       const topology::TransitHub* own_exit =
           nearest_hub_of(*first.carrier, region.location);
@@ -342,13 +373,15 @@ void PathBuilder::build_into(const probes::Probe& probe,
         const HubRef second = nearest_hub(region.location, first.carrier);
         b.advance_managed(second.hub->location, second.hub->country, kCarrierDetour,
                           0.09);
-        b.push_router(second.carrier->asn, "hub/" + std::string{second.hub->city},
-                      second.hub->location, false, 0.3, /*load_balanced=*/true);
+        b.push_router(second.carrier->asn, b.site("hub/", second.hub->city),
+                      second.hub->location, false, 0.3,
+                      /*load_balanced=*/true);
       } else if (own_exit != first.hub) {
         b.advance_managed(own_exit->location, own_exit->country, kCarrierDetour,
                           0.085);
-        b.push_router(first.carrier->asn, "hub/" + std::string{own_exit->city},
-                      own_exit->location, false, 0.3, /*load_balanced=*/true);
+        b.push_router(first.carrier->asn, b.site("hub/", own_exit->city),
+                      own_exit->location, false, 0.3,
+                      /*load_balanced=*/true);
       }
       b.advance_public(region.location, region.country, 0.06, 0.18);
       break;

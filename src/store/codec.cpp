@@ -148,30 +148,16 @@ bool parse_block_header(std::string_view line, BlockHeader& out) {
 
 void serialize_task(std::string& out, const measure::PingRecord& ping,
                     const measure::TraceRecord& trace) {
-  serialize_task(out, ping, trace, std::span{trace.hops});
-}
-
-// lint:hot
-void serialize_task(std::string& out, const measure::PingRecord& ping,
-                    const measure::TraceRecord& trace,
-                    std::span<const measure::HopRecord> hops) {
-  // Assembled in a stack buffer and appended once: the serializer runs per
-  // task on the spill worker, so one bounds-checked string append beats
-  // ~46 field-sized ones.
+  const std::span<const measure::HopRecord> hops{trace.hops};
   char buffer[kMaxTaskBytes];
   char* cursor = buffer;
-
-  // Ping: u32 probe | u16 region | u8 protocol | u8 slot | f64 rtt (16 B).
+  CLOUDRTT_CHECK(hops.size() <= 255,
+                 "trace hop list exceeds the codec's u8 hop count");
   put_raw(cursor, ping.probe->id);
   put_raw(cursor, region_index(ping.region));
   put_raw(cursor, static_cast<std::uint8_t>(ping.protocol));
   put_raw(cursor, ping.slot);
   put_f64(cursor, ping.rtt_ms);
-
-  // Trace core: u32 probe | u16 region | u8 completed | u8 slot |
-  // u32 target | f64 end-to-end | u8 mode | u8 hop count (22 B).
-  CLOUDRTT_CHECK(hops.size() <= 255,
-                 "trace hop list exceeds the codec's u8 hop count");
   put_raw(cursor, trace.probe->id);
   put_raw(cursor, region_index(trace.region));
   put_raw(cursor, static_cast<std::uint8_t>(trace.completed ? 1 : 0));
@@ -179,6 +165,48 @@ void serialize_task(std::string& out, const measure::PingRecord& ping,
   put_raw(cursor, trace.target_ip.value());
   put_f64(cursor, trace.end_to_end_ms);
   put_raw(cursor, static_cast<std::uint8_t>(trace.true_mode));
+  put_raw(cursor, static_cast<std::uint8_t>(hops.size()));
+  for (const measure::HopRecord& hop : hops) {
+    put_raw(cursor, hop.ttl);
+    put_raw(cursor, static_cast<std::uint8_t>(hop.responded ? 1 : 0));
+    put_raw(cursor, hop.ip.value());
+    put_f64(cursor, hop.rtt_ms);
+  }
+  out.append(buffer, cursor);
+}
+
+// lint:hot
+void serialize_task(std::string& out, const measure::Dataset& data,
+                    std::size_t row) {
+  // Assembled in a stack buffer and appended once: the serializer runs per
+  // task on the spill worker, so one bounds-checked string append beats
+  // ~46 field-sized ones. The columnar cells already hold the on-disk
+  // encoding — probe ids and catalog region indices — so there is no
+  // pointer chasing here at all.
+  const measure::PingColumn& pings = data.pings;
+  const measure::TraceColumn& traces = data.traces;
+  const std::span<const measure::HopRecord> hops = traces.hops(row);
+  char buffer[kMaxTaskBytes];
+  char* cursor = buffer;
+
+  // Ping: u32 probe | u16 region | u8 protocol | u8 slot | f64 rtt (16 B).
+  put_raw(cursor, pings.probe_id(row));
+  put_raw(cursor, pings.region_index(row));
+  put_raw(cursor, static_cast<std::uint8_t>(pings.protocol(row)));
+  put_raw(cursor, pings.slot(row));
+  put_f64(cursor, pings.rtt_ms(row));
+
+  // Trace core: u32 probe | u16 region | u8 completed | u8 slot |
+  // u32 target | f64 end-to-end | u8 mode | u8 hop count (22 B).
+  CLOUDRTT_CHECK(hops.size() <= 255,
+                 "trace hop list exceeds the codec's u8 hop count");
+  put_raw(cursor, traces.probe_id(row));
+  put_raw(cursor, traces.region_index(row));
+  put_raw(cursor, static_cast<std::uint8_t>(traces.completed(row) ? 1 : 0));
+  put_raw(cursor, traces.slot(row));
+  put_raw(cursor, traces.target_ip(row).value());
+  put_f64(cursor, traces.end_to_end_ms(row));
+  put_raw(cursor, static_cast<std::uint8_t>(traces.true_mode(row)));
   put_raw(cursor, static_cast<std::uint8_t>(hops.size()));
 
   // Hops: u8 ttl | u8 responded | u32 ip | f64 rtt (14 B each). Silent
@@ -194,14 +222,8 @@ void serialize_task(std::string& out, const measure::PingRecord& ping,
 }
 
 RowBinder::RowBinder(const probes::ProbeFleet* sc_fleet,
-                     const probes::ProbeFleet* atlas_fleet) {
-  for (const probes::ProbeFleet* fleet : {sc_fleet, atlas_fleet}) {
-    if (fleet == nullptr) continue;
-    for (const probes::Probe& probe : fleet->probes()) {
-      probe_by_id_.emplace(probe.id, &probe);
-    }
-  }
-}
+                     const probes::ProbeFleet* atlas_fleet)
+    : sc_fleet_(sc_fleet), atlas_fleet_(atlas_fleet) {}
 
 std::string RowBinder::parse_block(std::string_view payload,
                                    const BlockHeader& header,
@@ -213,61 +235,63 @@ std::string RowBinder::parse_block(std::string_view payload,
     return "task " + std::to_string(header.start + task) + " of day " +
            std::to_string(header.day) + ": " + std::string{what};
   };
-  const auto bind_probe = [&](std::uint32_t id) {
-    const auto it = probe_by_id_.find(id);
-    return it == probe_by_id_.end() ? nullptr : it->second;
+  // Dense per-fleet ids make presence an O(1) range probe; the on-disk probe
+  // id is also the column cell, so a validated id is appended as-is.
+  const auto known_probe = [&](std::uint32_t id) {
+    return (sc_fleet_ != nullptr && sc_fleet_->by_id(id) != nullptr) ||
+           (atlas_fleet_ != nullptr && atlas_fleet_->by_id(id) != nullptr);
   };
+  // One hop scratch per block: cleared per task, its capacity amortises over
+  // the block's 512 tasks (function-local keeps parse_block const-thread-safe).
+  std::vector<measure::HopRecord> hop_scratch;
 
   for (std::uint32_t task = 0; task < header.tasks; ++task) {
-    // -- ping record --------------------------------------------------------
-    measure::PingRecord ping;
+    // -- ping row -----------------------------------------------------------
     std::uint32_t probe_id = 0;
     std::uint16_t region = 0;
     std::uint8_t protocol = 0;
+    std::uint8_t ping_slot = 0;
+    double rtt_ms = 0.0;
     if (!in.get_raw(probe_id) || !in.get_raw(region) ||
-        !in.get_raw(protocol) || !in.get_raw(ping.slot) ||
-        !in.get_f64(ping.rtt_ms)) {
+        !in.get_raw(protocol) || !in.get_raw(ping_slot) ||
+        !in.get_f64(rtt_ms)) {
       return fail(task, "payload ends inside the ping record");
     }
-    if (protocol > 1 || ping.slot > 5 || region >= regions.size()) {
+    if (protocol > 1 || ping_slot > 5 || region >= regions.size()) {
       return fail(task, "bad ping fields");
     }
-    ping.probe = bind_probe(probe_id);
-    if (ping.probe == nullptr) {
+    if (!known_probe(probe_id)) {
       return fail(task, "unknown probe id " + std::to_string(probe_id));
     }
-    ping.region = &regions[region];
-    ping.protocol = static_cast<measure::Protocol>(protocol);
-    ping.day = header.day;
+    out.pings.append_row(probe_id, region,
+                         static_cast<measure::Protocol>(protocol), rtt_ms,
+                         header.day, ping_slot);
 
-    // -- trace record -------------------------------------------------------
-    measure::TraceRecord trace;
+    // -- trace row ----------------------------------------------------------
     std::uint8_t completed = 0;
+    std::uint8_t trace_slot = 0;
     std::uint32_t target = 0;
+    double end_to_end_ms = 0.0;
     std::uint8_t mode = 0;
     std::uint8_t hop_count = 0;
     if (!in.get_raw(probe_id) || !in.get_raw(region) ||
-        !in.get_raw(completed) || !in.get_raw(trace.slot) ||
-        !in.get_raw(target) || !in.get_f64(trace.end_to_end_ms) ||
+        !in.get_raw(completed) || !in.get_raw(trace_slot) ||
+        !in.get_raw(target) || !in.get_f64(end_to_end_ms) ||
         !in.get_raw(mode) || !in.get_raw(hop_count)) {
       return fail(task, "payload ends inside the trace record");
     }
-    if (completed > 1 || trace.slot > 5 || mode > 3 ||
+    if (completed > 1 || trace_slot > 5 || mode > 3 ||
         region >= regions.size()) {
       return fail(task, "bad trace fields");
     }
-    trace.probe = bind_probe(probe_id);
-    if (trace.probe == nullptr) {
+    if (!known_probe(probe_id)) {
       return fail(task, "unknown probe id " + std::to_string(probe_id));
     }
-    trace.region = &regions[region];
-    trace.target_ip = net::Ipv4Address{target};
-    trace.completed = completed == 1;
-    trace.true_mode = static_cast<topology::InterconnectMode>(mode);
-    trace.day = header.day;
-    trace.hops.resize(hop_count);
 
-    for (measure::HopRecord& hop : trace.hops) {
+    hop_scratch.clear();
+    hop_scratch.reserve(hop_count);
+    for (std::uint8_t h = 0; h < hop_count; ++h) {
+      measure::HopRecord hop;
       std::uint8_t responded = 0;
       std::uint32_t ip = 0;
       if (!in.get_raw(hop.ttl) || !in.get_raw(responded) ||
@@ -279,9 +303,12 @@ std::string RowBinder::parse_block(std::string_view payload,
       }
       hop.responded = responded == 1;
       hop.ip = net::Ipv4Address{ip};
+      hop_scratch.push_back(hop);
     }
-    out.pings.push_back(ping);
-    out.traces.push_back(std::move(trace));
+    out.traces.append_row(probe_id, region, target, completed == 1,
+                          end_to_end_ms, header.day, trace_slot,
+                          static_cast<topology::InterconnectMode>(mode),
+                          hop_scratch);
   }
   if (in.cursor != in.end) {
     return "payload has " + std::to_string(in.end - in.cursor) +

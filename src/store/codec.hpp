@@ -28,7 +28,6 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 
 #include "cloud/region.hpp"
 #include "measure/records.hpp"
@@ -58,33 +57,42 @@ struct BlockHeader {
 /// that is not a well-formed block header.
 [[nodiscard]] bool parse_block_header(std::string_view line, BlockHeader& out);
 
-/// Serialise one task's ping + trace pair onto `out`.
+/// Serialise one task's ping + trace pair onto `out` from owning records
+/// (tests, adoption of hand-built rows).
 void serialize_task(std::string& out, const measure::PingRecord& ping,
                     const measure::TraceRecord& trace);
 
-/// Same, but with the hop list supplied separately (`trace.hops` is
-/// ignored): the spill worker keeps day rows as flat trace cores plus one
-/// hops arena, so the campaign thread never clones a vector per trace.
-void serialize_task(std::string& out, const measure::PingRecord& ping,
-                    const measure::TraceRecord& trace,
-                    std::span<const measure::HopRecord> hops);
+/// Columnar hot path: serialise task `row` (ping row `row` paired with trace
+/// row `row`) straight from the dataset's columns — the cells already hold
+/// the on-disk encoding (probe id, catalog region index), so the spill
+/// worker does no pointer chasing and no binding at all.
+void serialize_task(std::string& out, const measure::Dataset& data,
+                    std::size_t row);
 
-/// Re-binds serialised rows against live probe fleets and the static region
-/// catalogue when a store is opened.
+/// Validates serialised rows against live probe fleets and the static region
+/// catalogue when a store is opened, appending them column-direct.
 class RowBinder {
  public:
   RowBinder(const probes::ProbeFleet* sc_fleet,
             const probes::ProbeFleet* atlas_fleet);
 
   /// Parse `header.tasks` serialised tasks from `payload`, appending to
-  /// `out`. Returns empty on success, else what was wrong (the caller
-  /// decides whether that refuses a committed block or ends a salvage scan).
+  /// `out` (whose binding must cover this binder's fleets — open_store binds
+  /// the result dataset before any block is parsed). Returns empty on
+  /// success, else what was wrong (the caller decides whether that refuses a
+  /// committed block or ends a salvage scan).
   [[nodiscard]] std::string parse_block(std::string_view payload,
                                         const BlockHeader& header,
                                         measure::Dataset& out) const;
 
+  [[nodiscard]] const probes::ProbeFleet* sc_fleet() const { return sc_fleet_; }
+  [[nodiscard]] const probes::ProbeFleet* atlas_fleet() const {
+    return atlas_fleet_;
+  }
+
  private:
-  std::unordered_map<std::uint32_t, const probes::Probe*> probe_by_id_;
+  const probes::ProbeFleet* sc_fleet_ = nullptr;
+  const probes::ProbeFleet* atlas_fleet_ = nullptr;
 };
 
 // Store artefact paths, shared by the writer, salvage and fsck.

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <charconv>
-#include <iterator>
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -146,8 +145,8 @@ struct LaneScan {
     return false;
   }
   if (binder != nullptr) {
-    out.rows.pings.clear();
-    out.rows.traces.clear();
+    out.rows.clear_rows();
+    out.rows.bind(binder->sc_fleet(), binder->atlas_fleet());
     if (std::string parse_error =
             binder->parse_block(payload, out.header, out.rows);
         !parse_error.empty()) {
@@ -242,13 +241,10 @@ struct LaneScan {
                                         : a->header.start < b->header.start;
 }
 
-void append_rows(measure::Dataset& out, ScannedBlock& block) {
-  out.pings.insert(out.pings.end(),
-                   std::make_move_iterator(block.rows.pings.begin()),
-                   std::make_move_iterator(block.rows.pings.end()));
-  out.traces.insert(out.traces.end(),
-                    std::make_move_iterator(block.rows.traces.begin()),
-                    std::make_move_iterator(block.rows.traces.end()));
+void append_rows(measure::Dataset& out, const ScannedBlock& block) {
+  // Both datasets are bound to the same fleets and block rows never mint
+  // extras codes, so this is a raw column splice.
+  out.append(block.rows);
 }
 
 /// Shared core of open_store and fsck. `binder` null = structural only.
@@ -272,6 +268,9 @@ void append_rows(measure::Dataset& out, ScannedBlock& block) {
   result.meta.platform = manifest.platform;
   result.meta.seed = manifest.seed;
   result.meta.fault_profile = manifest.fault_profile;
+  if (binder != nullptr) {
+    result.data.bind(binder->sc_fleet(), binder->atlas_fleet());
+  }
 
   // Lanes are independent on disk, so the scan — the expensive part of a
   // resume — runs one thread per lane; this is what keeps reopening a
@@ -392,6 +391,7 @@ void append_rows(measure::Dataset& out, ScannedBlock& block) {
     result.salvage.truncated_bytes += tail[i]->bytes;
   }
 
+  result.durable_rows = committed_tasks + result.salvage.salvaged_rows;
   result.lane_states.resize(lane_count);
   for (std::size_t lane = 0; lane < lane_count; ++lane) {
     result.lane_states[lane].durable_bytes =
@@ -450,6 +450,12 @@ int manifest_format(const fs::path& dir, std::string_view platform,
     return 0;
   }
   return format;
+}
+
+OpenResult open_store_structural(const fs::path& dir,
+                                 std::string_view platform, IoEnv& io,
+                                 bool repair) {
+  return open_impl(dir, platform, io, /*binder=*/nullptr, repair);
 }
 
 OpenResult open_store(const fs::path& dir, std::string_view platform,

@@ -54,6 +54,10 @@ struct OpenResult {
   StoreMeta meta;
   std::vector<LaneState> lane_states;
   SalvageReport salvage;
+  /// Task rows (ping+trace pairs) durably on disk after salvage: committed
+  /// plus adopted tail. Equals data.pings.size() on a binding open; the only
+  /// row count available on a structural open (which parses no rows).
+  std::uint64_t durable_rows = 0;
   std::string error;
   [[nodiscard]] bool ok() const { return error.empty(); }
 };
@@ -72,6 +76,15 @@ struct OpenResult {
                                     const probes::ProbeFleet* sc_fleet,
                                     const probes::ProbeFleet* atlas_fleet,
                                     bool repair);
+
+/// Structural open: same committed-region validation, salvage chain and
+/// repair as open_store, but no row binding — `data` comes back empty and
+/// `durable_rows` carries the on-disk row count. This is what a *streaming*
+/// resume uses: it needs the lane states and campaign state to continue
+/// appending, never the rows themselves (RAM stays O(day)).
+[[nodiscard]] OpenResult open_store_structural(
+    const std::filesystem::path& dir, std::string_view platform, IoEnv& io,
+    bool repair);
 
 /// Offline integrity check (`cloudrtt study --fsck`): same validation as
 /// open_store but structural only — no probe fleets, no row binding, never

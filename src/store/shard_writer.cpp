@@ -104,39 +104,22 @@ void ShardWriter::enqueue(Job job) {
 
 bool ShardWriter::append_day(std::uint32_t day, std::size_t day_start_cursor,
                              std::uint32_t first_task,
-                             std::span<const measure::PingRecord> pings,
-                             std::span<const measure::TraceRecord> traces) {
-  CLOUDRTT_CHECK(pings.size() == traces.size(),
+                             const measure::Dataset& data,
+                             std::size_t ping_begin, std::size_t trace_begin) {
+  CLOUDRTT_CHECK(data.pings.size() - ping_begin ==
+                     data.traces.size() - trace_begin,
                  "a day's ping and trace counts must match 1:1");
-  // Copy the rows off the campaign thread — the spans die with the caller's
-  // buffers, and the worker serialises at its own pace. Hop lists flatten
-  // into one arena so this stays bulk copies, no per-trace allocation.
+  // Copy the row slice off the campaign thread — the caller may clear its
+  // dataset the moment this returns (streaming mode does), and the worker
+  // serialises at its own pace. A columnar splice is a fixed number of bulk
+  // vector copies; the fresh job dataset adopts the source binding so the
+  // codes transfer verbatim.
   Job job;
   job.day = day;
   job.cursor = day_start_cursor;
   job.first_task = first_task;
-  job.pings.assign(pings.begin(), pings.end());
-  job.traces.reserve(traces.size());
-  job.hop_counts.reserve(traces.size());
-  std::size_t total_hops = 0;
-  for (const measure::TraceRecord& trace : traces) {
-    total_hops += trace.hops.size();
-  }
-  job.hops.reserve(total_hops);
-  for (const measure::TraceRecord& trace : traces) {
-    measure::TraceRecord core;
-    core.probe = trace.probe;
-    core.region = trace.region;
-    core.target_ip = trace.target_ip;
-    core.completed = trace.completed;
-    core.end_to_end_ms = trace.end_to_end_ms;
-    core.day = trace.day;
-    core.slot = trace.slot;
-    core.true_mode = trace.true_mode;
-    job.traces.push_back(std::move(core));
-    job.hop_counts.push_back(static_cast<std::uint32_t>(trace.hops.size()));
-    job.hops.insert(job.hops.end(), trace.hops.begin(), trace.hops.end());
-  }
+  job.rows.append_slice(data, ping_begin, data.pings.size(), trace_begin,
+                        data.traces.size());
   enqueue(std::move(job));
   return !degraded();
 }
@@ -159,15 +142,18 @@ bool ShardWriter::adopt(const measure::Dataset& data,
   // day (a format=2 checkpoint only exists at day boundaries).
   std::size_t begin = 0;
   while (begin < data.pings.size()) {
-    const std::uint32_t day = data.pings[begin].day;
+    const std::uint32_t day = data.pings.day(begin);
     std::size_t end = begin;
-    while (end < data.pings.size() && data.pings[end].day == day) ++end;
-    CLOUDRTT_CHECK(data.traces[begin].day == day &&
-                       data.traces[end - 1].day == day,
+    while (end < data.pings.size() && data.pings.day(end) == day) ++end;
+    CLOUDRTT_CHECK(data.traces.day(begin) == day &&
+                       data.traces.day(end - 1) == day,
                    "adopted pings and traces disagree on day boundaries");
-    (void)append_day(day, 0, 0,
-                     std::span{data.pings}.subspan(begin, end - begin),
-                     std::span{data.traces}.subspan(begin, end - begin));
+    // Carve the day into its own dataset so the job copies exactly that
+    // day's rows (adoption is the cold legacy path; the extra splice is
+    // fine).
+    measure::Dataset day_rows;
+    day_rows.append_slice(data, begin, end, begin, end);
+    (void)append_day(day, 0, 0, day_rows, 0, 0);
     begin = end;
   }
   (void)commit(state);
@@ -205,22 +191,18 @@ void ShardWriter::worker_loop() {
 }
 
 void ShardWriter::do_append_day(const Job& job) {
+  const std::size_t tasks = job.rows.pings.size();
   PendingAppend entry;
   entry.lane = job.day % lane_.size();
-  entry.rows = job.pings.size();
+  entry.rows = tasks;
   // Exact payload size (fixed-layout records) plus slack per header line.
-  entry.bytes.reserve(job.pings.size() * 38 + job.hops.size() * 14 +
-                      (job.pings.size() / kBlockTasks + 1) * 112);
-  std::size_t hop_cursor = 0;  // blocks partition the day, so one walk
-  for (std::size_t begin = 0; begin < job.pings.size();
-       begin += kBlockTasks) {
-    const std::size_t count = std::min(kBlockTasks, job.pings.size() - begin);
+  entry.bytes.reserve(tasks * 38 + job.rows.traces.hop_pool().size() * 14 +
+                      (tasks / kBlockTasks + 1) * 112);
+  for (std::size_t begin = 0; begin < tasks; begin += kBlockTasks) {
+    const std::size_t count = std::min(kBlockTasks, tasks - begin);
     payload_scratch_.clear();
     for (std::size_t i = begin; i < begin + count; ++i) {
-      const std::size_t hop_count = job.hop_counts[i];
-      serialize_task(payload_scratch_, job.pings[i], job.traces[i],
-                     std::span{job.hops}.subspan(hop_cursor, hop_count));
-      hop_cursor += hop_count;
+      serialize_task(payload_scratch_, job.rows, i);
     }
     BlockHeader header;
     header.seq = alloc_seq_[entry.lane]++;

@@ -41,7 +41,6 @@
 #include <deque>
 #include <filesystem>
 #include <mutex>
-#include <span>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -91,14 +90,15 @@ class ShardWriter {
   void restore(const std::vector<LaneState>& lanes,
                std::uint64_t durable_pings, std::uint64_t durable_traces);
 
-  /// Stream one executed day: tasks [first_task, first_task + pings.size())
-  /// of `day`, with `day_start_cursor` the country cursor at the day's
-  /// start. Copies the rows and enqueues them for the worker; returns the
-  /// advisory "not degraded as of the last retired job".
+  /// Stream one executed day: ping rows [ping_begin, data.pings.size()) and
+  /// trace rows [trace_begin, data.traces.size()) of `data` are tasks
+  /// [first_task, ...) of `day`, with `day_start_cursor` the country cursor
+  /// at the day's start. Copies the row slice (a columnar splice — a handful
+  /// of bulk copies, no per-trace allocation) and enqueues it for the
+  /// worker; returns the advisory "not degraded as of the last retired job".
   bool append_day(std::uint32_t day, std::size_t day_start_cursor,
-                  std::uint32_t first_task,
-                  std::span<const measure::PingRecord> pings,
-                  std::span<const measure::TraceRecord> traces);
+                  std::uint32_t first_task, const measure::Dataset& data,
+                  std::size_t ping_begin, std::size_t trace_begin);
 
   /// Enqueue a manifest commit of `state`. The worker skips it while blocks
   /// are still pending — the manifest must never claim rows the disk does
@@ -133,20 +133,16 @@ class ShardWriter {
   }
 
  private:
-  /// One enqueued unit: a day's rows (copied off the campaign thread) or a
-  /// manifest commit. Trace hop lists are flattened into one arena
-  /// (`hops`, with `hop_counts[i]` hops per trace and the cores' own hop
-  /// vectors left empty), so enqueueing a day costs four bulk copies, not
-  /// an allocation per trace.
+  /// One enqueued unit: a day's rows (a columnar slice copied off the
+  /// campaign thread — hop lists already live in the column's flat pool, so
+  /// the copy is a fixed number of bulk vector splices) or a manifest
+  /// commit.
   struct Job {
     bool is_commit = false;
     std::uint32_t day = 0;
     std::size_t cursor = 0;
     std::uint32_t first_task = 0;
-    std::vector<measure::PingRecord> pings;
-    std::vector<measure::TraceRecord> traces;
-    std::vector<std::uint32_t> hop_counts;
-    std::vector<measure::HopRecord> hops;
+    measure::Dataset rows;
     measure::CampaignState state;
   };
 

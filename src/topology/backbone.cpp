@@ -448,4 +448,15 @@ std::vector<std::string_view> uplink_gateways(std::string_view country) {
   return out;
 }
 
+std::size_t uplink_gateways(std::string_view country,
+                            std::span<std::string_view> out) {
+  std::size_t count = 0;
+  for (const UplinkRule& rule : kUplinks) {
+    if (rule.country != country) continue;
+    if (count == out.size()) break;
+    out[count++] = rule.gateway;
+  }
+  return count;
+}
+
 }  // namespace cloudrtt::topology

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -170,5 +171,11 @@ class Backbone {
 /// countries whose international connectivity funnels through a gateway
 /// (e.g. the Gulf states via Egypt) list it here; empty for most.
 [[nodiscard]] std::vector<std::string_view> uplink_gateways(std::string_view country);
+
+/// Zero-allocation variant for hot callers: writes up to `out.size()`
+/// gateway codes into the caller's buffer and returns how many were written
+/// (no country lists more than a couple of gateways).
+std::size_t uplink_gateways(std::string_view country,
+                            std::span<std::string_view> out);
 
 }  // namespace cloudrtt::topology

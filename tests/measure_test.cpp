@@ -349,7 +349,7 @@ TEST_F(CampaignTest, CaseStudiesProduceFocusedMeasurements) {
   const Dataset data = campaign.run(util::Rng{1});
   std::size_t de_to_gb = 0;
   std::size_t bh_to_in = 0;
-  for (const TraceRecord& trace : data.traces) {
+  for (const TraceRef& trace : data.traces) {
     if (trace.probe->country->code == std::string_view{"DE"} &&
         trace.region->country == std::string_view{"GB"}) {
       ++de_to_gb;
@@ -476,6 +476,89 @@ TEST_F(CampaignTest, OnlyConnectedProbesMeasure) {
   for (const probes::Probe& probe : fleet_.probes()) known.insert(&probe);
   for (const PingRecord& ping : data.pings) {
     EXPECT_TRUE(known.contains(ping.probe));
+  }
+}
+
+// -- columnar core (AoS -> SoA equivalence gates) ----------------------------
+
+TEST_F(CampaignTest, ColumnarCursorMatchesColumnCells) {
+  // The materialised row views must agree with the raw per-cell accessors
+  // the serialisers use — they are two reads of the same columns.
+  const Campaign campaign{world_, fleet_, config_};
+  const Dataset data = campaign.run(util::Rng{3});
+  ASSERT_GT(data.traces.size(), 0u);
+  for (std::size_t row = 0; row < data.traces.size(); ++row) {
+    const TraceRef view = data.traces[row];
+    EXPECT_EQ(view.completed, data.traces.completed(row));
+    EXPECT_DOUBLE_EQ(view.end_to_end_ms, data.traces.end_to_end_ms(row));
+    EXPECT_EQ(view.day, data.traces.day(row));
+    EXPECT_EQ(view.true_mode, data.traces.true_mode(row));
+    EXPECT_EQ(view.hops.size(), data.traces.hop_count(row));
+    EXPECT_EQ(view.hops.data(), data.traces.hops(row).data());
+  }
+  for (std::size_t row = 0; row < data.pings.size(); ++row) {
+    const PingRecord view = data.pings[row];
+    EXPECT_DOUBLE_EQ(view.rtt_ms, data.pings.rtt_ms(row));
+    EXPECT_EQ(view.protocol, data.pings.protocol(row));
+    EXPECT_EQ(view.probe->id, data.pings.probe_id(row));
+  }
+}
+
+TEST_F(CampaignTest, ColumnarHopPoolIsFlatAndContiguous) {
+  // Hop spans tile the flat pool in task order: each row's span starts where
+  // the previous row's ended, and the pool holds exactly the sum of counts.
+  const Campaign campaign{world_, fleet_, config_};
+  const Dataset data = campaign.run(util::Rng{3});
+  std::size_t expected_offset = 0;
+  for (std::size_t row = 0; row < data.traces.size(); ++row) {
+    const std::span<const HopRecord> hops = data.traces.hops(row);
+    EXPECT_EQ(hops.data(), data.traces.hop_pool().data() + expected_offset);
+    expected_offset += hops.size();
+  }
+  EXPECT_EQ(expected_offset, data.traces.hop_pool().size());
+}
+
+TEST(ColumnarDataset, RoundTripsHandBuiltRecordsThroughExtras) {
+  // Records pushed into an *unbound* Dataset (no fleets registered, as unit
+  // tests build them) fall back to the extras table and must still
+  // round-trip every field exactly.
+  topology::World world{topology::WorldConfig{5}};
+  probes::ProbeFleet fleet{
+      world, probes::FleetConfig{probes::Platform::Speedchecker, 50}};
+  Engine engine{world};
+  util::Rng rng{9};
+  const probes::Probe& probe = fleet.probes().front();
+  const auto& endpoint = world.endpoints().front();
+
+  Dataset data;  // deliberately unbound: every code is an extras code
+  PingRecord ping = engine.ping(probe, endpoint, Protocol::Icmp, 4, rng, 2);
+  data.pings.push_back(ping);
+
+  TraceRecord trace = engine.traceroute(probe, endpoint, 4, rng,
+                                        Engine::TraceMethod::Classic, 2);
+  data.traces.push_back(trace);
+
+  EXPECT_FALSE(data.binding().pure());
+  const PingRecord ping_back = data.pings[0];
+  EXPECT_EQ(ping_back.probe, ping.probe);
+  EXPECT_EQ(ping_back.region, ping.region);
+  EXPECT_DOUBLE_EQ(ping_back.rtt_ms, ping.rtt_ms);
+  EXPECT_EQ(ping_back.day, 4u);
+  EXPECT_EQ(ping_back.slot, 2);
+
+  const TraceRecord trace_back = data.traces[0].to_record();
+  EXPECT_EQ(trace_back.probe, trace.probe);
+  EXPECT_EQ(trace_back.region, trace.region);
+  EXPECT_EQ(trace_back.target_ip, trace.target_ip);
+  EXPECT_EQ(trace_back.completed, trace.completed);
+  EXPECT_DOUBLE_EQ(trace_back.end_to_end_ms, trace.end_to_end_ms);
+  EXPECT_EQ(trace_back.true_mode, trace.true_mode);
+  ASSERT_EQ(trace_back.hops.size(), trace.hops.size());
+  for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+    EXPECT_EQ(trace_back.hops[i].ttl, trace.hops[i].ttl);
+    EXPECT_EQ(trace_back.hops[i].responded, trace.hops[i].responded);
+    EXPECT_EQ(trace_back.hops[i].ip, trace.hops[i].ip);
+    EXPECT_DOUBLE_EQ(trace_back.hops[i].rtt_ms, trace.hops[i].rtt_ms);
   }
 }
 

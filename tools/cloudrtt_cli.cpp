@@ -4,17 +4,20 @@
 //   cloudrtt resolve <ip> [--seed N]                IP -> ASN through the pipeline
 //   cloudrtt trace <country> <provider> [...]       one annotated traceroute
 //   cloudrtt study   [--sc-probes N --days D ...]   full campaign + artefacts
+//   cloudrtt run     [--scale paper ...]            streaming study, O(day) RAM
 
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "analysis/resolve.hpp"
 #include "analysis/trace_analysis.hpp"
 #include "core/export.hpp"
 #include "core/report.hpp"
+#include "core/scale.hpp"
 #include "core/study.hpp"
 #include "fault/plan.hpp"
 #include "measure/engine.hpp"
@@ -248,14 +251,22 @@ int cmd_trace(int argc, const char* const* argv) {
   return 0;
 }
 
-int cmd_study(int argc, const char* const* argv) {
-  util::ArgParser args{"cloudrtt study",
-                       "run the full measurement campaign and write artefacts"};
+int cmd_study(int argc, const char* const* argv,
+              const char* program = "cloudrtt study",
+              const char* description =
+                  "run the full measurement campaign and write artefacts") {
+  util::ArgParser args{program, description};
   args.add_option("seed", "42", "study seed");
-  args.add_option("sc-probes", "6000", "Speedchecker fleet size");
-  args.add_option("atlas-probes", "1500", "RIPE Atlas fleet size");
+  args.add_option("scale", "", "fleet scale: default | paper (115k/8.5k "
+                               "probes) | NxM probe counts | float multiplier "
+                               "(default: CLOUDRTT_SCALE or default)");
+  args.add_option("sc-probes", "", "Speedchecker fleet size (overrides "
+                                   "--scale; default 6000)");
+  args.add_option("atlas-probes", "", "RIPE Atlas fleet size (overrides "
+                                      "--scale; default 1500)");
   args.add_option("days", "10", "campaign days");
-  args.add_option("budget", "15000", "daily task budget");
+  args.add_option("budget", "", "daily task budget (overrides --scale; "
+                                "default 15000)");
   args.add_option("threads", "1", "worker threads for campaign execution "
                                   "(any value yields identical datasets)");
   args.add_option("out", "cloudrtt-out", "output directory");
@@ -282,6 +293,10 @@ int cmd_study(int argc, const char* const* argv) {
                                    "instead of --checkpoint-dir");
   args.add_flag("resume", "resume from --checkpoint-dir if a checkpoint "
                           "exists, salvaging any crash-torn shard tail");
+  args.add_flag("stream", "stream each day to the store and drop it from "
+                          "memory (needs --checkpoint-dir; RAM stays O(day); "
+                          "CSV export and report.json are skipped — the "
+                          "store is the dataset)");
   args.add_flag("fsck", "validate the checkpoint store in --checkpoint-dir "
                         "and exit (0 = healthy)");
   args.add_option("stop-after-day", "0", "abandon each campaign once this many "
@@ -297,11 +312,25 @@ int cmd_study(int argc, const char* const* argv) {
 
   core::StudyConfig config;
   config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-  config.sc_probes = static_cast<std::size_t>(args.get_int("sc-probes"));
-  config.atlas_probes = static_cast<std::size_t>(args.get_int("atlas-probes"));
+  const core::ScaleSpec scale = core::resolve_scale(args.get("scale"));
+  if (!scale.ok()) {
+    std::cerr << scale.error << "\n";
+    return 1;
+  }
+  core::apply_scale(config, scale);
+  if (!args.get("sc-probes").empty()) {
+    config.sc_probes = static_cast<std::size_t>(args.get_int("sc-probes"));
+  }
+  if (!args.get("atlas-probes").empty()) {
+    config.atlas_probes =
+        static_cast<std::size_t>(args.get_int("atlas-probes"));
+  }
   config.include_atlas = !args.get_flag("no-atlas");
   config.sc_campaign.days = static_cast<std::uint32_t>(args.get_int("days"));
-  config.sc_campaign.daily_budget = static_cast<std::size_t>(args.get_int("budget"));
+  if (!args.get("budget").empty()) {
+    config.sc_campaign.daily_budget =
+        static_cast<std::size_t>(args.get_int("budget"));
+  }
   if (const long threads = args.get_int("threads"); threads > 0) {
     config.threads = static_cast<unsigned>(threads);
   }
@@ -327,8 +356,14 @@ int cmd_study(int argc, const char* const* argv) {
   control.checkpoint_dir = args.get("checkpoint-dir");
   control.spill_dir = args.get("spill-dir");
   control.resume = args.get_flag("resume");
+  control.stream = args.get_flag("stream");
   if (control.resume && control.checkpoint_dir.empty()) {
     std::cerr << "--resume needs --checkpoint-dir\n";
+    return 1;
+  }
+  if (control.stream && control.checkpoint_dir.empty()) {
+    std::cerr << "--stream needs --checkpoint-dir (the store is the only "
+                 "copy of the rows)\n";
     return 1;
   }
 
@@ -400,14 +435,17 @@ int cmd_study(int argc, const char* const* argv) {
     return ok;
   };
 
-  std::cout << "running study: " << config.sc_probes << " SC probes, "
-            << config.sc_campaign.days << " days, seed " << config.seed;
+  std::cout << "running study: scale " << scale.name << " ("
+            << config.sc_probes << " SC / " << config.atlas_probes
+            << " Atlas probes), " << config.sc_campaign.days
+            << " days, seed " << config.seed;
   if (config.threads > 1) {
     std::cout << ", " << config.threads << " threads";
   }
   if (config.fault_profile != fault::FaultProfile::None) {
     std::cout << ", fault profile " << to_string(config.fault_profile);
   }
+  if (control.stream) std::cout << ", streaming";
   std::cout << "\n";
   core::Study study{config};
   try {
@@ -421,18 +459,64 @@ int cmd_study(int argc, const char* const* argv) {
     if (!args.get_flag("quiet")) print_observability_summary();
     return 1;
   }
-  std::cout << "collected " << study.sc_dataset().pings.size() << " pings / "
-            << study.sc_dataset().traces.size() << " traceroutes ("
-            << config.threads << (config.threads == 1 ? " thread" : " threads")
-            << ")\n";
+  const std::filesystem::path store_dir =
+      control.spill_dir.empty() ? std::filesystem::path{control.checkpoint_dir}
+                                : std::filesystem::path{control.spill_dir};
+  if (control.stream && study.completed()) {
+    // The rows live only in the store; report what is durably on disk.
+    store::IoEnv io;
+    std::uint64_t rows = 0;
+    for (const std::string_view platform : {"speedchecker", "atlas"}) {
+      if (platform == "atlas" && !config.include_atlas) continue;
+      const store::OpenResult opened =
+          store::open_store_structural(store_dir, platform, io,
+                                       /*repair=*/false);
+      if (opened.ok()) rows += opened.durable_rows;
+    }
+    std::cout << "streamed " << rows << " task rows (scale " << scale.name
+              << ", " << config.threads
+              << (config.threads == 1 ? " thread" : " threads")
+              << ") to " << store_dir.string() << "\n";
+  } else {
+    std::cout << "collected " << study.sc_dataset().pings.size()
+              << " pings / " << study.sc_dataset().traces.size()
+              << " traceroutes (scale " << scale.name << ", "
+              << config.threads
+              << (config.threads == 1 ? " thread" : " threads") << ")\n";
+  }
 
   if (args.get_flag("dataset-hash")) {
     // Two same-seed runs must print identical lines; the determinism CI gate
-    // diffs this output across a double run and a kill+resume cycle.
-    const std::uint64_t sc = core::dataset_hash(study.sc_dataset());
-    const std::uint64_t atlas = config.include_atlas
-                                    ? core::dataset_hash(study.atlas_dataset())
-                                    : 0;
+    // diffs this output across a double run and a kill+resume cycle. The
+    // streamed flavour hashes the store directly and is bit-identical to the
+    // in-memory hash by construction.
+    std::uint64_t sc = 0;
+    std::uint64_t atlas = 0;
+    if (control.stream) {
+      store::IoEnv io;
+      const core::StreamedHashResult sc_hash = core::streamed_dataset_hash(
+          store_dir, "speedchecker", io, &study.sc_fleet(),
+          config.include_atlas ? &study.atlas_fleet() : nullptr);
+      if (!sc_hash.ok()) {
+        std::cerr << "dataset-hash failed: " << sc_hash.error << "\n";
+        return 1;
+      }
+      sc = sc_hash.hash;
+      if (config.include_atlas) {
+        const core::StreamedHashResult atlas_hash =
+            core::streamed_dataset_hash(store_dir, "atlas", io,
+                                        &study.sc_fleet(),
+                                        &study.atlas_fleet());
+        if (!atlas_hash.ok()) {
+          std::cerr << "dataset-hash failed: " << atlas_hash.error << "\n";
+          return 1;
+        }
+        atlas = atlas_hash.hash;
+      }
+    } else {
+      sc = core::dataset_hash(study.sc_dataset());
+      if (config.include_atlas) atlas = core::dataset_hash(study.atlas_dataset());
+    }
     std::uint64_t state = sc ^ (atlas * 0x9e3779b97f4a7c15ULL);
     const std::uint64_t combined = util::splitmix64(state);
     std::cout << "dataset-hash sc=" << core::format_dataset_hash(sc)
@@ -449,30 +533,55 @@ int cmd_study(int argc, const char* const* argv) {
     return 0;
   }
 
-  const std::filesystem::path out_dir{args.get("out")};
-  std::error_code ec;
-  std::filesystem::create_directories(out_dir, ec);
-  if (ec) {
-    std::cerr << "cannot create " << out_dir << ": " << ec.message() << "\n";
-    return 1;
+  if (control.stream) {
+    // No rows in memory: the store *is* the artefact set. Export/report need
+    // a materialised dataset, so a streamed run stops here.
+    std::cout << "store written to " << store_dir.string() << "/\n";
+  } else {
+    const std::filesystem::path out_dir{args.get("out")};
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::cerr << "cannot create " << out_dir << ": " << ec.message() << "\n";
+      return 1;
+    }
+    if (!args.get_flag("no-export")) {
+      std::ofstream pings{out_dir / "pings.csv"};
+      core::export_pings_csv(pings, study.sc_dataset());
+      std::ofstream traces{out_dir / "traceroutes.csv"};
+      core::export_traces_csv(traces, study.sc_dataset());
+    }
+    {
+      obs::Span phase = obs::span("core.report");
+      std::ofstream report{out_dir / "report.json"};
+      core::write_full_report(report, study.view());
+    }
+    std::cout << "artefacts written to " << out_dir.string() << "/\n";
   }
-  if (!args.get_flag("no-export")) {
-    std::ofstream pings{out_dir / "pings.csv"};
-    core::export_pings_csv(pings, study.sc_dataset());
-    std::ofstream traces{out_dir / "traceroutes.csv"};
-    core::export_traces_csv(traces, study.sc_dataset());
-  }
-  {
-    obs::Span phase = obs::span("core.report");
-    std::ofstream report{out_dir / "report.json"};
-    core::write_full_report(report, study.view());
-  }
-  std::cout << "artefacts written to " << out_dir.string() << "/\n";
 
   if (!flush_observability()) return 1;
   if (config.fault_profile != fault::FaultProfile::None) print_fault_summary();
   if (!args.get_flag("quiet")) print_observability_summary();
   return 0;
+}
+
+int cmd_run(int argc, const char* const* argv) {
+  // `cloudrtt run` — the streaming-first spelling of `study`: rows spill to
+  // the store day by day (RAM stays O(one day's columns), which is what lets
+  // `--scale paper` run the 115k-probe fleet), the store is the artefact,
+  // and the dataset hash is printed from the streamed scan. Defaults are
+  // prepended so later (user) arguments override them.
+  std::vector<const char*> forwarded;
+  forwarded.push_back("cloudrtt run");
+  forwarded.push_back("--stream");
+  forwarded.push_back("--checkpoint-dir");
+  forwarded.push_back("cloudrtt-out/store");
+  forwarded.push_back("--dataset-hash");
+  for (int i = 1; i < argc; ++i) forwarded.push_back(argv[i]);
+  return cmd_study(static_cast<int>(forwarded.size()), forwarded.data(),
+                   "cloudrtt run",
+                   "run the campaign streaming each day to the store "
+                   "(study --stream with a default store dir)");
 }
 
 void print_usage() {
@@ -482,7 +591,8 @@ void print_usage() {
       "  world    print the synthetic-Internet inventory\n"
       "  resolve  resolve an IPv4 address through the analysis pipeline\n"
       "  trace    run one annotated traceroute\n"
-      "  study    run the full campaign and export artefacts\n\n"
+      "  study    run the full campaign and export artefacts\n"
+      "  run      streaming study: O(day) memory, --scale paper capable\n\n"
       "run `cloudrtt <subcommand> --help` for details.\n";
 }
 
@@ -501,6 +611,7 @@ int main(int argc, char** argv) {
   if (command == "resolve") return cmd_resolve(sub_argc, sub_argv);
   if (command == "trace") return cmd_trace(sub_argc, sub_argv);
   if (command == "study") return cmd_study(sub_argc, sub_argv);
+  if (command == "run") return cmd_run(sub_argc, sub_argv);
   if (command == "--help" || command == "-h") {
     print_usage();
     return 0;
